@@ -1,0 +1,91 @@
+// Shared experiment orchestration for the benchmark binaries: builds the
+// benchmark datasets, trains every model of Table III, and evaluates them
+// with the shared protocol. Each table/figure binary composes these pieces
+// and prints its own rows.
+//
+// Scale knobs come from the environment so the same binaries serve both a
+// quick sanity sweep and a longer, closer-to-paper run:
+//   DEKG_BENCH_SCALE   dataset scale multiplier   (default 0.45)
+//   DEKG_BENCH_EPOCHS  subgraph-model epochs      (default 8)
+//   DEKG_BENCH_LINKS   evaluated test links       (default 45)
+//   DEKG_BENCH_SEED    global seed                (default 7)
+//   DEKG_BENCH_RUNS    seeds averaged per model   (default 1; paper uses 5)
+#ifndef DEKG_BENCH_EXPERIMENT_H_
+#define DEKG_BENCH_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic_kg.h"
+#include "eval/evaluator.h"
+#include "kg/dataset.h"
+
+namespace dekg::bench {
+
+struct ExperimentConfig {
+  double scale = 0.45;
+  int32_t subgraph_epochs = 8;
+  int32_t subgraph_triples_per_epoch = 220;
+  int32_t kge_epochs = 40;
+  int32_t eval_links = 45;
+  int32_t eval_negatives = 49;
+  int32_t dim = 32;
+  uint64_t seed = 7;
+  // Independent repetitions averaged per model (the paper averages 5 runs
+  // with different seeds); DEKG_BENCH_RUNS.
+  int32_t runs = 1;
+
+  static ExperimentConfig FromEnv();
+};
+
+// One trained + evaluated model.
+struct ModelRun {
+  std::string name;
+  EvalResult result;
+  int64_t parameter_count = 0;
+  double train_seconds_per_epoch = 0.0;
+  double infer_seconds_per_50_links = 0.0;
+};
+
+// The models of Table III, in the paper's row order.
+enum class ModelKind {
+  kTransE,
+  kRotatE,
+  kConvE,
+  kGen,
+  kRuleN,
+  kGrail,
+  kTact,
+  kDekgIlp,
+  // Extension baselines (Table I rows not in Table III).
+  kNeuralLp,
+  kMean,
+  // Ablations (Fig. 6).
+  kDekgIlpNoR,  // DEKG-ILP-R: no relation-specific features
+  kDekgIlpNoC,  // DEKG-ILP-C: no contrastive loss
+  kDekgIlpNoN,  // DEKG-ILP-N: original node labeling
+  kClrmOnly,    // extension: GSM removed entirely (semantic score alone)
+};
+
+const char* ModelKindName(ModelKind kind);
+std::vector<ModelKind> TableThreeModels();
+std::vector<ModelKind> AblationModels();
+
+// Trains `kind` on `dataset` and evaluates it. Timing fields are filled
+// when `measure_time` is set (adds a timed inference pass over 50 links).
+ModelRun RunModel(ModelKind kind, const DekgDataset& dataset,
+                  const ExperimentConfig& config, bool measure_time = false);
+
+// Dataset cache so multiple figures in one binary reuse generation work.
+DekgDataset MakeDataset(datagen::KgFamily family, datagen::EvalSplit split,
+                        const ExperimentConfig& config);
+
+// ----- Table formatting helpers -----
+// Prints "name  mrr  h@1  h@5  h@10" rows with fixed widths.
+void PrintMetricsRow(const std::string& name, const RankingMetrics& metrics);
+void PrintTableHeader(const std::string& title);
+
+}  // namespace dekg::bench
+
+#endif  // DEKG_BENCH_EXPERIMENT_H_

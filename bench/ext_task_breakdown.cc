@@ -1,0 +1,33 @@
+// Extension experiment — per-prediction-form breakdown on FB15k-237 EQ:
+// MRR for (?, r, t), (h, r, ?), and (h, ?, t) separately. The paper's
+// observation 5 explains TACT's mixed Table III showing: its relation-
+// correlation module makes it strong at *relation* prediction while its
+// head/tail prediction lags. This bench makes that mechanism measurable in
+// our reproduction (and shows DEKG-ILP is balanced across forms).
+#include <cstdio>
+
+#include "bench/experiment.h"
+
+int main() {
+  using namespace dekg;
+  using namespace dekg::bench;
+  SetMinLogSeverity(LogSeverity::kWarning);
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+
+  std::printf("Extension: MRR per prediction form (FB15k-237 EQ, "
+              "scale=%.2f)\n", config.scale);
+  DekgDataset dataset =
+      MakeDataset(datagen::KgFamily::kFbLike, datagen::EvalSplit::kEq, config);
+  std::printf("%-14s %12s %12s %12s\n", "Model", "head (?rt)", "tail (hr?)",
+              "rel (h?t)");
+  const ModelKind models[] = {ModelKind::kMean,  ModelKind::kNeuralLp,
+                              ModelKind::kRuleN, ModelKind::kGrail,
+                              ModelKind::kTact,  ModelKind::kDekgIlp};
+  for (ModelKind kind : models) {
+    ModelRun run = RunModel(kind, dataset, config);
+    std::printf("%-14s %12.3f %12.3f %12.3f\n", run.name.c_str(),
+                run.result.head_task.mrr, run.result.tail_task.mrr,
+                run.result.relation_task.mrr);
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Fig. 7 — complexity study on FB15k-237 ME: trainable-parameter counts
+// and average inference time for 50 links, per model. Inference timing
+// uses google-benchmark (training is irrelevant to cost, so models are
+// timed with their initial weights).
+//
+// Expected shape: the entity-identity KGE methods (TransE/RotatE/ConvE/
+// GEN) carry far more parameters (a row per entity); the subgraph methods
+// (Grail/TACT/DEKG-ILP) are relation-parameterized but pay subgraph
+// extraction + GNN time at inference; TACT adds the |R|^2 correlation
+// matrices; DEKG-ILP sits slightly above Grail in both axes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/gen.h"
+#include "baselines/grail.h"
+#include "baselines/kge_models.h"
+#include "baselines/rulen.h"
+#include "baselines/tact.h"
+#include "bench/experiment.h"
+#include "core/dekg_ilp.h"
+
+namespace {
+
+using namespace dekg;
+using namespace dekg::bench;
+
+struct Fixture {
+  std::unique_ptr<DekgDataset> dataset;
+  std::vector<Triple> batch50;
+
+  std::unique_ptr<baselines::TransE> transe;
+  std::unique_ptr<baselines::RotatE> rotate;
+  std::unique_ptr<baselines::ConvE> conve;
+  std::unique_ptr<baselines::Gen> gen;
+  std::unique_ptr<baselines::RuleN> rulen;
+  std::unique_ptr<core::DekgIlpModel> grail;
+  std::unique_ptr<core::DekgIlpPredictor> grail_pred;
+  std::unique_ptr<baselines::Tact> tact;
+  std::unique_ptr<core::DekgIlpModel> dekg_ilp;
+  std::unique_ptr<core::DekgIlpPredictor> dekg_ilp_pred;
+};
+
+Fixture* g_fixture = nullptr;
+
+void BuildFixture() {
+  auto* f = new Fixture();
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  f->dataset = std::make_unique<DekgDataset>(
+      MakeDataset(datagen::KgFamily::kFbLike, datagen::EvalSplit::kMe, config));
+  const DekgDataset& d = *f->dataset;
+  for (int i = 0; i < 50; ++i) {
+    f->batch50.push_back(
+        d.test_links()[static_cast<size_t>(i) % d.test_links().size()].triple);
+  }
+  baselines::KgeConfig kge;
+  kge.num_entities = d.num_total_entities();
+  kge.num_relations = d.num_relations();
+  kge.dim = config.dim;
+  f->transe = std::make_unique<baselines::TransE>(kge);
+  f->rotate = std::make_unique<baselines::RotatE>(kge);
+  f->conve = std::make_unique<baselines::ConvE>(kge);
+  f->gen = std::make_unique<baselines::Gen>(kge);
+  f->gen->SetEmergingRange(d.num_original_entities(), d.num_total_entities());
+  f->rulen = std::make_unique<baselines::RuleN>(baselines::RulenConfig{});
+  f->rulen->Mine(d);
+  f->grail = std::make_unique<core::DekgIlpModel>(
+      baselines::GrailConfig(d.num_relations(), config.dim), 3);
+  f->grail_pred = std::make_unique<core::DekgIlpPredictor>(f->grail.get());
+  baselines::TactConfig tact;
+  tact.num_relations = d.num_relations();
+  tact.dim = config.dim;
+  f->tact = std::make_unique<baselines::Tact>(tact, 4);
+  core::DekgIlpConfig ilp;
+  ilp.num_relations = d.num_relations();
+  ilp.dim = config.dim;
+  f->dekg_ilp = std::make_unique<core::DekgIlpModel>(ilp, 5);
+  f->dekg_ilp_pred =
+      std::make_unique<core::DekgIlpPredictor>(f->dekg_ilp.get());
+  g_fixture = f;
+}
+
+void BenchScore(benchmark::State& state, LinkPredictor* predictor) {
+  const Fixture& f = *g_fixture;
+  for (auto _ : state) {
+    auto scores =
+        predictor->ScoreTriples(f.dataset->inference_graph(), f.batch50);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.counters["params"] =
+      static_cast<double>(predictor->ParameterCount());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  std::printf("Fig. 7: parameter and inference-time complexity "
+              "(FB15k-237 ME)\n");
+  BuildFixture();
+  const Fixture& f = *g_fixture;
+
+  std::printf("%-14s %12s\n", "Model", "#params");
+  std::printf("%-14s %12lld\n", "TransE",
+              static_cast<long long>(f.transe->ParameterCount()));
+  std::printf("%-14s %12lld\n", "RotatE",
+              static_cast<long long>(f.rotate->ParameterCount()));
+  std::printf("%-14s %12lld\n", "ConvE",
+              static_cast<long long>(f.conve->ParameterCount()));
+  std::printf("%-14s %12lld\n", "GEN",
+              static_cast<long long>(f.gen->ParameterCount()));
+  std::printf("%-14s %12lld\n", "RuleN",
+              static_cast<long long>(f.rulen->ParameterCount()));
+  std::printf("%-14s %12lld\n", "Grail",
+              static_cast<long long>(f.grail->ParameterCount()));
+  std::printf("%-14s %12lld\n", "TACT",
+              static_cast<long long>(f.tact->ParameterCount()));
+  std::printf("%-14s %12lld\n", "DEKG-ILP",
+              static_cast<long long>(f.dekg_ilp->ParameterCount()));
+  std::printf("\nInference time for 50 links (google-benchmark):\n");
+
+  benchmark::RegisterBenchmark("infer50/TransE", BenchScore, f.transe.get());
+  benchmark::RegisterBenchmark("infer50/RotatE", BenchScore, f.rotate.get());
+  benchmark::RegisterBenchmark("infer50/ConvE", BenchScore, f.conve.get());
+  benchmark::RegisterBenchmark("infer50/GEN", BenchScore, f.gen.get());
+  benchmark::RegisterBenchmark("infer50/RuleN", BenchScore, f.rulen.get());
+  benchmark::RegisterBenchmark("infer50/Grail", BenchScore,
+                               f.grail_pred.get());
+  benchmark::RegisterBenchmark("infer50/TACT", BenchScore, f.tact.get());
+  benchmark::RegisterBenchmark("infer50/DEKG-ILP", BenchScore,
+                               f.dekg_ilp_pred.get());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Fig. 8 — case study: embedding heat maps for one enclosing link and one
+// bridging link. As in the paper, the semantic map concatenates the CLRM
+// embeddings e_i ⊕ e_j (2 x 32 -> 8x8) and the topological map
+// concatenates the GSM final-layer states h_i ⊕ h_j.
+//
+// Expected shape: for the bridging link the semantic map carries most of
+// the activation mass while the topological map is near zero (the GraIL
+// path signal does not exist across the cut); for the enclosing link the
+// two maps are comparably active.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/experiment.h"
+#include "core/dekg_ilp.h"
+#include "core/trainer.h"
+
+namespace {
+
+using namespace dekg;
+using namespace dekg::bench;
+
+// Prints a [1, 64] row vector as an 8x8 heat map of |values|, plus its
+// mean absolute activation.
+double PrintHeatMap(const char* title, const Tensor& row) {
+  DEKG_CHECK_EQ(row.numel(), 64);
+  std::printf("%s\n", title);
+  double mass = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    std::printf("  ");
+    for (int j = 0; j < 8; ++j) {
+      const double v = std::fabs(row.Data()[i * 8 + j]);
+      mass += v;
+      std::printf("%6.3f ", v);
+    }
+    std::printf("\n");
+  }
+  mass /= 64.0;
+  std::printf("  mean |activation| = %.4f\n", mass);
+  return mass;
+}
+
+void CaseStudy(core::DekgIlpModel* model, const DekgDataset& dataset,
+               const LabeledLink& link) {
+  const KnowledgeGraph& graph = dataset.inference_graph();
+  std::printf("\n--- %s link (%d, r%d, %d) ---\n", LinkKindName(link.kind),
+              link.triple.head, link.triple.rel, link.triple.tail);
+
+  // Semantic embeddings e_i ⊕ e_j from CLRM.
+  ag::Var ei = model->clrm()->EmbedEntity(
+      graph.RelationComponentTable(link.triple.head));
+  ag::Var ej = model->clrm()->EmbedEntity(
+      graph.RelationComponentTable(link.triple.tail));
+  Tensor semantic = Concat({ei.value(), ej.value()}, /*axis=*/1);
+
+  // Topological embeddings h_i ⊕ h_j from GSM's final layer.
+  Rng rng(3);
+  Subgraph sub = model->gsm()->Extract(graph, link.triple);
+  gnn::RgcnOutput enc =
+      model->gsm()->Encode(sub, link.triple.rel, /*training=*/false, &rng);
+  Tensor topological =
+      Concat({enc.head_repr.value(), enc.tail_repr.value()}, /*axis=*/1);
+
+  const double sem_mass = PrintHeatMap("semantic e_i ⊕ e_j", semantic);
+  const double tpo_mass = PrintHeatMap("topological h_i ⊕ h_j", topological);
+  std::printf("subgraph: %zu nodes, %zu edges\n", sub.nodes.size(),
+              sub.edges.size());
+  std::printf("semantic/topological activation ratio: %.2f\n",
+              sem_mass / std::max(tpo_mass, 1e-9));
+
+  // Per-module discriminative margin: how much each module's score
+  // separates the true link from corrupted candidates. This is the
+  // operational content of the paper's heat-map observation — for
+  // bridging links CLRM carries the discrimination, for enclosing links
+  // the two modules contribute comparably.
+  auto module_scores = [&](const Triple& t) {
+    Rng local_rng(5);
+    double sem = model->clrm()
+                     ->ScoreTriple(graph.RelationComponentTable(t.head),
+                                   t.rel, graph.RelationComponentTable(t.tail))
+                     .value()
+                     .Data()[0];
+    double tpo = model->gsm()
+                     ->ScoreTriple(graph, t, /*training=*/false, &local_rng)
+                     .value()
+                     .Data()[0];
+    return std::pair<double, double>(sem, tpo);
+  };
+  auto [true_sem, true_tpo] = module_scores(link.triple);
+  Rng corrupt_rng(7);
+  double mean_sem = 0.0, mean_tpo = 0.0;
+  const int kCandidates = 20;
+  const int32_t num_entities = graph.num_entities();
+  for (int i = 0; i < kCandidates; ++i) {
+    Triple corrupted = link.triple;
+    corrupted.tail = static_cast<EntityId>(
+        corrupt_rng.UniformUint64(static_cast<uint64_t>(num_entities)));
+    auto [s, t] = module_scores(corrupted);
+    mean_sem += s / kCandidates;
+    mean_tpo += t / kCandidates;
+  }
+  std::printf("discriminative margin (true - mean corrupted): "
+              "semantic %+.3f, topological %+.3f\n",
+              true_sem - mean_sem, true_tpo - mean_tpo);
+}
+
+}  // namespace
+
+int main() {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+
+  std::printf("Fig. 8: embedding heat maps (enclosing vs bridging)\n");
+
+  // Train one DEKG-ILP model (the paper's case-study model). dim must be
+  // 32 so that e_i ⊕ e_j resizes to 8x8.
+  config.dim = 32;
+  DekgDataset dataset =
+      MakeDataset(datagen::KgFamily::kFbLike, datagen::EvalSplit::kEq, config);
+  core::DekgIlpConfig ilp;
+  ilp.num_relations = dataset.num_relations();
+  ilp.dim = config.dim;
+  core::DekgIlpModel model(ilp, config.seed);
+  core::TrainConfig train;
+  train.epochs = config.subgraph_epochs;
+  train.max_triples_per_epoch = config.subgraph_triples_per_epoch;
+  train.seed = config.seed ^ 0x42;
+  core::DekgIlpTrainer trainer(&model, &dataset, train);
+  trainer.Train();
+
+  const LabeledLink* enclosing = nullptr;
+  const LabeledLink* bridging = nullptr;
+  for (const LabeledLink& link : dataset.test_links()) {
+    if (link.kind == LinkKind::kEnclosing && enclosing == nullptr) {
+      enclosing = &link;
+    }
+    if (link.kind == LinkKind::kBridging && bridging == nullptr) {
+      bridging = &link;
+    }
+    if (enclosing != nullptr && bridging != nullptr) break;
+  }
+  DEKG_CHECK(enclosing != nullptr && bridging != nullptr);
+  CaseStudy(&model, dataset, *enclosing);
+  CaseStudy(&model, dataset, *bridging);
+  return 0;
+}

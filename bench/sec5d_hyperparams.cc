@@ -1,0 +1,77 @@
+// Sec. V-D (Parameter Setup) — the paper's hyperparameter grid: learning
+// rate lr ∈ {0.1, 0.01, 0.001, 0.0005}, feature dimension d ∈ {16, 32, 64,
+// 128}, edge dropout beta ∈ {0.1, 0.3, 0.5, 0.8}, contrastive weight
+// sigma ∈ {0.01, 0.1, 0.5, 1}, selected on the validation set. The paper's
+// optimum: lr = 0.01, d = 32, beta = 0.5, sigma = 0.1.
+//
+// A full 4^4 grid is 256 trainings; like the paper's own practice, this
+// bench sweeps each axis around the default configuration (coordinate
+// search) and reports validation MRR per setting.
+#include <cstdio>
+
+#include "bench/experiment.h"
+#include "core/dekg_ilp.h"
+#include "core/trainer.h"
+
+namespace {
+
+using namespace dekg;
+using namespace dekg::bench;
+
+double RunOnce(const DekgDataset& dataset, const ExperimentConfig& base,
+               double lr, int32_t dim, float beta, double sigma) {
+  core::DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  config.dim = dim;
+  config.edge_dropout = beta;
+  config.sigma = sigma;
+  config.num_contrastive_samples = 6;
+  core::DekgIlpModel model(config, base.seed ^ 0xd1);
+  core::TrainConfig train;
+  train.epochs = base.subgraph_epochs;
+  train.max_triples_per_epoch = base.subgraph_triples_per_epoch;
+  train.lr = lr;
+  train.seed = base.seed ^ 0xd2;
+  core::DekgIlpTrainer trainer(&model, &dataset, train);
+  EvalConfig eval;
+  eval.num_entity_negatives = base.eval_negatives;
+  eval.max_links = base.eval_links;
+  eval.seed = base.seed ^ 0xd3;
+  return trainer.TrainWithValidation(eval, /*eval_every=*/4);
+}
+
+}  // namespace
+
+int main() {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  config.eval_links = 30;  // validation sets are small
+
+  std::printf("Sec. V-D: hyperparameter sensitivity (validation MRR, "
+              "FB15k-237 EQ, coordinate sweep around lr=0.01 d=32 "
+              "beta=0.5 sigma=0.1)\n");
+  DekgDataset dataset =
+      MakeDataset(datagen::KgFamily::kFbLike, datagen::EvalSplit::kEq, config);
+
+  std::printf("\n%-10s %12s\n", "lr", "valid MRR");
+  for (double lr : {0.1, 0.01, 0.001, 0.0005}) {
+    std::printf("%-10g %12.3f\n", lr,
+                RunOnce(dataset, config, lr, 32, 0.5f, 0.1));
+  }
+  std::printf("\n%-10s %12s\n", "d", "valid MRR");
+  for (int32_t d : {16, 32, 64, 128}) {
+    std::printf("%-10d %12.3f\n", d,
+                RunOnce(dataset, config, 0.01, d, 0.5f, 0.1));
+  }
+  std::printf("\n%-10s %12s\n", "beta", "valid MRR");
+  for (float beta : {0.1f, 0.3f, 0.5f, 0.8f}) {
+    std::printf("%-10g %12.3f\n", beta,
+                RunOnce(dataset, config, 0.01, 32, beta, 0.1));
+  }
+  std::printf("\n%-10s %12s\n", "sigma", "valid MRR");
+  for (double sigma : {0.01, 0.1, 0.5, 1.0}) {
+    std::printf("%-10g %12.3f\n", sigma,
+                RunOnce(dataset, config, 0.01, 32, 0.5f, sigma));
+  }
+  return 0;
+}

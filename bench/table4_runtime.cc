@@ -1,0 +1,61 @@
+// Table IV — per-epoch training time (seconds here; the paper reports
+// minutes at ~30-60x our dataset scale) and average inference time for 50
+// links, for every model on the EQ / MB / ME splits of the three dataset
+// families. Timing needs no converged model, so each model is timed over
+// a single training epoch with its initial weights.
+//
+// Expected shape: subgraph methods (Grail / TACT / DEKG-ILP) are the
+// slowest per epoch and per inference (subgraph extraction + GNN);
+// TACT > DEKG-ILP > Grail; TransE/RotatE are the fastest; ConvE and GEN
+// sit in between.
+#include <cstdio>
+
+#include "bench/experiment.h"
+
+int main() {
+  using namespace dekg;
+  using namespace dekg::bench;
+  SetMinLogSeverity(LogSeverity::kWarning);
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  // Timing-only run: one epoch per model, minimal evaluation.
+  config.subgraph_epochs = 1;
+  config.kge_epochs = 1;
+  config.eval_links = 4;
+
+  std::printf("Table IV: training time per epoch (T-T, seconds) and "
+              "inference time per 50 links (T-I, seconds)\n");
+  std::printf("scale=%.2f\n", config.scale);
+
+  const datagen::KgFamily families[] = {datagen::KgFamily::kFbLike,
+                                        datagen::KgFamily::kNellLike,
+                                        datagen::KgFamily::kWnLike};
+  const datagen::EvalSplit splits[] = {datagen::EvalSplit::kEq,
+                                       datagen::EvalSplit::kMb,
+                                       datagen::EvalSplit::kMe};
+
+  for (datagen::KgFamily family : families) {
+    std::printf("\n== %s ==\n", datagen::KgFamilyName(family));
+    std::printf("%-14s", "Model");
+    for (datagen::EvalSplit split : splits) {
+      std::printf(" %8s-TT %8s-TI", datagen::EvalSplitName(split),
+                  datagen::EvalSplitName(split));
+    }
+    std::printf("\n");
+
+    // Generate the three split datasets once.
+    std::vector<DekgDataset> datasets;
+    for (datagen::EvalSplit split : splits) {
+      datasets.push_back(MakeDataset(family, split, config));
+    }
+    for (ModelKind kind : TableThreeModels()) {
+      std::printf("%-14s", ModelKindName(kind));
+      for (const DekgDataset& dataset : datasets) {
+        ModelRun run = RunModel(kind, dataset, config, /*measure_time=*/true);
+        std::printf(" %11.3f %11.3f", run.train_seconds_per_epoch,
+                    run.infer_seconds_per_50_links);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

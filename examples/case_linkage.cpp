@@ -1,0 +1,107 @@
+// Criminal-case linkage — the paper's own motivating incident: "a
+// neglected connection between the case and another seemingly unrelated
+// one that happened several years ago brought a significant breakthrough".
+//
+// The original KG is the archive of closed investigations (cases, suspects,
+// locations, vehicles, methods). A *new* case file arrives as a
+// disconnected emerging KG: its entities are all unseen and nothing links
+// it to the archive. The analyst's question — "which archived entity does
+// this new case connect to?" — is exactly bridging-link prediction.
+//
+// This example also contrasts DEKG-ILP against the GraIL baseline on the
+// same queries to show why subgraph-only reasoning cannot answer them.
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/grail.h"
+#include "core/dekg_ilp.h"
+#include "core/explain.h"
+#include "core/trainer.h"
+#include "datagen/synthetic_kg.h"
+#include "eval/evaluator.h"
+
+int main() {
+  using namespace dekg;
+
+  // Investigation-archive schema: few entity classes, rich relation set
+  // (suspect_of, seen_at, uses_vehicle, same_method, called, ...).
+  datagen::SchemaConfig schema;
+  schema.num_types = 7;
+  schema.num_relations = 21;
+  schema.num_entities = 300;
+  schema.avg_degree = 5.5;
+  schema.num_rules = 8;  // e.g. seen_at(x,l) ∧ seen_at(y,l) -> met(x,y)
+  datagen::SplitConfig split;
+  split.emerging_fraction = 0.25;  // the new case file
+  split.max_test_links = 80;
+  DekgDataset dataset =
+      datagen::MakeDekgDataset("case-archive", schema, split, /*seed=*/31);
+  std::printf("archive: %d entities; new case file: %d unseen entities, "
+              "%zu internal facts\n",
+              dataset.num_original_entities(), dataset.num_emerging_entities(),
+              dataset.emerging_triples().size());
+
+  // Train DEKG-ILP and the GraIL baseline on the same archive.
+  core::DekgIlpConfig ilp_config;
+  ilp_config.num_relations = dataset.num_relations();
+  core::DekgIlpModel dekg_ilp(ilp_config, /*seed=*/32);
+  core::DekgIlpModel grail(
+      baselines::GrailConfig(dataset.num_relations()), /*seed=*/32);
+
+  core::TrainConfig train;
+  train.epochs = 8;
+  train.max_triples_per_epoch = 250;
+  train.seed = 33;
+  core::DekgIlpTrainer(&dekg_ilp, &dataset, train).Train();
+  core::DekgIlpTrainer(&grail, &dataset, train).Train();
+
+  // Evaluate both on the bridging links only: connections between the new
+  // case and the archive that investigators later confirmed.
+  EvalConfig eval;
+  eval.max_links = 30;
+  core::DekgIlpPredictor ilp_pred(&dekg_ilp);
+  core::DekgIlpPredictor grail_pred(&grail);
+  EvalResult ilp_result = Evaluate(&ilp_pred, dataset, eval);
+  EvalResult grail_result = Evaluate(&grail_pred, dataset, eval);
+
+  std::printf("\ncross-case connection retrieval (bridging links):\n");
+  std::printf("  %-10s MRR %.3f  Hits@10 %.3f\n", "DEKG-ILP",
+              ilp_result.bridging.mrr, ilp_result.bridging.hits_at_10);
+  std::printf("  %-10s MRR %.3f  Hits@10 %.3f\n", "Grail",
+              grail_result.bridging.mrr, grail_result.bridging.hits_at_10);
+  std::printf("\nwithin-case link completion (enclosing links):\n");
+  std::printf("  %-10s MRR %.3f  Hits@10 %.3f\n", "DEKG-ILP",
+              ilp_result.enclosing.mrr, ilp_result.enclosing.hits_at_10);
+  std::printf("  %-10s MRR %.3f  Hits@10 %.3f\n", "Grail",
+              grail_result.enclosing.mrr, grail_result.enclosing.hits_at_10);
+
+  if (ilp_result.bridging.mrr > grail_result.bridging.mrr) {
+    std::printf("\nDEKG-ILP surfaces the cross-case connections that "
+                "subgraph-only reasoning misses.\n");
+  }
+
+  // Evidence view: for the first confirmed cross-case connection, which of
+  // the archived entity's relations drove the semantic score — the
+  // analyst's "why do these cases connect" question, answered with the
+  // exact per-relation decomposition of phi_sem.
+  for (const LabeledLink& link : dataset.test_links()) {
+    if (link.kind != LinkKind::kBridging) continue;
+    const KnowledgeGraph& g = dataset.inference_graph();
+    auto contributions = core::ExplainSemanticScore(
+        *dekg_ilp.clrm(), g.RelationComponentTable(link.triple.head),
+        link.triple.rel, g.RelationComponentTable(link.triple.tail),
+        core::ExplainSide::kHead);
+    std::printf("\nevidence for connection (%d, r%d, %d) — top relation "
+                "contributions of entity #%d:\n",
+                link.triple.head, link.triple.rel, link.triple.tail,
+                link.triple.head);
+    size_t shown = 0;
+    for (const auto& c : contributions) {
+      std::printf("  relation r%-3d contributes %+0.3f\n", c.relation,
+                  c.contribution);
+      if (++shown == 5) break;
+    }
+    break;
+  }
+  return 0;
+}

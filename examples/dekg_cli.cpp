@@ -1,0 +1,140 @@
+// Command-line driver: train DEKG-ILP on a dataset directory (or generate
+// a synthetic one), evaluate, and save/load checkpoints — the workflow a
+// downstream user runs on their own data.
+//
+// Usage:
+//   dekg_cli generate <dir> [--scale S] [--family fb|nell|wn]
+//                     [--split eq|mb|me] [--seed N]
+//       Synthesize a benchmark dataset and write it as TSVs.
+//
+//   dekg_cli train <dir> <checkpoint> [--epochs N] [--dim D] [--seed N]
+//       Train on <dir> (the id-based TSV directory format of
+//       kg/dataset_io.h) with validation-based model selection, then save
+//       the checkpoint.
+//
+//   dekg_cli eval <dir> <checkpoint> [--dim D] [--links N]
+//       Load the checkpoint and report MRR / Hits@{1,5,10} overall and per
+//       link kind.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/dekg_ilp.h"
+#include "core/trainer.h"
+#include "datagen/synthetic_kg.h"
+#include "eval/evaluator.h"
+#include "kg/dataset_io.h"
+
+namespace {
+
+using namespace dekg;
+
+// Minimal flag scanner: --name value.
+const char* FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int Generate(int argc, char** argv) {
+  const std::string dir = argv[2];
+  const double scale = std::atof(FlagValue(argc, argv, "--scale", "0.5"));
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--seed", "7")));
+  const std::string family_name = FlagValue(argc, argv, "--family", "fb");
+  const std::string split_name = FlagValue(argc, argv, "--split", "eq");
+  datagen::KgFamily family = datagen::KgFamily::kFbLike;
+  if (family_name == "nell") family = datagen::KgFamily::kNellLike;
+  if (family_name == "wn") family = datagen::KgFamily::kWnLike;
+  datagen::EvalSplit split = datagen::EvalSplit::kEq;
+  if (split_name == "mb") split = datagen::EvalSplit::kMb;
+  if (split_name == "me") split = datagen::EvalSplit::kMe;
+  DekgDataset dataset =
+      datagen::MakeBenchmarkDataset(family, split, scale, seed);
+  SaveDekgDatasetDir(dataset, dir);
+  std::printf("wrote %s: %d+%d entities, %zu train / %zu emerging triples, "
+              "%zu valid / %zu test links\n",
+              dir.c_str(), dataset.num_original_entities(),
+              dataset.num_emerging_entities(), dataset.train_triples().size(),
+              dataset.emerging_triples().size(), dataset.valid_links().size(),
+              dataset.test_links().size());
+  return 0;
+}
+
+int Train(int argc, char** argv) {
+  const std::string dir = argv[2];
+  const std::string checkpoint = argv[3];
+  DekgDataset dataset = LoadDekgDatasetDir(dir, "cli");
+  core::DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  config.dim = std::atoi(FlagValue(argc, argv, "--dim", "32"));
+  core::DekgIlpModel model(
+      config,
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--seed", "1"))));
+  core::TrainConfig train;
+  train.epochs = std::atoi(FlagValue(argc, argv, "--epochs", "10"));
+  train.max_triples_per_epoch = 300;
+  train.verbose = true;
+  core::DekgIlpTrainer trainer(&model, &dataset, train);
+  EvalConfig eval;
+  eval.max_links = 30;
+  const double best = trainer.TrainWithValidation(eval);
+  if (!model.SaveCheckpoint(checkpoint)) {
+    std::fprintf(stderr, "failed to write %s\n", checkpoint.c_str());
+    return 1;
+  }
+  std::printf("best validation MRR %.3f; checkpoint saved to %s\n", best,
+              checkpoint.c_str());
+  return 0;
+}
+
+int Eval(int argc, char** argv) {
+  const std::string dir = argv[2];
+  const std::string checkpoint = argv[3];
+  DekgDataset dataset = LoadDekgDatasetDir(dir, "cli");
+  core::DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  config.dim = std::atoi(FlagValue(argc, argv, "--dim", "32"));
+  core::DekgIlpModel model(config, 1);
+  if (!model.LoadCheckpoint(checkpoint)) {
+    std::fprintf(stderr, "failed to read %s\n", checkpoint.c_str());
+    return 1;
+  }
+  core::DekgIlpPredictor predictor(&model);
+  EvalConfig eval;
+  eval.max_links = std::atoi(FlagValue(argc, argv, "--links", "50"));
+  EvalResult result = Evaluate(&predictor, dataset, eval);
+  auto print = [](const char* label, const RankingMetrics& m) {
+    std::printf("%-10s MRR %.3f  H@1 %.3f  H@5 %.3f  H@10 %.3f (%lld tasks)\n",
+                label, m.mrr, m.hits_at_1, m.hits_at_5, m.hits_at_10,
+                static_cast<long long>(m.num_tasks));
+  };
+  print("overall", result.overall);
+  print("enclosing", result.enclosing);
+  print("bridging", result.bridging);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "generate") == 0) {
+    return Generate(argc, argv);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "train") == 0) {
+    return Train(argc, argv);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "eval") == 0) {
+    return Eval(argc, argv);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dekg_cli generate <dir> [--scale S] [--family fb|nell|wn]"
+               " [--split eq|mb|me] [--seed N]\n"
+               "  dekg_cli train <dir> <checkpoint> [--epochs N] [--dim D]"
+               " [--seed N]\n"
+               "  dekg_cli eval <dir> <checkpoint> [--dim D] [--links N]\n");
+  return 2;
+}

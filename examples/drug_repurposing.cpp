@@ -1,0 +1,123 @@
+// Drug-interaction discovery — the paper's pharmacology motivation ("the
+// drug-drug interaction that helps develop new medicine, e.g. the
+// discovery of Artemisinin").
+//
+// Scenario: the original KG holds approved compounds, their protein
+// targets, pathways, and known interactions. A lab publishes a
+// *disconnected* emerging KG of novel compounds (assays only among the new
+// compounds and their own targets). The model predicts bridging
+// interaction links between novel and approved compounds — candidates for
+// repurposing screens.
+//
+// The synthetic generator plays the role of the curated pharma KG: entity
+// types act as {compound, target, pathway, disease, ...} classes and
+// relation signatures as the biomedical schema. We then interpret one
+// relation as "interacts_with" and rank bridging candidates for it.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/dekg_ilp.h"
+#include "core/trainer.h"
+#include "datagen/synthetic_kg.h"
+#include "eval/evaluator.h"
+
+int main() {
+  using namespace dekg;
+
+  // A biomedically-shaped schema: moderate relation vocabulary, strong
+  // type structure (compounds bind targets, targets sit in pathways, ...).
+  datagen::SchemaConfig schema;
+  schema.num_types = 6;       // compound, target, pathway, disease, ...
+  schema.num_relations = 18;  // binds, inhibits, interacts_with, treats, ...
+  schema.num_entities = 320;
+  schema.avg_degree = 6.0;
+  schema.num_rules = 10;  // e.g. binds(x,t) ∧ binds(y,t) -> interacts(x,y)
+  datagen::SplitConfig split;
+  split.emerging_fraction = 0.3;  // the new compound library
+  split.max_test_links = 100;
+  DekgDataset dataset =
+      datagen::MakeDekgDataset("pharma", schema, split, /*seed=*/21);
+
+  std::printf("pharma KG: %d approved-world entities, %d novel entities, "
+              "%zu curated facts\n",
+              dataset.num_original_entities(), dataset.num_emerging_entities(),
+              dataset.train_triples().size());
+
+  core::DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  core::DekgIlpModel model(config, /*seed=*/22);
+  core::TrainConfig train;
+  train.epochs = 8;
+  train.max_triples_per_epoch = 250;
+  train.seed = 23;
+  core::DekgIlpTrainer trainer(&model, &dataset, train);
+  trainer.Train();
+
+  // Screening run: take the held-out *bridging* interactions as the
+  // blinded ground truth and measure how highly the model ranks each true
+  // interaction against 49 decoy pairings.
+  core::DekgIlpPredictor predictor(&model);
+  EvalConfig eval;
+  eval.max_links = 30;
+  EvalResult result = Evaluate(&predictor, dataset, eval);
+  std::printf("\nblinded screen over held-out cross-library interactions:\n");
+  std::printf("  bridging  MRR %.3f  Hits@10 %.3f (%lld ranking tasks)\n",
+              result.bridging.mrr, result.bridging.hits_at_10,
+              static_cast<long long>(result.bridging.num_tasks));
+
+  // Candidate generation: for each of several novel compounds, rank every
+  // approved-world entity as its partner and record where the confirmed
+  // partner lands — the full exhaustive screen, not a sampled one.
+  struct ProbeResult {
+    Triple triple;
+    size_t rank;
+    size_t pool;
+  };
+  std::vector<ProbeResult> probes;
+  Rng rng(24);
+  for (const LabeledLink& link : dataset.test_links()) {
+    if (probes.size() >= 10) break;
+    if (link.kind != LinkKind::kBridging ||
+        !dataset.IsEmergingEntity(link.triple.head)) {
+      continue;
+    }
+    const EntityId novel = link.triple.head;
+    const RelationId rel = link.triple.rel;
+    const double true_score =
+        model
+            .ScoreLink(dataset.inference_graph(),
+                       {novel, rel, link.triple.tail}, false, &rng)
+            .value()
+            .Data()[0];
+    size_t rank = 1;
+    size_t pool = 0;
+    for (EntityId e = 0; e < dataset.num_original_entities(); ++e) {
+      Triple candidate{novel, rel, e};
+      if (e == link.triple.tail ||
+          dataset.filter_set().count(candidate) > 0) {
+        continue;
+      }
+      ++pool;
+      ag::Var s =
+          model.ScoreLink(dataset.inference_graph(), candidate, false, &rng);
+      if (s.value().Data()[0] > true_score) ++rank;
+    }
+    probes.push_back({link.triple, rank, pool + 1});
+  }
+  if (!probes.empty()) {
+    std::vector<size_t> ranks;
+    for (const ProbeResult& p : probes) ranks.push_back(p.rank);
+    std::sort(ranks.begin(), ranks.end());
+    std::printf("\nexhaustive screens over %zu novel compounds "
+                "(every approved-world entity as candidate):\n",
+                probes.size());
+    for (const ProbeResult& p : probes) {
+      std::printf("  compound #%-4d relation r%-3d true partner #%-4d "
+                  "ranked %zu / %zu\n",
+                  p.triple.head, p.triple.rel, p.triple.tail, p.rank, p.pool);
+    }
+    std::printf("median rank of the confirmed partner: %zu\n",
+                ranks[ranks.size() / 2]);
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full reproduction driver: build, test, run every benchmark, and capture
+# the outputs the repository documents in EXPERIMENTS.md.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,124 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace dekg::ag {
+
+namespace internal {
+
+void VarImpl::AccumulateGrad(const Tensor& g) {
+  if (!grad_initialized) {
+    grad = g.Clone();
+    grad_initialized = true;
+  } else {
+    grad.AddInPlace(g);
+  }
+}
+
+Var MakeNode(Tensor value, std::vector<Var> parents,
+             std::function<void(VarImpl*)> backward_fn) {
+  auto impl = std::make_shared<VarImpl>();
+  impl->value = std::move(value);
+  bool any_grad = false;
+  impl->parents.reserve(parents.size());
+  for (const Var& p : parents) {
+    DEKG_CHECK(p.defined()) << "op received an undefined Var";
+    impl->parents.push_back(p.impl());
+    any_grad = any_grad || p.impl()->requires_grad;
+  }
+  impl->requires_grad = any_grad;
+  if (any_grad) {
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Var::FromImpl(std::move(impl));
+}
+
+}  // namespace internal
+
+Var Var::Leaf(Tensor value, bool requires_grad) {
+  auto impl = std::make_shared<internal::VarImpl>();
+  impl->value = std::move(value);
+  impl->requires_grad = requires_grad;
+  return FromImpl(std::move(impl));
+}
+
+Var Var::Constant(Tensor value) { return Leaf(std::move(value), false); }
+
+const Tensor& Var::value() const {
+  DEKG_CHECK(defined());
+  return impl_->value;
+}
+
+Tensor& Var::mutable_value() {
+  DEKG_CHECK(defined());
+  return impl_->value;
+}
+
+const Tensor& Var::grad() const {
+  DEKG_CHECK(defined());
+  DEKG_CHECK(impl_->grad_initialized) << "grad accessed before Backward()";
+  return impl_->grad;
+}
+
+bool Var::requires_grad() const {
+  DEKG_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+bool Var::has_grad() const {
+  DEKG_CHECK(defined());
+  return impl_->grad_initialized;
+}
+
+void Var::ZeroGrad() {
+  DEKG_CHECK(defined());
+  impl_->grad = Tensor();
+  impl_->grad_initialized = false;
+}
+
+void Var::Backward() {
+  DEKG_CHECK(defined());
+  DEKG_CHECK_EQ(impl_->value.numel(), 1)
+      << "Backward() requires a scalar loss";
+
+  // Topological order via iterative DFS.
+  std::vector<internal::VarImpl*> order;
+  std::unordered_set<internal::VarImpl*> visited;
+  std::vector<std::pair<internal::VarImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      internal::VarImpl* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed d(loss)/d(loss) = 1.
+  impl_->AccumulateGrad(Tensor::Ones(impl_->value.shape()));
+
+  // Reverse topological order: every node's grad is complete before its
+  // backward closure runs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VarImpl* node = *it;
+    if (node->backward_fn && node->grad_initialized) {
+      node->backward_fn(node);
+    }
+  }
+}
+
+Var Var::FromImpl(std::shared_ptr<internal::VarImpl> impl) {
+  Var v;
+  v.impl_ = std::move(impl);
+  return v;
+}
+
+}  // namespace dekg::ag

@@ -1,0 +1,92 @@
+// Reverse-mode automatic differentiation over dekg::Tensor.
+//
+// A Var is a cheap handle (shared_ptr) to a node in a dynamically built
+// computation graph. Operations in ops.h create new nodes that remember
+// their parents and a backward closure. Backward() performs a topological
+// sweep from a scalar loss, accumulating gradients into each node's grad
+// tensor. Leaf Vars with requires_grad=true (model parameters) keep their
+// gradient after the sweep; interior node gradients are transient.
+//
+// The engine is eager and single-threaded, matching the deterministic,
+// CPU-only design of this repository.
+#ifndef DEKG_AUTOGRAD_VARIABLE_H_
+#define DEKG_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dekg::ag {
+
+class Var;
+
+namespace internal {
+
+// One node of the computation graph.
+struct VarImpl {
+  Tensor value;
+  Tensor grad;           // allocated lazily on first accumulation
+  bool requires_grad = false;
+  bool grad_initialized = false;
+
+  // Parents are kept alive so the tape survives until backward.
+  std::vector<std::shared_ptr<VarImpl>> parents;
+
+  // Propagates this node's grad into its parents' grads. Null for leaves.
+  std::function<void(VarImpl*)> backward_fn;
+
+  void AccumulateGrad(const Tensor& g);
+};
+
+}  // namespace internal
+
+// Value-semantic handle to a graph node.
+class Var {
+ public:
+  // Null handle; most code should use the factory functions below.
+  Var() = default;
+
+  // Wraps a tensor as a leaf node.
+  static Var Leaf(Tensor value, bool requires_grad);
+  // Constant leaf (no gradient tracking).
+  static Var Constant(Tensor value);
+
+  bool defined() const { return impl_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  const Tensor& grad() const;
+  bool requires_grad() const;
+  bool has_grad() const;
+
+  // Zeroes (and deallocates lazily held) gradient state on this node.
+  void ZeroGrad();
+
+  // Runs reverse-mode autodiff treating this node as the scalar loss
+  // (its value must have exactly 1 element). Gradients accumulate into
+  // every reachable node with requires_grad or with grad-requiring
+  // ancestors in its subtree.
+  void Backward();
+
+  // Internal: used by ops.
+  std::shared_ptr<internal::VarImpl> impl() const { return impl_; }
+  static Var FromImpl(std::shared_ptr<internal::VarImpl> impl);
+
+ private:
+  std::shared_ptr<internal::VarImpl> impl_;
+};
+
+namespace internal {
+
+// Helper for op implementations: builds a non-leaf node. requires_grad is
+// inherited from any parent; backward_fn receives the node itself so it can
+// read node->grad.
+Var MakeNode(Tensor value, std::vector<Var> parents,
+             std::function<void(VarImpl*)> backward_fn);
+
+}  // namespace internal
+
+}  // namespace dekg::ag
+
+#endif  // DEKG_AUTOGRAD_VARIABLE_H_

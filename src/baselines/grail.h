@@ -1,0 +1,30 @@
+// GraIL baseline [Teru et al., ICML 2020]. DEKG-ILP's GSM is GraIL's
+// subgraph-reasoning architecture with an improved labeling method, so the
+// faithful GraIL baseline is DekgIlpModel with:
+//   * CLRM disabled (no relation-specific semantic features),
+//   * contrastive loss disabled,
+//   * the original node labeling, which prunes every node outside the
+//     intersection of the two t-hop neighborhoods.
+#ifndef DEKG_BASELINES_GRAIL_H_
+#define DEKG_BASELINES_GRAIL_H_
+
+#include "core/dekg_ilp.h"
+
+namespace dekg::baselines {
+
+// Configuration of a GraIL model matching the paper's baseline setup.
+inline core::DekgIlpConfig GrailConfig(int32_t num_relations,
+                                       int32_t dim = 32) {
+  core::DekgIlpConfig config;
+  config.num_relations = num_relations;
+  config.dim = dim;
+  config.use_clrm = false;
+  config.use_contrastive = false;
+  config.labeling = NodeLabeling::kGrail;
+  config.name_override = "Grail";
+  return config;
+}
+
+}  // namespace dekg::baselines
+
+#endif  // DEKG_BASELINES_GRAIL_H_

@@ -1,0 +1,80 @@
+#include "baselines/graph_trainer.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+
+namespace dekg::baselines {
+
+std::vector<double> TrainGraphModel(nn::Module* module,
+                                    const GraphScoreFn& score,
+                                    const DekgDataset& dataset,
+                                    const GraphTrainConfig& config) {
+  Rng rng(config.seed);
+  nn::Adam::Options opt;
+  opt.lr = config.lr;
+  nn::Adam optimizer(module, opt);
+  const KnowledgeGraph& graph = dataset.original_graph();
+  const int32_t n_original = dataset.num_original_entities();
+
+  auto sample_negative = [&](const Triple& positive) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      Triple corrupted = positive;
+      EntityId candidate = static_cast<EntityId>(
+          rng.UniformUint64(static_cast<uint64_t>(n_original)));
+      if (rng.Bernoulli(0.5)) {
+        corrupted.head = candidate;
+      } else {
+        corrupted.tail = candidate;
+      }
+      if (corrupted.head == corrupted.tail || corrupted == positive) continue;
+      if (graph.Contains(corrupted)) continue;
+      return corrupted;
+    }
+    return positive;
+  };
+
+  std::vector<double> losses;
+  std::vector<Triple> triples = dataset.train_triples();
+  for (int32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&triples);
+    std::vector<Triple> epoch_triples = triples;
+    if (config.max_triples_per_epoch > 0 &&
+        static_cast<int32_t>(epoch_triples.size()) >
+            config.max_triples_per_epoch) {
+      epoch_triples.resize(static_cast<size_t>(config.max_triples_per_epoch));
+    }
+    double epoch_loss = 0.0;
+    int64_t count = 0;
+    for (size_t begin = 0; begin < epoch_triples.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      const size_t end =
+          std::min(epoch_triples.size(),
+                   begin + static_cast<size_t>(config.batch_size));
+      module->ZeroGrad();
+      ag::Var batch_loss;
+      for (size_t i = begin; i < end; ++i) {
+        const Triple& positive = epoch_triples[i];
+        Triple negative = sample_negative(positive);
+        ag::Var pos = score(graph, positive, /*training=*/true, &rng);
+        ag::Var neg = score(graph, negative, /*training=*/true, &rng);
+        ag::Var hinge = ag::Relu(ag::AddScalar(
+            ag::Sub(neg, pos), static_cast<float>(config.margin)));
+        batch_loss = batch_loss.defined() ? ag::Add(batch_loss, hinge) : hinge;
+        ++count;
+      }
+      if (!batch_loss.defined()) continue;
+      epoch_loss += static_cast<double>(batch_loss.value().Data()[0]);
+      batch_loss.Backward();
+      nn::ClipGradNorm(module, config.grad_clip);
+      optimizer.Step();
+    }
+    losses.push_back(count > 0 ? epoch_loss / static_cast<double>(count) : 0.0);
+    if (config.verbose) {
+      DEKG_INFO() << "epoch " << epoch + 1 << " loss " << losses.back();
+    }
+  }
+  return losses;
+}
+
+}  // namespace dekg::baselines

@@ -1,0 +1,41 @@
+// Generic margin-ranking trainer for graph-conditioned models whose score
+// function has the (graph, triple, training, rng) -> Var shape (TACT, or
+// any custom model built on this library). DEKG-ILP itself uses
+// core::DekgIlpTrainer, which adds the contrastive term.
+#ifndef DEKG_BASELINES_GRAPH_TRAINER_H_
+#define DEKG_BASELINES_GRAPH_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "kg/dataset.h"
+#include "nn/module.h"
+
+namespace dekg::baselines {
+
+using GraphScoreFn = std::function<ag::Var(const KnowledgeGraph&,
+                                           const Triple&, bool, Rng*)>;
+
+struct GraphTrainConfig {
+  int32_t epochs = 10;
+  double lr = 0.01;
+  int32_t batch_size = 8;
+  int32_t max_triples_per_epoch = 0;
+  double margin = 1.0;
+  double grad_clip = 5.0;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+// Margin ranking over positives vs head/tail-corrupted negatives on the
+// dataset's original KG. Returns per-epoch mean losses.
+std::vector<double> TrainGraphModel(nn::Module* module,
+                                    const GraphScoreFn& score,
+                                    const DekgDataset& dataset,
+                                    const GraphTrainConfig& config);
+
+}  // namespace dekg::baselines
+
+#endif  // DEKG_BASELINES_GRAPH_TRAINER_H_

@@ -1,0 +1,121 @@
+#include "baselines/kge_base.h"
+
+#include <algorithm>
+
+namespace dekg::baselines {
+
+KgeModel::KgeModel(std::string name, const KgeConfig& config)
+    : config_(config), init_rng_(config.seed), name_(std::move(name)) {
+  DEKG_CHECK_GT(config_.num_entities, 0);
+  DEKG_CHECK_GT(config_.num_relations, 0);
+}
+
+std::vector<double> KgeModel::ScoreTriples(
+    const KnowledgeGraph& /*inference_graph*/,
+    const std::vector<Triple>& triples) {
+  // Entity-identity models ignore test-time structure entirely — that is
+  // the point of the comparison.
+  ag::Var scores = ScoreBatch(triples);
+  DEKG_CHECK_EQ(scores.value().numel(), static_cast<int64_t>(triples.size()));
+  std::vector<double> out(triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) {
+    out[i] = static_cast<double>(scores.value().Data()[static_cast<int64_t>(i)]);
+  }
+  return out;
+}
+
+std::vector<double> TrainKgeModel(KgeModel* model, const DekgDataset& dataset,
+                                  const KgeTrainConfig& config) {
+  Rng rng(config.seed);
+  nn::Adam::Options opt;
+  opt.lr = config.lr;
+  nn::Adam optimizer(model, opt);
+  const int32_t n_original = dataset.num_original_entities();
+
+  auto sample_negative = [&](const Triple& positive) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      Triple corrupted = positive;
+      EntityId candidate = static_cast<EntityId>(
+          rng.UniformUint64(static_cast<uint64_t>(n_original)));
+      if (rng.Bernoulli(0.5)) {
+        corrupted.head = candidate;
+      } else {
+        corrupted.tail = candidate;
+      }
+      if (corrupted.head == corrupted.tail || corrupted == positive) continue;
+      if (dataset.original_graph().Contains(corrupted)) continue;
+      return corrupted;
+    }
+    return positive;
+  };
+
+  std::vector<double> losses;
+  std::vector<Triple> triples = dataset.train_triples();
+  for (int32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&triples);
+    double epoch_loss = 0.0;
+    int64_t count = 0;
+    for (size_t begin = 0; begin < triples.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          triples.size(), begin + static_cast<size_t>(config.batch_size));
+      std::vector<Triple> positives(triples.begin() + static_cast<ptrdiff_t>(begin),
+                                    triples.begin() + static_cast<ptrdiff_t>(end));
+      std::vector<Triple> negatives;
+      negatives.reserve(positives.size() *
+                        static_cast<size_t>(config.negatives_per_positive));
+      for (const Triple& p : positives) {
+        for (int32_t k = 0; k < config.negatives_per_positive; ++k) {
+          negatives.push_back(sample_negative(p));
+        }
+      }
+      model->ZeroGrad();
+      ag::Var pos_scores = model->ScoreBatch(positives);  // [B]
+      ag::Var neg_scores = model->ScoreBatch(negatives);  // [B * K]
+      // With K negatives per positive, tile positives to align.
+      ag::Var pos_aligned = pos_scores;
+      if (config.negatives_per_positive > 1) {
+        std::vector<Triple> tiled;
+        tiled.reserve(negatives.size());
+        for (const Triple& p : positives) {
+          for (int32_t k = 0; k < config.negatives_per_positive; ++k) {
+            tiled.push_back(p);
+          }
+        }
+        pos_aligned = model->ScoreBatch(tiled);
+      }
+      ag::Var hinges = ag::Relu(ag::AddScalar(
+          ag::Sub(neg_scores, pos_aligned), static_cast<float>(config.margin)));
+      ag::Var loss;
+      if (config.self_adversarial && config.negatives_per_positive > 1) {
+        // Weight each negative by softmax(alpha * score) within its
+        // K-group; the weights are detached constants as in RotatE.
+        const int64_t k = config.negatives_per_positive;
+        const int64_t groups =
+            neg_scores.value().numel() / std::max<int64_t>(k, 1);
+        Tensor grouped = neg_scores.value().Reshape(Shape{groups, k}).Clone();
+        grouped.ScaleInPlace(static_cast<float>(config.adversarial_alpha));
+        Tensor weights = SoftmaxRows(grouped).Reshape(Shape{groups * k});
+        loss = ag::SumAll(ag::Mul(hinges, ag::Var::Constant(weights)));
+      } else {
+        loss = ag::SumAll(hinges);
+      }
+      epoch_loss += static_cast<double>(loss.value().Data()[0]);
+      count += static_cast<int64_t>(positives.size());
+      loss.Backward();
+      nn::ClipGradNorm(model, 5.0);
+      optimizer.Step();
+      model->PostOptimizerStep();
+    }
+    const double mean_loss =
+        count > 0 ? epoch_loss / static_cast<double>(count) : 0.0;
+    losses.push_back(mean_loss);
+    if (config.verbose) {
+      DEKG_INFO() << model->Name() << " epoch " << epoch + 1 << " loss "
+                  << mean_loss;
+    }
+  }
+  return losses;
+}
+
+}  // namespace dekg::baselines

@@ -1,0 +1,179 @@
+#include "baselines/kge_models.h"
+
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+#include <cstdlib>
+#include <cmath>
+
+namespace dekg::baselines {
+
+namespace {
+
+// Splits a triple batch into index vectors.
+struct TripleIndices {
+  std::vector<int64_t> heads;
+  std::vector<int64_t> rels;
+  std::vector<int64_t> tails;
+};
+
+TripleIndices SplitTriples(const std::vector<Triple>& triples) {
+  TripleIndices idx;
+  idx.heads.reserve(triples.size());
+  idx.rels.reserve(triples.size());
+  idx.tails.reserve(triples.size());
+  for (const Triple& t : triples) {
+    idx.heads.push_back(t.head);
+    idx.rels.push_back(t.rel);
+    idx.tails.push_back(t.tail);
+  }
+  return idx;
+}
+
+}  // namespace
+
+TransE::TransE(const KgeConfig& config) : KgeModel("TransE", config) {
+  entities_ = RegisterParameter(
+      "entities", Tensor::XavierUniform(
+                      Shape{config_.num_entities, config_.dim}, &init_rng_));
+  relations_ = RegisterParameter(
+      "relations", Tensor::XavierUniform(
+                       Shape{config_.num_relations, config_.dim}, &init_rng_));
+}
+
+ag::Var TransE::ScoreBatch(const std::vector<Triple>& triples) {
+  TripleIndices idx = SplitTriples(triples);
+  ag::Var h = ag::GatherRows(entities_, idx.heads);
+  ag::Var r = ag::GatherRows(relations_, idx.rels);
+  ag::Var t = ag::GatherRows(entities_, idx.tails);
+  ag::Var diff = ag::Sub(ag::Add(h, r), t);
+  // score = -||h + r - t||_2 (small eps keeps Sqrt differentiable at 0).
+  return ag::Neg(ag::Sqrt(ag::AddScalar(ag::SumRows(ag::Square(diff)), 1e-9f)));
+}
+
+void TransE::PostOptimizerStep() {
+  Tensor table = entities_.mutable_value();
+  const int64_t rows = table.dim(0);
+  const int64_t cols = table.dim(1);
+  float* data = table.Data();
+  for (int64_t i = 0; i < rows; ++i) {
+    double sq = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      sq += static_cast<double>(data[i * cols + j]) * data[i * cols + j];
+    }
+    if (sq > 1.0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+      for (int64_t j = 0; j < cols; ++j) data[i * cols + j] *= inv;
+    }
+  }
+}
+
+DistMult::DistMult(const KgeConfig& config) : KgeModel("DistMult", config) {
+  entities_ = RegisterParameter(
+      "entities", Tensor::XavierUniform(
+                      Shape{config_.num_entities, config_.dim}, &init_rng_));
+  relations_ = RegisterParameter(
+      "relations", Tensor::XavierUniform(
+                       Shape{config_.num_relations, config_.dim}, &init_rng_));
+}
+
+ag::Var DistMult::ScoreBatch(const std::vector<Triple>& triples) {
+  TripleIndices idx = SplitTriples(triples);
+  ag::Var h = ag::GatherRows(entities_, idx.heads);
+  ag::Var r = ag::GatherRows(relations_, idx.rels);
+  ag::Var t = ag::GatherRows(entities_, idx.tails);
+  return ag::SumRows(ag::Mul(ag::Mul(h, r), t));
+}
+
+RotatE::RotatE(const KgeConfig& config) : KgeModel("RotatE", config) {
+  entities_re_ = RegisterParameter(
+      "entities_re", Tensor::XavierUniform(
+                         Shape{config_.num_entities, config_.dim}, &init_rng_));
+  entities_im_ = RegisterParameter(
+      "entities_im", Tensor::XavierUniform(
+                         Shape{config_.num_entities, config_.dim}, &init_rng_));
+  phases_ = RegisterParameter(
+      "phases",
+      Tensor::Uniform(Shape{config_.num_relations, config_.dim},
+                      -3.14159265f, 3.14159265f, &init_rng_));
+}
+
+ag::Var RotatE::ScoreBatch(const std::vector<Triple>& triples) {
+  TripleIndices idx = SplitTriples(triples);
+  ag::Var h_re = ag::GatherRows(entities_re_, idx.heads);
+  ag::Var h_im = ag::GatherRows(entities_im_, idx.heads);
+  ag::Var t_re = ag::GatherRows(entities_re_, idx.tails);
+  ag::Var t_im = ag::GatherRows(entities_im_, idx.tails);
+  ag::Var theta = ag::GatherRows(phases_, idx.rels);
+  ag::Var cos_r = ag::Cos(theta);
+  ag::Var sin_r = ag::Sin(theta);
+  // h ∘ e^{i theta}: (h_re cos - h_im sin) + i (h_re sin + h_im cos).
+  ag::Var rot_re = ag::Sub(ag::Mul(h_re, cos_r), ag::Mul(h_im, sin_r));
+  ag::Var rot_im = ag::Add(ag::Mul(h_re, sin_r), ag::Mul(h_im, cos_r));
+  ag::Var d_re = ag::Sub(rot_re, t_re);
+  ag::Var d_im = ag::Sub(rot_im, t_im);
+  ag::Var sq = ag::Add(ag::SumRows(ag::Square(d_re)),
+                       ag::SumRows(ag::Square(d_im)));
+  return ag::Neg(ag::Sqrt(ag::AddScalar(sq, 1e-9f)));
+}
+
+ConvE::ConvE(const KgeConfig& config) : KgeModel("ConvE", config) {
+  // Reshape dim into a 2D grid (h, w) with w >= 3 and stacked height
+  // 2h >= 3, preferring the squarest stacked image. dim = 32 gives the
+  // classic 4 x 8 reshape (stacked 8 x 8).
+  reshape_h_ = 0;
+  reshape_w_ = 0;
+  int64_t best_badness = INT64_MAX;
+  for (int64_t w = 3; w <= config_.dim; ++w) {
+    if (config_.dim % w != 0) continue;
+    const int64_t h = config_.dim / w;
+    if (2 * h < 3) continue;
+    const int64_t badness = std::llabs(2 * h - w);
+    if (badness < best_badness) {
+      best_badness = badness;
+      reshape_h_ = h;
+      reshape_w_ = w;
+    }
+  }
+  DEKG_CHECK_GT(reshape_w_, 0) << "ConvE requires dim factorable into a "
+                                  "grid of at least 2x3; got dim "
+                               << config_.dim;
+  num_filters_ = 8;
+  entities_ = RegisterParameter(
+      "entities", Tensor::XavierUniform(
+                      Shape{config_.num_entities, config_.dim}, &init_rng_));
+  relations_ = RegisterParameter(
+      "relations", Tensor::XavierUniform(
+                       Shape{config_.num_relations, config_.dim}, &init_rng_));
+  conv_kernel_ = RegisterParameter(
+      "conv_kernel",
+      Tensor::Gaussian(Shape{num_filters_, 1, 3, 3}, 0.2f, &init_rng_));
+  const int64_t conv_h = 2 * reshape_h_ - 2;  // valid conv with 3x3 kernel
+  const int64_t conv_w = reshape_w_ - 2;
+  DEKG_CHECK_GT(conv_w, 0) << "dim too narrow for ConvE reshape";
+  const int64_t flattened = num_filters_ * conv_h * conv_w;
+  fc_weight_ = RegisterParameter(
+      "fc_weight", Tensor::XavierUniform(Shape{flattened, config_.dim},
+                                         &init_rng_));
+  fc_bias_ = RegisterParameter("fc_bias", Tensor::Zeros(Shape{config_.dim}));
+}
+
+ag::Var ConvE::ScoreBatch(const std::vector<Triple>& triples) {
+  TripleIndices idx = SplitTriples(triples);
+  const int64_t batch = static_cast<int64_t>(triples.size());
+  ag::Var h = ag::GatherRows(entities_, idx.heads);
+  ag::Var r = ag::GatherRows(relations_, idx.rels);
+  ag::Var t = ag::GatherRows(entities_, idx.tails);
+  // Stack the reshaped head and relation "images" vertically.
+  ag::Var stacked = ag::Concat({h, r}, /*axis=*/1);  // [B, 2d]
+  ag::Var image =
+      ag::Reshape(stacked, Shape{batch, 1, 2 * reshape_h_, reshape_w_});
+  ag::Var conv = ag::Relu(ag::Conv2d(image, conv_kernel_));
+  const int64_t flattened = conv.value().numel() / std::max<int64_t>(batch, 1);
+  ag::Var flat = ag::Reshape(conv, Shape{batch, flattened});
+  ag::Var projected = ag::Relu(
+      ag::Add(ag::MatMul(flat, fc_weight_), fc_bias_));  // [B, d]
+  return ag::SumRows(ag::Mul(projected, t));
+}
+
+}  // namespace dekg::baselines

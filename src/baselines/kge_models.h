@@ -1,0 +1,68 @@
+// Concrete transductive KGE baselines (Table I / Sec. V-B):
+//  * TransE   — translation: -||h + r - t||_2            [Bordes et al.]
+//  * DistMult — trilinear:   <h, r, t>                   [Yang et al.]
+//  * RotatE   — complex rotation: -||h ∘ e^{i\theta} - t|| [Sun et al.]
+//  * ConvE    — 2D convolution over stacked reshaped h,r  [Dettmers et al.]
+// All share KgeModel's tables-over-E∪E' + frozen-unseen-rows protocol.
+#ifndef DEKG_BASELINES_KGE_MODELS_H_
+#define DEKG_BASELINES_KGE_MODELS_H_
+
+#include <memory>
+
+#include "baselines/kge_base.h"
+
+namespace dekg::baselines {
+
+class TransE : public KgeModel {
+ public:
+  explicit TransE(const KgeConfig& config);
+  ag::Var ScoreBatch(const std::vector<Triple>& triples) override;
+  // Original TransE constraint: ||e||_2 <= 1 for every entity embedding.
+  void PostOptimizerStep() override;
+
+ private:
+  ag::Var entities_;   // [E, d]
+  ag::Var relations_;  // [R, d]
+};
+
+class DistMult : public KgeModel {
+ public:
+  explicit DistMult(const KgeConfig& config);
+  ag::Var ScoreBatch(const std::vector<Triple>& triples) override;
+
+ private:
+  ag::Var entities_;
+  ag::Var relations_;
+};
+
+class RotatE : public KgeModel {
+ public:
+  explicit RotatE(const KgeConfig& config);
+  ag::Var ScoreBatch(const std::vector<Triple>& triples) override;
+
+ private:
+  ag::Var entities_re_;  // [E, d]
+  ag::Var entities_im_;  // [E, d]
+  ag::Var phases_;       // [R, d] rotation angles
+};
+
+class ConvE : public KgeModel {
+ public:
+  // dim must factor as reshape_h * reshape_w (32 = 4 x 8 by default).
+  explicit ConvE(const KgeConfig& config);
+  ag::Var ScoreBatch(const std::vector<Triple>& triples) override;
+
+ private:
+  int64_t reshape_h_;
+  int64_t reshape_w_;
+  int64_t num_filters_;
+  ag::Var entities_;
+  ag::Var relations_;
+  ag::Var conv_kernel_;  // [filters, 1, 3, 3]
+  ag::Var fc_weight_;    // [flattened, d]
+  ag::Var fc_bias_;      // [d]
+};
+
+}  // namespace dekg::baselines
+
+#endif  // DEKG_BASELINES_KGE_MODELS_H_

@@ -1,0 +1,61 @@
+#include "baselines/mean.h"
+
+namespace dekg::baselines {
+
+Mean::Mean(const KgeConfig& config) : KgeModel("MEAN", config) {
+  entities_ = RegisterParameter(
+      "entities", Tensor::XavierUniform(
+                      Shape{config_.num_entities, config_.dim}, &init_rng_));
+  relations_ = RegisterParameter(
+      "relations", Tensor::XavierUniform(
+                       Shape{config_.num_relations, config_.dim}, &init_rng_));
+  transition_ = RegisterParameter(
+      "transition",
+      Tensor::XavierUniform(Shape{config_.dim, config_.dim}, &init_rng_));
+}
+
+ag::Var Mean::ScoreBatch(const std::vector<Triple>& triples) {
+  std::vector<int64_t> heads, rels, tails;
+  for (const Triple& t : triples) {
+    heads.push_back(t.head);
+    rels.push_back(t.rel);
+    tails.push_back(t.tail);
+  }
+  ag::Var h = ag::GatherRows(entities_, heads);
+  ag::Var r = ag::GatherRows(relations_, rels);
+  ag::Var t = ag::GatherRows(entities_, tails);
+  ag::Var diff = ag::Sub(ag::Add(h, r), t);
+  return ag::Neg(ag::Sqrt(ag::AddScalar(ag::SumRows(ag::Square(diff)), 1e-9f)));
+}
+
+ag::Var Mean::Embed(const KnowledgeGraph& graph, EntityId entity) {
+  const bool emerging =
+      emerging_begin_ >= 0 && entity >= emerging_begin_ && entity < emerging_end_;
+  if (!emerging) return ag::GatherRows(entities_, {entity});
+  std::vector<int64_t> neighbor_ids;
+  for (int32_t eid : graph.IncidentEdges(entity)) {
+    const Edge& e = graph.edge(eid);
+    neighbor_ids.push_back(e.src == entity ? e.dst : e.src);
+  }
+  if (neighbor_ids.empty()) return ag::GatherRows(entities_, {entity});
+  ag::Var pooled = ag::MeanOverRows(ag::GatherRows(entities_, neighbor_ids));
+  return ag::MatMul(ag::Reshape(pooled, Shape{1, config_.dim}), transition_);
+}
+
+std::vector<double> Mean::ScoreTriples(const KnowledgeGraph& inference_graph,
+                                       const std::vector<Triple>& triples) {
+  std::vector<double> out;
+  out.reserve(triples.size());
+  for (const Triple& t : triples) {
+    ag::Var h = Embed(inference_graph, t.head);
+    ag::Var tt = Embed(inference_graph, t.tail);
+    ag::Var r = ag::GatherRows(relations_, {t.rel});
+    ag::Var diff = ag::Sub(ag::Add(h, r), tt);
+    ag::Var s =
+        ag::Neg(ag::Sqrt(ag::AddScalar(ag::SumAll(ag::Square(diff)), 1e-9f)));
+    out.push_back(static_cast<double>(s.value().Data()[0]));
+  }
+  return out;
+}
+
+}  // namespace dekg::baselines

@@ -1,0 +1,45 @@
+// MEAN baseline [Hamaguchi et al., IJCAI 2017] — the original
+// out-of-knowledge-base method from Table I: unseen entities are embedded
+// by mean-pooling their neighbors' embeddings through a shared transition
+// matrix, with a TransE-style decoder. Unlike GEN there is no
+// meta-learning simulation: the model trains as plain TransE on G and only
+// uses the pooling aggregator at test time. In the DEKG scenario the
+// neighbors of unseen entities are themselves unseen, so the aggregate is
+// built from random rows — the failure mode the paper describes for all
+// common-emerging-KG methods.
+#ifndef DEKG_BASELINES_MEAN_H_
+#define DEKG_BASELINES_MEAN_H_
+
+#include "baselines/kge_base.h"
+
+namespace dekg::baselines {
+
+class Mean : public KgeModel {
+ public:
+  explicit Mean(const KgeConfig& config);
+
+  // TransE scoring over raw rows (used for training on G).
+  ag::Var ScoreBatch(const std::vector<Triple>& triples) override;
+
+  // Test-time scoring: emerging entities are mean-pooled from neighbors.
+  std::vector<double> ScoreTriples(const KnowledgeGraph& inference_graph,
+                                   const std::vector<Triple>& triples) override;
+
+  void SetEmergingRange(EntityId begin, EntityId end) {
+    emerging_begin_ = begin;
+    emerging_end_ = end;
+  }
+
+ private:
+  ag::Var Embed(const KnowledgeGraph& graph, EntityId entity);
+
+  ag::Var entities_;
+  ag::Var relations_;
+  ag::Var transition_;  // [d, d] shared pooling transform
+  EntityId emerging_begin_ = -1;
+  EntityId emerging_end_ = -1;
+};
+
+}  // namespace dekg::baselines
+
+#endif  // DEKG_BASELINES_MEAN_H_

@@ -1,0 +1,81 @@
+// Lightweight logging and invariant-checking macros for the DEKG-ILP
+// library. Modeled after the assertion style used by storage engines:
+// violations of internal invariants abort the process with a diagnostic
+// instead of unwinding, so no exceptions cross library boundaries.
+#ifndef DEKG_COMMON_LOGGING_H_
+#define DEKG_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dekg {
+
+// Severity levels for LogMessage. kFatal aborts after emitting the message.
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Minimum severity emitted to stderr. Benchmarks raise this to kWarning to
+// keep their stdout machine-parseable.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+// Stream-style log sink: collects the message and flushes it (with file and
+// line information) on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows a fully built stream expression so the check macro below can be
+// used in a ternary whose both arms have type void. operator& binds looser
+// than operator<<, so the whole stream chain is evaluated first.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define DEKG_INFO() \
+  ::dekg::internal::LogMessage(::dekg::LogSeverity::kInfo, __FILE__, __LINE__).stream()
+#define DEKG_WARN() \
+  ::dekg::internal::LogMessage(::dekg::LogSeverity::kWarning, __FILE__, __LINE__).stream()
+#define DEKG_FATAL() \
+  ::dekg::internal::LogMessage(::dekg::LogSeverity::kFatal, __FILE__, __LINE__).stream()
+
+// Invariant check: always on (release builds included), like RocksDB's
+// assertion style. Streams extra context after the macro.
+#define DEKG_CHECK(condition)                                      \
+  (condition) ? (void)0                                            \
+              : ::dekg::internal::Voidify() &                      \
+                    ::dekg::internal::LogMessage(                  \
+                        ::dekg::LogSeverity::kFatal, __FILE__,     \
+                        __LINE__)                                  \
+                            .stream()                              \
+                        << "Check failed: " #condition " "
+
+#define DEKG_CHECK_EQ(a, b) DEKG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEKG_CHECK_NE(a, b) DEKG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEKG_CHECK_LT(a, b) DEKG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEKG_CHECK_LE(a, b) DEKG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEKG_CHECK_GT(a, b) DEKG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEKG_CHECK_GE(a, b) DEKG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace dekg
+
+#endif  // DEKG_COMMON_LOGGING_H_

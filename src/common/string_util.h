@@ -1,0 +1,30 @@
+// Small string helpers shared by the KG TSV reader/writer and the
+// benchmark table printers.
+#ifndef DEKG_COMMON_STRING_UTIL_H_
+#define DEKG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dekg {
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// Formats a double with fixed precision (benchmarks print 3 decimals to
+// match the paper's tables).
+std::string FormatFixed(double value, int precision);
+
+}  // namespace dekg
+
+#endif  // DEKG_COMMON_STRING_UTIL_H_

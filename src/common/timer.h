@@ -1,0 +1,37 @@
+// Wall-clock timing helpers used by the complexity study (Fig. 7 /
+// Table IV) and by training progress logs.
+#ifndef DEKG_COMMON_TIMER_H_
+#define DEKG_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dekg {
+
+// Monotonic stopwatch. Starts on construction; Restart() resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dekg
+
+#endif  // DEKG_COMMON_TIMER_H_

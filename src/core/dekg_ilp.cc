@@ -1,0 +1,87 @@
+#include "core/dekg_ilp.h"
+
+namespace dekg::core {
+
+std::string DekgIlpConfig::VariantName() const {
+  if (!name_override.empty()) return name_override;
+  if (!use_clrm && use_gsm) return "DEKG-ILP-R";
+  if (!use_contrastive && use_clrm) {
+    if (labeling == NodeLabeling::kGrail) return "DEKG-ILP-C-N";
+    return "DEKG-ILP-C";
+  }
+  if (labeling == NodeLabeling::kGrail) return "DEKG-ILP-N";
+  if (!use_gsm) return "DEKG-ILP (CLRM only)";
+  return "DEKG-ILP";
+}
+
+DekgIlpModel::DekgIlpModel(const DekgIlpConfig& config, uint64_t seed)
+    : config_(config) {
+  Rng rng(seed);
+  DEKG_CHECK(config_.use_clrm || config_.use_gsm)
+      << "at least one scoring module must be enabled";
+  if (config_.use_clrm) {
+    ClrmConfig clrm;
+    clrm.num_relations = config_.num_relations;
+    clrm.dim = config_.dim;
+    clrm.theta = config_.theta;
+    clrm.num_contrastive_samples = config_.num_contrastive_samples;
+    clrm_ = std::make_unique<Clrm>(clrm, &rng);
+    RegisterChild("clrm", clrm_.get());
+  }
+  if (config_.use_gsm) {
+    GsmConfig gsm;
+    gsm.num_relations = config_.num_relations;
+    gsm.dim = config_.dim;
+    gsm.num_hops = config_.num_hops;
+    gsm.num_layers = config_.num_layers;
+    gsm.num_bases = config_.num_bases;
+    gsm.edge_dropout = config_.edge_dropout;
+    gsm.labeling = config_.labeling;
+    gsm_ = std::make_unique<Gsm>(gsm, &rng);
+    RegisterChild("gsm", gsm_.get());
+  }
+}
+
+ag::Var DekgIlpModel::ScoreLink(const KnowledgeGraph& graph,
+                                const Triple& triple, bool training,
+                                Rng* rng) {
+  ag::Var score;
+  if (clrm_) {
+    RelationTable head_table = graph.RelationComponentTable(triple.head);
+    RelationTable tail_table = graph.RelationComponentTable(triple.tail);
+    score = clrm_->ScoreTriple(head_table, triple.rel, tail_table);
+  }
+  if (gsm_) {
+    ag::Var tpo = gsm_->ScoreTriple(graph, triple, training, rng);
+    score = score.defined() ? ag::Add(score, tpo) : tpo;
+  }
+  return score;
+}
+
+ag::Var DekgIlpModel::ContrastiveLossForLink(const KnowledgeGraph& graph,
+                                             const Triple& triple, Rng* rng) {
+  if (!clrm_ || !config_.use_contrastive || config_.sigma <= 0.0) {
+    return ag::Var();
+  }
+  ag::Var head_loss =
+      clrm_->ContrastiveLoss(graph.RelationComponentTable(triple.head), rng);
+  ag::Var tail_loss =
+      clrm_->ContrastiveLoss(graph.RelationComponentTable(triple.tail), rng);
+  if (head_loss.defined() && tail_loss.defined()) {
+    return ag::MulScalar(ag::Add(head_loss, tail_loss), 0.5f);
+  }
+  return head_loss.defined() ? head_loss : tail_loss;
+}
+
+std::vector<double> DekgIlpPredictor::ScoreTriples(
+    const KnowledgeGraph& inference_graph, const std::vector<Triple>& triples) {
+  std::vector<double> scores;
+  scores.reserve(triples.size());
+  for (const Triple& t : triples) {
+    ag::Var s = model_->ScoreLink(inference_graph, t, /*training=*/false, &rng_);
+    scores.push_back(static_cast<double>(s.value().Data()[0]));
+  }
+  return scores;
+}
+
+}  // namespace dekg::core

@@ -1,0 +1,69 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dekg::core {
+
+std::vector<RelationContribution> ExplainSemanticScore(
+    const Clrm& clrm, const RelationTable& head_table, RelationId rel,
+    const RelationTable& tail_table, ExplainSide side) {
+  const int32_t num_relations = clrm.config().num_relations;
+  DEKG_CHECK_EQ(static_cast<int32_t>(head_table.size()), num_relations);
+  DEKG_CHECK_EQ(static_cast<int32_t>(tail_table.size()), num_relations);
+  DEKG_CHECK(rel >= 0 && rel < num_relations);
+
+  // Fixed context vector: r_sem ∘ e_other (the side not being explained).
+  const Tensor& features = clrm.relation_features().value();  // [R, d]
+  const Tensor r_sem = GatherRows(clrm.relation_sem().value(), {rel});
+  const RelationTable& explained =
+      side == ExplainSide::kHead ? head_table : tail_table;
+  const RelationTable& other =
+      side == ExplainSide::kHead ? tail_table : head_table;
+
+  // e_other = sum_k w_other[k] f_k.
+  const int64_t dim = features.dim(1);
+  Tensor e_other = Tensor::Zeros(Shape{1, dim});
+  int64_t other_total = 0;
+  for (int32_t k = 0; k < num_relations; ++k) {
+    other_total += other[static_cast<size_t>(k)];
+  }
+  if (other_total > 0) {
+    for (int32_t k = 0; k < num_relations; ++k) {
+      const int32_t count = other[static_cast<size_t>(k)];
+      if (count == 0) continue;
+      const float w = static_cast<float>(count) / static_cast<float>(other_total);
+      for (int64_t j = 0; j < dim; ++j) {
+        e_other.At(0, j) += w * features.At(k, j);
+      }
+    }
+  }
+  Tensor context = Mul(r_sem, e_other);  // [1, d]
+
+  int64_t explained_total = 0;
+  for (int32_t k = 0; k < num_relations; ++k) {
+    explained_total += explained[static_cast<size_t>(k)];
+  }
+
+  std::vector<RelationContribution> contributions;
+  for (int32_t k = 0; k < num_relations; ++k) {
+    const int32_t count = explained[static_cast<size_t>(k)];
+    if (count == 0) continue;
+    const double w = explained_total > 0
+                         ? static_cast<double>(count) /
+                               static_cast<double>(explained_total)
+                         : 0.0;
+    double dot = 0.0;
+    for (int64_t j = 0; j < dim; ++j) {
+      dot += static_cast<double>(features.At(k, j)) * context.At(0, j);
+    }
+    contributions.push_back(RelationContribution{k, w * dot});
+  }
+  std::sort(contributions.begin(), contributions.end(),
+            [](const RelationContribution& a, const RelationContribution& b) {
+              return std::abs(a.contribution) > std::abs(b.contribution);
+            });
+  return contributions;
+}
+
+}  // namespace dekg::core

@@ -1,0 +1,38 @@
+// Interpretability for CLRM scores. Because the fusion (Eq. 3) is linear
+// in the relation-component weights,
+//   phi_sem(e_i, r, e_j) = < e_i, r_sem, e_j >
+//                        = sum_k w_i[k] * < f_k, r_sem ∘ e_j >,
+// the semantic score decomposes *exactly* into per-relation contributions
+// of the head entity (and symmetrically of the tail). For an analyst this
+// answers "which of the entity's relations made the model believe this
+// link" — e.g. which aspects of a new case tie it to an archived one, the
+// paper's motivating scenario.
+#ifndef DEKG_CORE_EXPLAIN_H_
+#define DEKG_CORE_EXPLAIN_H_
+
+#include <vector>
+
+#include "core/clrm.h"
+
+namespace dekg::core {
+
+struct RelationContribution {
+  RelationId relation;
+  // Exact additive share of phi_sem attributable to this relation's
+  // presence in the entity's relation-component table.
+  double contribution;
+};
+
+// Decomposes phi_sem over the head entity's relations (side == kHead) or
+// the tail's (side == kTail). Contributions over nonzero table entries sum
+// to the full semantic score (up to float rounding). Sorted by descending
+// |contribution|.
+enum class ExplainSide { kHead, kTail };
+
+std::vector<RelationContribution> ExplainSemanticScore(
+    const Clrm& clrm, const RelationTable& head_table, RelationId rel,
+    const RelationTable& tail_table, ExplainSide side);
+
+}  // namespace dekg::core
+
+#endif  // DEKG_CORE_EXPLAIN_H_

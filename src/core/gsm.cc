@@ -1,0 +1,59 @@
+#include "core/gsm.h"
+
+namespace dekg::core {
+
+Gsm::Gsm(const GsmConfig& config, Rng* rng) : config_(config) {
+  DEKG_CHECK_GT(config_.num_relations, 0);
+  gnn::RgcnConfig rgcn;
+  rgcn.num_relations = config_.num_relations;
+  rgcn.num_hops = config_.num_hops;
+  rgcn.hidden_dim = config_.dim;
+  rgcn.num_layers = config_.num_layers;
+  rgcn.num_bases = config_.num_bases;
+  rgcn.edge_dropout = config_.edge_dropout;
+  rgcn.edge_attention = config_.edge_attention;
+  rgcn.jk_concat = config_.jk_concat;
+  encoder_ = std::make_unique<gnn::RgcnEncoder>(rgcn, rng);
+  RegisterChild("encoder", encoder_.get());
+  relation_tpo_ = RegisterParameter(
+      "relation_tpo",
+      Tensor::XavierUniform(Shape{config_.num_relations, config_.dim}, rng));
+  // Scorer input: [h_G | h_i | h_j | r_tpo]; node/graph reprs widen under
+  // jk_concat while r_tpo stays at dim.
+  const int64_t repr = encoder_->output_dim();
+  score_weight_ = RegisterParameter(
+      "score_weight",
+      Tensor::XavierUniform(Shape{3 * repr + config_.dim, 1}, rng));
+}
+
+Subgraph Gsm::Extract(const KnowledgeGraph& graph, const Triple& triple) const {
+  SubgraphConfig sc;
+  sc.num_hops = config_.num_hops;
+  sc.labeling = config_.labeling;
+  sc.max_nodes = config_.max_subgraph_nodes;
+  return ExtractSubgraph(graph, triple.head, triple.tail, triple.rel, sc);
+}
+
+gnn::RgcnOutput Gsm::Encode(const Subgraph& subgraph, RelationId rel,
+                            bool training, Rng* rng) const {
+  return encoder_->Forward(subgraph, rel, training, rng);
+}
+
+ag::Var Gsm::ScoreSubgraph(const Subgraph& subgraph, RelationId rel,
+                           bool training, Rng* rng) const {
+  gnn::RgcnOutput enc = encoder_->Forward(subgraph, rel, training, rng);
+  ag::Var graph_row =
+      ag::Reshape(enc.graph_repr, Shape{1, encoder_->output_dim()});
+  ag::Var rel_row = ag::GatherRows(relation_tpo_, {rel});
+  ag::Var features = ag::Concat(
+      {graph_row, enc.head_repr, enc.tail_repr, rel_row}, /*axis=*/1);
+  return ag::SumAll(ag::MatMul(features, score_weight_));
+}
+
+ag::Var Gsm::ScoreTriple(const KnowledgeGraph& graph, const Triple& triple,
+                         bool training, Rng* rng) const {
+  Subgraph subgraph = Extract(graph, triple);
+  return ScoreSubgraph(subgraph, triple.rel, training, rng);
+}
+
+}  // namespace dekg::core

@@ -1,0 +1,143 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+namespace dekg::core {
+
+DekgIlpTrainer::DekgIlpTrainer(DekgIlpModel* model, const DekgDataset* dataset,
+                               const TrainConfig& config)
+    : model_(model), dataset_(dataset), config_(config), rng_(config.seed) {
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  optimizer_ = std::make_unique<nn::Adam>(model_, opt);
+}
+
+Triple DekgIlpTrainer::SampleNegative(const Triple& positive) {
+  const int32_t n = dataset_->num_original_entities();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Triple corrupted = positive;
+    EntityId candidate =
+        static_cast<EntityId>(rng_.UniformUint64(static_cast<uint64_t>(n)));
+    if (rng_.Bernoulli(0.5)) {
+      corrupted.head = candidate;
+    } else {
+      corrupted.tail = candidate;
+    }
+    if (corrupted.head == corrupted.tail) continue;
+    if (corrupted == positive) continue;
+    if (dataset_->original_graph().Contains(corrupted)) continue;
+    return corrupted;
+  }
+  // Pathologically dense graph: fall back to an unfiltered corruption.
+  Triple corrupted = positive;
+  corrupted.head = static_cast<EntityId>(
+      rng_.UniformUint64(static_cast<uint64_t>(std::max(n, 1))));
+  return corrupted;
+}
+
+double DekgIlpTrainer::TrainEpoch() {
+  const KnowledgeGraph& graph = dataset_->original_graph();
+  std::vector<Triple> triples = dataset_->train_triples();
+  rng_.Shuffle(&triples);
+  if (config_.max_triples_per_epoch > 0 &&
+      static_cast<int32_t>(triples.size()) > config_.max_triples_per_epoch) {
+    triples.resize(static_cast<size_t>(config_.max_triples_per_epoch));
+  }
+
+  double epoch_loss = 0.0;
+  int64_t count = 0;
+  const float margin = static_cast<float>(model_->config().margin);
+  const float sigma = static_cast<float>(model_->config().sigma);
+
+  for (size_t begin = 0; begin < triples.size();
+       begin += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(
+        triples.size(), begin + static_cast<size_t>(config_.batch_size));
+    model_->ZeroGrad();
+    ag::Var batch_loss;
+    int32_t batch_count = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const Triple& positive = triples[i];
+      ag::Var pos_score =
+          model_->ScoreLink(graph, positive, /*training=*/true, &rng_);
+      ag::Var sample_loss;
+      for (int32_t k = 0; k < config_.negatives_per_positive; ++k) {
+        Triple negative = SampleNegative(positive);
+        ag::Var neg_score =
+            model_->ScoreLink(graph, negative, /*training=*/true, &rng_);
+        // L_s = [gamma - phi(pos) + phi(neg)]_+  (Eq. 14).
+        ag::Var hinge = ag::Relu(ag::AddScalar(
+            ag::Sub(neg_score, pos_score), margin));
+        sample_loss =
+            sample_loss.defined() ? ag::Add(sample_loss, hinge) : hinge;
+      }
+      if (model_->config().use_contrastive && sigma > 0.0f) {
+        ag::Var contrastive =
+            model_->ContrastiveLossForLink(graph, positive, &rng_);
+        if (contrastive.defined()) {
+          sample_loss =
+              ag::Add(sample_loss, ag::MulScalar(contrastive, sigma));
+        }
+      }
+      batch_loss = batch_loss.defined() ? ag::Add(batch_loss, sample_loss)
+                                        : sample_loss;
+      ++batch_count;
+    }
+    if (!batch_loss.defined()) continue;
+    epoch_loss += static_cast<double>(batch_loss.value().Data()[0]);
+    count += batch_count;
+    batch_loss.Backward();
+    nn::ClipGradNorm(model_, config_.grad_clip);
+    optimizer_->Step();
+  }
+  return count > 0 ? epoch_loss / static_cast<double>(count) : 0.0;
+}
+
+double DekgIlpTrainer::TrainWithValidation(const EvalConfig& eval_config,
+                                           int32_t eval_every) {
+  DEKG_CHECK_GE(eval_every, 1);
+  DEKG_CHECK(!dataset_->valid_links().empty())
+      << "validation-based selection needs valid links";
+  // Evaluate on the validation links by temporarily swapping them in as
+  // the test set of a shadow dataset view.
+  DekgDataset valid_view(dataset_->name() + "-valid",
+                         dataset_->num_original_entities(),
+                         dataset_->num_emerging_entities(),
+                         dataset_->num_relations(), dataset_->train_triples(),
+                         dataset_->emerging_triples(), {},
+                         dataset_->valid_links());
+  DekgIlpPredictor predictor(model_);
+  double best_mrr = -1.0;
+  std::vector<float> best_state;
+  for (int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double loss = TrainEpoch();
+    if (config_.verbose) {
+      DEKG_INFO() << model_->config().VariantName() << " epoch " << epoch + 1
+                  << " loss " << loss;
+    }
+    if ((epoch + 1) % eval_every != 0 && epoch + 1 != config_.epochs) continue;
+    EvalResult result = Evaluate(&predictor, valid_view, eval_config);
+    if (result.overall.mrr > best_mrr) {
+      best_mrr = result.overall.mrr;
+      best_state = model_->StateVector();
+    }
+  }
+  if (!best_state.empty()) model_->LoadStateVector(best_state);
+  return best_mrr;
+}
+
+std::vector<double> DekgIlpTrainer::Train() {
+  std::vector<double> losses;
+  losses.reserve(static_cast<size_t>(config_.epochs));
+  for (int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double loss = TrainEpoch();
+    losses.push_back(loss);
+    if (config_.verbose) {
+      DEKG_INFO() << model_->config().VariantName() << " epoch " << epoch + 1
+                  << "/" << config_.epochs << " loss " << loss;
+    }
+  }
+  return losses;
+}
+
+}  // namespace dekg::core

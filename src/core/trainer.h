@@ -1,0 +1,65 @@
+// Training loop for DEKG-ILP (Algorithm 1): margin ranking loss over
+// positive triples and corrupted negatives (Eq. 14) plus the weighted
+// contrastive loss (Eq. 15), optimized with Adam.
+//
+// Training only ever sees the original KG G; the contrastive operations
+// likewise only consider G (Sec. IV-B2).
+#ifndef DEKG_CORE_TRAINER_H_
+#define DEKG_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/dekg_ilp.h"
+#include "kg/dataset.h"
+#include "nn/optimizer.h"
+
+namespace dekg::core {
+
+struct TrainConfig {
+  int32_t epochs = 20;
+  double lr = 0.01;  // paper's optimal
+  int32_t batch_size = 8;
+  // Subsample of train triples visited per epoch (0 = all). Keeps subgraph
+  // extraction tractable on CPU.
+  int32_t max_triples_per_epoch = 0;
+  int32_t negatives_per_positive = 1;  // paper samples 1
+  double grad_clip = 5.0;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+class DekgIlpTrainer {
+ public:
+  DekgIlpTrainer(DekgIlpModel* model, const DekgDataset* dataset,
+                 const TrainConfig& config);
+
+  // One pass over (a subsample of) the training triples. Returns the mean
+  // per-positive loss.
+  double TrainEpoch();
+
+  // Runs config.epochs epochs; returns per-epoch mean losses.
+  std::vector<double> Train();
+
+  // Trains with validation-based model selection: every `eval_every`
+  // epochs the model is scored on dataset->valid_links() (the paper's grid
+  // search selects hyperparameters on the validation sets the same way);
+  // the best-MRR parameter state is restored at the end. Returns the best
+  // validation MRR.
+  double TrainWithValidation(const EvalConfig& eval_config,
+                             int32_t eval_every = 2);
+
+ private:
+  // Corrupts head or tail with a random original entity, filtered against
+  // the train set.
+  Triple SampleNegative(const Triple& positive);
+
+  DekgIlpModel* model_;
+  const DekgDataset* dataset_;
+  TrainConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace dekg::core
+
+#endif  // DEKG_CORE_TRAINER_H_

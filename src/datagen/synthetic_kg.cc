@@ -1,0 +1,449 @@
+#include "datagen/synthetic_kg.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace dekg::datagen {
+
+namespace {
+
+// Popularity weights with rank-based skew (Zipf-like) over a shuffled
+// ordering, so "popular" entities are random, not low ids.
+std::vector<double> MakePopularityWeights(int32_t count, double skew,
+                                          Rng* rng) {
+  std::vector<int32_t> order(static_cast<size_t>(count));
+  for (int32_t i = 0; i < count; ++i) order[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&order);
+  std::vector<double> weights(static_cast<size_t>(count), 1.0);
+  for (int32_t rank = 0; rank < count; ++rank) {
+    weights[static_cast<size_t>(order[static_cast<size_t>(rank)])] =
+        1.0 / std::pow(static_cast<double>(rank + 1), skew);
+  }
+  return weights;
+}
+
+// Weighted choice restricted to one bucket of entities.
+EntityId SampleEntity(const std::vector<EntityId>& bucket,
+                      const std::vector<double>& weights, Rng* rng) {
+  DEKG_CHECK(!bucket.empty());
+  std::vector<double> w(bucket.size());
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    w[i] = weights[static_cast<size_t>(bucket[i])];
+  }
+  return bucket[rng->SampleDiscrete(w)];
+}
+
+}  // namespace
+
+GeneratedKg GenerateKg(const SchemaConfig& config, Rng* rng,
+                       const std::vector<int32_t>& community_of_entity) {
+  DEKG_CHECK_GE(config.num_types, 3);
+  DEKG_CHECK_GE(config.num_relations, 3);
+  DEKG_CHECK_GE(config.num_entities, config.num_types);
+
+  GeneratedKg kg;
+  kg.num_entities = config.num_entities;
+  kg.num_relations = config.num_relations;
+
+  // 1. Entity types: round-robin base assignment guarantees every type is
+  //    populated, then shuffle for randomness.
+  kg.entity_types.resize(static_cast<size_t>(config.num_entities));
+  for (int32_t e = 0; e < config.num_entities; ++e) {
+    kg.entity_types[static_cast<size_t>(e)] = e % config.num_types;
+  }
+  rng->Shuffle(&kg.entity_types);
+  std::vector<std::vector<EntityId>> entities_of_type(
+      static_cast<size_t>(config.num_types));
+  for (int32_t e = 0; e < config.num_entities; ++e) {
+    entities_of_type[static_cast<size_t>(kg.entity_types[static_cast<size_t>(e)])]
+        .push_back(e);
+  }
+
+  // 2. Relation signatures drawn from a "triangle fan" of type pairs:
+  //    for each type i, the pairs (i, i+1), (i+1, i+2), (i, i+2) exist, so
+  //    composition rules r1:(A,B), r2:(B,C) -> r3:(A,C) always have
+  //    candidate relations.
+  struct TypePair {
+    int32_t head;
+    int32_t tail;
+  };
+  std::vector<TypePair> pairs;
+  const int32_t nt = config.num_types;
+  for (int32_t i = 0; i < nt; ++i) {
+    pairs.push_back({i, (i + 1) % nt});
+    pairs.push_back({i, (i + 2) % nt});
+  }
+  kg.relation_head_type.resize(static_cast<size_t>(config.num_relations));
+  kg.relation_tail_type.resize(static_cast<size_t>(config.num_relations));
+  for (RelationId r = 0; r < config.num_relations; ++r) {
+    // Cover every pair once before random reuse so each triangle has
+    // relations.
+    const TypePair& p =
+        static_cast<size_t>(r) < pairs.size()
+            ? pairs[static_cast<size_t>(r)]
+            : pairs[static_cast<size_t>(rng->UniformUint64(pairs.size()))];
+    kg.relation_head_type[static_cast<size_t>(r)] = p.head;
+    kg.relation_tail_type[static_cast<size_t>(r)] = p.tail;
+  }
+
+  // Relations indexed by signature for rule construction.
+  std::unordered_map<int64_t, std::vector<RelationId>> relations_of_pair;
+  auto pair_key = [nt](int32_t a, int32_t b) {
+    return static_cast<int64_t>(a) * nt + b;
+  };
+  for (RelationId r = 0; r < config.num_relations; ++r) {
+    relations_of_pair[pair_key(kg.relation_head_type[static_cast<size_t>(r)],
+                               kg.relation_tail_type[static_cast<size_t>(r)])]
+        .push_back(r);
+  }
+
+  // 3. Planted composition rules over type triangles (A->B->C with A->C).
+  for (int32_t attempt = 0;
+       attempt < config.num_rules * 20 &&
+       static_cast<int32_t>(kg.rules.size()) < config.num_rules;
+       ++attempt) {
+    int32_t a = static_cast<int32_t>(rng->UniformUint64(static_cast<uint64_t>(nt)));
+    int32_t b = (a + 1) % nt;
+    int32_t c = (a + 2) % nt;
+    auto it1 = relations_of_pair.find(pair_key(a, b));
+    auto it2 = relations_of_pair.find(pair_key(b, c));
+    auto it3 = relations_of_pair.find(pair_key(a, c));
+    if (it1 == relations_of_pair.end() || it2 == relations_of_pair.end() ||
+        it3 == relations_of_pair.end()) {
+      continue;
+    }
+    Rule rule;
+    rule.body1 = it1->second[rng->UniformUint64(it1->second.size())];
+    rule.body2 = it2->second[rng->UniformUint64(it2->second.size())];
+    rule.head = it3->second[rng->UniformUint64(it3->second.size())];
+    // Avoid duplicate rules.
+    bool duplicate = false;
+    for (const Rule& existing : kg.rules) {
+      if (existing.body1 == rule.body1 && existing.body2 == rule.body2 &&
+          existing.head == rule.head) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) kg.rules.push_back(rule);
+  }
+
+  // 4. Base facts with type-consistent endpoints, popularity skew, and a
+  //    small noise fraction.
+  const std::vector<double> popularity =
+      MakePopularityWeights(config.num_entities, config.popularity_skew, rng);
+  std::vector<double> relation_weights =
+      MakePopularityWeights(config.num_relations, 0.5, rng);
+  const int64_t target_base = static_cast<int64_t>(
+      config.num_entities * config.avg_degree / 2.0);
+
+  // Optional community-restricted buckets: entities_of_type_comm[type][c].
+  const bool use_communities = !community_of_entity.empty();
+  std::vector<std::array<std::vector<EntityId>, 2>> entities_of_type_comm;
+  if (use_communities) {
+    DEKG_CHECK_EQ(community_of_entity.size(),
+                  static_cast<size_t>(config.num_entities));
+    entities_of_type_comm.resize(static_cast<size_t>(config.num_types));
+    for (EntityId e = 0; e < config.num_entities; ++e) {
+      const int32_t c = community_of_entity[static_cast<size_t>(e)];
+      DEKG_CHECK(c == 0 || c == 1) << "community must be 0 or 1";
+      entities_of_type_comm[static_cast<size_t>(
+          kg.entity_types[static_cast<size_t>(e)])][static_cast<size_t>(c)]
+          .push_back(e);
+    }
+  }
+
+  TripleSet seen;
+  for (int64_t produced = 0, attempts = 0;
+       produced < target_base && attempts < target_base * 20; ++attempts) {
+    RelationId r =
+        static_cast<RelationId>(rng->SampleDiscrete(relation_weights));
+    Triple t;
+    t.rel = r;
+    if (rng->Bernoulli(config.type_noise)) {
+      t.head = static_cast<EntityId>(
+          rng->UniformUint64(static_cast<uint64_t>(config.num_entities)));
+      t.tail = static_cast<EntityId>(
+          rng->UniformUint64(static_cast<uint64_t>(config.num_entities)));
+    } else {
+      const int32_t head_type =
+          kg.relation_head_type[static_cast<size_t>(r)];
+      const int32_t tail_type =
+          kg.relation_tail_type[static_cast<size_t>(r)];
+      t.head = SampleEntity(entities_of_type[static_cast<size_t>(head_type)],
+                            popularity, rng);
+      const std::vector<EntityId>* tail_bucket =
+          &entities_of_type[static_cast<size_t>(tail_type)];
+      if (use_communities && rng->Bernoulli(config.community_locality)) {
+        const int32_t c = community_of_entity[static_cast<size_t>(t.head)];
+        const std::vector<EntityId>& local =
+            entities_of_type_comm[static_cast<size_t>(tail_type)]
+                                 [static_cast<size_t>(c)];
+        if (!local.empty()) tail_bucket = &local;
+      }
+      t.tail = SampleEntity(*tail_bucket, popularity, rng);
+    }
+    if (t.head == t.tail) continue;
+    if (!seen.insert(t).second) continue;
+    kg.triples.push_back(t);
+    ++produced;
+  }
+
+  // 5. Rule closure: instantiate planted rules over the base facts.
+  //    Indexed as rel -> list of (h, t).
+  std::vector<std::vector<std::pair<EntityId, EntityId>>> facts_of_rel(
+      static_cast<size_t>(config.num_relations));
+  for (const Triple& t : kg.triples) {
+    facts_of_rel[static_cast<size_t>(t.rel)].emplace_back(t.head, t.tail);
+  }
+  // Adjacency for body2 lookups: (rel, head) -> tails.
+  std::unordered_map<int64_t, std::vector<EntityId>> by_rel_head;
+  for (const Triple& t : kg.triples) {
+    by_rel_head[static_cast<int64_t>(t.rel) * config.num_entities + t.head]
+        .push_back(t.tail);
+  }
+  const int64_t max_rule_facts =
+      kg.rules.empty() ? 0 : (target_base / 2) / static_cast<int64_t>(kg.rules.size());
+  for (const Rule& rule : kg.rules) {
+    int64_t emitted = 0;
+    for (const auto& [x, y] : facts_of_rel[static_cast<size_t>(rule.body1)]) {
+      auto it = by_rel_head.find(
+          static_cast<int64_t>(rule.body2) * config.num_entities + y);
+      if (it == by_rel_head.end()) continue;
+      for (EntityId z : it->second) {
+        if (emitted >= max_rule_facts) break;
+        if (x == z) continue;
+        if (!rng->Bernoulli(config.rule_apply_prob)) continue;
+        Triple t{x, rule.head, z};
+        if (!seen.insert(t).second) continue;
+        kg.triples.push_back(t);
+        ++emitted;
+      }
+      if (emitted >= max_rule_facts) break;
+    }
+  }
+
+  return kg;
+}
+
+DekgDataset MakeDekgDataset(const std::string& name,
+                            const SchemaConfig& schema,
+                            const SplitConfig& split, uint64_t seed) {
+  Rng rng(seed);
+  // Partition entities into original / emerging *before* generation: the
+  // generator biases facts to stay within a community, mirroring the
+  // dense-subgraph splits GraIL carves from raw KGs. The split itself is
+  // still a cut of one coherent schema-driven KG.
+  const int32_t n = schema.num_entities;
+  std::vector<bool> emerging(static_cast<size_t>(n), false);
+  std::vector<int32_t> community(static_cast<size_t>(n), 0);
+  {
+    std::vector<EntityId> order(static_cast<size_t>(n));
+    for (int32_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+    rng.Shuffle(&order);
+    const int32_t n_emerging = static_cast<int32_t>(
+        std::lround(split.emerging_fraction * n));
+    for (int32_t i = 0; i < n_emerging; ++i) {
+      emerging[static_cast<size_t>(order[static_cast<size_t>(i)])] = true;
+      community[static_cast<size_t>(order[static_cast<size_t>(i)])] = 1;
+    }
+  }
+  GeneratedKg kg = GenerateKg(schema, &rng, community);
+  std::vector<EntityId> remap(static_cast<size_t>(n), -1);
+  int32_t next_original = 0;
+  for (int32_t e = 0; e < n; ++e) {
+    if (!emerging[static_cast<size_t>(e)]) remap[static_cast<size_t>(e)] = next_original++;
+  }
+  int32_t next_emerging = next_original;
+  for (int32_t e = 0; e < n; ++e) {
+    if (emerging[static_cast<size_t>(e)]) remap[static_cast<size_t>(e)] = next_emerging++;
+  }
+  const int32_t n_original = next_original;
+  const int32_t n_emerging_total = n - n_original;
+
+  // Bucket triples by their position relative to the cut.
+  std::vector<Triple> train;            // intra-G
+  std::vector<Triple> intra_emerging;   // intra-G'
+  std::vector<Triple> bridging_pool;    // crossing
+  for (const Triple& t : kg.triples) {
+    Triple m{remap[static_cast<size_t>(t.head)], t.rel,
+             remap[static_cast<size_t>(t.tail)]};
+    const bool he = m.head >= n_original;
+    const bool te = m.tail >= n_original;
+    if (!he && !te) {
+      train.push_back(m);
+    } else if (he && te) {
+      intra_emerging.push_back(m);
+    } else {
+      bridging_pool.push_back(m);
+    }
+  }
+
+  // Split intra-G' into observed structure and enclosing candidates.
+  rng.Shuffle(&intra_emerging);
+  const size_t n_observed = static_cast<size_t>(
+      std::lround(split.observed_fraction * static_cast<double>(intra_emerging.size())));
+  std::vector<Triple> observed(intra_emerging.begin(),
+                               intra_emerging.begin() + static_cast<ptrdiff_t>(n_observed));
+  std::vector<Triple> enclosing_pool(
+      intra_emerging.begin() + static_cast<ptrdiff_t>(n_observed),
+      intra_emerging.end());
+
+  // Only evaluate links whose emerging endpoints have observed structure —
+  // an entity with an empty relation-component table is unpredictable by
+  // construction for every method.
+  std::vector<int32_t> observed_degree(static_cast<size_t>(n), 0);
+  for (const Triple& t : observed) {
+    ++observed_degree[static_cast<size_t>(t.head)];
+    ++observed_degree[static_cast<size_t>(t.tail)];
+  }
+  auto has_structure = [&](EntityId e) {
+    return e < n_original || observed_degree[static_cast<size_t>(e)] > 0;
+  };
+  auto usable = [&](const Triple& t) {
+    return has_structure(t.head) && has_structure(t.tail);
+  };
+  std::erase_if(enclosing_pool, [&](const Triple& t) { return !usable(t); });
+  std::erase_if(bridging_pool, [&](const Triple& t) { return !usable(t); });
+  rng.Shuffle(&enclosing_pool);
+  rng.Shuffle(&bridging_pool);
+
+  // Mix evaluation links according to enclosing_to_bridging. Use as much of
+  // the limiting pool as allowed by the caps.
+  double want_enc = static_cast<double>(enclosing_pool.size());
+  double want_bri = want_enc / split.enclosing_to_bridging;
+  if (want_bri > static_cast<double>(bridging_pool.size())) {
+    want_bri = static_cast<double>(bridging_pool.size());
+    want_enc = want_bri * split.enclosing_to_bridging;
+  }
+  int64_t n_enc = static_cast<int64_t>(want_enc);
+  int64_t n_bri = static_cast<int64_t>(want_bri);
+  const int64_t max_eval =
+      split.max_test_links > 0
+          ? static_cast<int64_t>(static_cast<double>(split.max_test_links) /
+                                 (1.0 - split.valid_fraction))
+          : 0;
+  if (max_eval > 0 && n_enc + n_bri > max_eval) {
+    const double keep =
+        static_cast<double>(max_eval) / static_cast<double>(n_enc + n_bri);
+    n_enc = static_cast<int64_t>(n_enc * keep);
+    n_bri = static_cast<int64_t>(n_bri * keep);
+  }
+
+  std::vector<LabeledLink> eval_links;
+  for (int64_t i = 0; i < n_enc; ++i) {
+    eval_links.push_back(
+        {enclosing_pool[static_cast<size_t>(i)], LinkKind::kEnclosing});
+  }
+  for (int64_t i = 0; i < n_bri; ++i) {
+    eval_links.push_back(
+        {bridging_pool[static_cast<size_t>(i)], LinkKind::kBridging});
+  }
+  rng.Shuffle(&eval_links);
+  const size_t n_valid = static_cast<size_t>(
+      std::lround(split.valid_fraction * static_cast<double>(eval_links.size())));
+  std::vector<LabeledLink> valid_links(eval_links.begin(),
+                                       eval_links.begin() + static_cast<ptrdiff_t>(n_valid));
+  std::vector<LabeledLink> test_links(eval_links.begin() + static_cast<ptrdiff_t>(n_valid),
+                                      eval_links.end());
+
+  DekgDataset dataset(name, n_original, n_emerging_total, kg.num_relations,
+                      std::move(train), std::move(observed),
+                      std::move(valid_links), std::move(test_links));
+  dataset.CheckInvariants();
+  return dataset;
+}
+
+const char* KgFamilyName(KgFamily family) {
+  switch (family) {
+    case KgFamily::kFbLike:
+      return "FB15k-237";
+    case KgFamily::kNellLike:
+      return "NELL-995";
+    case KgFamily::kWnLike:
+      return "WN18RR";
+  }
+  return "?";
+}
+
+const char* EvalSplitName(EvalSplit split) {
+  switch (split) {
+    case EvalSplit::kEq:
+      return "EQ";
+    case EvalSplit::kMb:
+      return "MB";
+    case EvalSplit::kMe:
+      return "ME";
+  }
+  return "?";
+}
+
+SchemaConfig FamilySchema(KgFamily family, EvalSplit split, double scale) {
+  SchemaConfig schema;
+  // Like Table II, MB and ME are built over progressively larger graphs
+  // than EQ (they derive from GraIL's v2 / v3 splits).
+  double split_scale = 1.0;
+  switch (split) {
+    case EvalSplit::kEq:
+      split_scale = 1.0;
+      break;
+    case EvalSplit::kMb:
+      split_scale = 1.4;
+      break;
+    case EvalSplit::kMe:
+      split_scale = 1.8;
+      break;
+  }
+  const double s = scale * split_scale;
+  switch (family) {
+    case KgFamily::kFbLike:
+      schema.num_types = 12;
+      schema.num_relations = static_cast<int32_t>(48 * std::sqrt(s));
+      schema.num_entities = static_cast<int32_t>(420 * s);
+      schema.avg_degree = 7.0;
+      schema.num_rules = 16;
+      break;
+    case KgFamily::kNellLike:
+      schema.num_types = 10;
+      schema.num_relations = static_cast<int32_t>(28 * std::sqrt(s));
+      schema.num_entities = static_cast<int32_t>(380 * s);
+      schema.avg_degree = 6.0;
+      schema.num_rules = 12;
+      break;
+    case KgFamily::kWnLike:
+      schema.num_types = 8;
+      schema.num_relations = 9;  // WN18RR has 9-11 relations at every scale
+      schema.num_entities = static_cast<int32_t>(460 * s);
+      schema.avg_degree = 4.5;
+      schema.num_rules = 6;
+      break;
+  }
+  return schema;
+}
+
+DekgDataset MakeBenchmarkDataset(KgFamily family, EvalSplit split,
+                                 double scale, uint64_t seed) {
+  SchemaConfig schema = FamilySchema(family, split, scale);
+  SplitConfig split_config;
+  switch (split) {
+    case EvalSplit::kEq:
+      split_config.enclosing_to_bridging = 1.0;
+      break;
+    case EvalSplit::kMb:
+      split_config.enclosing_to_bridging = 0.5;
+      break;
+    case EvalSplit::kMe:
+      split_config.enclosing_to_bridging = 2.0;
+      break;
+  }
+  split_config.max_test_links = 300;
+  std::string name = std::string(KgFamilyName(family)) + " " +
+                     EvalSplitName(split);
+  return MakeDekgDataset(name, schema, split_config, seed);
+}
+
+}  // namespace dekg::datagen

@@ -1,0 +1,133 @@
+// Synthetic knowledge-graph generator that stands in for the paper's
+// FB15k-237 / NELL-995 / WN18RR GraIL splits (see DESIGN.md §2).
+//
+// The generator plants the two signals the paper's two modules exploit:
+//
+//  1. *Relational-semantic structure* (CLRM signal): every entity has a
+//     latent type; every relation has a (head-type, tail-type) signature.
+//     An entity's incident-relation multiset therefore reveals its type,
+//     and relation signatures predict which links are plausible — exactly
+//     the "Russell is an Employee because of his relations" intuition.
+//  2. *Compositional path structure* (GSM / RuleN / GraIL signal): Horn
+//     rules r1(x,y) ∧ r2(y,z) → r3(x,z) are planted and applied when
+//     generating facts, so enclosing links are predictable from connected
+//     subgraphs.
+//
+// The DEKG split mirrors GraIL's construction: entities are partitioned
+// into original (G) and emerging (G') sets; cut-crossing facts become the
+// bridging-link pool ("real links extracted from the raw KG"), held-out
+// intra-G' facts become enclosing test links, and evaluation sets mix the
+// two pools 1:1 (EQ), 1:2 (MB), 2:1 (ME).
+#ifndef DEKG_DATAGEN_SYNTHETIC_KG_H_
+#define DEKG_DATAGEN_SYNTHETIC_KG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/dataset.h"
+#include "kg/knowledge_graph.h"
+
+namespace dekg::datagen {
+
+// Latent schema + fact-generation knobs.
+struct SchemaConfig {
+  int32_t num_types = 10;
+  int32_t num_relations = 40;
+  int32_t num_entities = 600;
+  // Target mean incident triples per entity (before rule closure).
+  double avg_degree = 6.0;
+  // Number of planted composition rules r1 ∧ r2 → r3.
+  int32_t num_rules = 12;
+  // Probability that an instantiated rule body emits its head triple.
+  double rule_apply_prob = 0.6;
+  // Fraction of base facts that ignore type signatures (noise).
+  double type_noise = 0.05;
+  // Zipf-ish skew for entity popularity (0 = uniform, 1 = strong skew).
+  double popularity_skew = 0.7;
+  // Probability that a base fact keeps both endpoints inside the same
+  // community when a community assignment is provided. GraIL's benchmark
+  // splits carve internally dense subgraphs out of the raw KG; locality
+  // reproduces that density so multi-hop paths survive the G/G' cut.
+  double community_locality = 0.8;
+};
+
+// A planted Horn rule: body1(x, y) ∧ body2(y, z) → head(x, z).
+struct Rule {
+  RelationId body1;
+  RelationId body2;
+  RelationId head;
+};
+
+// A raw generated KG before DEKG splitting.
+struct GeneratedKg {
+  int32_t num_entities = 0;
+  int32_t num_relations = 0;
+  std::vector<Triple> triples;
+  std::vector<int32_t> entity_types;        // size num_entities
+  std::vector<int32_t> relation_head_type;  // size num_relations
+  std::vector<int32_t> relation_tail_type;  // size num_relations
+  std::vector<Rule> rules;
+};
+
+// `community_of_entity` (optional, size num_entities, values 0/1) biases
+// base-fact endpoints toward the same community with probability
+// config.community_locality; pass an empty vector for no bias.
+GeneratedKg GenerateKg(const SchemaConfig& config, Rng* rng,
+                       const std::vector<int32_t>& community_of_entity = {});
+
+// DEKG split parameters.
+struct SplitConfig {
+  // Fraction of entities assigned to the emerging KG G'.
+  double emerging_fraction = 0.35;
+  // Fraction of intra-G' triples kept as observed emerging structure; the
+  // rest are candidate enclosing test links.
+  double observed_fraction = 0.7;
+  // enclosing : bridging mix of the evaluation sets (1.0 = EQ, 0.5 = MB,
+  // 2.0 = ME).
+  double enclosing_to_bridging = 1.0;
+  // Caps on evaluation set sizes (0 = unlimited).
+  int32_t max_test_links = 0;
+  int32_t max_valid_links = 0;
+  // Fraction of selected evaluation links diverted to validation.
+  double valid_fraction = 0.15;
+};
+
+// Runs the full pipeline: generate -> partition -> label -> mix.
+DekgDataset MakeDekgDataset(const std::string& name,
+                            const SchemaConfig& schema,
+                            const SplitConfig& split, uint64_t seed);
+
+// ----- Benchmark presets mirroring the paper's datasets -----
+
+// Dataset family: relation-richness profile of the three raw KGs.
+enum class KgFamily {
+  kFbLike,    // many relations, dense (FB15k-237)
+  kNellLike,  // medium relation count (NELL-995)
+  kWnLike,    // very few relations, sparse (WN18RR)
+};
+
+enum class EvalSplit {
+  kEq,  // enclosing : bridging = 1 : 1
+  kMb,  // 1 : 2 (more bridging)
+  kMe,  // 2 : 1 (more enclosing)
+};
+
+const char* KgFamilyName(KgFamily family);
+const char* EvalSplitName(EvalSplit split);
+
+// Builds a benchmark dataset. `scale` multiplies entity/triple counts
+// (1.0 == the default bench size, small enough to train on one CPU core).
+// Like the paper (Table II), the MB and ME variants are built over larger
+// graphs than EQ.
+DekgDataset MakeBenchmarkDataset(KgFamily family, EvalSplit split,
+                                 double scale, uint64_t seed);
+
+// Schema preset for a family at a given split (exposed for tests and the
+// Table II statistics bench).
+SchemaConfig FamilySchema(KgFamily family, EvalSplit split, double scale);
+
+}  // namespace dekg::datagen
+
+#endif  // DEKG_DATAGEN_SYNTHETIC_KG_H_

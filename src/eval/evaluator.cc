@@ -1,0 +1,158 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+namespace dekg {
+
+void RankingMetrics::Accumulate(double rank) {
+  DEKG_CHECK_GE(rank, 1.0);
+  mrr += 1.0 / rank;
+  if (rank <= 1.0) hits_at_1 += 1.0;
+  if (rank <= 5.0) hits_at_5 += 1.0;
+  if (rank <= 10.0) hits_at_10 += 1.0;
+  ++num_tasks;
+}
+
+void RankingMetrics::Merge(const RankingMetrics& other) {
+  mrr += other.mrr;
+  hits_at_1 += other.hits_at_1;
+  hits_at_5 += other.hits_at_5;
+  hits_at_10 += other.hits_at_10;
+  num_tasks += other.num_tasks;
+}
+
+void RankingMetrics::Finalize() {
+  if (num_tasks == 0) return;
+  const double inv = 1.0 / static_cast<double>(num_tasks);
+  mrr *= inv;
+  hits_at_1 *= inv;
+  hits_at_5 *= inv;
+  hits_at_10 *= inv;
+}
+
+double RankOf(double positive_score,
+              const std::vector<double>& negative_scores) {
+  int64_t greater = 0;
+  int64_t ties = 0;
+  for (double s : negative_scores) {
+    if (s > positive_score) {
+      ++greater;
+    } else if (s == positive_score) {
+      ++ties;
+    }
+  }
+  return 1.0 + static_cast<double>(greater) + static_cast<double>(ties) / 2.0;
+}
+
+namespace {
+
+// Draws `count` filtered corruption candidates for one task. `corrupt_head`
+// selects which slot is replaced.
+std::vector<Triple> SampleEntityNegatives(const DekgDataset& dataset,
+                                          const Triple& positive,
+                                          bool corrupt_head, int32_t count,
+                                          Rng* rng) {
+  std::vector<Triple> negatives;
+  negatives.reserve(static_cast<size_t>(count));
+  const int32_t total = dataset.num_total_entities();
+  int attempts = 0;
+  while (static_cast<int32_t>(negatives.size()) < count &&
+         attempts < count * 50) {
+    ++attempts;
+    EntityId candidate = static_cast<EntityId>(
+        rng->UniformUint64(static_cast<uint64_t>(total)));
+    Triple corrupted = positive;
+    if (corrupt_head) {
+      if (candidate == positive.head) continue;
+      corrupted.head = candidate;
+    } else {
+      if (candidate == positive.tail) continue;
+      corrupted.tail = candidate;
+    }
+    if (corrupted.head == corrupted.tail) continue;
+    if (dataset.filter_set().count(corrupted) > 0) continue;  // filtered
+    negatives.push_back(corrupted);
+  }
+  return negatives;
+}
+
+std::vector<Triple> RelationNegatives(const DekgDataset& dataset,
+                                      const Triple& positive) {
+  std::vector<Triple> negatives;
+  for (RelationId r = 0; r < dataset.num_relations(); ++r) {
+    if (r == positive.rel) continue;
+    Triple corrupted = positive;
+    corrupted.rel = r;
+    if (dataset.filter_set().count(corrupted) > 0) continue;
+    negatives.push_back(corrupted);
+  }
+  return negatives;
+}
+
+}  // namespace
+
+EvalResult Evaluate(LinkPredictor* model, const DekgDataset& dataset,
+                    const EvalConfig& config) {
+  Rng rng(config.seed);
+  EvalResult result;
+  const KnowledgeGraph& graph = dataset.inference_graph();
+
+  int32_t evaluated = 0;
+  for (const LabeledLink& link : dataset.test_links()) {
+    if (config.max_links > 0 && evaluated >= config.max_links) break;
+    ++evaluated;
+
+    RankingMetrics* kind_bucket = link.kind == LinkKind::kEnclosing
+                                      ? &result.enclosing
+                                      : &result.bridging;
+
+    // Assemble all tasks for this link: each is (positive, negatives).
+    std::vector<std::vector<Triple>> tasks;
+    std::vector<RankingMetrics*> task_buckets;
+    tasks.push_back(SampleEntityNegatives(dataset, link.triple,
+                                          /*corrupt_head=*/true,
+                                          config.num_entity_negatives, &rng));
+    task_buckets.push_back(&result.head_task);
+    tasks.push_back(SampleEntityNegatives(dataset, link.triple,
+                                          /*corrupt_head=*/false,
+                                          config.num_entity_negatives, &rng));
+    task_buckets.push_back(&result.tail_task);
+    if (config.include_relation_task && dataset.num_relations() > 1) {
+      tasks.push_back(RelationNegatives(dataset, link.triple));
+      task_buckets.push_back(&result.relation_task);
+    }
+
+    // One batched scoring call per link: [positive, all negatives...].
+    std::vector<Triple> batch{link.triple};
+    for (const auto& negatives : tasks) {
+      batch.insert(batch.end(), negatives.begin(), negatives.end());
+    }
+    const std::vector<double> scores = model->ScoreTriples(graph, batch);
+    DEKG_CHECK_EQ(scores.size(), batch.size());
+
+    const double positive_score = scores[0];
+    size_t offset = 1;
+    for (size_t task = 0; task < tasks.size(); ++task) {
+      const auto& negatives = tasks[task];
+      std::vector<double> negative_scores(
+          scores.begin() + static_cast<ptrdiff_t>(offset),
+          scores.begin() + static_cast<ptrdiff_t>(offset + negatives.size()));
+      offset += negatives.size();
+      const double rank = RankOf(positive_score, negative_scores);
+      result.overall.Accumulate(rank);
+      kind_bucket->Accumulate(rank);
+      task_buckets[task]->Accumulate(rank);
+      if (config.collect_ranks) result.ranks.push_back(rank);
+    }
+  }
+
+  result.overall.Finalize();
+  result.enclosing.Finalize();
+  result.bridging.Finalize();
+  result.head_task.Finalize();
+  result.tail_task.Finalize();
+  result.relation_task.Finalize();
+  return result;
+}
+
+}  // namespace dekg

@@ -1,0 +1,33 @@
+// Paired-bootstrap significance testing for ranking comparisons.
+//
+// Given the aligned per-task rank lists of two models (identical EvalConfig
+// -> identical tasks and candidate pools), the paired bootstrap resamples
+// tasks with replacement and measures how often model A's MRR fails to
+// exceed model B's. This is the standard way to attach confidence to
+// "A beats B" claims when only one seed's evaluation is available.
+#ifndef DEKG_EVAL_SIGNIFICANCE_H_
+#define DEKG_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dekg {
+
+struct BootstrapResult {
+  double mrr_a = 0.0;
+  double mrr_b = 0.0;
+  // One-sided p-value for H0: MRR(A) <= MRR(B).
+  double p_value = 1.0;
+  // Central 95% bootstrap interval of the MRR difference (A - B).
+  double diff_low = 0.0;
+  double diff_high = 0.0;
+};
+
+// ranks_a and ranks_b must be the same length and task-aligned.
+BootstrapResult PairedBootstrapMrr(const std::vector<double>& ranks_a,
+                                   const std::vector<double>& ranks_b,
+                                   int32_t resamples, uint64_t seed);
+
+}  // namespace dekg
+
+#endif  // DEKG_EVAL_SIGNIFICANCE_H_

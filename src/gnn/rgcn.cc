@@ -1,0 +1,164 @@
+#include "gnn/rgcn.h"
+
+#include <string>
+
+namespace dekg::gnn {
+
+RgcnEncoder::RgcnEncoder(const RgcnConfig& config, Rng* rng)
+    : config_(config) {
+  DEKG_CHECK_GT(config_.num_relations, 0);
+  DEKG_CHECK_GE(config_.num_layers, 1);
+  DEKG_CHECK_GE(config_.num_bases, 1);
+  const int64_t r2 = 2 * config_.num_relations;
+  for (int32_t l = 0; l < config_.num_layers; ++l) {
+    const int64_t din = l == 0 ? input_dim() : config_.hidden_dim;
+    const int64_t dout = config_.hidden_dim;
+    Layer layer;
+    for (int32_t b = 0; b < config_.num_bases; ++b) {
+      layer.bases.push_back(RegisterParameter(
+          "layer" + std::to_string(l) + ".basis" + std::to_string(b),
+          Tensor::XavierUniform(Shape{din, dout}, rng)));
+    }
+    layer.coefficients = RegisterParameter(
+        "layer" + std::to_string(l) + ".coeff",
+        Tensor::Uniform(Shape{r2, config_.num_bases}, -0.5f, 0.5f, rng));
+    layer.self_weight = RegisterParameter(
+        "layer" + std::to_string(l) + ".self",
+        Tensor::XavierUniform(Shape{din, dout}, rng));
+    layer.bias = RegisterParameter("layer" + std::to_string(l) + ".bias",
+                                   Tensor::Zeros(Shape{dout}));
+    layers_.push_back(std::move(layer));
+    if (config_.edge_attention) {
+      const int64_t att_in = 2 * din + 2 * config_.attention_rel_dim;
+      att_weight_.push_back(RegisterParameter(
+          "att.layer" + std::to_string(l) + ".weight",
+          Tensor::XavierUniform(Shape{att_in, 1}, rng)));
+      att_bias_.push_back(RegisterParameter(
+          "att.layer" + std::to_string(l) + ".bias", Tensor::Zeros(Shape{1})));
+    }
+  }
+  if (config_.edge_attention) {
+    att_rel_ = RegisterParameter(
+        "att.rel",
+        Tensor::Uniform(Shape{r2, config_.attention_rel_dim}, -0.5f, 0.5f, rng));
+    att_target_rel_ = RegisterParameter(
+        "att.target_rel",
+        Tensor::Uniform(Shape{config_.num_relations, config_.attention_rel_dim},
+                        -0.5f, 0.5f, rng));
+  }
+}
+
+Tensor RgcnEncoder::NodeFeatures(const Subgraph& subgraph) const {
+  const int64_t n = static_cast<int64_t>(subgraph.nodes.size());
+  const int32_t span = config_.num_hops + 1;
+  Tensor features(Shape{n, 2 * span});
+  for (int64_t i = 0; i < n; ++i) {
+    const SubgraphNode& node = subgraph.nodes[static_cast<size_t>(i)];
+    if (node.dist_head >= 0 && node.dist_head <= config_.num_hops) {
+      features.At(i, node.dist_head) = 1.0f;
+    }
+    if (node.dist_tail >= 0 && node.dist_tail <= config_.num_hops) {
+      features.At(i, span + node.dist_tail) = 1.0f;
+    }
+  }
+  return features;
+}
+
+RgcnOutput RgcnEncoder::Forward(const Subgraph& subgraph,
+                                RelationId target_rel, bool training,
+                                Rng* rng) const {
+  const int64_t n = static_cast<int64_t>(subgraph.nodes.size());
+  DEKG_CHECK_GE(n, 2);
+  DEKG_CHECK(target_rel >= 0 && target_rel < config_.num_relations);
+
+  // Directed message list: each stored edge yields a forward message
+  // (rel r) and an inverse message (rel r + R). Edge dropout removes whole
+  // directed pairs during training.
+  std::vector<int64_t> src_ids;
+  std::vector<int64_t> dst_ids;
+  std::vector<int64_t> rel_ids;
+  src_ids.reserve(subgraph.edges.size() * 2);
+  for (const SubgraphEdge& e : subgraph.edges) {
+    if (training && config_.edge_dropout > 0.0f &&
+        rng->Bernoulli(config_.edge_dropout)) {
+      continue;
+    }
+    src_ids.push_back(e.src);
+    dst_ids.push_back(e.dst);
+    rel_ids.push_back(e.rel);
+    src_ids.push_back(e.dst);
+    dst_ids.push_back(e.src);
+    rel_ids.push_back(e.rel + config_.num_relations);
+  }
+  const int64_t num_messages = static_cast<int64_t>(src_ids.size());
+
+  // Per-node inverse in-degree for mean aggregation (constant).
+  Tensor inv_indegree(Shape{n});
+  {
+    std::vector<int32_t> deg(static_cast<size_t>(n), 0);
+    for (int64_t d : dst_ids) ++deg[static_cast<size_t>(d)];
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t d = deg[static_cast<size_t>(i)];
+      inv_indegree.At(i) = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+    }
+  }
+  ag::Var inv_indegree_var = ag::Var::Constant(inv_indegree);
+
+  ag::Var h = ag::Var::Constant(NodeFeatures(subgraph));
+  std::vector<ag::Var> layer_outputs;
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    ag::Var aggregated;
+    if (num_messages > 0) {
+      // Basis-decomposed relational transform of source states:
+      // msg_e = sum_b c[rel_e, b] * (h_src_e @ B_b).
+      ag::Var msg;
+      ag::Var per_edge_coeff = ag::GatherRows(layer.coefficients, rel_ids);
+      for (int32_t b = 0; b < config_.num_bases; ++b) {
+        ag::Var transformed = ag::MatMul(h, layer.bases[static_cast<size_t>(b)]);
+        ag::Var gathered = ag::GatherRows(transformed, src_ids);
+        // Column b of the per-edge coefficients via a constant selector.
+        Tensor selector = Tensor::Zeros(Shape{config_.num_bases, 1});
+        selector.At(b, 0) = 1.0f;
+        ag::Var coeff_b =
+            ag::MatMul(per_edge_coeff, ag::Var::Constant(selector));
+        ag::Var scaled = ag::ScaleRows(gathered, coeff_b);
+        msg = msg.defined() ? ag::Add(msg, scaled) : scaled;
+      }
+      if (config_.edge_attention) {
+        // Gate each message by sigmoid(w . [h_src, h_dst, rel, target_rel]).
+        ag::Var h_src = ag::GatherRows(h, src_ids);
+        ag::Var h_dst = ag::GatherRows(h, dst_ids);
+        ag::Var rel_emb = ag::GatherRows(att_rel_, rel_ids);
+        std::vector<int64_t> target_ids(static_cast<size_t>(num_messages),
+                                        target_rel);
+        ag::Var target_emb = ag::GatherRows(att_target_rel_, target_ids);
+        ag::Var att_in =
+            ag::Concat({h_src, h_dst, rel_emb, target_emb}, /*axis=*/1);
+        ag::Var gate = ag::Sigmoid(
+            ag::Add(ag::MatMul(att_in, att_weight_[l]), att_bias_[l]));
+        msg = ag::ScaleRows(msg, gate);
+      }
+      aggregated = ag::ScatterSumRows(msg, dst_ids, n);
+      aggregated = ag::ScaleRows(aggregated, inv_indegree_var);
+    } else {
+      aggregated =
+          ag::Var::Constant(Tensor::Zeros(Shape{n, config_.hidden_dim}));
+    }
+    ag::Var self = ag::MatMul(h, layer.self_weight);
+    h = ag::Relu(ag::Add(ag::Add(self, aggregated), layer.bias));
+    if (config_.jk_concat) layer_outputs.push_back(h);
+  }
+
+  ag::Var readout =
+      config_.jk_concat ? ag::Concat(layer_outputs, /*axis=*/1) : h;
+  RgcnOutput out;
+  out.node_states = readout;
+  out.graph_repr = ag::MeanOverRows(readout);
+  out.head_repr = ag::GatherRows(readout, {subgraph.head_local()});
+  out.tail_repr = ag::GatherRows(readout, {subgraph.tail_local()});
+  return out;
+}
+
+}  // namespace dekg::gnn

@@ -1,0 +1,85 @@
+// Relational GCN encoder over extracted subgraphs (GSM's "Topological
+// Information Modeling", Sec. IV-C3): an L-layer message-passing network
+// with basis-decomposed relation transforms and GraIL-style edge attention
+// conditioned on the target relation. Produces per-node states, the
+// average-pooled whole-subgraph representation (Eq. 10), and the head/tail
+// representations used by the scorer (Eq. 11).
+#ifndef DEKG_GNN_RGCN_H_
+#define DEKG_GNN_RGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "graph/subgraph.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace dekg::gnn {
+
+struct RgcnConfig {
+  int32_t num_relations = 0;  // R; inverse relations are added internally
+  int32_t num_hops = 2;       // t; input label dim is 2 * (t + 1)
+  int32_t hidden_dim = 32;
+  int32_t num_layers = 2;     // L
+  int32_t num_bases = 4;      // basis decomposition of relation transforms
+  float edge_dropout = 0.5;   // beta: fraction of edges dropped per forward
+  bool edge_attention = true;
+  int32_t attention_rel_dim = 8;
+  // Jumping-knowledge style readout (GraIL's choice): node representations
+  // concatenate every layer's output instead of using only the last layer.
+  bool jk_concat = false;
+};
+
+// Output of one subgraph encoding pass.
+struct RgcnOutput {
+  ag::Var node_states;  // [num_nodes, output_dim()]
+  ag::Var graph_repr;   // [output_dim()] (average pooling, Eq. 10)
+  ag::Var head_repr;    // [1, output_dim()]
+  ag::Var tail_repr;    // [1, output_dim()]
+};
+
+class RgcnEncoder : public nn::Module {
+ public:
+  RgcnEncoder(const RgcnConfig& config, Rng* rng);
+
+  // Encodes one subgraph. `target_rel` conditions the edge attention.
+  // During training, edges are dropped with probability edge_dropout using
+  // *rng.
+  RgcnOutput Forward(const Subgraph& subgraph, RelationId target_rel,
+                     bool training, Rng* rng) const;
+
+  // Dimension of the initial one-hot double-radius node features.
+  int32_t input_dim() const { return 2 * (config_.num_hops + 1); }
+  // Dimension of the produced node/graph representations (hidden_dim, or
+  // num_layers * hidden_dim under jk_concat).
+  int32_t output_dim() const {
+    return config_.jk_concat ? config_.num_layers * config_.hidden_dim
+                             : config_.hidden_dim;
+  }
+  const RgcnConfig& config() const { return config_; }
+
+  // Builds the [num_nodes, input_dim] one-hot label features for a
+  // subgraph (exposed for tests; one-hot(-1) is all-zero).
+  Tensor NodeFeatures(const Subgraph& subgraph) const;
+
+ private:
+  RgcnConfig config_;
+  struct Layer {
+    std::vector<ag::Var> bases;  // num_bases x [din, dout]
+    ag::Var coefficients;        // [2R, num_bases]
+    ag::Var self_weight;         // [din, dout]
+    ag::Var bias;                // [dout]
+  };
+  std::vector<Layer> layers_;
+  // Attention parameters (shared across layers, conditioned on target rel).
+  ag::Var att_rel_;         // [2R, attention_rel_dim]
+  ag::Var att_target_rel_;  // [R, attention_rel_dim]
+  std::vector<ag::Var> att_weight_;  // per layer: [2*din + 2*att_dim, 1]
+  std::vector<ag::Var> att_bias_;    // per layer: [1]
+};
+
+}  // namespace dekg::gnn
+
+#endif  // DEKG_GNN_RGCN_H_

@@ -1,0 +1,125 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dekg {
+
+std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
+                                  EntityId blocked, int32_t max_depth) {
+  std::vector<int32_t> dist(static_cast<size_t>(g.num_entities()), -1);
+  DEKG_CHECK(source >= 0 && source < g.num_entities());
+  dist[static_cast<size_t>(source)] = 0;
+  std::deque<EntityId> frontier{source};
+  while (!frontier.empty()) {
+    EntityId u = frontier.front();
+    frontier.pop_front();
+    const int32_t du = dist[static_cast<size_t>(u)];
+    if (du >= max_depth) continue;
+    for (int32_t eid : g.IncidentEdges(u)) {
+      const Edge& e = g.edge(eid);
+      const EntityId v = e.src == u ? e.dst : e.src;
+      if (v == blocked) continue;
+      if (dist[static_cast<size_t>(v)] != -1) continue;
+      dist[static_cast<size_t>(v)] = du + 1;
+      frontier.push_back(v);
+    }
+  }
+  // The blocked node must read as unreachable even if it is the source's
+  // neighbor (paths through it are forbidden, so a path *to* it is allowed
+  // in principle, but GraIL's labeling excludes it; head/tail get their
+  // fixed labels anyway).
+  if (blocked >= 0 && blocked < g.num_entities() && blocked != source) {
+    dist[static_cast<size_t>(blocked)] = -1;
+  }
+  return dist;
+}
+
+Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
+                         EntityId tail, RelationId target_rel,
+                         const SubgraphConfig& config) {
+  DEKG_CHECK(g.built());
+  DEKG_CHECK_GE(config.num_hops, 1);
+  const std::vector<int32_t> dist_head =
+      BfsDistances(g, head, tail, config.num_hops);
+  const std::vector<int32_t> dist_tail =
+      BfsDistances(g, tail, head, config.num_hops);
+
+  Subgraph sub;
+  // Node 0 = head with label (0, 1); node 1 = tail with label (1, 0).
+  sub.nodes.push_back(SubgraphNode{head, 0, 1});
+  sub.nodes.push_back(SubgraphNode{tail, 1, 0});
+
+  struct Candidate {
+    EntityId entity;
+    int32_t dh;
+    int32_t dt;
+    int32_t order_key;
+  };
+  std::vector<Candidate> candidates;
+  for (EntityId u = 0; u < g.num_entities(); ++u) {
+    if (u == head || u == tail) continue;
+    const int32_t dh = dist_head[static_cast<size_t>(u)];
+    const int32_t dt = dist_tail[static_cast<size_t>(u)];
+    const bool in_head_hood = dh >= 0;
+    const bool in_tail_hood = dt >= 0;
+    if (!in_head_hood && !in_tail_hood) continue;
+    if (config.labeling == NodeLabeling::kGrail &&
+        (!in_head_hood || !in_tail_hood)) {
+      // GraIL prunes nodes outside the intersection of the two
+      // neighborhoods.
+      continue;
+    }
+    // Sort key: nodes closest to either endpoint are kept preferentially
+    // under the max_nodes cap.
+    int32_t near = INT32_MAX;
+    if (in_head_hood) near = std::min(near, dh);
+    if (in_tail_hood) near = std::min(near, dt);
+    candidates.push_back(Candidate{u, dh, dt, near});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.order_key < b.order_key;
+                   });
+  size_t keep = candidates.size();
+  if (config.max_nodes > 0 &&
+      candidates.size() + 2 > static_cast<size_t>(config.max_nodes)) {
+    keep = static_cast<size_t>(config.max_nodes) - 2;
+  }
+  for (size_t i = 0; i < keep; ++i) {
+    const Candidate& c = candidates[i];
+    sub.nodes.push_back(SubgraphNode{c.entity, c.dh, c.dt});
+  }
+
+  // Local index of each kept entity.
+  std::unordered_map<EntityId, int32_t> local;
+  local.reserve(sub.nodes.size() * 2);
+  for (size_t i = 0; i < sub.nodes.size(); ++i) {
+    local.emplace(sub.nodes[i].entity, static_cast<int32_t>(i));
+  }
+
+  // Induced edges, visiting each global edge once.
+  std::unordered_set<int32_t> seen_edges;
+  for (const SubgraphNode& node : sub.nodes) {
+    for (int32_t eid : g.IncidentEdges(node.entity)) {
+      if (!seen_edges.insert(eid).second) continue;
+      const Edge& e = g.edge(eid);
+      auto src_it = local.find(e.src);
+      auto dst_it = local.find(e.dst);
+      if (src_it == local.end() || dst_it == local.end()) continue;
+      // Exclude the target link itself (and its exact inverse) so a
+      // positive example cannot leak its own label.
+      if (e.rel == target_rel &&
+          ((e.src == head && e.dst == tail) ||
+           (e.src == tail && e.dst == head))) {
+        continue;
+      }
+      sub.edges.push_back(SubgraphEdge{src_it->second, e.rel, dst_it->second});
+    }
+  }
+  return sub;
+}
+
+}  // namespace dekg

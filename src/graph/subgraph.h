@@ -1,0 +1,81 @@
+// Enclosing-subgraph extraction and node labeling for GSM (Sec. IV-C).
+//
+// For a target link (e_i, r_k, e_j) the subgraph over the t-hop
+// neighborhoods of e_i and e_j is extracted and every node u is labeled
+// with the double-radius pair (d(i,u), d(j,u)), where d(i,u) is the
+// shortest-path distance from e_i avoiding e_j (and vice versa). The head
+// and tail are labeled (0,1) and (1,0).
+//
+// Two labeling policies are provided:
+//  * kGrail  — prunes nodes with d(i,u) > t or d(j,u) > t (the original
+//    GraIL enclosing subgraph). For a bridging link this leaves only the
+//    two endpoint nodes: the topological limitation in action.
+//  * kImproved — DEKG-ILP's labeling: such nodes are kept, and the
+//    out-of-range distance is set to -1, whose one-hot encoding is the
+//    all-zero vector. These nodes "simulate disconnected nodes" during
+//    training, so the GNN learns to embed disconnected subgraph pairs.
+#ifndef DEKG_GRAPH_SUBGRAPH_H_
+#define DEKG_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace dekg {
+
+enum class NodeLabeling {
+  kGrail,
+  kImproved,
+};
+
+// A node of the extracted subgraph. Distances use -1 for "unreachable
+// within t hops (or at all)".
+struct SubgraphNode {
+  EntityId entity;
+  int32_t dist_head;
+  int32_t dist_tail;
+};
+
+// An edge between local node indices.
+struct SubgraphEdge {
+  int32_t src;  // local node index
+  RelationId rel;
+  int32_t dst;  // local node index
+};
+
+// Extracted subgraph around one target link. Node 0 is always the head,
+// node 1 the tail (even when they have no neighborhood).
+struct Subgraph {
+  std::vector<SubgraphNode> nodes;
+  std::vector<SubgraphEdge> edges;
+
+  int32_t head_local() const { return 0; }
+  int32_t tail_local() const { return 1; }
+};
+
+struct SubgraphConfig {
+  // Neighborhood radius t.
+  int32_t num_hops = 2;
+  NodeLabeling labeling = NodeLabeling::kImproved;
+  // Safety cap on node count (0 = unlimited). When exceeded, the farthest
+  // nodes are dropped first (head/tail always kept).
+  int32_t max_nodes = 256;
+};
+
+// BFS distances from `source` to every node, avoiding `blocked` (distance
+// computed as if `blocked` were deleted). Unreached nodes get -1. Distances
+// greater than `max_depth` are not explored.
+std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
+                                  EntityId blocked, int32_t max_depth);
+
+// Extracts the labeled subgraph around (head, ?, tail) from `g`. Any edge
+// identical to the target triple (head, target_rel, tail) — or its exact
+// inverse — is excluded, so a positive training link never sees itself.
+Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
+                         EntityId tail, RelationId target_rel,
+                         const SubgraphConfig& config);
+
+}  // namespace dekg
+
+#endif  // DEKG_GRAPH_SUBGRAPH_H_

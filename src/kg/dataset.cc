@@ -1,0 +1,69 @@
+#include "kg/dataset.h"
+
+namespace dekg {
+
+const char* LinkKindName(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kEnclosing:
+      return "enclosing";
+    case LinkKind::kBridging:
+      return "bridging";
+  }
+  return "?";
+}
+
+DekgDataset::DekgDataset(std::string name, int32_t num_original_entities,
+                         int32_t num_emerging_entities, int32_t num_relations,
+                         std::vector<Triple> train_triples,
+                         std::vector<Triple> emerging_triples,
+                         std::vector<LabeledLink> valid_links,
+                         std::vector<LabeledLink> test_links)
+    : name_(std::move(name)),
+      num_original_entities_(num_original_entities),
+      num_emerging_entities_(num_emerging_entities),
+      num_relations_(num_relations),
+      train_triples_(std::move(train_triples)),
+      emerging_triples_(std::move(emerging_triples)),
+      valid_links_(std::move(valid_links)),
+      test_links_(std::move(test_links)),
+      original_graph_(num_total_entities(), num_relations),
+      inference_graph_(num_total_entities(), num_relations) {
+  original_graph_.AddTriples(train_triples_);
+  original_graph_.Build();
+  inference_graph_.AddTriples(train_triples_);
+  inference_graph_.AddTriples(emerging_triples_);
+  inference_graph_.Build();
+  for (const Triple& t : train_triples_) filter_set_.insert(t);
+  for (const Triple& t : emerging_triples_) filter_set_.insert(t);
+  for (const LabeledLink& l : valid_links_) filter_set_.insert(l.triple);
+  for (const LabeledLink& l : test_links_) filter_set_.insert(l.triple);
+}
+
+LinkKind DekgDataset::Classify(const Triple& t) const {
+  const bool head_emerging = IsEmergingEntity(t.head);
+  const bool tail_emerging = IsEmergingEntity(t.tail);
+  if (head_emerging && tail_emerging) return LinkKind::kEnclosing;
+  DEKG_CHECK(head_emerging || tail_emerging)
+      << "link does not touch the emerging KG";
+  return LinkKind::kBridging;
+}
+
+void DekgDataset::CheckInvariants() const {
+  for (const Triple& t : train_triples_) {
+    DEKG_CHECK(IsOriginalEntity(t.head) && IsOriginalEntity(t.tail))
+        << "train triple crosses the cut";
+  }
+  for (const Triple& t : emerging_triples_) {
+    DEKG_CHECK(IsEmergingEntity(t.head) && IsEmergingEntity(t.tail))
+        << "emerging triple crosses the cut";
+  }
+  auto check_links = [this](const std::vector<LabeledLink>& links) {
+    for (const LabeledLink& l : links) {
+      DEKG_CHECK(Classify(l.triple) == l.kind) << "link kind label mismatch";
+    }
+  };
+  check_links(valid_links_);
+  check_links(test_links_);
+}
+
+}  // namespace dekg

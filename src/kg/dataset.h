@@ -1,0 +1,99 @@
+// The disconnected-emerging-KG dataset bundle used by training and
+// evaluation: an original KG G (train graph), a DEKG G' (observed emerging
+// structure, disjoint entity set), and held-out evaluation links labeled as
+// enclosing (inside G') or bridging (across the G/G' cut).
+//
+// Entity-id layout: ids [0, num_original_entities) are G entities; ids
+// [num_original_entities, num_original_entities + num_emerging_entities)
+// are G' (unseen) entities. Relations are shared.
+#ifndef DEKG_KG_DATASET_H_
+#define DEKG_KG_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace dekg {
+
+enum class LinkKind {
+  kEnclosing,  // both endpoints in G'
+  kBridging,   // one endpoint in G, the other in G'
+};
+
+const char* LinkKindName(LinkKind kind);
+
+struct LabeledLink {
+  Triple triple;
+  LinkKind kind;
+};
+
+// Everything an experiment needs. Construct via datagen or by loading TSVs.
+class DekgDataset {
+ public:
+  DekgDataset(std::string name, int32_t num_original_entities,
+              int32_t num_emerging_entities, int32_t num_relations,
+              std::vector<Triple> train_triples,
+              std::vector<Triple> emerging_triples,
+              std::vector<LabeledLink> valid_links,
+              std::vector<LabeledLink> test_links);
+
+  const std::string& name() const { return name_; }
+  int32_t num_original_entities() const { return num_original_entities_; }
+  int32_t num_emerging_entities() const { return num_emerging_entities_; }
+  int32_t num_total_entities() const {
+    return num_original_entities_ + num_emerging_entities_;
+  }
+  int32_t num_relations() const { return num_relations_; }
+
+  bool IsOriginalEntity(EntityId e) const {
+    return e >= 0 && e < num_original_entities_;
+  }
+  bool IsEmergingEntity(EntityId e) const {
+    return e >= num_original_entities_ && e < num_total_entities();
+  }
+
+  // Classifies a link relative to the G/G' cut. Both endpoints in G is
+  // neither enclosing nor bridging under the paper's definitions; such a
+  // triple is a plain original link (returned as kBridging=false paths
+  // never produce it — callers only classify evaluation links).
+  LinkKind Classify(const Triple& t) const;
+
+  const std::vector<Triple>& train_triples() const { return train_triples_; }
+  const std::vector<Triple>& emerging_triples() const {
+    return emerging_triples_;
+  }
+  const std::vector<LabeledLink>& valid_links() const { return valid_links_; }
+  const std::vector<LabeledLink>& test_links() const { return test_links_; }
+
+  // G: the original KG over all entity ids (emerging entities isolated).
+  const KnowledgeGraph& original_graph() const { return original_graph_; }
+  // G ∪ G' observed structure — what inference may look at. Contains no
+  // edge across the cut.
+  const KnowledgeGraph& inference_graph() const { return inference_graph_; }
+
+  // All triples known anywhere (train + emerging observed + valid + test):
+  // the filter set for filtered ranking.
+  const TripleSet& filter_set() const { return filter_set_; }
+
+  // Sanity invariants (no cut-crossing edges in train/emerging, label
+  // correctness). Aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  std::string name_;
+  int32_t num_original_entities_;
+  int32_t num_emerging_entities_;
+  int32_t num_relations_;
+  std::vector<Triple> train_triples_;
+  std::vector<Triple> emerging_triples_;
+  std::vector<LabeledLink> valid_links_;
+  std::vector<LabeledLink> test_links_;
+  KnowledgeGraph original_graph_;
+  KnowledgeGraph inference_graph_;
+  TripleSet filter_set_;
+};
+
+}  // namespace dekg
+
+#endif  // DEKG_KG_DATASET_H_

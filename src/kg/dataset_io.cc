@@ -1,0 +1,150 @@
+#include "kg/dataset_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace dekg {
+
+namespace {
+
+void WriteTriples(const std::string& path, const std::vector<Triple>& triples) {
+  std::ofstream out(path);
+  DEKG_CHECK(out.good()) << "cannot write " << path;
+  for (const Triple& t : triples) {
+    out << t.head << '\t' << t.rel << '\t' << t.tail << '\n';
+  }
+}
+
+void WriteLinks(const std::string& path, const std::vector<LabeledLink>& links) {
+  std::ofstream out(path);
+  DEKG_CHECK(out.good()) << "cannot write " << path;
+  for (const LabeledLink& l : links) {
+    out << l.triple.head << '\t' << l.triple.rel << '\t' << l.triple.tail
+        << '\t' << LinkKindName(l.kind) << '\n';
+  }
+}
+
+std::vector<Triple> ReadTriples(const std::string& path) {
+  std::ifstream in(path);
+  DEKG_CHECK(in.good()) << "cannot read " << path;
+  std::vector<Triple> triples;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    DEKG_CHECK_EQ(fields.size(), 3u) << "bad triple line in " << path;
+    triples.push_back(Triple{static_cast<EntityId>(std::stoi(fields[0])),
+                             static_cast<RelationId>(std::stoi(fields[1])),
+                             static_cast<EntityId>(std::stoi(fields[2]))});
+  }
+  return triples;
+}
+
+std::vector<LabeledLink> ReadLinks(const std::string& path) {
+  std::ifstream in(path);
+  DEKG_CHECK(in.good()) << "cannot read " << path;
+  std::vector<LabeledLink> links;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    DEKG_CHECK_EQ(fields.size(), 4u) << "bad link line in " << path;
+    LabeledLink link;
+    link.triple = Triple{static_cast<EntityId>(std::stoi(fields[0])),
+                         static_cast<RelationId>(std::stoi(fields[1])),
+                         static_cast<EntityId>(std::stoi(fields[2]))};
+    if (fields[3] == "enclosing") {
+      link.kind = LinkKind::kEnclosing;
+    } else if (fields[3] == "bridging") {
+      link.kind = LinkKind::kBridging;
+    } else {
+      DEKG_FATAL() << "unknown link kind '" << fields[3] << "' in " << path;
+    }
+    links.push_back(link);
+  }
+  return links;
+}
+
+}  // namespace
+
+void SaveDekgDatasetDir(const DekgDataset& dataset, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream meta(dir + "/meta.tsv");
+    DEKG_CHECK(meta.good()) << "cannot write " << dir << "/meta.tsv";
+    meta << dataset.num_original_entities() << '\t'
+         << dataset.num_emerging_entities() << '\t'
+         << dataset.num_relations() << '\n';
+  }
+  WriteTriples(dir + "/train.tsv", dataset.train_triples());
+  WriteTriples(dir + "/emerging.tsv", dataset.emerging_triples());
+  WriteLinks(dir + "/valid.tsv", dataset.valid_links());
+  WriteLinks(dir + "/test.tsv", dataset.test_links());
+}
+
+DekgDataset LoadDekgDatasetDir(const std::string& dir, std::string name) {
+  std::ifstream meta(dir + "/meta.tsv");
+  DEKG_CHECK(meta.good()) << "cannot read " << dir << "/meta.tsv";
+  int32_t num_original = 0, num_emerging = 0, num_relations = 0;
+  meta >> num_original >> num_emerging >> num_relations;
+  DEKG_CHECK(num_original > 0 && num_relations > 0) << "corrupt meta.tsv";
+  DekgDataset dataset(std::move(name), num_original, num_emerging,
+                      num_relations, ReadTriples(dir + "/train.tsv"),
+                      ReadTriples(dir + "/emerging.tsv"),
+                      ReadLinks(dir + "/valid.tsv"),
+                      ReadLinks(dir + "/test.tsv"));
+  dataset.CheckInvariants();
+  return dataset;
+}
+
+DekgDataset LoadDekgDatasetNamed(const std::string& train_path,
+                                 const std::string& emerging_path,
+                                 const std::string& valid_path,
+                                 const std::string& test_path,
+                                 std::string name, Vocabulary* vocab) {
+  Vocabulary local;
+  Vocabulary* v = vocab != nullptr ? vocab : &local;
+  // Interning order defines the id layout: train entities first (original
+  // KG), then everything new in the emerging file (unseen entities).
+  std::vector<Triple> train = LoadTriplesTsv(train_path, v);
+  const int32_t num_original = v->num_entities();
+  std::vector<Triple> emerging = LoadTriplesTsv(emerging_path, v);
+  const int32_t num_emerging = v->num_entities() - num_original;
+  const int32_t num_relations = v->num_relations();
+
+  auto load_links = [&](const std::string& path) {
+    std::vector<LabeledLink> links;
+    if (path.empty()) return links;
+    for (const Triple& t : LoadTriplesTsv(path, v)) {
+      // Evaluation files must not introduce entities absent from both
+      // observed graphs — such links are unpredictable by construction.
+      DEKG_CHECK_LT(t.head, num_original + num_emerging)
+          << "evaluation link introduces unseen entity in " << path;
+      DEKG_CHECK_LT(t.tail, num_original + num_emerging)
+          << "evaluation link introduces unseen entity in " << path;
+      DEKG_CHECK_LT(t.rel, num_relations)
+          << "evaluation link introduces unseen relation in " << path;
+      const bool he = t.head >= num_original;
+      const bool te = t.tail >= num_original;
+      DEKG_CHECK(he || te) << "evaluation link lies entirely inside the "
+                              "original KG in " << path;
+      links.push_back(LabeledLink{
+          t, he && te ? LinkKind::kEnclosing : LinkKind::kBridging});
+    }
+    return links;
+  };
+  std::vector<LabeledLink> valid = load_links(valid_path);
+  std::vector<LabeledLink> test = load_links(test_path);
+
+  DekgDataset dataset(std::move(name), num_original, num_emerging,
+                      num_relations, std::move(train), std::move(emerging),
+                      std::move(valid), std::move(test));
+  dataset.CheckInvariants();
+  return dataset;
+}
+
+}  // namespace dekg

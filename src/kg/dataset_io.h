@@ -1,0 +1,38 @@
+// On-disk interchange for DEKG datasets.
+//
+// Two formats are supported:
+//  * Id-based directory format (lossless round trip of a DekgDataset):
+//      meta.tsv      num_original <TAB> num_emerging <TAB> num_relations
+//      train.tsv     h r t            (integer ids, one triple per line)
+//      emerging.tsv  h r t
+//      valid.tsv     h r t kind       (kind: "enclosing" | "bridging")
+//      test.tsv      h r t kind
+//  * Named GraIL-style format: four TSV files of (head, relation, tail)
+//    *names*. Entities first seen in the train file become the original
+//    KG; entities first seen elsewhere become the emerging KG. Evaluation
+//    links are classified automatically. This lets users plug in the
+//    original benchmark splits when the raw data is available.
+#ifndef DEKG_KG_DATASET_IO_H_
+#define DEKG_KG_DATASET_IO_H_
+
+#include <string>
+
+#include "kg/dataset.h"
+
+namespace dekg {
+
+// Id-based directory format.
+void SaveDekgDatasetDir(const DekgDataset& dataset, const std::string& dir);
+DekgDataset LoadDekgDatasetDir(const std::string& dir, std::string name);
+
+// Named GraIL-style format. `valid_path` may be empty. The vocabulary used
+// for interning is returned through *vocab when non-null.
+DekgDataset LoadDekgDatasetNamed(const std::string& train_path,
+                                 const std::string& emerging_path,
+                                 const std::string& valid_path,
+                                 const std::string& test_path,
+                                 std::string name, Vocabulary* vocab);
+
+}  // namespace dekg
+
+#endif  // DEKG_KG_DATASET_IO_H_

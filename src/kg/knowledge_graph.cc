@@ -1,0 +1,158 @@
+#include "kg/knowledge_graph.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace dekg {
+
+EntityId Vocabulary::InternEntity(const std::string& name) {
+  auto it = entity_ids_.find(name);
+  if (it != entity_ids_.end()) return it->second;
+  EntityId id = static_cast<EntityId>(entity_names_.size());
+  entity_ids_.emplace(name, id);
+  entity_names_.push_back(name);
+  return id;
+}
+
+RelationId Vocabulary::InternRelation(const std::string& name) {
+  auto it = relation_ids_.find(name);
+  if (it != relation_ids_.end()) return it->second;
+  RelationId id = static_cast<RelationId>(relation_names_.size());
+  relation_ids_.emplace(name, id);
+  relation_names_.push_back(name);
+  return id;
+}
+
+EntityId Vocabulary::FindEntity(const std::string& name) const {
+  auto it = entity_ids_.find(name);
+  return it == entity_ids_.end() ? -1 : it->second;
+}
+
+RelationId Vocabulary::FindRelation(const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  return it == relation_ids_.end() ? -1 : it->second;
+}
+
+const std::string& Vocabulary::EntityName(EntityId id) const {
+  DEKG_CHECK(id >= 0 && id < num_entities()) << "entity id " << id;
+  return entity_names_[static_cast<size_t>(id)];
+}
+
+const std::string& Vocabulary::RelationName(RelationId id) const {
+  DEKG_CHECK(id >= 0 && id < num_relations()) << "relation id " << id;
+  return relation_names_[static_cast<size_t>(id)];
+}
+
+KnowledgeGraph::KnowledgeGraph(int32_t num_entities, int32_t num_relations)
+    : num_entities_(num_entities), num_relations_(num_relations) {
+  DEKG_CHECK_GE(num_entities, 0);
+  DEKG_CHECK_GE(num_relations, 0);
+}
+
+void KnowledgeGraph::AddTriple(const Triple& t) {
+  DEKG_CHECK(!built_) << "AddTriple after Build()";
+  DEKG_CHECK(t.head >= 0 && t.head < num_entities_) << "head " << t.head;
+  DEKG_CHECK(t.tail >= 0 && t.tail < num_entities_) << "tail " << t.tail;
+  DEKG_CHECK(t.rel >= 0 && t.rel < num_relations_) << "rel " << t.rel;
+  edges_.push_back(Edge{t.head, t.rel, t.tail});
+  triple_set_.insert(t);
+}
+
+void KnowledgeGraph::AddTriples(const std::vector<Triple>& triples) {
+  for (const Triple& t : triples) AddTriple(t);
+}
+
+void KnowledgeGraph::Build() {
+  if (built_) return;
+  built_ = true;
+  // Counting pass for CSR.
+  std::vector<int64_t> counts(static_cast<size_t>(num_entities_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++counts[static_cast<size_t>(e.src)];
+    if (e.dst != e.src) ++counts[static_cast<size_t>(e.dst)];
+  }
+  adj_offsets_.assign(static_cast<size_t>(num_entities_) + 1, 0);
+  for (int32_t v = 0; v < num_entities_; ++v) {
+    adj_offsets_[static_cast<size_t>(v) + 1] =
+        adj_offsets_[static_cast<size_t>(v)] + counts[static_cast<size_t>(v)];
+  }
+  adj_edges_.assign(static_cast<size_t>(adj_offsets_.back()), 0);
+  std::vector<int64_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (size_t eid = 0; eid < edges_.size(); ++eid) {
+    const Edge& e = edges_[eid];
+    adj_edges_[static_cast<size_t>(cursor[static_cast<size_t>(e.src)]++)] =
+        static_cast<int32_t>(eid);
+    if (e.dst != e.src) {
+      adj_edges_[static_cast<size_t>(cursor[static_cast<size_t>(e.dst)]++)] =
+          static_cast<int32_t>(eid);
+    }
+  }
+}
+
+std::span<const int32_t> KnowledgeGraph::IncidentEdges(EntityId node) const {
+  DEKG_CHECK(built_) << "IncidentEdges before Build()";
+  DEKG_CHECK(node >= 0 && node < num_entities_) << "node " << node;
+  const int64_t begin = adj_offsets_[static_cast<size_t>(node)];
+  const int64_t end = adj_offsets_[static_cast<size_t>(node) + 1];
+  return {adj_edges_.data() + begin, static_cast<size_t>(end - begin)};
+}
+
+int64_t KnowledgeGraph::Degree(EntityId node) const {
+  return static_cast<int64_t>(IncidentEdges(node).size());
+}
+
+std::vector<int32_t> KnowledgeGraph::RelationComponentTable(
+    EntityId node) const {
+  std::vector<int32_t> counts(static_cast<size_t>(num_relations_), 0);
+  for (int32_t eid : IncidentEdges(node)) {
+    ++counts[static_cast<size_t>(edges_[static_cast<size_t>(eid)].rel)];
+  }
+  return counts;
+}
+
+std::vector<Triple> KnowledgeGraph::Triples() const {
+  std::vector<Triple> out;
+  out.reserve(edges_.size());
+  for (const Edge& e : edges_) out.push_back(Triple{e.src, e.rel, e.dst});
+  return out;
+}
+
+std::vector<Triple> LoadTriplesTsv(const std::string& path, Vocabulary* vocab) {
+  std::ifstream in(path);
+  DEKG_CHECK(in.good()) << "cannot open " << path;
+  std::vector<Triple> triples;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    DEKG_CHECK_EQ(fields.size(), 3u) << "bad TSV line: " << line;
+    Triple t;
+    t.head = vocab->InternEntity(fields[0]);
+    t.rel = vocab->InternRelation(fields[1]);
+    t.tail = vocab->InternEntity(fields[2]);
+    triples.push_back(t);
+  }
+  return triples;
+}
+
+void SaveTriplesTsv(const std::string& path, const std::vector<Triple>& triples,
+                    const Vocabulary& vocab) {
+  std::ofstream out(path);
+  DEKG_CHECK(out.good()) << "cannot open " << path << " for writing";
+  for (const Triple& t : triples) {
+    out << vocab.EntityName(t.head) << '\t' << vocab.RelationName(t.rel)
+        << '\t' << vocab.EntityName(t.tail) << '\n';
+  }
+}
+
+KnowledgeGraph BuildGraph(int32_t num_entities, int32_t num_relations,
+                          const std::vector<Triple>& triples) {
+  KnowledgeGraph g(num_entities, num_relations);
+  g.AddTriples(triples);
+  g.Build();
+  return g;
+}
+
+}  // namespace dekg

@@ -1,0 +1,139 @@
+// Core knowledge-graph data structures: triples, string vocabularies, and
+// an immutable indexed graph with CSR-style adjacency used by subgraph
+// extraction, negative sampling, and relation-component tables (CLRM).
+#ifndef DEKG_KG_KNOWLEDGE_GRAPH_H_
+#define DEKG_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dekg {
+
+using EntityId = int32_t;
+using RelationId = int32_t;
+
+// A fact (h, r, t).
+struct Triple {
+  EntityId head = 0;
+  RelationId rel = 0;
+  EntityId tail = 0;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+// Hash for unordered containers of triples.
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(t.head)) << 40) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(t.rel)) << 20) ^
+                 static_cast<uint64_t>(static_cast<uint32_t>(t.tail));
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+using TripleSet = std::unordered_set<Triple, TripleHash>;
+
+// Bidirectional string<->id mapping for entities and relations. Entity and
+// relation namespaces are independent.
+class Vocabulary {
+ public:
+  // Returns existing id or assigns the next one.
+  EntityId InternEntity(const std::string& name);
+  RelationId InternRelation(const std::string& name);
+
+  // -1 if unknown.
+  EntityId FindEntity(const std::string& name) const;
+  RelationId FindRelation(const std::string& name) const;
+
+  const std::string& EntityName(EntityId id) const;
+  const std::string& RelationName(RelationId id) const;
+
+  int32_t num_entities() const { return static_cast<int32_t>(entity_names_.size()); }
+  int32_t num_relations() const { return static_cast<int32_t>(relation_names_.size()); }
+
+ private:
+  std::unordered_map<std::string, EntityId> entity_ids_;
+  std::unordered_map<std::string, RelationId> relation_ids_;
+  std::vector<std::string> entity_names_;
+  std::vector<std::string> relation_names_;
+};
+
+// An edge as stored by the graph: direction matters (src --rel--> dst).
+struct Edge {
+  EntityId src;
+  RelationId rel;
+  EntityId dst;
+};
+
+// Immutable indexed multigraph over [0, num_entities) x [0, num_relations).
+// Construction: collect triples, then Build(). Provides
+//  * undirected adjacency (edge ids incident to a node, either direction),
+//  * per-entity relation-component tables a_i^k (CLRM, Eq. 2),
+//  * membership tests for the filtered evaluation setting.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph(int32_t num_entities, int32_t num_relations);
+
+  // Builder phase. Ids must be in range. Duplicate triples are kept (the
+  // multiplicity feeds a_i^k).
+  void AddTriple(const Triple& t);
+  void AddTriples(const std::vector<Triple>& triples);
+  // Freezes the graph and builds the indexes. Idempotent.
+  void Build();
+
+  bool built() const { return built_; }
+  int32_t num_entities() const { return num_entities_; }
+  int32_t num_relations() const { return num_relations_; }
+  int64_t num_triples() const { return static_cast<int64_t>(edges_.size()); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& edge(int64_t edge_id) const { return edges_[static_cast<size_t>(edge_id)]; }
+
+  // Edge ids incident to `node` in either direction.
+  std::span<const int32_t> IncidentEdges(EntityId node) const;
+  // Degree counting both directions (self-loops counted once).
+  int64_t Degree(EntityId node) const;
+
+  bool Contains(const Triple& t) const { return triple_set_.count(t) > 0; }
+  const TripleSet& triple_set() const { return triple_set_; }
+
+  // Relation-component table row for an entity: counts[k] = number of
+  // incident triples (either direction) whose relation is k. (Eq. 2.)
+  std::vector<int32_t> RelationComponentTable(EntityId node) const;
+
+  // All triples as a flat list (edge order).
+  std::vector<Triple> Triples() const;
+
+ private:
+  int32_t num_entities_;
+  int32_t num_relations_;
+  bool built_ = false;
+  std::vector<Edge> edges_;
+  TripleSet triple_set_;
+  // CSR over undirected incidence.
+  std::vector<int64_t> adj_offsets_;  // size num_entities_ + 1
+  std::vector<int32_t> adj_edges_;    // edge ids
+};
+
+// ----- TSV I/O -----
+// Each line: head<TAB>relation<TAB>tail. Names are interned into *vocab.
+std::vector<Triple> LoadTriplesTsv(const std::string& path, Vocabulary* vocab);
+void SaveTriplesTsv(const std::string& path, const std::vector<Triple>& triples,
+                    const Vocabulary& vocab);
+
+// Builds a graph spanning the given vocabulary sizes from a triple list.
+KnowledgeGraph BuildGraph(int32_t num_entities, int32_t num_relations,
+                          const std::vector<Triple>& triples);
+
+}  // namespace dekg
+
+#endif  // DEKG_KG_KNOWLEDGE_GRAPH_H_

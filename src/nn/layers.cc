@@ -1,0 +1,47 @@
+#include "nn/layers.h"
+
+#include <memory>
+
+namespace dekg::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool with_bias,
+               Rng* rng) {
+  weight_ = RegisterParameter(
+      "weight", Tensor::XavierUniform(Shape{in_features, out_features}, rng));
+  if (with_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{out_features}));
+  }
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  ag::Var y = ag::MatMul(x, weight_);
+  if (bias_.defined()) y = ag::Add(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(int64_t count, int64_t dim, Rng* rng) {
+  // Paper-standard init: Xavier over [count, dim].
+  table_ = RegisterParameter("table",
+                             Tensor::XavierUniform(Shape{count, dim}, rng));
+}
+
+ag::Var Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return ag::GatherRows(table_, indices);
+}
+
+Mlp::Mlp(int64_t in_features, int64_t hidden, int64_t out_features, Rng* rng) {
+  auto fc1 = std::make_unique<Linear>(in_features, hidden, /*with_bias=*/true, rng);
+  auto fc2 = std::make_unique<Linear>(hidden, out_features, /*with_bias=*/true, rng);
+  fc1_ = fc1.get();
+  fc2_ = fc2.get();
+  RegisterChild("fc1", fc1_);
+  RegisterChild("fc2", fc2_);
+  owned_.push_back(std::move(fc1));
+  owned_.push_back(std::move(fc2));
+}
+
+ag::Var Mlp::Forward(const ag::Var& x) const {
+  return fc2_->Forward(ag::Relu(fc1_->Forward(x)));
+}
+
+}  // namespace dekg::nn

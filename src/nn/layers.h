@@ -1,0 +1,63 @@
+// Reusable NN building blocks: Linear, Embedding, and a two-layer MLP.
+#ifndef DEKG_NN_LAYERS_H_
+#define DEKG_NN_LAYERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace dekg::nn {
+
+// Fully connected layer: y = x W + b (W is [in, out]).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool with_bias, Rng* rng);
+
+  // x: [batch, in] -> [batch, out].
+  ag::Var Forward(const ag::Var& x) const;
+
+  ag::Var weight() const { return weight_; }
+  ag::Var bias() const { return bias_; }
+
+ private:
+  ag::Var weight_;
+  ag::Var bias_;  // undefined when constructed without bias
+};
+
+// Embedding table: [count, dim] rows gathered by index.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t count, int64_t dim, Rng* rng);
+
+  // -> [indices.size(), dim].
+  ag::Var Forward(const std::vector<int64_t>& indices) const;
+  // The full table as a Var (for DistMult-style whole-table scoring).
+  ag::Var table() const { return table_; }
+
+  int64_t count() const { return table_.value().dim(0); }
+  int64_t dim() const { return table_.value().dim(1); }
+
+ private:
+  ag::Var table_;
+};
+
+// Two-layer perceptron with ReLU: used for scoring heads and attention.
+class Mlp : public Module {
+ public:
+  Mlp(int64_t in_features, int64_t hidden, int64_t out_features, Rng* rng);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+ private:
+  Linear* fc1_;
+  Linear* fc2_;
+  std::vector<std::unique_ptr<Module>> owned_;
+};
+
+}  // namespace dekg::nn
+
+#endif  // DEKG_NN_LAYERS_H_

@@ -1,0 +1,89 @@
+#include "nn/module.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace dekg::nn {
+
+namespace {
+constexpr uint64_t kCheckpointMagic = 0xDE6B11F0C8EC4B01ULL;
+}  // namespace
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const Parameter& p : parameters_) total += p.var.value().numel();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter& p : parameters_) p.var.ZeroGrad();
+}
+
+std::vector<float> Module::StateVector() const {
+  std::vector<float> state;
+  for (const Parameter& p : parameters_) {
+    const Tensor& t = p.var.value();
+    state.insert(state.end(), t.Data(), t.Data() + t.numel());
+  }
+  return state;
+}
+
+void Module::LoadStateVector(const std::vector<float>& state) {
+  size_t offset = 0;
+  for (Parameter& p : parameters_) {
+    Tensor& t = p.var.mutable_value();
+    DEKG_CHECK_LE(offset + static_cast<size_t>(t.numel()), state.size())
+        << "state vector too short for parameter " << p.name;
+    std::copy(state.begin() + offset,
+              state.begin() + offset + static_cast<size_t>(t.numel()),
+              t.Data());
+    offset += static_cast<size_t>(t.numel());
+  }
+  DEKG_CHECK_EQ(offset, state.size()) << "state vector size mismatch";
+}
+
+bool Module::SaveCheckpoint(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  const std::vector<float> state = StateVector();
+  const uint64_t count = state.size();
+  out.write(reinterpret_cast<const char*>(&kCheckpointMagic),
+            sizeof(kCheckpointMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(state.data()),
+            static_cast<std::streamsize>(state.size() * sizeof(float)));
+  return out.good();
+}
+
+bool Module::LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good()) return false;
+  DEKG_CHECK_EQ(magic, kCheckpointMagic) << "not a DEKG checkpoint: " << path;
+  DEKG_CHECK_EQ(count, static_cast<uint64_t>(ParameterCount()))
+      << "checkpoint architecture mismatch for " << path;
+  std::vector<float> state(count);
+  in.read(reinterpret_cast<char*>(state.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in.good()) return false;
+  LoadStateVector(state);
+  return true;
+}
+
+ag::Var Module::RegisterParameter(std::string name, Tensor init) {
+  ag::Var var = ag::Var::Leaf(std::move(init), /*requires_grad=*/true);
+  parameters_.push_back(Parameter{std::move(name), var});
+  return var;
+}
+
+void Module::RegisterChild(const std::string& prefix, Module* child) {
+  for (const Parameter& p : child->parameters_) {
+    parameters_.push_back(Parameter{prefix + "." + p.name, p.var});
+  }
+}
+
+}  // namespace dekg::nn

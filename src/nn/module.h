@@ -1,0 +1,66 @@
+// Parameter registry and module base for trainable models. A Module owns a
+// flat list of named parameters (ag::Var leaves with requires_grad=true);
+// optimizers iterate that list. Sub-modules register their parameters into
+// the parent's registry at construction time.
+#ifndef DEKG_NN_MODULE_H_
+#define DEKG_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace dekg::nn {
+
+// A named trainable tensor.
+struct Parameter {
+  std::string name;
+  ag::Var var;
+};
+
+// Base class for anything with trainable parameters. Not an inference
+// interface — forward signatures differ per model, so each model exposes
+// its own typed methods.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters registered by this module (and its registered children).
+  const std::vector<Parameter>& parameters() const { return parameters_; }
+
+  // Sum of parameter element counts; reported by the complexity study.
+  int64_t ParameterCount() const;
+
+  // Zeroes all parameter gradients. Call before each backward pass.
+  void ZeroGrad();
+
+  // Serializes / restores all parameter values (order-based). Sizes must
+  // match exactly.
+  std::vector<float> StateVector() const;
+  void LoadStateVector(const std::vector<float>& state);
+
+  // Binary checkpoint I/O. The file stores a magic header, the parameter
+  // count, and the raw float32 state vector; loading into a module with a
+  // different architecture aborts. Returns false on I/O failure.
+  bool SaveCheckpoint(const std::string& path) const;
+  bool LoadCheckpoint(const std::string& path);
+
+ protected:
+  // Registers a fresh leaf parameter and returns its Var handle.
+  ag::Var RegisterParameter(std::string name, Tensor init);
+
+  // Folds a child's parameters into this registry with a name prefix.
+  void RegisterChild(const std::string& prefix, Module* child);
+
+ private:
+  std::vector<Parameter> parameters_;
+};
+
+}  // namespace dekg::nn
+
+#endif  // DEKG_NN_MODULE_H_

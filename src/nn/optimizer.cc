@@ -1,0 +1,105 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace dekg::nn {
+
+double ClipGradNorm(Module* module, double max_norm) {
+  double sq = 0.0;
+  for (const Parameter& p : module->parameters()) {
+    if (!p.var.has_grad()) continue;
+    const Tensor& g = p.var.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      sq += static_cast<double>(g.Data()[i]) * g.Data()[i];
+    }
+  }
+  double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const Parameter& p : module->parameters()) {
+      if (!p.var.has_grad()) continue;
+      // Tensor copies share storage, so scaling the copy rescales the
+      // stored gradient — the one sanctioned gradient mutation between
+      // backward and Step().
+      Tensor g = p.var.grad();
+      g.ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(Module* module, Options options)
+    : module_(module), options_(options) {
+  velocity_.resize(module_->parameters().size());
+}
+
+void Sgd::Step() {
+  const auto& params = module_->parameters();
+  DEKG_CHECK_EQ(params.size(), velocity_.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Parameter& p = params[i];
+    if (!p.var.has_grad()) continue;
+    Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
+    const Tensor& grad = p.var.grad();
+    float* w = value.Data();
+    const float* g = grad.Data();
+    const float lr = static_cast<float>(options_.lr);
+    const float wd = static_cast<float>(options_.weight_decay);
+    if (options_.momentum > 0.0) {
+      if (velocity_[i].numel() != value.numel()) {
+        velocity_[i] = Tensor::Zeros(value.shape());
+      }
+      float* vel = velocity_[i].Data();
+      const float mu = static_cast<float>(options_.momentum);
+      for (int64_t j = 0; j < value.numel(); ++j) {
+        float gj = g[j] + wd * w[j];
+        vel[j] = mu * vel[j] + gj;
+        w[j] -= lr * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < value.numel(); ++j) {
+        w[j] -= lr * (g[j] + wd * w[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(Module* module, Options options)
+    : module_(module), options_(options) {
+  m_.resize(module_->parameters().size());
+  v_.resize(module_->parameters().size());
+}
+
+void Adam::Step() {
+  ++t_;
+  const auto& params = module_->parameters();
+  const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  const float lr_t = static_cast<float>(options_.lr * std::sqrt(bias2) / bias1);
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  const float eps = static_cast<float>(options_.eps);
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Parameter& p = params[i];
+    if (!p.var.has_grad()) continue;
+    Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
+    const Tensor& grad = p.var.grad();
+    if (m_[i].numel() != value.numel()) {
+      m_[i] = Tensor::Zeros(value.shape());
+      v_[i] = Tensor::Zeros(value.shape());
+    }
+    float* w = value.Data();
+    const float* g = grad.Data();
+    float* m = m_[i].Data();
+    float* v = v_[i].Data();
+    for (int64_t j = 0; j < value.numel(); ++j) {
+      float gj = g[j] + wd * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * gj;
+      v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
+      w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+}  // namespace dekg::nn

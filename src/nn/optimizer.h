@@ -1,0 +1,67 @@
+// First-order optimizers over a Module's parameter list. The paper tunes
+// learning rate over {0.1, 0.01, 0.001, 0.0005} and uses standard Adam-style
+// training; we provide SGD (with optional momentum and weight decay) and
+// Adam, plus global-norm gradient clipping.
+#ifndef DEKG_NN_OPTIMIZER_H_
+#define DEKG_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace dekg::nn {
+
+// Scales all gradients so their global L2 norm is at most max_norm.
+// Returns the pre-clip norm. Parameters without gradients are skipped.
+double ClipGradNorm(Module* module, double max_norm);
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update using the gradients currently stored on the
+  // parameters. Parameters whose gradient was never touched this step are
+  // skipped (sparse-friendly).
+  virtual void Step() = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  Sgd(Module* module, Options options);
+  void Step() override;
+
+ private:
+  Module* module_;
+  Options options_;
+  std::vector<Tensor> velocity_;  // lazily sized to parameters
+};
+
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(Module* module, Options options);
+  void Step() override;
+
+ private:
+  Module* module_;
+  Options options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace dekg::nn
+
+#endif  // DEKG_NN_OPTIMIZER_H_

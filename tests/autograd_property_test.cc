@@ -1,0 +1,121 @@
+// Parameterized autograd invariants: gradient linearity, chain-rule
+// composition, and accumulation semantics across tensor sizes.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+
+namespace dekg::ag {
+namespace {
+
+class AutogradProperty : public ::testing::TestWithParam<int64_t> {
+ protected:
+  int64_t n() const { return GetParam(); }
+  Tensor Random(uint64_t seed) const {
+    Rng rng(seed);
+    return Tensor::Uniform({n()}, -1.5f, 1.5f, &rng);
+  }
+};
+
+TEST_P(AutogradProperty, GradientOfSumIsOnes) {
+  Var x = Var::Leaf(Random(1), true);
+  SumAll(x).Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor::Ones({n()}), 0.0f));
+}
+
+TEST_P(AutogradProperty, GradientIsLinearInUpstream) {
+  // d(c * f) = c * df for scalar c.
+  Tensor input = Random(2);
+  auto grad_of = [&](float scale) {
+    Var x = Var::Leaf(input.Clone(), true);
+    Var loss = MulScalar(SumAll(Square(x)), scale);
+    loss.Backward();
+    return x.grad().Clone();
+  };
+  Tensor g1 = grad_of(1.0f);
+  Tensor g3 = grad_of(3.0f);
+  g1.ScaleInPlace(3.0f);
+  EXPECT_TRUE(AllClose(g1, g3, 1e-4f));
+}
+
+TEST_P(AutogradProperty, SumRuleForIndependentTerms) {
+  // d(f + g)/dx = df/dx + dg/dx.
+  Tensor input = Random(3);
+  Var x = Var::Leaf(input.Clone(), true);
+  Var combined = Add(SumAll(Square(x)), SumAll(Sin(x)));
+  combined.Backward();
+  Tensor got = x.grad().Clone();
+
+  Var x1 = Var::Leaf(input.Clone(), true);
+  SumAll(Square(x1)).Backward();
+  Var x2 = Var::Leaf(input.Clone(), true);
+  SumAll(Sin(x2)).Backward();
+  Tensor expected = x1.grad().Clone();
+  expected.AddInPlace(x2.grad());
+  EXPECT_TRUE(AllClose(got, expected, 1e-5f));
+}
+
+TEST_P(AutogradProperty, ChainThroughReusedIntermediate) {
+  // y = sigmoid(x); loss = sum(y * y + y). Numerically check at a few
+  // coordinates: d/dx = (2y + 1) * y(1-y).
+  Tensor input = Random(4);
+  Var x = Var::Leaf(input.Clone(), true);
+  Var y = Sigmoid(x);
+  Var loss = SumAll(Add(Mul(y, y), y));
+  loss.Backward();
+  for (int64_t i = 0; i < n(); ++i) {
+    const float xv = input.Data()[i];
+    const float yv = 1.0f / (1.0f + std::exp(-xv));
+    const float expected = (2.0f * yv + 1.0f) * yv * (1.0f - yv);
+    EXPECT_NEAR(x.grad().Data()[i], expected, 1e-4f);
+  }
+}
+
+TEST_P(AutogradProperty, BackwardTwiceAccumulates) {
+  // Running two independent backward passes into the same leaf adds up.
+  Var x = Var::Leaf(Random(5), true);
+  SumAll(x).Backward();
+  Tensor after_one = x.grad().Clone();
+  SumAll(x).Backward();
+  Tensor doubled = after_one.Clone();
+  doubled.AddInPlace(after_one);
+  EXPECT_TRUE(AllClose(x.grad(), doubled, 1e-6f));
+}
+
+TEST_P(AutogradProperty, DetachedConstantBlocksGradient) {
+  Var x = Var::Leaf(Random(6), true);
+  Var frozen = Var::Constant(x.value().Clone());
+  Var loss = SumAll(Mul(frozen, frozen));
+  EXPECT_FALSE(loss.requires_grad());
+}
+
+TEST_P(AutogradProperty, GatherScatterInverseGradients) {
+  // loss = sum(Gather(x, idx)) puts exactly the visit count into each row
+  // gradient.
+  Rng rng(7);
+  const int64_t rows = n();
+  Tensor value = Tensor::Uniform({rows, 3}, -1, 1, &rng);
+  std::vector<int64_t> indices;
+  std::vector<int> visits(static_cast<size_t>(rows), 0);
+  for (int64_t i = 0; i < rows * 2; ++i) {
+    int64_t idx = static_cast<int64_t>(
+        rng.UniformUint64(static_cast<uint64_t>(rows)));
+    indices.push_back(idx);
+    ++visits[static_cast<size_t>(idx)];
+  }
+  Var x = Var::Leaf(value, true);
+  SumAll(GatherRows(x, indices)).Backward();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(x.grad().At(r, c),
+                      static_cast<float>(visits[static_cast<size_t>(r)]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AutogradProperty,
+                         ::testing::Values(1, 2, 5, 16, 64));
+
+}  // namespace
+}  // namespace dekg::ag

@@ -1,0 +1,86 @@
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/dekg_ilp.h"
+#include "nn/layers.h"
+
+namespace dekg {
+namespace {
+
+std::string TempPath(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+TEST(CheckpointTest, LinearRoundTrip) {
+  Rng rng(1);
+  nn::Linear a(6, 4, true, &rng);
+  nn::Linear b(6, 4, true, &rng);
+  ASSERT_FALSE(AllClose(a.weight().value(), b.weight().value(), 1e-6f));
+
+  const std::string path = TempPath("dekg_linear.ckpt");
+  ASSERT_TRUE(a.SaveCheckpoint(path));
+  ASSERT_TRUE(b.LoadCheckpoint(path));
+  EXPECT_TRUE(AllClose(a.weight().value(), b.weight().value(), 0.0f));
+  EXPECT_TRUE(AllClose(a.bias().value(), b.bias().value(), 0.0f));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, FullModelRoundTripPreservesScores) {
+  core::DekgIlpConfig config;
+  config.num_relations = 6;
+  config.dim = 8;
+  core::DekgIlpModel a(config, 2);
+  core::DekgIlpModel b(config, 3);
+
+  KnowledgeGraph g(6, 6);
+  g.AddTriple({0, 0, 1});
+  g.AddTriple({1, 1, 2});
+  g.AddTriple({2, 2, 3});
+  g.Build();
+
+  const std::string path = TempPath("dekg_model.ckpt");
+  ASSERT_TRUE(a.SaveCheckpoint(path));
+  ASSERT_TRUE(b.LoadCheckpoint(path));
+
+  Rng ra(5), rb(5);
+  Triple t{0, 3, 2};
+  double sa = a.ScoreLink(g, t, false, &ra).value().Data()[0];
+  double sb = b.ScoreLink(g, t, false, &rb).value().Data()[0];
+  EXPECT_DOUBLE_EQ(sa, sb);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, MissingFileReturnsFalse) {
+  Rng rng(4);
+  nn::Linear model(2, 2, false, &rng);
+  EXPECT_FALSE(model.LoadCheckpoint("/nonexistent/dir/x.ckpt"));
+  EXPECT_FALSE(model.SaveCheckpoint("/nonexistent/dir/x.ckpt"));
+}
+
+TEST(CheckpointDeathTest, ArchitectureMismatchAborts) {
+  Rng rng(5);
+  nn::Linear small(2, 2, false, &rng);
+  nn::Linear big(4, 4, false, &rng);
+  const std::string path = TempPath("dekg_mismatch.ckpt");
+  ASSERT_TRUE(small.SaveCheckpoint(path));
+  EXPECT_DEATH(big.LoadCheckpoint(path), "architecture mismatch");
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointDeathTest, CorruptMagicAborts) {
+  const std::string path = TempPath("dekg_corrupt.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char garbage[32] = "this is not a checkpoint";
+    out.write(garbage, sizeof(garbage));
+  }
+  Rng rng(6);
+  nn::Linear model(2, 2, false, &rng);
+  EXPECT_DEATH(model.LoadCheckpoint(path), "not a DEKG checkpoint");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dekg

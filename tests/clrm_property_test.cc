@@ -1,0 +1,128 @@
+// Parameterized CLRM invariants across relation-vocabulary sizes and
+// feature dimensions: the fusion's convexity, scale invariance, and the
+// sampling operations' contracts.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/clrm.h"
+
+namespace dekg::core {
+namespace {
+
+using Params = std::tuple<int32_t, int32_t, double>;  // (R, dim, theta)
+
+class ClrmSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  ClrmConfig Make() const {
+    auto [relations, dim, theta] = GetParam();
+    ClrmConfig config;
+    config.num_relations = relations;
+    config.dim = dim;
+    config.theta = theta;
+    config.num_contrastive_samples = 3;
+    return config;
+  }
+  int32_t R() const { return std::get<0>(GetParam()); }
+
+  RelationTable RandomTable(Rng* rng) const {
+    RelationTable table(static_cast<size_t>(R()), 0);
+    const int32_t nonzero = 1 + static_cast<int32_t>(rng->UniformUint64(
+                                    static_cast<uint64_t>(R())));
+    for (int32_t i = 0; i < nonzero; ++i) {
+      table[static_cast<size_t>(rng->UniformUint64(
+          static_cast<uint64_t>(R())))] =
+          static_cast<int32_t>(1 + rng->UniformUint64(5));
+    }
+    return table;
+  }
+};
+
+TEST_P(ClrmSweep, FusionIsScaleInvariant) {
+  // Multiplying every multiplicity by a constant leaves the embedding
+  // unchanged: the fusion is a convex combination (Eq. 3).
+  Rng rng(1);
+  Clrm clrm(Make(), &rng);
+  RelationTable table = RandomTable(&rng);
+  RelationTable scaled = table;
+  for (int32_t& c : scaled) c *= 3;
+  EXPECT_TRUE(AllClose(clrm.EmbedEntity(table).value(),
+                       clrm.EmbedEntity(scaled).value(), 1e-5f));
+}
+
+TEST_P(ClrmSweep, EmbeddingInsideFeatureHull) {
+  // A convex combination cannot exceed the coordinate-wise feature range.
+  Rng rng(2);
+  Clrm clrm(Make(), &rng);
+  RelationTable table = RandomTable(&rng);
+  Tensor e = clrm.EmbedEntity(table).value();
+  const Tensor& f = clrm.relation_features().value();
+  for (int64_t j = 0; j < e.dim(1); ++j) {
+    float lo = 1e30f, hi = -1e30f;
+    for (int64_t k = 0; k < f.dim(0); ++k) {
+      lo = std::min(lo, f.At(k, j));
+      hi = std::max(hi, f.At(k, j));
+    }
+    EXPECT_GE(e.At(0, j), lo - 1e-5f);
+    EXPECT_LE(e.At(0, j), hi + 1e-5f);
+  }
+}
+
+TEST_P(ClrmSweep, VariationNeverChangesRelationSet) {
+  Rng rng(3);
+  Clrm clrm(Make(), &rng);
+  RelationTable table = RandomTable(&rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    RelationTable varied = clrm.RelationVariation(table, &rng);
+    for (size_t k = 0; k < table.size(); ++k) {
+      EXPECT_EQ(varied[k] > 0, table[k] > 0);
+    }
+  }
+}
+
+TEST_P(ClrmSweep, NegativeAlwaysChangesRelationSet) {
+  Rng rng(4);
+  Clrm clrm(Make(), &rng);
+  RelationTable table = RandomTable(&rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    RelationTable negative = clrm.RelationAdditionDeletion(table, &rng);
+    bool changed = false;
+    for (size_t k = 0; k < table.size(); ++k) {
+      changed = changed || (negative[k] > 0) != (table[k] > 0);
+    }
+    EXPECT_TRUE(changed);
+  }
+}
+
+TEST_P(ClrmSweep, ContrastiveLossFiniteNonNegative) {
+  Rng rng(5);
+  Clrm clrm(Make(), &rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    RelationTable table = RandomTable(&rng);
+    ag::Var loss = clrm.ContrastiveLoss(table, &rng);
+    ASSERT_TRUE(loss.defined());
+    EXPECT_TRUE(std::isfinite(loss.value().Data()[0]));
+    EXPECT_GE(loss.value().Data()[0], 0.0f);
+  }
+}
+
+TEST_P(ClrmSweep, ScoreSymmetricUnderDistMult) {
+  // DistMult is symmetric in head/tail: <e_i, r, e_j> == <e_j, r, e_i>.
+  Rng rng(6);
+  Clrm clrm(Make(), &rng);
+  RelationTable a = RandomTable(&rng);
+  RelationTable b = RandomTable(&rng);
+  ag::Var forward = clrm.ScoreTriple(a, 0, b);
+  ag::Var backward = clrm.ScoreTriple(b, 0, a);
+  EXPECT_NEAR(forward.value().Data()[0], backward.value().Data()[0], 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClrmSweep,
+                         ::testing::Values(Params{3, 4, 1.0},
+                                           Params{8, 16, 2.0},
+                                           Params{20, 32, 2.0},
+                                           Params{50, 8, 3.0}));
+
+}  // namespace
+}  // namespace dekg::core

@@ -1,0 +1,179 @@
+#include "core/clrm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+
+namespace dekg::core {
+namespace {
+
+ClrmConfig SmallConfig() {
+  ClrmConfig config;
+  config.num_relations = 5;
+  config.dim = 8;
+  config.theta = 2.0;
+  config.num_contrastive_samples = 4;
+  return config;
+}
+
+TEST(ClrmTest, EmbedEntityIsWeightedAverage) {
+  Rng rng(1);
+  Clrm clrm(SmallConfig(), &rng);
+  // Table with only relation 2 -> embedding equals f_2 exactly.
+  RelationTable table{0, 0, 3, 0, 0};
+  ag::Var e = clrm.EmbedEntity(table);
+  Tensor f2 = GatherRows(clrm.relation_features().value(), {2});
+  EXPECT_TRUE(AllClose(e.value(), f2, 1e-5f));
+
+  // Equal counts of relations 0 and 1 -> midpoint of f_0 and f_1.
+  RelationTable mixed{2, 2, 0, 0, 0};
+  ag::Var m = clrm.EmbedEntity(mixed);
+  Tensor f01 = GatherRows(clrm.relation_features().value(), {0, 1});
+  Tensor mid = SliceRows(f01, 0, 1);
+  mid.AddInPlace(SliceRows(f01, 1, 2));
+  mid.ScaleInPlace(0.5f);
+  EXPECT_TRUE(AllClose(m.value(), mid, 1e-5f));
+}
+
+TEST(ClrmTest, EmbedEntityEmptyTableIsZero) {
+  Rng rng(2);
+  Clrm clrm(SmallConfig(), &rng);
+  RelationTable empty{0, 0, 0, 0, 0};
+  ag::Var e = clrm.EmbedEntity(empty);
+  EXPECT_TRUE(AllClose(e.value(), Tensor::Zeros({1, 8})));
+}
+
+TEST(ClrmTest, EmbeddingIsEntityIndependent) {
+  // The same relation-component table gives the same embedding regardless
+  // of which "entity" holds it — the core inductive property.
+  Rng rng(3);
+  Clrm clrm(SmallConfig(), &rng);
+  RelationTable table{1, 0, 2, 0, 1};
+  ag::Var a = clrm.EmbedEntity(table);
+  ag::Var b = clrm.EmbedEntity(table);
+  EXPECT_TRUE(AllClose(a.value(), b.value(), 0.0f));
+}
+
+TEST(ClrmTest, ScoreTripleMatchesDistMult) {
+  Rng rng(4);
+  Clrm clrm(SmallConfig(), &rng);
+  RelationTable head{1, 0, 0, 0, 0};
+  RelationTable tail{0, 0, 0, 0, 2};
+  ag::Var score = clrm.ScoreTriple(head, 3, tail);
+  // Manual: <f_0, r3_sem, f_4>.
+  Tensor f0 = GatherRows(clrm.relation_features().value(), {0});
+  Tensor f4 = GatherRows(clrm.relation_features().value(), {4});
+  Tensor r3 = GatherRows(clrm.relation_sem().value(), {3});
+  float expected = SumAll(Mul(Mul(f0, r3), f4));
+  EXPECT_NEAR(score.value().Data()[0], expected, 1e-5f);
+}
+
+TEST(ClrmTest, MeanNonzero) {
+  EXPECT_DOUBLE_EQ(Clrm::MeanNonzero({2, 0, 4, 0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(Clrm::MeanNonzero({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Clrm::MeanNonzero({5}), 5.0);
+}
+
+TEST(ClrmTest, RelationVariationKeepsRelationSet) {
+  Rng rng(5);
+  Clrm clrm(SmallConfig(), &rng);
+  RelationTable table{3, 0, 1, 0, 2};
+  for (int trial = 0; trial < 50; ++trial) {
+    RelationTable varied = clrm.RelationVariation(table, &rng);
+    for (size_t k = 0; k < table.size(); ++k) {
+      // o1 never adds a new relation and never deletes one entirely.
+      EXPECT_EQ(varied[k] > 0, table[k] > 0) << "relation " << k;
+      EXPECT_GE(varied[k], 0);
+    }
+  }
+}
+
+TEST(ClrmTest, RelationVariationRespectsCap) {
+  Rng rng(6);
+  ClrmConfig config = SmallConfig();
+  config.theta = 2.0;
+  Clrm clrm(config, &rng);
+  RelationTable table{4, 0, 2, 0, 0};  // m_i = 3, cap = 6
+  for (int trial = 0; trial < 100; ++trial) {
+    RelationTable varied = clrm.RelationVariation(table, &rng);
+    for (int32_t c : varied) EXPECT_LE(c, 6);
+  }
+}
+
+TEST(ClrmTest, AdditionDeletionChangesRelationSet) {
+  Rng rng(7);
+  Clrm clrm(SmallConfig(), &rng);
+  RelationTable table{3, 0, 1, 0, 2};
+  int changed_sets = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    RelationTable negative = clrm.RelationAdditionDeletion(table, &rng);
+    bool set_changed = false;
+    for (size_t k = 0; k < table.size(); ++k) {
+      if ((negative[k] > 0) != (table[k] > 0)) set_changed = true;
+    }
+    changed_sets += set_changed;
+  }
+  // o2/o3 must change the relation *set* (that is what makes it a negative).
+  EXPECT_EQ(changed_sets, 50);
+}
+
+TEST(ClrmTest, ContrastiveLossNonNegativeAndUndefinedForEmpty) {
+  Rng rng(8);
+  Clrm clrm(SmallConfig(), &rng);
+  RelationTable table{2, 0, 1, 0, 0};
+  ag::Var loss = clrm.ContrastiveLoss(table, &rng);
+  ASSERT_TRUE(loss.defined());
+  EXPECT_GE(loss.value().Data()[0], 0.0f);
+
+  RelationTable empty{0, 0, 0, 0, 0};
+  EXPECT_FALSE(clrm.ContrastiveLoss(empty, &rng).defined());
+}
+
+TEST(ClrmTest, ContrastiveLossTrainsFeaturesApart) {
+  // Minimizing the contrastive loss should, on average, push the anchor
+  // embedding closer to its positives than to its negatives.
+  Rng rng(9);
+  ClrmConfig config = SmallConfig();
+  config.num_contrastive_samples = 8;
+  Clrm clrm(config, &rng);
+  nn::Adam optimizer(&clrm, {.lr = 0.05});
+  RelationTable table{3, 1, 0, 0, 2};
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    clrm.ZeroGrad();
+    Rng sample_rng(1000);  // fixed sampling per step for comparability
+    ag::Var loss = clrm.ContrastiveLoss(table, &sample_rng);
+    ASSERT_TRUE(loss.defined());
+    if (step == 0) first_loss = loss.value().Data()[0];
+    last_loss = loss.value().Data()[0];
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_LT(last_loss, first_loss);
+}
+
+TEST(ClrmTest, GradientsFlowIntoRelationFeatures) {
+  Rng rng(10);
+  Clrm clrm(SmallConfig(), &rng);
+  clrm.ZeroGrad();
+  RelationTable head{1, 0, 0, 0, 0};
+  RelationTable tail{0, 1, 0, 0, 0};
+  ag::Var score = clrm.ScoreTriple(head, 0, tail);
+  score.Backward();
+  EXPECT_TRUE(clrm.relation_features().has_grad());
+  EXPECT_TRUE(clrm.relation_sem().has_grad());
+  // Only touched rows of r_sem receive gradient.
+  const Tensor& g = clrm.relation_sem().grad();
+  float row0 = 0.0f, row2 = 0.0f;
+  for (int64_t j = 0; j < 8; ++j) {
+    row0 += std::abs(g.At(0, j));
+    row2 += std::abs(g.At(2, j));
+  }
+  EXPECT_GT(row0, 0.0f);
+  EXPECT_EQ(row2, 0.0f);
+}
+
+}  // namespace
+}  // namespace dekg::core

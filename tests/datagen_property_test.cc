@@ -1,0 +1,110 @@
+// Parameterized dataset-construction invariants across schema sizes,
+// emerging fractions, and mix ratios: whatever the configuration, the
+// produced DekgDataset must satisfy the DEKG contract.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic_kg.h"
+
+namespace dekg::datagen {
+namespace {
+
+// (num_entities, num_relations, num_types, emerging_fraction,
+//  enclosing_to_bridging, seed)
+using Params = std::tuple<int32_t, int32_t, int32_t, double, double, uint64_t>;
+
+class DatasetProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  DekgDataset Make() const {
+    auto [entities, relations, types, emerging, ratio, seed] = GetParam();
+    SchemaConfig schema;
+    schema.num_entities = entities;
+    schema.num_relations = relations;
+    schema.num_types = types;
+    schema.avg_degree = 5.0;
+    schema.num_rules = 6;
+    SplitConfig split;
+    split.emerging_fraction = emerging;
+    split.enclosing_to_bridging = ratio;
+    return MakeDekgDataset("prop", schema, split, seed);
+  }
+};
+
+TEST_P(DatasetProperty, InvariantsHold) {
+  DekgDataset d = Make();
+  d.CheckInvariants();  // aborts on violation
+}
+
+TEST_P(DatasetProperty, NoEdgeCrossesTheCut) {
+  DekgDataset d = Make();
+  for (const Triple& t : d.train_triples()) {
+    EXPECT_TRUE(d.IsOriginalEntity(t.head));
+    EXPECT_TRUE(d.IsOriginalEntity(t.tail));
+  }
+  for (const Triple& t : d.emerging_triples()) {
+    EXPECT_TRUE(d.IsEmergingEntity(t.head));
+    EXPECT_TRUE(d.IsEmergingEntity(t.tail));
+  }
+}
+
+TEST_P(DatasetProperty, EvalLinksTouchEmergingKg) {
+  DekgDataset d = Make();
+  auto check = [&](const std::vector<LabeledLink>& links) {
+    for (const LabeledLink& l : links) {
+      EXPECT_TRUE(d.IsEmergingEntity(l.triple.head) ||
+                  d.IsEmergingEntity(l.triple.tail));
+      EXPECT_EQ(d.Classify(l.triple), l.kind);
+    }
+  };
+  check(d.valid_links());
+  check(d.test_links());
+}
+
+TEST_P(DatasetProperty, EvalLinksNotInObservedGraphs) {
+  DekgDataset d = Make();
+  for (const LabeledLink& l : d.test_links()) {
+    EXPECT_FALSE(d.inference_graph().Contains(l.triple))
+        << "test link leaked into the observed structure";
+  }
+}
+
+TEST_P(DatasetProperty, ValidAndTestDisjoint) {
+  DekgDataset d = Make();
+  TripleSet valid_set;
+  for (const LabeledLink& l : d.valid_links()) valid_set.insert(l.triple);
+  for (const LabeledLink& l : d.test_links()) {
+    EXPECT_EQ(valid_set.count(l.triple), 0u);
+  }
+}
+
+TEST_P(DatasetProperty, RelationsSharedAcrossCut) {
+  // The DEKG definition: G' uses only relations from the common space.
+  DekgDataset d = Make();
+  for (const Triple& t : d.emerging_triples()) {
+    EXPECT_GE(t.rel, 0);
+    EXPECT_LT(t.rel, d.num_relations());
+  }
+}
+
+TEST_P(DatasetProperty, DeterministicAcrossCalls) {
+  DekgDataset a = Make();
+  DekgDataset b = Make();
+  ASSERT_EQ(a.train_triples().size(), b.train_triples().size());
+  ASSERT_EQ(a.test_links().size(), b.test_links().size());
+  for (size_t i = 0; i < a.test_links().size(); ++i) {
+    EXPECT_EQ(a.test_links()[i].triple, b.test_links()[i].triple);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DatasetProperty,
+    ::testing::Values(Params{120, 10, 4, 0.3, 1.0, 1},
+                      Params{200, 20, 6, 0.35, 0.5, 2},
+                      Params{300, 30, 8, 0.25, 2.0, 3},
+                      Params{150, 9, 5, 0.4, 1.0, 4},
+                      Params{400, 40, 10, 0.35, 0.5, 5},
+                      Params{250, 15, 7, 0.2, 2.0, 6}));
+
+}  // namespace
+}  // namespace dekg::datagen

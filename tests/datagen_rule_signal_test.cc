@@ -1,0 +1,155 @@
+// Verifies the generator actually plants the signal each module family
+// needs (DESIGN.md §2): composition-rule paths survive the community-
+// biased G/G' split, and relation signatures identify entity types.
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic_kg.h"
+
+namespace dekg::datagen {
+namespace {
+
+SchemaConfig Schema() {
+  SchemaConfig schema;
+  schema.num_types = 6;
+  schema.num_relations = 18;
+  schema.num_entities = 250;
+  schema.num_rules = 10;
+  schema.rule_apply_prob = 0.7;
+  return schema;
+}
+
+TEST(RuleSignalTest, PlantedRulesHaveInstancesInTheGeneratedKg) {
+  Rng rng(1);
+  GeneratedKg kg = GenerateKg(Schema(), &rng);
+  ASSERT_FALSE(kg.rules.empty());
+
+  // Index triples.
+  TripleSet facts(kg.triples.begin(), kg.triples.end());
+  // Count head triples that have a matching body path.
+  int64_t supported = 0;
+  int64_t total_heads = 0;
+  for (const Rule& rule : kg.rules) {
+    for (const Triple& t : kg.triples) {
+      if (t.rel != rule.head) continue;
+      ++total_heads;
+      bool found = false;
+      for (const Triple& body1 : kg.triples) {
+        if (body1.rel != rule.body1 || body1.head != t.head) continue;
+        if (facts.count(Triple{body1.tail, rule.body2, t.tail})) {
+          found = true;
+          break;
+        }
+      }
+      supported += found;
+    }
+  }
+  ASSERT_GT(total_heads, 0);
+  // A meaningful share of head-relation triples is rule-derivable.
+  EXPECT_GT(static_cast<double>(supported) / static_cast<double>(total_heads),
+            0.2);
+}
+
+TEST(RuleSignalTest, EnclosingTestLinksOftenHaveIntactBodyPaths) {
+  // The community-biased split is what keeps the GSM/RuleN signal alive:
+  // for a material fraction of enclosing test links whose relation is some
+  // rule's head, the 2-hop body path exists inside the observed emerging
+  // structure.
+  SplitConfig split;
+  DekgDataset dataset = MakeDekgDataset("signal", Schema(), split, 2);
+  Rng rng(3);
+  GeneratedKg reference = GenerateKg(Schema(), &rng);  // same rule shapes
+
+  const KnowledgeGraph& g = dataset.inference_graph();
+  int64_t with_path = 0;
+  int64_t enclosing = 0;
+  for (const LabeledLink& link : dataset.test_links()) {
+    if (link.kind != LinkKind::kEnclosing) continue;
+    ++enclosing;
+    // Any 2-hop connection head -> x -> tail counts as an intact path.
+    bool found = false;
+    for (int32_t eid : g.IncidentEdges(link.triple.head)) {
+      const Edge& e1 = g.edge(eid);
+      const EntityId mid = e1.src == link.triple.head ? e1.dst : e1.src;
+      for (int32_t eid2 : g.IncidentEdges(mid)) {
+        const Edge& e2 = g.edge(eid2);
+        if (e2.src == link.triple.tail || e2.dst == link.triple.tail) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    with_path += found;
+  }
+  ASSERT_GT(enclosing, 10);
+  // Not every enclosing link is rule-derived; a 2-hop connection for a
+  // quarter of them is ample signal (GraIL reaches ~0.75 enclosing Hits@10
+  // on these datasets). Random unseen pairs connect far less often.
+  EXPECT_GT(static_cast<double>(with_path) / static_cast<double>(enclosing),
+            0.2)
+      << "the split severed almost all local structure";
+}
+
+TEST(RuleSignalTest, RelationSignaturesIdentifyTypes) {
+  // CLRM's premise: an entity's incident-relation multiset reveals its
+  // type. Check that a simple nearest-centroid classifier over relation
+  // histograms recovers entity types far above chance.
+  Rng rng(4);
+  GeneratedKg kg = GenerateKg(Schema(), &rng);
+  KnowledgeGraph g = BuildGraph(kg.num_entities, kg.num_relations, kg.triples);
+
+  // Centroids per type.
+  const int32_t nt = 6;
+  std::vector<std::vector<double>> centroid(
+      static_cast<size_t>(nt),
+      std::vector<double>(static_cast<size_t>(kg.num_relations), 0.0));
+  std::vector<int32_t> count(static_cast<size_t>(nt), 0);
+  auto histogram = [&](EntityId e) {
+    std::vector<int32_t> h = g.RelationComponentTable(e);
+    std::vector<double> out(h.size());
+    double total = 0;
+    for (int32_t c : h) total += c;
+    for (size_t k = 0; k < h.size(); ++k) {
+      out[k] = total > 0 ? h[k] / total : 0.0;
+    }
+    return out;
+  };
+  for (EntityId e = 0; e < kg.num_entities; ++e) {
+    if (g.Degree(e) == 0) continue;
+    const int32_t t = kg.entity_types[static_cast<size_t>(e)];
+    std::vector<double> h = histogram(e);
+    for (size_t k = 0; k < h.size(); ++k) centroid[static_cast<size_t>(t)][k] += h[k];
+    ++count[static_cast<size_t>(t)];
+  }
+  for (int32_t t = 0; t < nt; ++t) {
+    for (double& v : centroid[static_cast<size_t>(t)]) {
+      v /= std::max(count[static_cast<size_t>(t)], 1);
+    }
+  }
+  int64_t correct = 0, total = 0;
+  for (EntityId e = 0; e < kg.num_entities; ++e) {
+    if (g.Degree(e) < 2) continue;
+    std::vector<double> h = histogram(e);
+    int32_t best = 0;
+    double best_dist = 1e18;
+    for (int32_t t = 0; t < nt; ++t) {
+      double d = 0;
+      for (size_t k = 0; k < h.size(); ++k) {
+        const double diff = h[k] - centroid[static_cast<size_t>(t)][k];
+        d += diff * diff;
+      }
+      if (d < best_dist) {
+        best_dist = d;
+        best = t;
+      }
+    }
+    correct += best == kg.entity_types[static_cast<size_t>(e)];
+    ++total;
+  }
+  ASSERT_GT(total, 100);
+  // Chance is 1/6 ~ 0.17; the signature signal should be far stronger.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.6);
+}
+
+}  // namespace
+}  // namespace dekg::datagen

@@ -1,0 +1,212 @@
+#include "datagen/synthetic_kg.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dekg::datagen {
+namespace {
+
+SchemaConfig SmallSchema() {
+  SchemaConfig schema;
+  schema.num_types = 5;
+  schema.num_relations = 15;
+  schema.num_entities = 150;
+  schema.avg_degree = 5.0;
+  schema.num_rules = 6;
+  return schema;
+}
+
+TEST(GenerateKgTest, BasicShape) {
+  Rng rng(1);
+  GeneratedKg kg = GenerateKg(SmallSchema(), &rng);
+  EXPECT_EQ(kg.num_entities, 150);
+  EXPECT_EQ(kg.num_relations, 15);
+  EXPECT_GT(kg.triples.size(), 300u);
+  EXPECT_EQ(kg.entity_types.size(), 150u);
+  EXPECT_EQ(kg.relation_head_type.size(), 15u);
+}
+
+TEST(GenerateKgTest, AllTypesPopulated) {
+  Rng rng(2);
+  GeneratedKg kg = GenerateKg(SmallSchema(), &rng);
+  std::set<int32_t> types(kg.entity_types.begin(), kg.entity_types.end());
+  EXPECT_EQ(types.size(), 5u);
+}
+
+TEST(GenerateKgTest, TriplesInRangeNoSelfLoops) {
+  Rng rng(3);
+  GeneratedKg kg = GenerateKg(SmallSchema(), &rng);
+  for (const Triple& t : kg.triples) {
+    EXPECT_GE(t.head, 0);
+    EXPECT_LT(t.head, kg.num_entities);
+    EXPECT_GE(t.tail, 0);
+    EXPECT_LT(t.tail, kg.num_entities);
+    EXPECT_GE(t.rel, 0);
+    EXPECT_LT(t.rel, kg.num_relations);
+    EXPECT_NE(t.head, t.tail);
+  }
+}
+
+TEST(GenerateKgTest, NoDuplicateTriples) {
+  Rng rng(4);
+  GeneratedKg kg = GenerateKg(SmallSchema(), &rng);
+  TripleSet seen;
+  for (const Triple& t : kg.triples) {
+    EXPECT_TRUE(seen.insert(t).second) << "duplicate triple";
+  }
+}
+
+TEST(GenerateKgTest, MostTriplesRespectTypeSignatures) {
+  SchemaConfig schema = SmallSchema();
+  schema.type_noise = 0.05;
+  Rng rng(5);
+  GeneratedKg kg = GenerateKg(schema, &rng);
+  int64_t consistent = 0;
+  for (const Triple& t : kg.triples) {
+    const bool head_ok =
+        kg.entity_types[static_cast<size_t>(t.head)] ==
+        kg.relation_head_type[static_cast<size_t>(t.rel)];
+    const bool tail_ok =
+        kg.entity_types[static_cast<size_t>(t.tail)] ==
+        kg.relation_tail_type[static_cast<size_t>(t.rel)];
+    consistent += head_ok && tail_ok;
+  }
+  EXPECT_GT(static_cast<double>(consistent) /
+                static_cast<double>(kg.triples.size()),
+            0.8);
+}
+
+TEST(GenerateKgTest, RulesAreTypeCompatible) {
+  Rng rng(6);
+  GeneratedKg kg = GenerateKg(SmallSchema(), &rng);
+  EXPECT_FALSE(kg.rules.empty());
+  for (const Rule& rule : kg.rules) {
+    // body1: A -> B, body2: B -> C, head: A -> C.
+    EXPECT_EQ(kg.relation_tail_type[static_cast<size_t>(rule.body1)],
+              kg.relation_head_type[static_cast<size_t>(rule.body2)]);
+    EXPECT_EQ(kg.relation_head_type[static_cast<size_t>(rule.head)],
+              kg.relation_head_type[static_cast<size_t>(rule.body1)]);
+    EXPECT_EQ(kg.relation_tail_type[static_cast<size_t>(rule.head)],
+              kg.relation_tail_type[static_cast<size_t>(rule.body2)]);
+  }
+}
+
+TEST(GenerateKgTest, DeterministicForSeed) {
+  Rng rng1(7), rng2(7);
+  GeneratedKg a = GenerateKg(SmallSchema(), &rng1);
+  GeneratedKg b = GenerateKg(SmallSchema(), &rng2);
+  ASSERT_EQ(a.triples.size(), b.triples.size());
+  for (size_t i = 0; i < a.triples.size(); ++i) {
+    EXPECT_EQ(a.triples[i], b.triples[i]);
+  }
+}
+
+TEST(GenerateKgTest, CommunityLocalityBiasesEndpoints) {
+  SchemaConfig schema = SmallSchema();
+  schema.community_locality = 0.9;
+  std::vector<int32_t> community(150);
+  for (size_t i = 0; i < community.size(); ++i) {
+    community[i] = i % 2;
+  }
+  Rng rng(8);
+  GeneratedKg kg = GenerateKg(schema, &rng, community);
+  int64_t within = 0;
+  for (const Triple& t : kg.triples) {
+    within += community[static_cast<size_t>(t.head)] ==
+              community[static_cast<size_t>(t.tail)];
+  }
+  const double fraction =
+      static_cast<double>(within) / static_cast<double>(kg.triples.size());
+  // Without bias ~50% of pairs share a community; with bias far more.
+  EXPECT_GT(fraction, 0.75);
+}
+
+TEST(MakeDekgDatasetTest, StructureAndInvariants) {
+  SplitConfig split;
+  split.max_test_links = 50;
+  DekgDataset dataset = MakeDekgDataset("t", SmallSchema(), split, 9);
+  dataset.CheckInvariants();
+  EXPECT_GT(dataset.num_original_entities(), 0);
+  EXPECT_GT(dataset.num_emerging_entities(), 0);
+  EXPECT_FALSE(dataset.train_triples().empty());
+  EXPECT_FALSE(dataset.emerging_triples().empty());
+  EXPECT_FALSE(dataset.test_links().empty());
+  EXPECT_FALSE(dataset.valid_links().empty());
+}
+
+TEST(MakeDekgDatasetTest, EvalLinksHaveObservedStructure) {
+  SplitConfig split;
+  DekgDataset dataset = MakeDekgDataset("t", SmallSchema(), split, 10);
+  const KnowledgeGraph& g = dataset.inference_graph();
+  for (const LabeledLink& link : dataset.test_links()) {
+    if (dataset.IsEmergingEntity(link.triple.head)) {
+      EXPECT_GT(g.Degree(link.triple.head), 0);
+    }
+    if (dataset.IsEmergingEntity(link.triple.tail)) {
+      EXPECT_GT(g.Degree(link.triple.tail), 0);
+    }
+  }
+}
+
+TEST(MakeDekgDatasetTest, MixRatiosApproximatelyRespected) {
+  auto ratio = [](const DekgDataset& d) {
+    double enc = 0, bri = 0;
+    for (const LabeledLink& l : d.test_links()) {
+      (l.kind == LinkKind::kEnclosing ? enc : bri) += 1;
+    }
+    for (const LabeledLink& l : d.valid_links()) {
+      (l.kind == LinkKind::kEnclosing ? enc : bri) += 1;
+    }
+    return enc / std::max(bri, 1.0);
+  };
+  SchemaConfig schema = SmallSchema();
+  schema.num_entities = 400;  // enough links for stable ratios
+  SplitConfig eq;
+  eq.enclosing_to_bridging = 1.0;
+  SplitConfig mb;
+  mb.enclosing_to_bridging = 0.5;
+  SplitConfig me;
+  me.enclosing_to_bridging = 2.0;
+  EXPECT_NEAR(ratio(MakeDekgDataset("eq", schema, eq, 11)), 1.0, 0.25);
+  EXPECT_NEAR(ratio(MakeDekgDataset("mb", schema, mb, 11)), 0.5, 0.15);
+  EXPECT_NEAR(ratio(MakeDekgDataset("me", schema, me, 11)), 2.0, 0.5);
+}
+
+TEST(MakeDekgDatasetTest, MaxTestLinksCap) {
+  SplitConfig split;
+  split.max_test_links = 20;
+  SchemaConfig schema = SmallSchema();
+  schema.num_entities = 400;
+  DekgDataset dataset = MakeDekgDataset("t", schema, split, 12);
+  EXPECT_LE(dataset.test_links().size(), 22u);  // rounding slack
+}
+
+TEST(BenchmarkPresetsTest, FamiliesDifferInRelationCount) {
+  SchemaConfig fb = FamilySchema(KgFamily::kFbLike, EvalSplit::kEq, 1.0);
+  SchemaConfig nell = FamilySchema(KgFamily::kNellLike, EvalSplit::kEq, 1.0);
+  SchemaConfig wn = FamilySchema(KgFamily::kWnLike, EvalSplit::kEq, 1.0);
+  // FB-like has the most relations, WN-like the fewest (Table II).
+  EXPECT_GT(fb.num_relations, nell.num_relations);
+  EXPECT_GT(nell.num_relations, wn.num_relations);
+  EXPECT_EQ(wn.num_relations, 9);
+}
+
+TEST(BenchmarkPresetsTest, SplitsGrowInScale) {
+  SchemaConfig eq = FamilySchema(KgFamily::kFbLike, EvalSplit::kEq, 1.0);
+  SchemaConfig mb = FamilySchema(KgFamily::kFbLike, EvalSplit::kMb, 1.0);
+  SchemaConfig me = FamilySchema(KgFamily::kFbLike, EvalSplit::kMe, 1.0);
+  EXPECT_LT(eq.num_entities, mb.num_entities);
+  EXPECT_LT(mb.num_entities, me.num_entities);
+}
+
+TEST(BenchmarkPresetsTest, MakeBenchmarkDatasetRuns) {
+  DekgDataset d =
+      MakeBenchmarkDataset(KgFamily::kWnLike, EvalSplit::kEq, 0.4, 13);
+  d.CheckInvariants();
+  EXPECT_EQ(d.name(), "WN18RR EQ");
+  EXPECT_GT(d.test_links().size(), 10u);
+}
+
+}  // namespace
+}  // namespace dekg::datagen

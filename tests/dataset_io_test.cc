@@ -1,0 +1,115 @@
+#include "kg/dataset_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic_kg.h"
+
+namespace dekg {
+namespace {
+
+std::string TempDir(const std::string& leaf) {
+  auto dir = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(DatasetIoTest, DirFormatRoundTrip) {
+  datagen::SchemaConfig schema;
+  schema.num_types = 5;
+  schema.num_relations = 12;
+  schema.num_entities = 120;
+  datagen::SplitConfig split;
+  DekgDataset original =
+      datagen::MakeDekgDataset("roundtrip", schema, split, 3);
+
+  const std::string dir = TempDir("dekg_io_roundtrip");
+  SaveDekgDatasetDir(original, dir);
+  DekgDataset loaded = LoadDekgDatasetDir(dir, "roundtrip");
+
+  EXPECT_EQ(loaded.num_original_entities(), original.num_original_entities());
+  EXPECT_EQ(loaded.num_emerging_entities(), original.num_emerging_entities());
+  EXPECT_EQ(loaded.num_relations(), original.num_relations());
+  ASSERT_EQ(loaded.train_triples().size(), original.train_triples().size());
+  for (size_t i = 0; i < loaded.train_triples().size(); ++i) {
+    EXPECT_EQ(loaded.train_triples()[i], original.train_triples()[i]);
+  }
+  ASSERT_EQ(loaded.test_links().size(), original.test_links().size());
+  for (size_t i = 0; i < loaded.test_links().size(); ++i) {
+    EXPECT_EQ(loaded.test_links()[i].triple, original.test_links()[i].triple);
+    EXPECT_EQ(loaded.test_links()[i].kind, original.test_links()[i].kind);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, NamedFormatClassifiesLinks) {
+  const std::string dir = TempDir("dekg_io_named");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream train(dir + "/train.tsv");
+    train << "a\tr1\tb\n"
+          << "b\tr2\tc\n"
+          << "c\tr1\ta\n";
+    std::ofstream emerging(dir + "/emerging.tsv");
+    emerging << "x\tr1\ty\n"
+             << "y\tr2\tz\n";
+    std::ofstream test(dir + "/test.tsv");
+    test << "x\tr2\tz\n"    // enclosing: both unseen
+         << "a\tr1\tx\n";   // bridging: a is original
+  }
+  Vocabulary vocab;
+  DekgDataset dataset = LoadDekgDatasetNamed(
+      dir + "/train.tsv", dir + "/emerging.tsv", "", dir + "/test.tsv",
+      "named", &vocab);
+  EXPECT_EQ(dataset.num_original_entities(), 3);
+  EXPECT_EQ(dataset.num_emerging_entities(), 3);
+  EXPECT_EQ(dataset.num_relations(), 2);
+  ASSERT_EQ(dataset.test_links().size(), 2u);
+  EXPECT_EQ(dataset.test_links()[0].kind, LinkKind::kEnclosing);
+  EXPECT_EQ(dataset.test_links()[1].kind, LinkKind::kBridging);
+  EXPECT_EQ(vocab.EntityName(dataset.test_links()[1].triple.head), "a");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoDeathTest, NamedFormatRejectsUnseenEvalEntity) {
+  const std::string dir = TempDir("dekg_io_bad");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream train(dir + "/train.tsv");
+    train << "a\tr1\tb\n";
+    std::ofstream emerging(dir + "/emerging.tsv");
+    emerging << "x\tr1\ty\n";
+    std::ofstream test(dir + "/test.tsv");
+    test << "a\tr1\tghost\n";  // ghost appears nowhere else
+  }
+  EXPECT_DEATH(LoadDekgDatasetNamed(dir + "/train.tsv", dir + "/emerging.tsv",
+                                    "", dir + "/test.tsv", "bad", nullptr),
+               "unseen entity");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoDeathTest, NamedFormatRejectsOriginalOnlyEvalLink) {
+  const std::string dir = TempDir("dekg_io_bad2");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream train(dir + "/train.tsv");
+    train << "a\tr1\tb\n";
+    std::ofstream emerging(dir + "/emerging.tsv");
+    emerging << "x\tr1\ty\n";
+    std::ofstream test(dir + "/test.tsv");
+    test << "a\tr1\tb\n";  // entirely inside G
+  }
+  EXPECT_DEATH(LoadDekgDatasetNamed(dir + "/train.tsv", dir + "/emerging.tsv",
+                                    "", dir + "/test.tsv", "bad", nullptr),
+               "inside the original KG");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoDeathTest, MissingDirAborts) {
+  EXPECT_DEATH(LoadDekgDatasetDir("/nonexistent/dekg", "x"), "meta.tsv");
+}
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,158 @@
+#include "core/dekg_ilp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+
+namespace dekg::core {
+namespace {
+
+DekgIlpConfig SmallConfig() {
+  DekgIlpConfig config;
+  config.num_relations = 4;
+  config.dim = 8;
+  config.num_contrastive_samples = 2;
+  return config;
+}
+
+DekgDataset TinyDataset() {
+  // 5 original (0-4), 3 emerging (5-7), 4 relations.
+  std::vector<Triple> train{{0, 0, 1}, {1, 1, 2}, {2, 2, 3}, {3, 0, 4},
+                            {0, 3, 2}, {1, 0, 3}};
+  std::vector<Triple> emerging{{5, 0, 6}, {6, 1, 7}};
+  std::vector<LabeledLink> test{{{5, 2, 7}, LinkKind::kEnclosing},
+                                {{0, 0, 5}, LinkKind::kBridging}};
+  return DekgDataset("tiny", 5, 3, 4, train, emerging, {}, test);
+}
+
+TEST(DekgIlpConfigTest, VariantNames) {
+  DekgIlpConfig config = SmallConfig();
+  EXPECT_EQ(config.VariantName(), "DEKG-ILP");
+  config.use_clrm = false;
+  EXPECT_EQ(config.VariantName(), "DEKG-ILP-R");
+  config.use_clrm = true;
+  config.use_contrastive = false;
+  EXPECT_EQ(config.VariantName(), "DEKG-ILP-C");
+  config.use_contrastive = true;
+  config.labeling = NodeLabeling::kGrail;
+  EXPECT_EQ(config.VariantName(), "DEKG-ILP-N");
+  config.name_override = "Grail";
+  EXPECT_EQ(config.VariantName(), "Grail");
+}
+
+TEST(DekgIlpModelTest, ScoreIsSumOfModuleScores) {
+  DekgDataset dataset = TinyDataset();
+  DekgIlpModel full(SmallConfig(), 1);
+  Rng rng(2);
+  Triple t{0, 0, 2};
+  ag::Var total = full.ScoreLink(dataset.original_graph(), t, false, &rng);
+
+  // Recompute the parts with the same modules.
+  ag::Var sem = full.clrm()->ScoreTriple(
+      dataset.original_graph().RelationComponentTable(t.head), t.rel,
+      dataset.original_graph().RelationComponentTable(t.tail));
+  Rng rng2(2);
+  ag::Var tpo = full.gsm()->ScoreTriple(dataset.original_graph(), t, false, &rng2);
+  EXPECT_NEAR(total.value().Data()[0],
+              sem.value().Data()[0] + tpo.value().Data()[0], 1e-5f);
+}
+
+TEST(DekgIlpModelTest, AblationRemovesSemanticPath) {
+  DekgIlpConfig config = SmallConfig();
+  config.use_clrm = false;
+  DekgIlpModel model(config, 3);
+  EXPECT_EQ(model.clrm(), nullptr);
+  EXPECT_NE(model.gsm(), nullptr);
+  DekgDataset dataset = TinyDataset();
+  Rng rng(4);
+  ag::Var s =
+      model.ScoreLink(dataset.original_graph(), {0, 0, 2}, false, &rng);
+  EXPECT_EQ(s.value().numel(), 1);
+  EXPECT_FALSE(model.ContrastiveLossForLink(dataset.original_graph(),
+                                            {0, 0, 2}, &rng)
+                   .defined());
+}
+
+TEST(DekgIlpModelTest, ContrastiveDisabledBySigmaOrFlag) {
+  DekgDataset dataset = TinyDataset();
+  Rng rng(5);
+  DekgIlpConfig config = SmallConfig();
+  config.use_contrastive = false;
+  DekgIlpModel no_contrastive(config, 6);
+  EXPECT_FALSE(no_contrastive
+                   .ContrastiveLossForLink(dataset.original_graph(),
+                                           {0, 0, 2}, &rng)
+                   .defined());
+  DekgIlpConfig zero_sigma = SmallConfig();
+  zero_sigma.sigma = 0.0;
+  DekgIlpModel zs(zero_sigma, 7);
+  EXPECT_FALSE(zs.ContrastiveLossForLink(dataset.original_graph(), {0, 0, 2},
+                                         &rng)
+                   .defined());
+}
+
+TEST(DekgIlpModelTest, RequiresAtLeastOneModule) {
+  DekgIlpConfig config = SmallConfig();
+  config.use_clrm = false;
+  config.use_gsm = false;
+  EXPECT_DEATH(DekgIlpModel(config, 8), "at least one scoring module");
+}
+
+TEST(DekgIlpTrainerTest, LossDecreasesOnTinyData) {
+  DekgDataset dataset = TinyDataset();
+  DekgIlpModel model(SmallConfig(), 9);
+  TrainConfig train;
+  train.epochs = 15;
+  train.seed = 10;
+  DekgIlpTrainer trainer(&model, &dataset, train);
+  std::vector<double> losses = trainer.Train();
+  ASSERT_EQ(losses.size(), 15u);
+  double early = (losses[0] + losses[1]) / 2.0;
+  double late = (losses[13] + losses[14]) / 2.0;
+  EXPECT_LT(late, early);
+}
+
+TEST(DekgIlpTrainerTest, TrainedModelSeparatesPositiveFromCorrupted) {
+  DekgDataset dataset = TinyDataset();
+  DekgIlpModel model(SmallConfig(), 11);
+  TrainConfig train;
+  train.epochs = 25;
+  train.seed = 12;
+  DekgIlpTrainer trainer(&model, &dataset, train);
+  trainer.Train();
+  Rng rng(13);
+  double pos_sum = 0.0, neg_sum = 0.0;
+  int count = 0;
+  for (const Triple& t : dataset.train_triples()) {
+    Triple corrupted = t;
+    corrupted.tail = (t.tail + 2) % dataset.num_original_entities();
+    if (corrupted.tail == corrupted.head ||
+        dataset.original_graph().Contains(corrupted)) {
+      continue;
+    }
+    pos_sum += model.ScoreLink(dataset.original_graph(), t, false, &rng)
+                   .value()
+                   .Data()[0];
+    neg_sum += model.ScoreLink(dataset.original_graph(), corrupted, false, &rng)
+                   .value()
+                   .Data()[0];
+    ++count;
+  }
+  ASSERT_GT(count, 2);
+  EXPECT_GT(pos_sum / count, neg_sum / count);
+}
+
+TEST(DekgIlpPredictorTest, ScoresBatch) {
+  DekgDataset dataset = TinyDataset();
+  DekgIlpModel model(SmallConfig(), 14);
+  DekgIlpPredictor predictor(&model);
+  EXPECT_EQ(predictor.Name(), "DEKG-ILP");
+  std::vector<Triple> batch{{0, 0, 1}, {5, 2, 7}, {0, 0, 5}};
+  std::vector<double> scores =
+      predictor.ScoreTriples(dataset.inference_graph(), batch);
+  EXPECT_EQ(scores.size(), 3u);
+  EXPECT_GT(predictor.ParameterCount(), 0);
+}
+
+}  // namespace
+}  // namespace dekg::core

@@ -1,0 +1,113 @@
+// Parameterized protocol invariants: for any candidate-pool size, the
+// evaluator's metrics stay within bounds, the oracle stays perfect, a
+// score-inverting scorer is anti-perfect, and metrics degrade
+// monotonically (in expectation) as the pool grows.
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic_kg.h"
+#include "eval/evaluator.h"
+
+namespace dekg {
+namespace {
+
+class ScorePredictor : public LinkPredictor {
+ public:
+  // mode: +1 oracle (positives high), -1 anti-oracle, 0 constant.
+  ScorePredictor(const DekgDataset* dataset, int mode)
+      : dataset_(dataset), mode_(mode) {}
+  std::string Name() const override { return "scripted"; }
+  std::vector<double> ScoreTriples(const KnowledgeGraph&,
+                                   const std::vector<Triple>& triples) override {
+    std::vector<double> scores;
+    for (const Triple& t : triples) {
+      const bool known = dataset_->filter_set().count(t) > 0;
+      scores.push_back(mode_ == 0 ? 0.0 : (known ? mode_ : -mode_));
+    }
+    return scores;
+  }
+  int64_t ParameterCount() const override { return 0; }
+
+ private:
+  const DekgDataset* dataset_;
+  int mode_;
+};
+
+class EvalProtocolProperty : public ::testing::TestWithParam<int32_t> {
+ protected:
+  static DekgDataset MakeDataset() {
+    datagen::SchemaConfig schema;
+    schema.num_types = 5;
+    schema.num_relations = 12;
+    schema.num_entities = 140;
+    datagen::SplitConfig split;
+    split.max_test_links = 30;
+    return datagen::MakeDekgDataset("protocol", schema, split, 13);
+  }
+  EvalConfig Config() const {
+    EvalConfig config;
+    config.num_entity_negatives = GetParam();
+    config.max_links = 20;
+    return config;
+  }
+};
+
+TEST_P(EvalProtocolProperty, OracleIsPerfectAtAnyPoolSize) {
+  DekgDataset dataset = MakeDataset();
+  ScorePredictor oracle(&dataset, +1);
+  EvalResult result = Evaluate(&oracle, dataset, Config());
+  EXPECT_DOUBLE_EQ(result.overall.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(result.overall.hits_at_1, 1.0);
+}
+
+TEST_P(EvalProtocolProperty, AntiOracleIsWorstAtAnyPoolSize) {
+  DekgDataset dataset = MakeDataset();
+  ScorePredictor anti(&dataset, -1);
+  EvalResult result = Evaluate(&anti, dataset, Config());
+  // Every negative beats the positive: rank = pool size + 1.
+  EXPECT_DOUBLE_EQ(result.overall.hits_at_1, 0.0);
+  EXPECT_LT(result.overall.mrr, 0.5);
+}
+
+TEST_P(EvalProtocolProperty, MetricsAreValidProbabilities) {
+  DekgDataset dataset = MakeDataset();
+  ScorePredictor constant(&dataset, 0);
+  EvalResult result = Evaluate(&constant, dataset, Config());
+  for (const RankingMetrics* m :
+       {&result.overall, &result.enclosing, &result.bridging,
+        &result.head_task, &result.tail_task, &result.relation_task}) {
+    EXPECT_GE(m->mrr, 0.0);
+    EXPECT_LE(m->mrr, 1.0);
+    EXPECT_GE(m->hits_at_10, m->hits_at_5);
+    EXPECT_GE(m->hits_at_5, m->hits_at_1);
+  }
+}
+
+TEST_P(EvalProtocolProperty, TaskBucketsPartitionOverall) {
+  DekgDataset dataset = MakeDataset();
+  ScorePredictor constant(&dataset, 0);
+  EvalResult result = Evaluate(&constant, dataset, Config());
+  EXPECT_EQ(result.overall.num_tasks,
+            result.head_task.num_tasks + result.tail_task.num_tasks +
+                result.relation_task.num_tasks);
+  EXPECT_EQ(result.overall.num_tasks,
+            result.enclosing.num_tasks + result.bridging.num_tasks);
+}
+
+TEST_P(EvalProtocolProperty, ConstantScorerMrrShrinksWithPool) {
+  // With all-tied scores, expected rank is 1 + K/2; MRR must not grow as
+  // the pool doubles.
+  DekgDataset dataset = MakeDataset();
+  ScorePredictor constant(&dataset, 0);
+  EvalConfig small = Config();
+  EvalConfig big = Config();
+  big.num_entity_negatives = GetParam() * 2;
+  const double mrr_small = Evaluate(&constant, dataset, small).overall.mrr;
+  const double mrr_big = Evaluate(&constant, dataset, big).overall.mrr;
+  EXPECT_LE(mrr_big, mrr_small + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, EvalProtocolProperty,
+                         ::testing::Values(4, 9, 24, 49));
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,97 @@
+// Integration coverage of the shared bench runner (bench/experiment.h):
+// every ModelKind trains and evaluates end-to-end on a miniature dataset.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench/experiment.h"
+
+namespace dekg::bench {
+namespace {
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.scale = 0.2;
+  config.subgraph_epochs = 2;
+  config.subgraph_triples_per_epoch = 60;
+  config.kge_epochs = 5;
+  config.eval_links = 8;
+  config.eval_negatives = 8;
+  config.dim = 8;
+  config.seed = 3;
+  return config;
+}
+
+TEST(ExperimentRunnerTest, ModelKindNamesAreUnique) {
+  const ModelKind kinds[] = {
+      ModelKind::kTransE, ModelKind::kRotatE,     ModelKind::kConvE,
+      ModelKind::kGen,    ModelKind::kRuleN,      ModelKind::kGrail,
+      ModelKind::kTact,   ModelKind::kDekgIlp,    ModelKind::kNeuralLp,
+      ModelKind::kMean,   ModelKind::kDekgIlpNoR, ModelKind::kDekgIlpNoC,
+      ModelKind::kDekgIlpNoN};
+  std::set<std::string> names;
+  for (ModelKind kind : kinds) {
+    EXPECT_TRUE(names.insert(ModelKindName(kind)).second)
+        << "duplicate name " << ModelKindName(kind);
+  }
+}
+
+TEST(ExperimentRunnerTest, FromEnvReadsOverrides) {
+  setenv("DEKG_BENCH_SCALE", "0.8", 1);
+  setenv("DEKG_BENCH_EPOCHS", "3", 1);
+  setenv("DEKG_BENCH_RUNS", "2", 1);
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(config.scale, 0.8);
+  EXPECT_EQ(config.subgraph_epochs, 3);
+  EXPECT_EQ(config.runs, 2);
+  unsetenv("DEKG_BENCH_SCALE");
+  unsetenv("DEKG_BENCH_EPOCHS");
+  unsetenv("DEKG_BENCH_RUNS");
+}
+
+TEST(ExperimentRunnerTest, EveryModelKindRunsEndToEnd) {
+  ExperimentConfig config = TinyConfig();
+  DekgDataset dataset =
+      MakeDataset(datagen::KgFamily::kNellLike, datagen::EvalSplit::kEq, config);
+  const ModelKind kinds[] = {
+      ModelKind::kTransE, ModelKind::kRotatE,  ModelKind::kConvE,
+      ModelKind::kGen,    ModelKind::kRuleN,   ModelKind::kGrail,
+      ModelKind::kTact,   ModelKind::kDekgIlp, ModelKind::kNeuralLp,
+      ModelKind::kMean,   ModelKind::kDekgIlpNoR};
+  for (ModelKind kind : kinds) {
+    ModelRun run = RunModel(kind, dataset, config);
+    EXPECT_EQ(run.name, ModelKindName(kind));
+    EXPECT_GT(run.result.overall.num_tasks, 0) << run.name;
+    EXPECT_GE(run.result.overall.mrr, 0.0) << run.name;
+    EXPECT_LE(run.result.overall.mrr, 1.0) << run.name;
+    EXPECT_GT(run.parameter_count, 0) << run.name;
+  }
+}
+
+TEST(ExperimentRunnerTest, MeasureTimeFillsTimingFields) {
+  ExperimentConfig config = TinyConfig();
+  DekgDataset dataset =
+      MakeDataset(datagen::KgFamily::kWnLike, datagen::EvalSplit::kEq, config);
+  ModelRun run =
+      RunModel(ModelKind::kTransE, dataset, config, /*measure_time=*/true);
+  EXPECT_GT(run.train_seconds_per_epoch, 0.0);
+  EXPECT_GT(run.infer_seconds_per_50_links, 0.0);
+}
+
+TEST(ExperimentRunnerTest, MultiRunAveragingAggregates) {
+  ExperimentConfig config = TinyConfig();
+  config.runs = 2;
+  DekgDataset dataset =
+      MakeDataset(datagen::KgFamily::kWnLike, datagen::EvalSplit::kEq, config);
+  ModelRun averaged = RunModel(ModelKind::kTransE, dataset, config);
+  config.runs = 1;
+  ModelRun single = RunModel(ModelKind::kTransE, dataset, config);
+  // Two runs accumulate twice the ranking tasks.
+  EXPECT_EQ(averaged.result.overall.num_tasks,
+            2 * single.result.overall.num_tasks);
+  EXPECT_GE(averaged.result.overall.mrr, 0.0);
+  EXPECT_LE(averaged.result.overall.mrr, 1.0);
+}
+
+}  // namespace
+}  // namespace dekg::bench

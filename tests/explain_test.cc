@@ -1,0 +1,87 @@
+#include "core/explain.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dekg::core {
+namespace {
+
+ClrmConfig Config() {
+  ClrmConfig config;
+  config.num_relations = 6;
+  config.dim = 8;
+  return config;
+}
+
+TEST(ExplainTest, ContributionsSumToSemanticScore) {
+  Rng rng(1);
+  Clrm clrm(Config(), &rng);
+  RelationTable head{2, 0, 1, 0, 3, 0};
+  RelationTable tail{0, 1, 0, 2, 0, 0};
+  const double total =
+      clrm.ScoreTriple(head, 5, tail).value().Data()[0];
+
+  for (ExplainSide side : {ExplainSide::kHead, ExplainSide::kTail}) {
+    auto contributions = ExplainSemanticScore(clrm, head, 5, tail, side);
+    double sum = 0.0;
+    for (const auto& c : contributions) sum += c.contribution;
+    EXPECT_NEAR(sum, total, 1e-4) << "decomposition is not exact";
+  }
+}
+
+TEST(ExplainTest, OnlyPresentRelationsAppear) {
+  Rng rng(2);
+  Clrm clrm(Config(), &rng);
+  RelationTable head{2, 0, 1, 0, 0, 0};
+  RelationTable tail{0, 0, 0, 1, 0, 0};
+  auto contributions =
+      ExplainSemanticScore(clrm, head, 0, tail, ExplainSide::kHead);
+  ASSERT_EQ(contributions.size(), 2u);
+  for (const auto& c : contributions) {
+    EXPECT_TRUE(c.relation == 0 || c.relation == 2);
+  }
+}
+
+TEST(ExplainTest, SortedByAbsoluteContribution) {
+  Rng rng(3);
+  Clrm clrm(Config(), &rng);
+  RelationTable head{1, 1, 1, 1, 1, 1};
+  RelationTable tail{0, 2, 0, 0, 1, 0};
+  auto contributions =
+      ExplainSemanticScore(clrm, head, 2, tail, ExplainSide::kHead);
+  for (size_t i = 1; i < contributions.size(); ++i) {
+    EXPECT_GE(std::abs(contributions[i - 1].contribution),
+              std::abs(contributions[i].contribution));
+  }
+}
+
+TEST(ExplainTest, DominantRelationDominatesContribution) {
+  // Inflate one feature row: the relation holding most of the head's mass
+  // aligned with a large feature must carry the largest contribution.
+  Rng rng(4);
+  Clrm clrm(Config(), &rng);
+  Tensor features = clrm.relation_features().mutable_value();
+  for (int64_t j = 0; j < 8; ++j) features.At(3, j) = 5.0f;
+  RelationTable head{1, 0, 0, 9, 0, 0};  // relation 3 dominates
+  RelationTable tail{0, 1, 0, 0, 0, 1};
+  auto contributions =
+      ExplainSemanticScore(clrm, head, 1, tail, ExplainSide::kHead);
+  ASSERT_FALSE(contributions.empty());
+  EXPECT_EQ(contributions[0].relation, 3);
+}
+
+TEST(ExplainTest, EmptyOtherSideGivesZeroContributions) {
+  Rng rng(5);
+  Clrm clrm(Config(), &rng);
+  RelationTable head{1, 0, 1, 0, 0, 0};
+  RelationTable empty_tail{0, 0, 0, 0, 0, 0};
+  auto contributions =
+      ExplainSemanticScore(clrm, head, 0, empty_tail, ExplainSide::kHead);
+  for (const auto& c : contributions) {
+    EXPECT_DOUBLE_EQ(c.contribution, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dekg::core

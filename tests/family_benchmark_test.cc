@@ -1,0 +1,72 @@
+// Parameterized checks over all 9 benchmark presets (3 families x 3
+// splits): the Table II construction rules must hold at several scales.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic_kg.h"
+
+namespace dekg::datagen {
+namespace {
+
+using Params = std::tuple<KgFamily, EvalSplit, double>;
+
+class FamilyBenchmark : public ::testing::TestWithParam<Params> {
+ protected:
+  KgFamily family() const { return std::get<0>(GetParam()); }
+  EvalSplit split() const { return std::get<1>(GetParam()); }
+  double scale() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(FamilyBenchmark, InvariantsAndNonEmptyPools) {
+  DekgDataset d = MakeBenchmarkDataset(family(), split(), scale(), 21);
+  d.CheckInvariants();
+  int64_t enc = 0, bri = 0;
+  for (const LabeledLink& l : d.test_links()) {
+    (l.kind == LinkKind::kEnclosing ? enc : bri) += 1;
+  }
+  EXPECT_GT(enc, 0) << d.name();
+  EXPECT_GT(bri, 0) << d.name();
+  EXPECT_FALSE(d.valid_links().empty()) << d.name();
+}
+
+TEST_P(FamilyBenchmark, MixRatioMatchesSplit) {
+  DekgDataset d = MakeBenchmarkDataset(family(), split(), scale(), 22);
+  double enc = 0, bri = 0;
+  for (const LabeledLink& l : d.test_links()) {
+    (l.kind == LinkKind::kEnclosing ? enc : bri) += 1;
+  }
+  for (const LabeledLink& l : d.valid_links()) {
+    (l.kind == LinkKind::kEnclosing ? enc : bri) += 1;
+  }
+  const double ratio = enc / std::max(bri, 1.0);
+  double expected = 1.0;
+  if (split() == EvalSplit::kMb) expected = 0.5;
+  if (split() == EvalSplit::kMe) expected = 2.0;
+  EXPECT_NEAR(ratio, expected, expected * 0.35) << d.name();
+}
+
+TEST_P(FamilyBenchmark, WnFamilyKeepsNineRelations) {
+  if (family() != KgFamily::kWnLike) return;
+  DekgDataset d = MakeBenchmarkDataset(family(), split(), scale(), 23);
+  EXPECT_EQ(d.num_relations(), 9);
+}
+
+TEST_P(FamilyBenchmark, NamesMatchPaperDatasets) {
+  DekgDataset d = MakeBenchmarkDataset(family(), split(), scale(), 24);
+  const std::string name = d.name();
+  EXPECT_NE(name.find(KgFamilyName(family())), std::string::npos);
+  EXPECT_NE(name.find(EvalSplitName(split())), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, FamilyBenchmark,
+    ::testing::Combine(::testing::Values(KgFamily::kFbLike,
+                                         KgFamily::kNellLike,
+                                         KgFamily::kWnLike),
+                       ::testing::Values(EvalSplit::kEq, EvalSplit::kMb,
+                                         EvalSplit::kMe),
+                       ::testing::Values(0.3, 0.6)));
+
+}  // namespace
+}  // namespace dekg::datagen

@@ -1,0 +1,108 @@
+#include "core/gsm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dekg::core {
+namespace {
+
+GsmConfig SmallConfig() {
+  GsmConfig config;
+  config.num_relations = 4;
+  config.dim = 8;
+  config.num_hops = 2;
+  config.num_layers = 2;
+  config.edge_dropout = 0.0f;
+  return config;
+}
+
+// Path 0 -r0-> 1 -r1-> 2 -r0-> 3 plus 4 -r2-> 0.
+KnowledgeGraph SmallGraph() {
+  KnowledgeGraph g(5, 4);
+  g.AddTriple({0, 0, 1});
+  g.AddTriple({1, 1, 2});
+  g.AddTriple({2, 0, 3});
+  g.AddTriple({4, 2, 0});
+  g.Build();
+  return g;
+}
+
+TEST(GsmTest, ExtractUsesConfiguredLabeling) {
+  Rng rng(1);
+  GsmConfig config = SmallConfig();
+  config.labeling = NodeLabeling::kGrail;
+  Gsm grail_gsm(config, &rng);
+  config.labeling = NodeLabeling::kImproved;
+  Rng rng2(1);
+  Gsm improved_gsm(config, &rng2);
+  KnowledgeGraph g = SmallGraph();
+  Triple target{0, 3, 2};
+  Subgraph grail_sub = grail_gsm.Extract(g, target);
+  Subgraph improved_sub = improved_gsm.Extract(g, target);
+  EXPECT_LE(grail_sub.nodes.size(), improved_sub.nodes.size());
+}
+
+TEST(GsmTest, ScoreIsScalarAndDeterministicInEval) {
+  Rng rng(2);
+  Gsm gsm(SmallConfig(), &rng);
+  KnowledgeGraph g = SmallGraph();
+  Triple target{0, 3, 2};
+  Rng eval_rng(3);
+  ag::Var s1 = gsm.ScoreTriple(g, target, /*training=*/false, &eval_rng);
+  ag::Var s2 = gsm.ScoreTriple(g, target, /*training=*/false, &eval_rng);
+  EXPECT_EQ(s1.value().numel(), 1);
+  EXPECT_FLOAT_EQ(s1.value().Data()[0], s2.value().Data()[0]);
+}
+
+TEST(GsmTest, DifferentRelationsScoreDifferently) {
+  Rng rng(4);
+  Gsm gsm(SmallConfig(), &rng);
+  KnowledgeGraph g = SmallGraph();
+  Rng eval_rng(5);
+  ag::Var s0 = gsm.ScoreTriple(g, {0, 0, 2}, false, &eval_rng);
+  ag::Var s1 = gsm.ScoreTriple(g, {0, 1, 2}, false, &eval_rng);
+  EXPECT_NE(s0.value().Data()[0], s1.value().Data()[0]);
+}
+
+TEST(GsmTest, DisconnectedPairStillScores) {
+  // Bridging-style pair in a graph with two components.
+  KnowledgeGraph g(6, 4);
+  g.AddTriple({0, 0, 1});
+  g.AddTriple({3, 1, 4});
+  g.Build();
+  Rng rng(6);
+  Gsm gsm(SmallConfig(), &rng);
+  Rng eval_rng(7);
+  ag::Var s = gsm.ScoreTriple(g, {0, 2, 3}, false, &eval_rng);
+  EXPECT_EQ(s.value().numel(), 1);
+  EXPECT_FALSE(std::isnan(s.value().Data()[0]));
+}
+
+TEST(GsmTest, GradientsFlowThroughScore) {
+  Rng rng(8);
+  Gsm gsm(SmallConfig(), &rng);
+  gsm.ZeroGrad();
+  KnowledgeGraph g = SmallGraph();
+  Rng eval_rng(9);
+  ag::Var s = gsm.ScoreTriple(g, {0, 3, 2}, false, &eval_rng);
+  s.Backward();
+  int with_grad = 0;
+  for (const auto& p : gsm.parameters()) with_grad += p.var.has_grad();
+  EXPECT_GT(with_grad, 4);
+}
+
+TEST(GsmTest, ParameterCountMatchesComplexityFormula) {
+  // The dominating terms: r^tpo is |R| x d, scorer W is 4d x 1, GNN layers
+  // are relation-parameterized (no entity table).
+  Rng rng(10);
+  GsmConfig config = SmallConfig();
+  Gsm gsm(config, &rng);
+  int64_t count = gsm.ParameterCount();
+  // No entity-proportional parameters: count is independent of graph size.
+  EXPECT_LT(count, 10000);
+  EXPECT_GT(count, config.num_relations * config.dim);
+}
+
+}  // namespace
+}  // namespace dekg::core

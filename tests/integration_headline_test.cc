@@ -1,0 +1,107 @@
+// The paper's headline claims as an executable test: on a DEKG benchmark,
+//  1. DEKG-ILP clearly beats GraIL on bridging links,
+//  2. GraIL remains competitive on enclosing links,
+//  3. RuleN scores every bridging link at exactly zero (no cross-cut path),
+//  4. DEKG-ILP-R (no relation features) loses most of the bridging power.
+#include <gtest/gtest.h>
+
+#include "baselines/grail.h"
+#include "baselines/rulen.h"
+#include "core/dekg_ilp.h"
+#include "core/trainer.h"
+#include "datagen/synthetic_kg.h"
+#include "eval/evaluator.h"
+
+namespace dekg {
+namespace {
+
+class HeadlineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::SchemaConfig schema;
+    schema.num_types = 8;
+    schema.num_relations = 24;
+    schema.num_entities = 260;
+    schema.num_rules = 10;
+    datagen::SplitConfig split;
+    split.max_test_links = 60;
+    dataset_ = new DekgDataset(
+        datagen::MakeDekgDataset("headline", schema, split, 42));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static EvalResult TrainAndEvaluate(const core::DekgIlpConfig& config) {
+    core::DekgIlpModel model(config, 7);
+    core::TrainConfig train;
+    train.epochs = 6;
+    train.max_triples_per_epoch = 200;
+    train.seed = 8;
+    core::DekgIlpTrainer trainer(&model, dataset_, train);
+    trainer.Train();
+    core::DekgIlpPredictor predictor(&model);
+    EvalConfig eval;
+    eval.num_entity_negatives = 24;
+    eval.max_links = 30;
+    return Evaluate(&predictor, *dataset_, eval);
+  }
+
+  static DekgDataset* dataset_;
+};
+
+DekgDataset* HeadlineTest::dataset_ = nullptr;
+
+TEST_F(HeadlineTest, DekgIlpBeatsGrailOnBridgingLinks) {
+  core::DekgIlpConfig full;
+  full.num_relations = dataset_->num_relations();
+  full.dim = 16;
+  full.num_contrastive_samples = 4;
+  EvalResult ilp = TrainAndEvaluate(full);
+
+  EvalResult grail = TrainAndEvaluate(
+      baselines::GrailConfig(dataset_->num_relations(), 16));
+
+  EXPECT_GT(ilp.bridging.mrr, grail.bridging.mrr * 1.5)
+      << "DEKG-ILP " << ilp.bridging.mrr << " vs Grail "
+      << grail.bridging.mrr;
+  // GraIL is not broken: it must be meaningfully above chance on
+  // enclosing links (chance MRR with 24 negatives and ties ~ 0.08).
+  EXPECT_GT(grail.enclosing.mrr, 0.15);
+}
+
+TEST_F(HeadlineTest, RuleNBridgingScoresAreZero) {
+  baselines::RuleN rulen(baselines::RulenConfig{});
+  rulen.Mine(*dataset_);
+  ASSERT_FALSE(rulen.rules().empty());
+  std::vector<Triple> bridging;
+  for (const LabeledLink& l : dataset_->test_links()) {
+    if (l.kind == LinkKind::kBridging) bridging.push_back(l.triple);
+  }
+  ASSERT_FALSE(bridging.empty());
+  std::vector<double> scores =
+      rulen.ScoreTriples(dataset_->inference_graph(), bridging);
+  for (double s : scores) {
+    EXPECT_DOUBLE_EQ(s, 0.0) << "a rule path crossed the disconnected cut";
+  }
+}
+
+TEST_F(HeadlineTest, RemovingRelationFeaturesCollapsesBridging) {
+  core::DekgIlpConfig full;
+  full.num_relations = dataset_->num_relations();
+  full.dim = 16;
+  full.num_contrastive_samples = 4;
+  EvalResult with_clrm = TrainAndEvaluate(full);
+
+  core::DekgIlpConfig no_clrm = full;
+  no_clrm.use_clrm = false;
+  EvalResult without_clrm = TrainAndEvaluate(no_clrm);
+
+  EXPECT_GT(with_clrm.bridging.mrr, without_clrm.bridging.mrr * 1.3)
+      << "with CLRM " << with_clrm.bridging.mrr << " vs without "
+      << without_clrm.bridging.mrr;
+}
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,84 @@
+// End-to-end integration: synthesize a small DEKG dataset, train DEKG-ILP
+// for a few epochs, and verify (a) the loss decreases and (b) ranking
+// quality beats the random-scorer baseline on both link kinds.
+#include <gtest/gtest.h>
+
+#include "core/dekg_ilp.h"
+#include "core/trainer.h"
+#include "datagen/synthetic_kg.h"
+#include "eval/evaluator.h"
+
+namespace dekg {
+namespace {
+
+// Scores every triple with noise: the chance floor for the evaluator.
+class RandomPredictor : public LinkPredictor {
+ public:
+  std::string Name() const override { return "Random"; }
+  std::vector<double> ScoreTriples(const KnowledgeGraph&,
+                                   const std::vector<Triple>& triples) override {
+    std::vector<double> out;
+    out.reserve(triples.size());
+    for (size_t i = 0; i < triples.size(); ++i) out.push_back(rng_.UniformDouble());
+    return out;
+  }
+  int64_t ParameterCount() const override { return 0; }
+
+ private:
+  Rng rng_{99};
+};
+
+DekgDataset SmallDataset() {
+  datagen::SchemaConfig schema;
+  schema.num_types = 6;
+  schema.num_relations = 18;
+  schema.num_entities = 220;
+  schema.avg_degree = 6.0;
+  schema.num_rules = 8;
+  datagen::SplitConfig split;
+  split.max_test_links = 60;
+  return datagen::MakeDekgDataset("smoke", schema, split, /*seed=*/5);
+}
+
+TEST(IntegrationSmokeTest, DekgIlpTrainsAndBeatsRandom) {
+  DekgDataset dataset = SmallDataset();
+  ASSERT_GT(dataset.train_triples().size(), 200u);
+  ASSERT_GT(dataset.test_links().size(), 20u);
+
+  core::DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  config.dim = 16;
+  config.num_contrastive_samples = 4;
+  core::DekgIlpModel model(config, /*seed=*/1);
+
+  core::TrainConfig train;
+  train.epochs = 6;
+  train.max_triples_per_epoch = 250;
+  train.seed = 2;
+  core::DekgIlpTrainer trainer(&model, &dataset, train);
+  std::vector<double> losses = trainer.Train();
+  ASSERT_EQ(losses.size(), 6u);
+  // Loss should drop from the first epoch to the last two.
+  EXPECT_LT((losses[4] + losses[5]) / 2.0, losses[0])
+      << "training did not reduce the loss";
+
+  EvalConfig eval;
+  eval.num_entity_negatives = 24;
+  eval.max_links = 40;
+  core::DekgIlpPredictor predictor(&model);
+  EvalResult trained = Evaluate(&predictor, dataset, eval);
+
+  RandomPredictor random;
+  EvalResult chance = Evaluate(&random, dataset, eval);
+
+  EXPECT_GT(trained.overall.mrr, chance.overall.mrr * 1.5)
+      << "trained MRR " << trained.overall.mrr << " vs chance "
+      << chance.overall.mrr;
+  EXPECT_GT(trained.enclosing.num_tasks, 0);
+  EXPECT_GT(trained.bridging.num_tasks, 0);
+  // The headline claim: bridging links are predictable at all.
+  EXPECT_GT(trained.bridging.mrr, chance.bridging.mrr * 1.3);
+}
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,173 @@
+#include "kg/knowledge_graph.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "kg/dataset.h"
+
+namespace dekg {
+namespace {
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  EntityId a = vocab.InternEntity("alice");
+  EntityId b = vocab.InternEntity("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.InternEntity("alice"), a);
+  EXPECT_EQ(vocab.num_entities(), 2);
+  EXPECT_EQ(vocab.EntityName(a), "alice");
+  EXPECT_EQ(vocab.FindEntity("carol"), -1);
+}
+
+TEST(VocabularyTest, EntityAndRelationNamespacesIndependent) {
+  Vocabulary vocab;
+  EntityId e = vocab.InternEntity("x");
+  RelationId r = vocab.InternRelation("x");
+  EXPECT_EQ(e, 0);
+  EXPECT_EQ(r, 0);
+  EXPECT_EQ(vocab.num_entities(), 1);
+  EXPECT_EQ(vocab.num_relations(), 1);
+}
+
+KnowledgeGraph Chain() {
+  // 0 -r0-> 1 -r1-> 2 -r0-> 3, plus a parallel 0 -r1-> 1.
+  KnowledgeGraph g(4, 2);
+  g.AddTriple({0, 0, 1});
+  g.AddTriple({1, 1, 2});
+  g.AddTriple({2, 0, 3});
+  g.AddTriple({0, 1, 1});
+  g.Build();
+  return g;
+}
+
+TEST(KnowledgeGraphTest, CountsAndContains) {
+  KnowledgeGraph g = Chain();
+  EXPECT_EQ(g.num_triples(), 4);
+  EXPECT_TRUE(g.Contains({0, 0, 1}));
+  EXPECT_FALSE(g.Contains({1, 0, 0}));
+  EXPECT_FALSE(g.Contains({0, 1, 2}));
+}
+
+TEST(KnowledgeGraphTest, IncidentEdgesBothDirections) {
+  KnowledgeGraph g = Chain();
+  // Node 1 touches edges (0,r0,1), (1,r1,2), (0,r1,1).
+  EXPECT_EQ(g.Degree(1), 3);
+  EXPECT_EQ(g.Degree(3), 1);
+  bool found_incoming = false;
+  for (int32_t eid : g.IncidentEdges(1)) {
+    const Edge& e = g.edge(eid);
+    EXPECT_TRUE(e.src == 1 || e.dst == 1);
+    if (e.dst == 1) found_incoming = true;
+  }
+  EXPECT_TRUE(found_incoming);
+}
+
+TEST(KnowledgeGraphTest, RelationComponentTableCountsBothDirections) {
+  KnowledgeGraph g = Chain();
+  // Entity 1: incident rels r0 (incoming), r1 (outgoing), r1 (incoming).
+  std::vector<int32_t> table = g.RelationComponentTable(1);
+  EXPECT_EQ(table[0], 1);
+  EXPECT_EQ(table[1], 2);
+  // Isolated-ish entity 3: only r0 once.
+  table = g.RelationComponentTable(3);
+  EXPECT_EQ(table[0], 1);
+  EXPECT_EQ(table[1], 0);
+}
+
+TEST(KnowledgeGraphTest, DuplicateTriplesKeptForMultiplicity) {
+  KnowledgeGraph g(2, 1);
+  g.AddTriple({0, 0, 1});
+  g.AddTriple({0, 0, 1});
+  g.Build();
+  EXPECT_EQ(g.num_triples(), 2);
+  EXPECT_EQ(g.RelationComponentTable(0)[0], 2);
+}
+
+TEST(KnowledgeGraphTest, SelfLoopCountedOnce) {
+  KnowledgeGraph g(2, 1);
+  g.AddTriple({0, 0, 0});
+  g.Build();
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 0);
+}
+
+TEST(KnowledgeGraphTest, TriplesRoundTrip) {
+  KnowledgeGraph g = Chain();
+  std::vector<Triple> triples = g.Triples();
+  EXPECT_EQ(triples.size(), 4u);
+  EXPECT_EQ(triples[0], (Triple{0, 0, 1}));
+}
+
+TEST(KnowledgeGraphDeathTest, AddAfterBuildAborts) {
+  KnowledgeGraph g(2, 1);
+  g.Build();
+  EXPECT_DEATH(g.AddTriple({0, 0, 1}), "AddTriple after Build");
+}
+
+TEST(KnowledgeGraphDeathTest, OutOfRangeIdsAbort) {
+  KnowledgeGraph g(2, 1);
+  EXPECT_DEATH(g.AddTriple({5, 0, 1}), "head");
+  EXPECT_DEATH(g.AddTriple({0, 3, 1}), "rel");
+}
+
+TEST(TsvIoTest, SaveLoadRoundTrip) {
+  Vocabulary vocab;
+  std::vector<Triple> triples;
+  triples.push_back({vocab.InternEntity("thunder"),
+                     vocab.InternRelation("employ"),
+                     vocab.InternEntity("russell")});
+  triples.push_back({vocab.InternEntity("russell"),
+                     vocab.InternRelation("teammate"),
+                     vocab.InternEntity("kevin")});
+  const std::string path =
+      std::filesystem::temp_directory_path() / "dekg_kg_test.tsv";
+  SaveTriplesTsv(path, triples, vocab);
+
+  Vocabulary vocab2;
+  std::vector<Triple> loaded = LoadTriplesTsv(path, &vocab2);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(vocab2.EntityName(loaded[0].head), "thunder");
+  EXPECT_EQ(vocab2.RelationName(loaded[1].rel), "teammate");
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetTest, ClassifyAndInvariants) {
+  // 3 original entities (0-2), 2 emerging (3-4), 2 relations.
+  std::vector<Triple> train{{0, 0, 1}, {1, 1, 2}};
+  std::vector<Triple> emerging{{3, 0, 4}};
+  std::vector<LabeledLink> test{{{3, 1, 4}, LinkKind::kEnclosing},
+                                {{0, 0, 3}, LinkKind::kBridging}};
+  DekgDataset dataset("test", 3, 2, 2, train, emerging, {}, test);
+  dataset.CheckInvariants();
+  EXPECT_TRUE(dataset.IsOriginalEntity(2));
+  EXPECT_TRUE(dataset.IsEmergingEntity(3));
+  EXPECT_EQ(dataset.Classify({3, 0, 4}), LinkKind::kEnclosing);
+  EXPECT_EQ(dataset.Classify({0, 0, 4}), LinkKind::kBridging);
+  EXPECT_EQ(dataset.Classify({4, 0, 1}), LinkKind::kBridging);
+
+  // Filter set covers train, emerging, and test.
+  EXPECT_TRUE(dataset.filter_set().count({0, 0, 1}));
+  EXPECT_TRUE(dataset.filter_set().count({3, 1, 4}));
+  EXPECT_FALSE(dataset.filter_set().count({0, 1, 1}));
+
+  // Inference graph has both sides; original graph only G edges.
+  EXPECT_EQ(dataset.original_graph().num_triples(), 2);
+  EXPECT_EQ(dataset.inference_graph().num_triples(), 3);
+}
+
+TEST(DatasetDeathTest, CrossCutTrainTripleAborts) {
+  std::vector<Triple> bad_train{{0, 0, 3}};
+  DekgDataset dataset("bad", 3, 2, 2, bad_train, {}, {}, {});
+  EXPECT_DEATH(dataset.CheckInvariants(), "crosses the cut");
+}
+
+TEST(DatasetDeathTest, MislabeledLinkAborts) {
+  std::vector<LabeledLink> bad_test{{{3, 0, 4}, LinkKind::kBridging}};
+  DekgDataset dataset("bad", 3, 2, 2, {}, {}, {}, bad_test);
+  EXPECT_DEATH(dataset.CheckInvariants(), "label mismatch");
+}
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,131 @@
+// Parameterized invariants of the KGE baselines across embedding
+// dimensions: scoring-function identities that must hold for any
+// initialization.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kge_models.h"
+
+namespace dekg::baselines {
+namespace {
+
+class KgeProperty : public ::testing::TestWithParam<int32_t> {
+ protected:
+  KgeConfig Config(uint64_t seed) const {
+    KgeConfig config;
+    config.num_entities = 10;
+    config.num_relations = 4;
+    config.dim = GetParam();
+    config.seed = seed;
+    return config;
+  }
+};
+
+TEST_P(KgeProperty, TransEScoresNonPositiveAndSelfTranslationBest) {
+  TransE model(Config(1));
+  // For any (h, r): score(h, r, t*) where t* = h + r is the maximum over
+  // all candidate embeddings; emulate by checking score <= 0 always.
+  std::vector<Triple> batch;
+  for (EntityId h = 0; h < 10; ++h) batch.push_back({h, h % 4, (h + 1) % 10});
+  ag::Var scores = model.ScoreBatch(batch);
+  for (int64_t i = 0; i < scores.value().numel(); ++i) {
+    EXPECT_LE(scores.value().Data()[i], 1e-6f);
+  }
+}
+
+TEST_P(KgeProperty, TransEDeterministicGivenSeed) {
+  TransE a(Config(7));
+  TransE b(Config(7));
+  ag::Var sa = a.ScoreBatch({{0, 0, 1}});
+  ag::Var sb = b.ScoreBatch({{0, 0, 1}});
+  EXPECT_FLOAT_EQ(sa.value().Data()[0], sb.value().Data()[0]);
+}
+
+TEST_P(KgeProperty, DistMultLinearInRelationScale) {
+  DistMult model(Config(2));
+  // Doubling the relation embedding doubles the score.
+  ag::Var base = model.ScoreBatch({{1, 2, 3}});
+  std::vector<float> state = model.StateVector();
+  // relations start after entities (10 * dim floats).
+  const size_t rel_offset = static_cast<size_t>(10 * GetParam());
+  for (size_t j = 0; j < static_cast<size_t>(GetParam()); ++j) {
+    state[rel_offset + 2 * static_cast<size_t>(GetParam()) + j] *= 2.0f;
+  }
+  model.LoadStateVector(state);
+  ag::Var doubled = model.ScoreBatch({{1, 2, 3}});
+  EXPECT_NEAR(doubled.value().Data()[0], 2.0f * base.value().Data()[0],
+              std::fabs(base.value().Data()[0]) * 1e-3f + 1e-4f);
+}
+
+TEST_P(KgeProperty, RotatEScoreInvariantUnderGlobalPhaseOfEntities) {
+  // Rotating is norm-preserving: score is always <= 0 and finite.
+  RotatE model(Config(3));
+  std::vector<Triple> batch{{0, 0, 1}, {5, 3, 2}, {9, 1, 9}};
+  ag::Var scores = model.ScoreBatch(batch);
+  for (int64_t i = 0; i < scores.value().numel(); ++i) {
+    EXPECT_LE(scores.value().Data()[i], 1e-6f);
+    EXPECT_TRUE(std::isfinite(scores.value().Data()[i]));
+  }
+}
+
+TEST_P(KgeProperty, ConvEBatchOrderIndependence) {
+  if (GetParam() < 6) return;  // ConvE needs a reshapeable grid
+  ConvE model(Config(4));
+  ag::Var pair = model.ScoreBatch({{0, 0, 1}, {2, 1, 3}});
+  ag::Var first = model.ScoreBatch({{0, 0, 1}});
+  ag::Var second = model.ScoreBatch({{2, 1, 3}});
+  EXPECT_NEAR(pair.value().Data()[0], first.value().Data()[0], 1e-4f);
+  EXPECT_NEAR(pair.value().Data()[1], second.value().Data()[0], 1e-4f);
+}
+
+TEST_P(KgeProperty, ParameterCountScalesWithEntities) {
+  KgeConfig small = Config(5);
+  KgeConfig big = Config(5);
+  big.num_entities = 20;
+  TransE a(small), b(big);
+  EXPECT_EQ(b.ParameterCount() - a.ParameterCount(),
+            static_cast<int64_t>(10) * GetParam());
+}
+
+TEST_P(KgeProperty, TransEProjectionBoundsEntityNorms) {
+  TransE model(Config(9));
+  // Inflate all entity embeddings beyond the unit ball, then project.
+  std::vector<float> state = model.StateVector();
+  for (size_t i = 0; i < static_cast<size_t>(10 * GetParam()); ++i) {
+    state[i] *= 50.0f;
+  }
+  model.LoadStateVector(state);
+  model.PostOptimizerStep();
+  // Reload and verify every entity row has norm <= 1 (+eps).
+  std::vector<float> projected = model.StateVector();
+  for (int row = 0; row < 10; ++row) {
+    double sq = 0.0;
+    for (int j = 0; j < GetParam(); ++j) {
+      const float v = projected[static_cast<size_t>(row * GetParam() + j)];
+      sq += static_cast<double>(v) * v;
+    }
+    EXPECT_LE(sq, 1.0 + 1e-4);
+  }
+}
+
+TEST_P(KgeProperty, TransEProjectionKeepsSmallRowsIntact) {
+  TransE model(Config(10));
+  // Shrink every entity row well inside the unit ball first.
+  std::vector<float> shrunk = model.StateVector();
+  for (size_t i = 0; i < static_cast<size_t>(10 * GetParam()); ++i) {
+    shrunk[i] *= 0.1f;
+  }
+  model.LoadStateVector(shrunk);
+  std::vector<float> before = model.StateVector();
+  model.PostOptimizerStep();
+  std::vector<float> after = model.StateVector();
+  for (size_t i = 0; i < static_cast<size_t>(10 * GetParam()); ++i) {
+    EXPECT_EQ(before[i], after[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KgeProperty, ::testing::Values(6, 8, 16, 32));
+
+}  // namespace
+}  // namespace dekg::baselines

@@ -1,0 +1,80 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+
+namespace dekg {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  DEKG_CHECK(1 + 1 == 2) << "never evaluated";
+  DEKG_CHECK_EQ(3, 3);
+  DEKG_CHECK_NE(3, 4);
+  DEKG_CHECK_LT(1, 2);
+  DEKG_CHECK_LE(2, 2);
+  DEKG_CHECK_GT(2, 1);
+  DEKG_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithMessage) {
+  EXPECT_DEATH(DEKG_CHECK(false) << "context 42", "Check failed: false.*context 42");
+}
+
+TEST(CheckDeathTest, ComparisonsPrintOperands) {
+  int a = 3, b = 7;
+  EXPECT_DEATH(DEKG_CHECK_EQ(a, b), "3 vs 7");
+  EXPECT_DEATH(DEKG_CHECK_GT(a, b), "3 vs 7");
+}
+
+TEST(CheckDeathTest, FatalMacroAborts) {
+  EXPECT_DEATH(DEKG_FATAL() << "boom", "boom");
+}
+
+TEST(SeverityTest, ThresholdSuppressesInfo) {
+  LogSeverity old_severity = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  ::testing::internal::CaptureStderr();
+  DEKG_INFO() << "hidden info";
+  DEKG_WARN() << "hidden warning";
+  std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  SetMinLogSeverity(old_severity);
+}
+
+TEST(SeverityTest, InfoEmittedAtDefault) {
+  LogSeverity old_severity = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kInfo);
+  ::testing::internal::CaptureStderr();
+  DEKG_INFO() << "visible message";
+  std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("visible message"), std::string::npos);
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+  SetMinLogSeverity(old_severity);
+}
+
+TEST(CheckTest, StreamedArgumentsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  DEKG_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0) << "check message evaluated on the happy path";
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  // Busy-wait a tiny amount.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMicros(), 0);
+  double first = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), first + 1.0);
+}
+
+}  // namespace
+}  // namespace dekg

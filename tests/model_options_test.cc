@@ -1,0 +1,151 @@
+// Tests for the optional model features: JK-concatenated GNN readout and
+// self-adversarial negative sampling.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kge_models.h"
+#include "core/gsm.h"
+#include "core/trainer.h"
+#include "datagen/synthetic_kg.h"
+
+namespace dekg {
+namespace {
+
+Subgraph Triangle() {
+  Subgraph sub;
+  sub.nodes.push_back({10, 0, 1});
+  sub.nodes.push_back({11, 1, 0});
+  sub.nodes.push_back({12, 1, 1});
+  sub.edges.push_back({0, 0, 2});
+  sub.edges.push_back({2, 1, 1});
+  return sub;
+}
+
+TEST(JkConcatTest, OutputDimGrowsWithLayers) {
+  Rng rng(1);
+  gnn::RgcnConfig config;
+  config.num_relations = 3;
+  config.hidden_dim = 8;
+  config.num_layers = 3;
+  config.edge_dropout = 0.0f;
+  config.jk_concat = true;
+  gnn::RgcnEncoder encoder(config, &rng);
+  EXPECT_EQ(encoder.output_dim(), 24);
+  Subgraph sub = Triangle();
+  gnn::RgcnOutput out = encoder.Forward(sub, 0, false, &rng);
+  EXPECT_EQ(out.node_states.value().dim(1), 24);
+  EXPECT_EQ(out.graph_repr.value().dim(0), 24);
+  EXPECT_EQ(out.head_repr.value().dim(1), 24);
+}
+
+TEST(JkConcatTest, LastBlockMatchesNonJkOutput) {
+  // With identical parameters, the last hidden_dim columns of the JK
+  // readout equal the non-JK node states.
+  Rng rng1(2), rng2(2);
+  gnn::RgcnConfig base;
+  base.num_relations = 3;
+  base.hidden_dim = 8;
+  base.num_layers = 2;
+  base.edge_dropout = 0.0f;
+  gnn::RgcnConfig jk = base;
+  jk.jk_concat = true;
+  gnn::RgcnEncoder plain(base, &rng1);
+  gnn::RgcnEncoder jumping(jk, &rng2);  // same seed -> same parameters
+  Subgraph sub = Triangle();
+  Rng fwd(3);
+  gnn::RgcnOutput a = plain.Forward(sub, 0, false, &fwd);
+  gnn::RgcnOutput b = jumping.Forward(sub, 0, false, &fwd);
+  // Columns [8, 16) of b are layer 2's output == a's node states.
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(b.node_states.value().At(i, 8 + j),
+                      a.node_states.value().At(i, j));
+    }
+  }
+}
+
+TEST(JkConcatTest, GsmTrainsWithJkReadout) {
+  datagen::SchemaConfig schema;
+  schema.num_types = 5;
+  schema.num_relations = 10;
+  schema.num_entities = 120;
+  datagen::SplitConfig split;
+  DekgDataset dataset = datagen::MakeDekgDataset("jk", schema, split, 4);
+
+  core::DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  config.dim = 8;
+  config.num_contrastive_samples = 2;
+  core::DekgIlpModel model(config, 5);
+  // Direct GSM check with jk enabled.
+  core::GsmConfig gsm_config;
+  gsm_config.num_relations = dataset.num_relations();
+  gsm_config.dim = 8;
+  gsm_config.jk_concat = true;
+  Rng rng(6);
+  core::Gsm gsm(gsm_config, &rng);
+  Rng fwd(7);
+  ag::Var s = gsm.ScoreTriple(dataset.original_graph(),
+                              dataset.train_triples()[0], true, &fwd);
+  EXPECT_TRUE(std::isfinite(s.value().Data()[0]));
+  gsm.ZeroGrad();
+  s.Backward();
+  int with_grad = 0;
+  for (const auto& p : gsm.parameters()) with_grad += p.var.has_grad();
+  EXPECT_GT(with_grad, 4);
+}
+
+TEST(SelfAdversarialTest, TrainsAndReducesLoss) {
+  datagen::SchemaConfig schema;
+  schema.num_types = 5;
+  schema.num_relations = 10;
+  schema.num_entities = 120;
+  datagen::SplitConfig split;
+  DekgDataset dataset = datagen::MakeDekgDataset("adv", schema, split, 8);
+
+  baselines::KgeConfig kge;
+  kge.num_entities = dataset.num_total_entities();
+  kge.num_relations = dataset.num_relations();
+  kge.dim = 16;
+  baselines::TransE model(kge);
+  baselines::KgeTrainConfig train;
+  train.epochs = 15;
+  train.negatives_per_positive = 4;
+  train.self_adversarial = true;
+  train.adversarial_alpha = 1.0;
+  std::vector<double> losses = baselines::TrainKgeModel(&model, dataset, train);
+  for (double loss : losses) EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(SelfAdversarialTest, IgnoredWithSingleNegative) {
+  // K = 1: the flag must not change training behaviour.
+  datagen::SchemaConfig schema;
+  schema.num_types = 4;
+  schema.num_relations = 8;
+  schema.num_entities = 80;
+  datagen::SplitConfig split;
+  DekgDataset dataset = datagen::MakeDekgDataset("adv1", schema, split, 9);
+  auto run = [&](bool adversarial) {
+    baselines::KgeConfig kge;
+    kge.num_entities = dataset.num_total_entities();
+    kge.num_relations = dataset.num_relations();
+    kge.dim = 8;
+    kge.seed = 10;
+    baselines::TransE model(kge);
+    baselines::KgeTrainConfig train;
+    train.epochs = 3;
+    train.seed = 11;
+    train.self_adversarial = adversarial;
+    baselines::TrainKgeModel(&model, dataset, train);
+    return model.StateVector();
+  };
+  std::vector<float> a = run(false);
+  std::vector<float> b = run(true);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,79 @@
+// Parameterized layer properties across sizes: linearity of Linear,
+// embedding lookup semantics, and training-dynamics sanity.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace dekg::nn {
+namespace {
+
+using Dims = std::tuple<int64_t, int64_t, uint64_t>;
+
+class LinearProperty : public ::testing::TestWithParam<Dims> {
+ protected:
+  int64_t in() const { return std::get<0>(GetParam()); }
+  int64_t out() const { return std::get<1>(GetParam()); }
+  uint64_t seed() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(LinearProperty, ForwardIsAffine) {
+  Rng rng(seed());
+  Linear layer(in(), out(), /*with_bias=*/true, &rng);
+  Tensor x = Tensor::Uniform({4, in()}, -1, 1, &rng);
+  Tensor y = Tensor::Uniform({4, in()}, -1, 1, &rng);
+  // f(x + y) - f(y) == f(x) - f(0): affine maps have constant differences.
+  ag::Var fx = layer.Forward(ag::Var::Constant(x));
+  ag::Var fy = layer.Forward(ag::Var::Constant(y));
+  ag::Var fxy = layer.Forward(ag::Var::Constant(Add(x, y)));
+  ag::Var f0 = layer.Forward(ag::Var::Constant(Tensor::Zeros({4, in()})));
+  Tensor lhs = Sub(fxy.value(), fy.value());
+  Tensor rhs = Sub(fx.value(), f0.value());
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-4f));
+}
+
+TEST_P(LinearProperty, NoBiasMapsZeroToZero) {
+  Rng rng(seed());
+  Linear layer(in(), out(), /*with_bias=*/false, &rng);
+  ag::Var y = layer.Forward(ag::Var::Constant(Tensor::Zeros({2, in()})));
+  EXPECT_TRUE(AllClose(y.value(), Tensor::Zeros({2, out()})));
+}
+
+TEST_P(LinearProperty, GradientsMatchBatchDecomposition) {
+  // Gradient of a sum over a batch equals the sum of per-sample gradients.
+  Rng rng(seed());
+  Linear layer(in(), out(), true, &rng);
+  Tensor batch = Tensor::Uniform({3, in()}, -1, 1, &rng);
+
+  layer.ZeroGrad();
+  ag::SumAll(layer.Forward(ag::Var::Constant(batch))).Backward();
+  Tensor full = layer.weight().grad().Clone();
+
+  Tensor accumulated = Tensor::Zeros(full.shape());
+  for (int64_t i = 0; i < 3; ++i) {
+    layer.ZeroGrad();
+    ag::SumAll(layer.Forward(ag::Var::Constant(SliceRows(batch, i, i + 1))))
+        .Backward();
+    accumulated.AddInPlace(layer.weight().grad());
+  }
+  EXPECT_TRUE(AllClose(full, accumulated, 1e-4f));
+}
+
+TEST_P(LinearProperty, EmbeddingLookupEqualsTableRow) {
+  Rng rng(seed());
+  Embedding table(7, out(), &rng);
+  for (int64_t idx : {0, 3, 6}) {
+    ag::Var row = table.Forward({idx});
+    Tensor expected = GatherRows(table.table().value(), {idx});
+    EXPECT_TRUE(AllClose(row.value(), expected, 0.0f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinearProperty,
+                         ::testing::Values(Dims{1, 1, 1}, Dims{4, 8, 2},
+                                           Dims{16, 3, 3}, Dims{32, 32, 4}));
+
+}  // namespace
+}  // namespace dekg::nn

@@ -1,0 +1,116 @@
+// Sparse-update semantics: optimizers must skip parameters whose gradient
+// was never populated in a step, and embedding rows that were not gathered
+// must keep exactly their previous values (modulo weight decay choices).
+// These semantics are what keeps unseen-entity rows frozen at their random
+// initialization during baseline training — the paper's OpenKE extension.
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace dekg::nn {
+namespace {
+
+TEST(SparseOptimizerTest, ParametersWithoutGradAreSkipped) {
+  Rng rng(1);
+  Linear a(3, 3, false, &rng);
+  Linear b(3, 3, false, &rng);
+  // One module owning both layers' parameters.
+  struct Pair : Module {
+    Pair(Linear* x, Linear* y) {
+      RegisterChild("a", x);
+      RegisterChild("b", y);
+    }
+  } pair(&a, &b);
+
+  Adam optimizer(&pair, {.lr = 0.1});
+  Tensor b_before = b.weight().value().Clone();
+  // Only a's weight participates in the loss.
+  pair.ZeroGrad();
+  ag::Var loss = ag::SumAll(ag::Square(a.weight()));
+  loss.Backward();
+  optimizer.Step();
+  EXPECT_TRUE(AllClose(b.weight().value(), b_before, 0.0f))
+      << "untouched parameter was modified";
+  EXPECT_FALSE(AllClose(a.weight().value(),
+                        a.weight().value().Clone().Reshape({3, 3}), -1.0f))
+      << "sanity";
+}
+
+TEST(SparseOptimizerTest, UngatheredEmbeddingRowsUnchangedBySgd) {
+  Rng rng(2);
+  Embedding table(6, 4, &rng);
+  Sgd optimizer(&table, {.lr = 0.5});
+  Tensor before = table.table().value().Clone();
+  table.ZeroGrad();
+  // Touch rows 1 and 3 only.
+  ag::Var loss = ag::SumAll(ag::Square(table.Forward({1, 3})));
+  loss.Backward();
+  optimizer.Step();
+  const Tensor& after = table.table().value();
+  for (int64_t r : {0, 2, 4, 5}) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(after.At(r, c), before.At(r, c)) << "row " << r;
+    }
+  }
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_NE(after.At(1, c), before.At(1, c));
+    EXPECT_NE(after.At(3, c), before.At(3, c));
+  }
+}
+
+TEST(SparseOptimizerTest, AdamMomentsOnlyAdvanceOnTouchedSteps) {
+  // A parameter trained, skipped for several steps, then trained again
+  // must not receive "ghost" momentum updates during the skipped steps.
+  Rng rng(3);
+  Embedding table(2, 2, &rng);
+  Adam optimizer(&table, {.lr = 0.1});
+
+  auto step_touching_row0 = [&]() {
+    table.ZeroGrad();
+    ag::SumAll(ag::Square(table.Forward({0}))).Backward();
+    optimizer.Step();
+  };
+  auto step_touching_row1 = [&]() {
+    table.ZeroGrad();
+    ag::SumAll(ag::Square(table.Forward({1}))).Backward();
+    optimizer.Step();
+  };
+
+  step_touching_row0();
+  Tensor row1_snapshot = table.table().value().Clone();
+  // Row 1 untouched across these steps...
+  step_touching_row0();
+  step_touching_row0();
+  for (int64_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(table.table().value().At(1, c), row1_snapshot.At(1, c));
+  }
+  // ...but still trainable afterwards.
+  Tensor before_row1 = table.table().value().Clone();
+  step_touching_row1();
+  bool changed = false;
+  for (int64_t c = 0; c < 2; ++c) {
+    changed = changed ||
+              table.table().value().At(1, c) != before_row1.At(1, c);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(SparseOptimizerTest, GatherGradIsZeroNotMissingForTouchedTable) {
+  // When any row of a table is gathered, scatter-backward materializes a
+  // full-size gradient with zeros elsewhere; Adam then *does* update its
+  // moments for all rows of that tensor. This documents the exact
+  // granularity of sparsity: per-parameter, not per-row.
+  Rng rng(4);
+  Embedding table(4, 2, &rng);
+  table.ZeroGrad();
+  ag::SumAll(ag::Square(table.Forward({2}))).Backward();
+  const Tensor& grad = table.table().grad();
+  for (int64_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(grad.At(0, c), 0.0f);
+    EXPECT_NE(grad.At(2, c), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace dekg::nn

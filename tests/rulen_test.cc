@@ -1,0 +1,133 @@
+#include "baselines/rulen.h"
+
+#include <gtest/gtest.h>
+
+namespace dekg::baselines {
+namespace {
+
+// Original KG with a strong composition pattern r0(x,y) ∧ r1(y,z) =>
+// r2(x,z), instantiated several times, plus an equivalence pattern
+// r3(x,y) => r0(x,y).
+DekgDataset RuleDataset() {
+  std::vector<Triple> train;
+  // Composition instances over entity chains (0,1,2), (3,4,5), (6,7,8).
+  for (EntityId base : {0, 3, 6}) {
+    train.push_back({base, 0, base + 1});
+    train.push_back({static_cast<EntityId>(base + 1), 1,
+                     static_cast<EntityId>(base + 2)});
+    train.push_back({base, 2, static_cast<EntityId>(base + 2)});
+  }
+  // Equivalence instances.
+  train.push_back({0, 3, 1});
+  train.push_back({3, 3, 4});
+  train.push_back({6, 3, 7});
+  // Emerging KG replicates the body of the composition rule only.
+  std::vector<Triple> emerging{{12, 0, 13}, {13, 1, 14}};
+  std::vector<LabeledLink> test{{{12, 2, 14}, LinkKind::kEnclosing},
+                                {{0, 2, 13}, LinkKind::kBridging}};
+  return DekgDataset("rules", 12, 3, 4, train, emerging, {}, test);
+}
+
+TEST(RuleNTest, MinesCompositionRule) {
+  DekgDataset dataset = RuleDataset();
+  RulenConfig config;
+  config.min_support = 2;
+  config.min_confidence = 0.1;
+  RuleN model(config);
+  model.Mine(dataset);
+  bool found = false;
+  for (const auto& rule : model.rules()) {
+    if (rule.head == 2 && rule.body.size() == 2 && rule.body[0].rel == 0 &&
+        !rule.body[0].inverse && rule.body[1].rel == 1 &&
+        !rule.body[1].inverse) {
+      found = true;
+      EXPECT_GT(rule.confidence, 0.3);
+    }
+  }
+  EXPECT_TRUE(found) << "composition rule r0 ∧ r1 => r2 not mined";
+}
+
+TEST(RuleNTest, MinesEquivalenceRule) {
+  DekgDataset dataset = RuleDataset();
+  RulenConfig config;
+  config.min_support = 2;
+  config.min_confidence = 0.1;
+  RuleN model(config);
+  model.Mine(dataset);
+  bool found = false;
+  for (const auto& rule : model.rules()) {
+    if (rule.head == 0 && rule.body.size() == 1 && rule.body[0].rel == 3 &&
+        !rule.body[0].inverse) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "equivalence rule r3 => r0 not mined";
+}
+
+TEST(RuleNTest, ExcludesTrivialSelfRule) {
+  DekgDataset dataset = RuleDataset();
+  RuleN model(RulenConfig{});
+  model.Mine(dataset);
+  for (const auto& rule : model.rules()) {
+    if (rule.body.size() == 1) {
+      EXPECT_FALSE(rule.body[0].rel == rule.head && !rule.body[0].inverse)
+          << "trivial rule r => r leaked";
+    }
+  }
+}
+
+TEST(RuleNTest, EnclosingLinkWithBodyPathScoresPositive) {
+  DekgDataset dataset = RuleDataset();
+  RulenConfig config;
+  config.min_support = 2;
+  config.min_confidence = 0.1;
+  RuleN model(config);
+  model.Mine(dataset);
+  // Enclosing test link (12, 2, 14) has body path 12 -r0-> 13 -r1-> 14 in
+  // the inference graph.
+  std::vector<double> scores =
+      model.ScoreTriples(dataset.inference_graph(), {{12, 2, 14}});
+  EXPECT_GT(scores[0], 0.2);
+}
+
+TEST(RuleNTest, BridgingLinkScoresZero) {
+  DekgDataset dataset = RuleDataset();
+  RuleN model(RulenConfig{});
+  model.Mine(dataset);
+  // No path crosses the cut: rule methods collapse on bridging links.
+  std::vector<double> scores =
+      model.ScoreTriples(dataset.inference_graph(), {{0, 2, 13}});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+TEST(RuleNTest, NoisyOrCombinationMonotone) {
+  DekgDataset dataset = RuleDataset();
+  RulenConfig config;
+  config.min_support = 2;
+  config.min_confidence = 0.05;
+  RuleN model(config);
+  model.Mine(dataset);
+  // A triple with both an equivalence and a composition witness scores at
+  // least as high as one with a single witness.
+  std::vector<double> scores = model.ScoreTriples(
+      dataset.inference_graph(), {{0, 0, 1}, {12, 2, 14}});
+  EXPECT_GE(scores[0], 0.0);
+  EXPECT_LE(scores[0], 1.0);
+  EXPECT_LE(scores[1], 1.0);
+}
+
+TEST(RuleNTest, MaxRulesPerRelationCap) {
+  DekgDataset dataset = RuleDataset();
+  RulenConfig config;
+  config.min_support = 1;
+  config.min_confidence = 0.0;
+  config.max_rules_per_relation = 2;
+  RuleN model(config);
+  model.Mine(dataset);
+  std::unordered_map<RelationId, int> per_head;
+  for (const auto& rule : model.rules()) ++per_head[rule.head];
+  for (const auto& [head, count] : per_head) EXPECT_LE(count, 2);
+}
+
+}  // namespace
+}  // namespace dekg::baselines

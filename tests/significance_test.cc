@@ -1,0 +1,69 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dekg {
+namespace {
+
+TEST(SignificanceTest, ClearWinnerGetsTinyPValue) {
+  // A always rank 1, B always rank 10.
+  std::vector<double> a(100, 1.0);
+  std::vector<double> b(100, 10.0);
+  BootstrapResult result = PairedBootstrapMrr(a, b, 1000, 1);
+  EXPECT_DOUBLE_EQ(result.mrr_a, 1.0);
+  EXPECT_NEAR(result.mrr_b, 0.1, 1e-9);
+  EXPECT_LT(result.p_value, 0.01);
+  EXPECT_GT(result.diff_low, 0.0);
+}
+
+TEST(SignificanceTest, IdenticalModelsNotSignificant) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    double rank = 1.0 + static_cast<double>(rng.UniformUint64(20));
+    a.push_back(rank);
+    b.push_back(rank);
+  }
+  BootstrapResult result = PairedBootstrapMrr(a, b, 500, 3);
+  EXPECT_DOUBLE_EQ(result.mrr_a, result.mrr_b);
+  // diff == 0 on every resample -> p = 1 (H0 never rejected).
+  EXPECT_GT(result.p_value, 0.9);
+  EXPECT_LE(result.diff_low, 0.0);
+  EXPECT_GE(result.diff_high, 0.0);
+}
+
+TEST(SignificanceTest, NoisyOverlapGivesIntermediateP) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(1.0 + static_cast<double>(rng.UniformUint64(10)));
+    b.push_back(1.0 + static_cast<double>(rng.UniformUint64(10)));
+  }
+  BootstrapResult result = PairedBootstrapMrr(a, b, 500, 5);
+  EXPECT_GT(result.p_value, 0.001);
+  EXPECT_LT(result.p_value, 1.0);
+}
+
+TEST(SignificanceTest, ConfidenceIntervalBracketsPointEstimate) {
+  Rng rng(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 80; ++i) {
+    a.push_back(1.0 + static_cast<double>(rng.UniformUint64(5)));
+    b.push_back(2.0 + static_cast<double>(rng.UniformUint64(8)));
+  }
+  BootstrapResult result = PairedBootstrapMrr(a, b, 800, 7);
+  const double point = result.mrr_a - result.mrr_b;
+  EXPECT_LE(result.diff_low, point + 1e-9);
+  EXPECT_GE(result.diff_high, point - 1e-9);
+}
+
+TEST(SignificanceDeathTest, MisalignedListsAbort) {
+  std::vector<double> a(10, 1.0);
+  std::vector<double> b(9, 1.0);
+  EXPECT_DEATH(PairedBootstrapMrr(a, b, 10, 1), "not task-aligned");
+}
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,62 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dekg {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  auto fields = Split("a\tb\tc", '\t');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto fields = Split("a,,c,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto fields = Split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(SplitTest, EmptyInput) {
+  auto fields = Split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(FormatFixed(0.5004, 3), "0.500");
+  EXPECT_EQ(FormatFixed(1.0, 2), "1.00");
+  EXPECT_EQ(FormatFixed(-0.1236, 3), "-0.124");  // rounds
+}
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,167 @@
+// Parameterized subgraph-extraction invariants over random graphs: for any
+// graph, target pair, hop count, and labeling policy, the extracted
+// subgraph must satisfy the structural contract GSM relies on.
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/subgraph.h"
+
+namespace dekg {
+namespace {
+
+// (num_entities, num_relations, num_edges, num_hops, improved, seed)
+using Params = std::tuple<int32_t, int32_t, int32_t, int32_t, bool, uint64_t>;
+
+class SubgraphProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    auto [entities, relations, edges, hops, improved, seed] = GetParam();
+    hops_ = hops;
+    improved_ = improved;
+    rng_ = std::make_unique<Rng>(seed);
+    graph_ = std::make_unique<KnowledgeGraph>(entities, relations);
+    for (int32_t i = 0; i < edges; ++i) {
+      Triple t;
+      t.head = static_cast<EntityId>(
+          rng_->UniformUint64(static_cast<uint64_t>(entities)));
+      t.tail = static_cast<EntityId>(
+          rng_->UniformUint64(static_cast<uint64_t>(entities)));
+      t.rel = static_cast<RelationId>(
+          rng_->UniformUint64(static_cast<uint64_t>(relations)));
+      if (t.head == t.tail) continue;
+      graph_->AddTriple(t);
+    }
+    graph_->Build();
+  }
+
+  Subgraph RandomExtraction() {
+    const EntityId head = static_cast<EntityId>(
+        rng_->UniformUint64(static_cast<uint64_t>(graph_->num_entities())));
+    EntityId tail = head;
+    while (tail == head) {
+      tail = static_cast<EntityId>(
+          rng_->UniformUint64(static_cast<uint64_t>(graph_->num_entities())));
+    }
+    const RelationId rel = static_cast<RelationId>(
+        rng_->UniformUint64(static_cast<uint64_t>(graph_->num_relations())));
+    SubgraphConfig config;
+    config.num_hops = hops_;
+    config.labeling =
+        improved_ ? NodeLabeling::kImproved : NodeLabeling::kGrail;
+    last_head_ = head;
+    last_tail_ = tail;
+    last_rel_ = rel;
+    return ExtractSubgraph(*graph_, head, tail, rel, config);
+  }
+
+  int32_t hops_ = 2;
+  bool improved_ = true;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<KnowledgeGraph> graph_;
+  EntityId last_head_ = 0;
+  EntityId last_tail_ = 0;
+  RelationId last_rel_ = 0;
+};
+
+TEST_P(SubgraphProperty, EndpointsFirstWithCanonicalLabels) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Subgraph sub = RandomExtraction();
+    ASSERT_GE(sub.nodes.size(), 2u);
+    EXPECT_EQ(sub.nodes[0].entity, last_head_);
+    EXPECT_EQ(sub.nodes[0].dist_head, 0);
+    EXPECT_EQ(sub.nodes[0].dist_tail, 1);
+    EXPECT_EQ(sub.nodes[1].entity, last_tail_);
+    EXPECT_EQ(sub.nodes[1].dist_head, 1);
+    EXPECT_EQ(sub.nodes[1].dist_tail, 0);
+  }
+}
+
+TEST_P(SubgraphProperty, DistancesWithinHopBound) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Subgraph sub = RandomExtraction();
+    for (size_t i = 2; i < sub.nodes.size(); ++i) {
+      const SubgraphNode& node = sub.nodes[i];
+      EXPECT_GE(node.dist_head, -1);
+      EXPECT_LE(node.dist_head, hops_);
+      EXPECT_GE(node.dist_tail, -1);
+      EXPECT_LE(node.dist_tail, hops_);
+      // Every kept node is in at least one neighborhood.
+      EXPECT_TRUE(node.dist_head >= 0 || node.dist_tail >= 0);
+      if (!improved_) {
+        // GraIL pruning: both sides reachable.
+        EXPECT_GE(node.dist_head, 0);
+        EXPECT_GE(node.dist_tail, 0);
+      }
+    }
+  }
+}
+
+TEST_P(SubgraphProperty, NodesUniqueAndEdgesInduced) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Subgraph sub = RandomExtraction();
+    std::set<EntityId> entities;
+    for (const SubgraphNode& node : sub.nodes) {
+      EXPECT_TRUE(entities.insert(node.entity).second) << "duplicate node";
+    }
+    for (const SubgraphEdge& e : sub.edges) {
+      ASSERT_LT(static_cast<size_t>(e.src), sub.nodes.size());
+      ASSERT_LT(static_cast<size_t>(e.dst), sub.nodes.size());
+      // Every subgraph edge exists in the base graph.
+      Triple t{sub.nodes[static_cast<size_t>(e.src)].entity, e.rel,
+               sub.nodes[static_cast<size_t>(e.dst)].entity};
+      EXPECT_TRUE(graph_->Contains(t));
+    }
+  }
+}
+
+TEST_P(SubgraphProperty, TargetEdgeNeverIncluded) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Subgraph sub = RandomExtraction();
+    for (const SubgraphEdge& e : sub.edges) {
+      const EntityId src = sub.nodes[static_cast<size_t>(e.src)].entity;
+      const EntityId dst = sub.nodes[static_cast<size_t>(e.dst)].entity;
+      const bool is_target_pair = (src == last_head_ && dst == last_tail_) ||
+                                  (src == last_tail_ && dst == last_head_);
+      EXPECT_FALSE(is_target_pair && e.rel == last_rel_);
+    }
+  }
+}
+
+TEST_P(SubgraphProperty, ImprovedIsSupersetOfGrail) {
+  if (!improved_) return;
+  for (int trial = 0; trial < 10; ++trial) {
+    const EntityId head = static_cast<EntityId>(
+        rng_->UniformUint64(static_cast<uint64_t>(graph_->num_entities())));
+    EntityId tail = (head + 1) % graph_->num_entities();
+    SubgraphConfig improved_config;
+    improved_config.num_hops = hops_;
+    improved_config.labeling = NodeLabeling::kImproved;
+    improved_config.max_nodes = 0;  // no cap for the inclusion check
+    SubgraphConfig grail_config = improved_config;
+    grail_config.labeling = NodeLabeling::kGrail;
+    Subgraph big = ExtractSubgraph(*graph_, head, tail, 0, improved_config);
+    Subgraph small = ExtractSubgraph(*graph_, head, tail, 0, grail_config);
+    std::set<EntityId> big_set;
+    for (const SubgraphNode& node : big.nodes) big_set.insert(node.entity);
+    for (const SubgraphNode& node : small.nodes) {
+      EXPECT_TRUE(big_set.count(node.entity))
+          << "GraIL kept a node the improved labeling dropped";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, SubgraphProperty,
+    ::testing::Values(Params{20, 3, 40, 1, true, 1},
+                      Params{20, 3, 40, 1, false, 2},
+                      Params{50, 5, 150, 2, true, 3},
+                      Params{50, 5, 150, 2, false, 4},
+                      Params{100, 8, 250, 3, true, 5},
+                      Params{100, 8, 250, 3, false, 6},
+                      Params{30, 2, 20, 2, true, 7}));
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,186 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace dekg {
+namespace {
+
+// Path graph: 0 - 1 - 2 - 3 - 4 (relation 0), plus a dangling node 5
+// attached to 0 (relation 1).
+KnowledgeGraph PathGraph() {
+  KnowledgeGraph g(6, 2);
+  g.AddTriple({0, 0, 1});
+  g.AddTriple({1, 0, 2});
+  g.AddTriple({2, 0, 3});
+  g.AddTriple({3, 0, 4});
+  g.AddTriple({5, 1, 0});
+  g.Build();
+  return g;
+}
+
+TEST(BfsTest, DistancesAlongPath) {
+  KnowledgeGraph g = PathGraph();
+  std::vector<int32_t> dist = BfsDistances(g, 0, /*blocked=*/-1, 10);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[5], 1);
+}
+
+TEST(BfsTest, DepthCapStopsExploration) {
+  KnowledgeGraph g = PathGraph();
+  std::vector<int32_t> dist = BfsDistances(g, 0, -1, 2);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[4], -1);
+}
+
+TEST(BfsTest, BlockedNodeCutsPaths) {
+  KnowledgeGraph g = PathGraph();
+  // Blocking node 2 disconnects 0 from 3 and 4.
+  std::vector<int32_t> dist = BfsDistances(g, 0, /*blocked=*/2, 10);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(SubgraphTest, HeadTailAlwaysPresentWithFixedLabels) {
+  KnowledgeGraph g = PathGraph();
+  SubgraphConfig config;
+  config.num_hops = 2;
+  Subgraph sub = ExtractSubgraph(g, 0, 4, 0, config);
+  ASSERT_GE(sub.nodes.size(), 2u);
+  EXPECT_EQ(sub.nodes[0].entity, 0);
+  EXPECT_EQ(sub.nodes[0].dist_head, 0);
+  EXPECT_EQ(sub.nodes[0].dist_tail, 1);
+  EXPECT_EQ(sub.nodes[1].entity, 4);
+  EXPECT_EQ(sub.nodes[1].dist_head, 1);
+  EXPECT_EQ(sub.nodes[1].dist_tail, 0);
+}
+
+TEST(SubgraphTest, GrailPrunesOneSidedNodes) {
+  KnowledgeGraph g = PathGraph();
+  SubgraphConfig config;
+  config.num_hops = 2;
+  config.labeling = NodeLabeling::kGrail;
+  // Target (1, r0, 3): node 2 is within 2 hops of both; node 5 is 2 hops
+  // from 1 but unreachable from 3 within 2 hops (path through 1 avoids...
+  // actually 5-0-1 exists; from 3: 3-2-1-0-5 is 4 hops). Node 4 is 1 hop
+  // from 3 but 3 hops from 1.
+  Subgraph sub = ExtractSubgraph(g, 1, 3, 0, config);
+  std::vector<EntityId> kept;
+  for (const auto& node : sub.nodes) kept.push_back(node.entity);
+  EXPECT_EQ(kept.size(), 3u);  // 1, 3, and 2 only
+  EXPECT_EQ(kept[2], 2);
+}
+
+TEST(SubgraphTest, ImprovedLabelingKeepsOneSidedNodesWithMinusOne) {
+  KnowledgeGraph g = PathGraph();
+  SubgraphConfig config;
+  config.num_hops = 2;
+  config.labeling = NodeLabeling::kImproved;
+  Subgraph sub = ExtractSubgraph(g, 1, 3, 0, config);
+  bool found_one_sided = false;
+  for (const auto& node : sub.nodes) {
+    if (node.entity == 5) {
+      found_one_sided = true;
+      EXPECT_EQ(node.dist_head, 2);
+      EXPECT_EQ(node.dist_tail, -1);
+    }
+    if (node.entity == 4) {
+      EXPECT_EQ(node.dist_head, -1);
+      EXPECT_EQ(node.dist_tail, 1);
+    }
+  }
+  EXPECT_TRUE(found_one_sided);
+  EXPECT_GT(sub.nodes.size(), 3u);
+}
+
+TEST(SubgraphTest, TargetEdgeExcluded) {
+  KnowledgeGraph g(3, 1);
+  g.AddTriple({0, 0, 1});
+  g.AddTriple({1, 0, 2});
+  g.AddTriple({0, 0, 2});  // the target link
+  g.Build();
+  SubgraphConfig config;
+  config.num_hops = 2;
+  Subgraph sub = ExtractSubgraph(g, 0, 2, 0, config);
+  for (const SubgraphEdge& e : sub.edges) {
+    const EntityId src = sub.nodes[static_cast<size_t>(e.src)].entity;
+    const EntityId dst = sub.nodes[static_cast<size_t>(e.dst)].entity;
+    EXPECT_FALSE(src == 0 && dst == 2 && e.rel == 0)
+        << "target edge leaked into its own subgraph";
+  }
+  // The other two edges stay.
+  EXPECT_EQ(sub.edges.size(), 2u);
+}
+
+TEST(SubgraphTest, DisconnectedPairProducesTwoComponents) {
+  // Two disconnected components: {0,1,2} and {3,4,5}.
+  KnowledgeGraph g(6, 1);
+  g.AddTriple({0, 0, 1});
+  g.AddTriple({1, 0, 2});
+  g.AddTriple({3, 0, 4});
+  g.AddTriple({4, 0, 5});
+  g.Build();
+  SubgraphConfig config;
+  config.num_hops = 2;
+  config.labeling = NodeLabeling::kImproved;
+  // Bridging-style target between the components.
+  Subgraph sub = ExtractSubgraph(g, 0, 3, 0, config);
+  // Improved labeling keeps both neighborhoods.
+  EXPECT_GE(sub.nodes.size(), 5u);
+  for (const auto& node : sub.nodes) {
+    if (node.entity <= 2 && node.entity != 0) {
+      EXPECT_GE(node.dist_head, 1);
+      EXPECT_EQ(node.dist_tail, -1);
+    }
+    if (node.entity >= 4) {
+      EXPECT_EQ(node.dist_head, -1);
+      EXPECT_GE(node.dist_tail, 1);
+    }
+  }
+  // No edge connects the two sides.
+  for (const SubgraphEdge& e : sub.edges) {
+    const EntityId src = sub.nodes[static_cast<size_t>(e.src)].entity;
+    const EntityId dst = sub.nodes[static_cast<size_t>(e.dst)].entity;
+    EXPECT_EQ(src <= 2, dst <= 2) << "edge crosses disconnected components";
+  }
+
+  // GraIL labeling keeps only the endpoints — the topological limitation.
+  config.labeling = NodeLabeling::kGrail;
+  Subgraph grail_sub = ExtractSubgraph(g, 0, 3, 0, config);
+  EXPECT_EQ(grail_sub.nodes.size(), 2u);
+  EXPECT_TRUE(grail_sub.edges.empty());
+}
+
+TEST(SubgraphTest, MaxNodesCapKeepsClosestNodes) {
+  // Star around 0 with many leaves plus a chain to node 1.
+  KnowledgeGraph g(30, 1);
+  for (EntityId leaf = 2; leaf < 30; ++leaf) g.AddTriple({0, 0, leaf});
+  g.AddTriple({0, 0, 1});
+  g.Build();
+  SubgraphConfig config;
+  config.num_hops = 2;
+  config.max_nodes = 10;
+  Subgraph sub = ExtractSubgraph(g, 0, 1, 0, config);
+  EXPECT_EQ(sub.nodes.size(), 10u);
+  EXPECT_EQ(sub.nodes[0].entity, 0);
+  EXPECT_EQ(sub.nodes[1].entity, 1);
+}
+
+TEST(SubgraphTest, EdgesMapToLocalIndices) {
+  KnowledgeGraph g = PathGraph();
+  SubgraphConfig config;
+  config.num_hops = 3;
+  Subgraph sub = ExtractSubgraph(g, 0, 2, 0, config);
+  for (const SubgraphEdge& e : sub.edges) {
+    ASSERT_GE(e.src, 0);
+    ASSERT_LT(static_cast<size_t>(e.src), sub.nodes.size());
+    ASSERT_GE(e.dst, 0);
+    ASSERT_LT(static_cast<size_t>(e.dst), sub.nodes.size());
+  }
+}
+
+}  // namespace
+}  // namespace dekg

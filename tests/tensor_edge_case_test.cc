@@ -1,0 +1,119 @@
+// Edge cases and failure-injection for the tensor layer: zero-sized
+// tensors, degenerate shapes, and death tests for misuse that the library
+// promises to catch.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace dekg {
+namespace {
+
+TEST(TensorEdgeCaseTest, ZeroRowMatrixOperations) {
+  Tensor empty = Tensor::Zeros({0, 4});
+  EXPECT_EQ(empty.numel(), 0);
+  // Elementwise ops on empty tensors are no-ops, not crashes.
+  Tensor sum = Add(empty, empty);
+  EXPECT_EQ(sum.numel(), 0);
+  Tensor relu = Relu(empty);
+  EXPECT_EQ(relu.numel(), 0);
+  // Gather with no indices produces a 0-row result.
+  Tensor rows = Tensor::Ones({3, 4});
+  Tensor gathered = GatherRows(rows, {});
+  EXPECT_EQ(gathered.dim(0), 0);
+  EXPECT_EQ(gathered.dim(1), 4);
+}
+
+TEST(TensorEdgeCaseTest, MatMulWithZeroRows) {
+  Tensor a = Tensor::Zeros({0, 3});
+  Tensor b = Tensor::Ones({3, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.dim(0), 0);
+  EXPECT_EQ(c.dim(1), 2);
+}
+
+TEST(TensorEdgeCaseTest, ScatterIntoEmptyUpdates) {
+  Tensor target = Tensor::Zeros({3, 2});
+  Tensor updates = Tensor::Zeros({0, 2});
+  ScatterAddRows(&target, {}, updates);
+  EXPECT_TRUE(AllClose(target, Tensor::Zeros({3, 2})));
+}
+
+TEST(TensorEdgeCaseTest, SingleElementEverything) {
+  Tensor s = Tensor::Scalar(2.0f);
+  EXPECT_FLOAT_EQ(SumAll(s), 2.0f);
+  EXPECT_FLOAT_EQ(MeanAll(s), 2.0f);
+  EXPECT_FLOAT_EQ(MaxAll(s), 2.0f);
+  Tensor m = s.Reshape({1, 1});
+  EXPECT_TRUE(AllClose(Transpose(m), m));
+  EXPECT_TRUE(AllClose(SoftmaxRows(m), Tensor({1, 1}, {1.0f})));
+}
+
+TEST(TensorEdgeCaseTest, SliceFullAndEmptyRanges) {
+  Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor all = SliceRows(a, 0, 3);
+  EXPECT_TRUE(AllClose(all, a));
+  Tensor none = SliceRows(a, 1, 1);
+  EXPECT_EQ(none.dim(0), 0);
+}
+
+TEST(TensorEdgeCaseTest, ClampAtBounds) {
+  Tensor a({3}, {-5.0f, 0.5f, 5.0f});
+  Tensor c = Clamp(a, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(c.At(0), -1.0f);
+  EXPECT_FLOAT_EQ(c.At(1), 0.5f);
+  EXPECT_FLOAT_EQ(c.At(2), 1.0f);
+}
+
+TEST(TensorEdgeCaseTest, LogOfZeroIsFiniteViaEps) {
+  Tensor a({2}, {0.0f, 1.0f});
+  Tensor l = Log(a);
+  EXPECT_TRUE(std::isfinite(l.At(0)));
+  EXPECT_FLOAT_EQ(l.At(1), 0.0f);
+}
+
+TEST(TensorEdgeCaseDeathTest, ReshapeElementMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(a.Reshape({4, 2}), "Check failed");
+}
+
+TEST(TensorEdgeCaseDeathTest, SliceOutOfRangeAborts) {
+  Tensor a = Tensor::Zeros({3, 2});
+  EXPECT_DEATH(SliceRows(a, 2, 5), "Check failed");
+  EXPECT_DEATH(SliceRows(a, -1, 2), "Check failed");
+}
+
+TEST(TensorEdgeCaseDeathTest, ConvKernelLargerThanInputAborts) {
+  Tensor input = Tensor::Zeros({1, 1, 2, 2});
+  Tensor kernel = Tensor::Zeros({1, 1, 3, 3});
+  EXPECT_DEATH(Conv2d(input, kernel), "kernel larger than input");
+}
+
+TEST(TensorEdgeCaseDeathTest, ConcatColumnMismatchAborts) {
+  Tensor a = Tensor::Zeros({1, 2});
+  Tensor b = Tensor::Zeros({1, 3});
+  EXPECT_DEATH(Concat({a, b}, 0), "Check failed");
+}
+
+TEST(TensorEdgeCaseDeathTest, AtWrongRankAborts) {
+  Tensor a = Tensor::Zeros({2, 2});
+  EXPECT_DEATH(a.At(0), "Check failed");
+  Tensor v = Tensor::Zeros({4});
+  EXPECT_DEATH(v.At(0, 0), "Check failed");
+}
+
+TEST(TensorEdgeCaseDeathTest, MeanOfEmptyAborts) {
+  Tensor empty = Tensor::Zeros({0});
+  EXPECT_DEATH(MeanAll(empty), "Check failed");
+  EXPECT_DEATH(MaxAll(empty), "Check failed");
+}
+
+TEST(TensorEdgeCaseDeathTest, ScatterShapeMismatchAborts) {
+  Tensor target = Tensor::Zeros({3, 2});
+  Tensor updates = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(ScatterAddRows(&target, {0, 1}, updates), "Check failed");
+}
+
+}  // namespace
+}  // namespace dekg

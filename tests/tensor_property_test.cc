@@ -1,0 +1,145 @@
+// Property-based sweeps over tensor-op invariants, parameterized across
+// shapes and seeds (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace dekg {
+namespace {
+
+using ShapeSeed = std::tuple<int64_t, int64_t, uint64_t>;
+
+class MatrixProperty : public ::testing::TestWithParam<ShapeSeed> {
+ protected:
+  int64_t rows() const { return std::get<0>(GetParam()); }
+  int64_t cols() const { return std::get<1>(GetParam()); }
+  uint64_t seed() const { return std::get<2>(GetParam()); }
+  Tensor Random(uint64_t salt = 0) const {
+    Rng rng(seed() ^ salt);
+    return Tensor::Uniform({rows(), cols()}, -2.0f, 2.0f, &rng);
+  }
+};
+
+TEST_P(MatrixProperty, AddIsCommutative) {
+  Tensor a = Random(1), b = Random(2);
+  EXPECT_TRUE(AllClose(Add(a, b), Add(b, a), 0.0f));
+}
+
+TEST_P(MatrixProperty, AddSubRoundTrips) {
+  Tensor a = Random(3), b = Random(4);
+  EXPECT_TRUE(AllClose(Sub(Add(a, b), b), a, 1e-5f));
+}
+
+TEST_P(MatrixProperty, MulDistributesOverAdd) {
+  Tensor a = Random(5), b = Random(6), c = Random(7);
+  Tensor lhs = Mul(a, Add(b, c));
+  Tensor rhs = Add(Mul(a, b), Mul(a, c));
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-4f));
+}
+
+TEST_P(MatrixProperty, TransposeOfMatMul) {
+  Rng rng(seed());
+  Tensor a = Tensor::Uniform({rows(), cols()}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform({cols(), rows() + 1}, -1, 1, &rng);
+  Tensor lhs = Transpose(MatMul(a, b));
+  Tensor rhs = MatMul(Transpose(b), Transpose(a));
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-4f));
+}
+
+TEST_P(MatrixProperty, MatMulIdentity) {
+  Tensor a = Random(8);
+  Tensor eye = Tensor::Zeros({cols(), cols()});
+  for (int64_t i = 0; i < cols(); ++i) eye.At(i, i) = 1.0f;
+  EXPECT_TRUE(AllClose(MatMul(a, eye), a, 1e-5f));
+}
+
+TEST_P(MatrixProperty, SumAllEqualsSumOfRowSums) {
+  Tensor a = Random(9);
+  EXPECT_NEAR(SumAll(a), SumAll(SumRows(a)), 1e-3f);
+}
+
+TEST_P(MatrixProperty, SoftmaxRowsAreDistributions) {
+  Tensor s = SoftmaxRows(Random(10));
+  Tensor row_sums = SumRows(s);
+  for (int64_t i = 0; i < rows(); ++i) {
+    EXPECT_NEAR(row_sums.At(i), 1.0f, 1e-5f);
+  }
+  EXPECT_GE(MeanAll(s), 0.0f);
+}
+
+TEST_P(MatrixProperty, SoftmaxInvariantToRowShift) {
+  Tensor a = Random(11);
+  Tensor shifted = Add(a, Tensor::Scalar(3.5f));
+  EXPECT_TRUE(AllClose(SoftmaxRows(a), SoftmaxRows(shifted), 1e-5f));
+}
+
+TEST_P(MatrixProperty, GatherScatterAdjoint) {
+  // <ScatterAdd(u, idx), v> == <u, Gather(v, idx)> — the identity the
+  // autograd engine relies on for message passing.
+  Rng rng(seed() ^ 12);
+  std::vector<int64_t> indices;
+  const int64_t k = rows() + 2;
+  for (int64_t i = 0; i < k; ++i) {
+    indices.push_back(static_cast<int64_t>(rng.UniformUint64(
+        static_cast<uint64_t>(rows()))));
+  }
+  Tensor u = Tensor::Uniform({k, cols()}, -1, 1, &rng);
+  Tensor v = Tensor::Uniform({rows(), cols()}, -1, 1, &rng);
+  Tensor scattered = Tensor::Zeros({rows(), cols()});
+  ScatterAddRows(&scattered, indices, u);
+  const float lhs = Dot(scattered, v);
+  const float rhs = Dot(u, GatherRows(v, indices));
+  EXPECT_NEAR(lhs, rhs, 1e-3f);
+}
+
+TEST_P(MatrixProperty, ConcatSliceRoundTrip) {
+  Tensor a = Random(13), b = Random(14);
+  Tensor cat = Concat({a, b}, 0);
+  EXPECT_TRUE(AllClose(SliceRows(cat, 0, rows()), a, 0.0f));
+  EXPECT_TRUE(AllClose(SliceRows(cat, rows(), 2 * rows()), b, 0.0f));
+}
+
+TEST_P(MatrixProperty, ReluIdempotent) {
+  Tensor a = Random(15);
+  Tensor r = Relu(a);
+  EXPECT_TRUE(AllClose(Relu(r), r, 0.0f));
+  EXPECT_GE(0.0f, -MeanAll(Relu(a)));  // non-negative output
+}
+
+TEST_P(MatrixProperty, SigmoidRange) {
+  Tensor s = Sigmoid(Random(16));
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    EXPECT_GT(s.Data()[i], 0.0f);
+    EXPECT_LT(s.Data()[i], 1.0f);
+  }
+}
+
+TEST_P(MatrixProperty, ExpLogRoundTrip) {
+  Rng rng(seed() ^ 17);
+  Tensor a = Tensor::Uniform({rows(), cols()}, 0.1f, 3.0f, &rng);
+  EXPECT_TRUE(AllClose(Exp(Log(a)), a, 1e-4f));
+}
+
+TEST_P(MatrixProperty, Conv2dIsLinearInInput) {
+  Rng rng(seed() ^ 18);
+  const int64_t h = 4, w = 5;
+  Tensor x = Tensor::Uniform({1, 1, h, w}, -1, 1, &rng);
+  Tensor y = Tensor::Uniform({1, 1, h, w}, -1, 1, &rng);
+  Tensor kernel = Tensor::Uniform({2, 1, 2, 2}, -1, 1, &rng);
+  Tensor lhs = Conv2d(Add(x, y), kernel);
+  Tensor rhs = Add(Conv2d(x, kernel), Conv2d(y, kernel));
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatrixProperty,
+    ::testing::Values(ShapeSeed{1, 1, 1}, ShapeSeed{2, 3, 2},
+                      ShapeSeed{5, 4, 3}, ShapeSeed{8, 8, 4},
+                      ShapeSeed{16, 7, 5}, ShapeSeed{3, 32, 6},
+                      ShapeSeed{31, 2, 7}));
+
+}  // namespace
+}  // namespace dekg

@@ -1,0 +1,118 @@
+// Validation-based model selection (TrainWithValidation) and the MEAN
+// baseline's test-time aggregation.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/mean.h"
+#include "core/dekg_ilp.h"
+#include "core/trainer.h"
+#include "datagen/synthetic_kg.h"
+
+namespace dekg {
+namespace {
+
+DekgDataset SmallDataset(uint64_t seed) {
+  datagen::SchemaConfig schema;
+  schema.num_types = 5;
+  schema.num_relations = 14;
+  schema.num_entities = 160;
+  datagen::SplitConfig split;
+  split.valid_fraction = 0.3;
+  split.max_test_links = 40;
+  return datagen::MakeDekgDataset("valid-test", schema, split, seed);
+}
+
+TEST(TrainWithValidationTest, ReturnsMrrAndRestoresBestState) {
+  DekgDataset dataset = SmallDataset(4);
+  ASSERT_FALSE(dataset.valid_links().empty());
+  core::DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  config.dim = 16;
+  config.num_contrastive_samples = 2;
+  core::DekgIlpModel model(config, 5);
+  core::TrainConfig train;
+  train.epochs = 4;
+  train.max_triples_per_epoch = 150;
+  core::DekgIlpTrainer trainer(&model, &dataset, train);
+  EvalConfig eval;
+  eval.num_entity_negatives = 12;
+  eval.max_links = 20;
+  const double best = trainer.TrainWithValidation(eval, /*eval_every=*/2);
+  EXPECT_GT(best, 0.0);
+  EXPECT_LE(best, 1.0);
+
+  // The restored state must reproduce the reported validation MRR.
+  DekgDataset valid_view("v", dataset.num_original_entities(),
+                         dataset.num_emerging_entities(),
+                         dataset.num_relations(), dataset.train_triples(),
+                         dataset.emerging_triples(), {},
+                         dataset.valid_links());
+  core::DekgIlpPredictor predictor(&model);
+  EvalResult check = Evaluate(&predictor, valid_view, eval);
+  EXPECT_NEAR(check.overall.mrr, best, 1e-9);
+}
+
+TEST(TrainWithValidationDeathTest, RequiresValidLinks) {
+  std::vector<Triple> train{{0, 0, 1}, {1, 1, 2}};
+  DekgDataset dataset("no-valid", 3, 1, 2, train, {}, {}, {});
+  core::DekgIlpConfig config;
+  config.num_relations = 2;
+  config.dim = 8;
+  core::DekgIlpModel model(config, 6);
+  core::TrainConfig tc;
+  core::DekgIlpTrainer trainer(&model, &dataset, tc);
+  EXPECT_DEATH(trainer.TrainWithValidation(EvalConfig{}), "valid links");
+}
+
+TEST(MeanBaselineTest, TrainsAsTransEAndAggregatesUnseen) {
+  DekgDataset dataset = SmallDataset(7);
+  baselines::KgeConfig kge;
+  kge.num_entities = dataset.num_total_entities();
+  kge.num_relations = dataset.num_relations();
+  kge.dim = 16;
+  baselines::Mean model(kge);
+  model.SetEmergingRange(dataset.num_original_entities(),
+                         dataset.num_total_entities());
+  baselines::KgeTrainConfig train;
+  train.epochs = 20;
+  std::vector<double> losses = TrainKgeModel(&model, dataset, train);
+  EXPECT_LT(losses.back(), losses.front());
+
+  // Test-time scores are finite for both link kinds.
+  std::vector<Triple> batch;
+  for (const LabeledLink& l : dataset.test_links()) {
+    batch.push_back(l.triple);
+    if (batch.size() == 6) break;
+  }
+  std::vector<double> scores =
+      model.ScoreTriples(dataset.inference_graph(), batch);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(MeanBaselineTest, UnseenEmbeddingDiffersFromRawRow) {
+  DekgDataset dataset = SmallDataset(8);
+  baselines::KgeConfig kge;
+  kge.num_entities = dataset.num_total_entities();
+  kge.num_relations = dataset.num_relations();
+  kge.dim = 16;
+  baselines::Mean with_agg(kge);
+  baselines::Mean without_agg(kge);  // same seed -> identical params
+  with_agg.SetEmergingRange(dataset.num_original_entities(),
+                            dataset.num_total_entities());
+  // Pick an emerging entity with neighbors.
+  EntityId emerging = -1;
+  for (const Triple& t : dataset.emerging_triples()) {
+    emerging = t.head;
+    break;
+  }
+  ASSERT_GE(emerging, 0);
+  Triple probe{0, 0, emerging};
+  double aggregated =
+      with_agg.ScoreTriples(dataset.inference_graph(), {probe})[0];
+  double raw = without_agg.ScoreTriples(dataset.inference_graph(), {probe})[0];
+  EXPECT_NE(aggregated, raw);
+}
+
+}  // namespace
+}  // namespace dekg
