@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_bench_common.dir/experiment.cc.o"
+  "CMakeFiles/dekg_bench_common.dir/experiment.cc.o.d"
+  "libdekg_bench_common.a"
+  "libdekg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdekg_bench_common.a"
+)

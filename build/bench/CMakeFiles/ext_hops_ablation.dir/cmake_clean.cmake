@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hops_ablation.dir/ext_hops_ablation.cc.o"
+  "CMakeFiles/ext_hops_ablation.dir/ext_hops_ablation.cc.o.d"
+  "ext_hops_ablation"
+  "ext_hops_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hops_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_significance.dir/ext_significance.cc.o"
+  "CMakeFiles/ext_significance.dir/ext_significance.cc.o.d"
+  "ext_significance"
+  "ext_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

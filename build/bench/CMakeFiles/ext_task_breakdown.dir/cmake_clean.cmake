@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_task_breakdown.dir/ext_task_breakdown.cc.o"
+  "CMakeFiles/ext_task_breakdown.dir/ext_task_breakdown.cc.o.d"
+  "ext_task_breakdown"
+  "ext_task_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_task_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_respective.dir/fig5_respective.cc.o"
+  "CMakeFiles/fig5_respective.dir/fig5_respective.cc.o.d"
+  "fig5_respective"
+  "fig5_respective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_respective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

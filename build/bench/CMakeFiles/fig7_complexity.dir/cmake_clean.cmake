@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_complexity.dir/fig7_complexity.cc.o"
+  "CMakeFiles/fig7_complexity.dir/fig7_complexity.cc.o.d"
+  "fig7_complexity"
+  "fig7_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5d_hyperparams.dir/sec5d_hyperparams.cc.o"
+  "CMakeFiles/sec5d_hyperparams.dir/sec5d_hyperparams.cc.o.d"
+  "sec5d_hyperparams"
+  "sec5d_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5d_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_main_results.dir/table3_main_results.cc.o"
+  "CMakeFiles/table3_main_results.dir/table3_main_results.cc.o.d"
+  "table3_main_results"
+  "table3_main_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_main_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_linkage.dir/case_linkage.cpp.o"
+  "CMakeFiles/case_linkage.dir/case_linkage.cpp.o.d"
+  "case_linkage"
+  "case_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_cli.dir/dekg_cli.cpp.o"
+  "CMakeFiles/dekg_cli.dir/dekg_cli.cpp.o.d"
+  "dekg_cli"
+  "dekg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_repurposing.dir/drug_repurposing.cpp.o"
+  "CMakeFiles/drug_repurposing.dir/drug_repurposing.cpp.o.d"
+  "drug_repurposing"
+  "drug_repurposing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_repurposing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

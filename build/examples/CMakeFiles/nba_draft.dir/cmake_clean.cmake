@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nba_draft.dir/nba_draft.cpp.o"
+  "CMakeFiles/nba_draft.dir/nba_draft.cpp.o.d"
+  "nba_draft"
+  "nba_draft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nba_draft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_autograd.dir/ops.cc.o"
+  "CMakeFiles/dekg_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/dekg_autograd.dir/variable.cc.o"
+  "CMakeFiles/dekg_autograd.dir/variable.cc.o.d"
+  "libdekg_autograd.a"
+  "libdekg_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

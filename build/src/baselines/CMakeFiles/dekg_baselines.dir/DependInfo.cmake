@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gen.cc" "src/baselines/CMakeFiles/dekg_baselines.dir/gen.cc.o" "gcc" "src/baselines/CMakeFiles/dekg_baselines.dir/gen.cc.o.d"
+  "/root/repo/src/baselines/graph_trainer.cc" "src/baselines/CMakeFiles/dekg_baselines.dir/graph_trainer.cc.o" "gcc" "src/baselines/CMakeFiles/dekg_baselines.dir/graph_trainer.cc.o.d"
+  "/root/repo/src/baselines/kge_base.cc" "src/baselines/CMakeFiles/dekg_baselines.dir/kge_base.cc.o" "gcc" "src/baselines/CMakeFiles/dekg_baselines.dir/kge_base.cc.o.d"
+  "/root/repo/src/baselines/kge_models.cc" "src/baselines/CMakeFiles/dekg_baselines.dir/kge_models.cc.o" "gcc" "src/baselines/CMakeFiles/dekg_baselines.dir/kge_models.cc.o.d"
+  "/root/repo/src/baselines/mean.cc" "src/baselines/CMakeFiles/dekg_baselines.dir/mean.cc.o" "gcc" "src/baselines/CMakeFiles/dekg_baselines.dir/mean.cc.o.d"
+  "/root/repo/src/baselines/neural_lp.cc" "src/baselines/CMakeFiles/dekg_baselines.dir/neural_lp.cc.o" "gcc" "src/baselines/CMakeFiles/dekg_baselines.dir/neural_lp.cc.o.d"
+  "/root/repo/src/baselines/rulen.cc" "src/baselines/CMakeFiles/dekg_baselines.dir/rulen.cc.o" "gcc" "src/baselines/CMakeFiles/dekg_baselines.dir/rulen.cc.o.d"
+  "/root/repo/src/baselines/tact.cc" "src/baselines/CMakeFiles/dekg_baselines.dir/tact.cc.o" "gcc" "src/baselines/CMakeFiles/dekg_baselines.dir/tact.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dekg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dekg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dekg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/dekg_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dekg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/dekg_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dekg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/dekg_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dekg_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_baselines.dir/gen.cc.o"
+  "CMakeFiles/dekg_baselines.dir/gen.cc.o.d"
+  "CMakeFiles/dekg_baselines.dir/graph_trainer.cc.o"
+  "CMakeFiles/dekg_baselines.dir/graph_trainer.cc.o.d"
+  "CMakeFiles/dekg_baselines.dir/kge_base.cc.o"
+  "CMakeFiles/dekg_baselines.dir/kge_base.cc.o.d"
+  "CMakeFiles/dekg_baselines.dir/kge_models.cc.o"
+  "CMakeFiles/dekg_baselines.dir/kge_models.cc.o.d"
+  "CMakeFiles/dekg_baselines.dir/mean.cc.o"
+  "CMakeFiles/dekg_baselines.dir/mean.cc.o.d"
+  "CMakeFiles/dekg_baselines.dir/neural_lp.cc.o"
+  "CMakeFiles/dekg_baselines.dir/neural_lp.cc.o.d"
+  "CMakeFiles/dekg_baselines.dir/rulen.cc.o"
+  "CMakeFiles/dekg_baselines.dir/rulen.cc.o.d"
+  "CMakeFiles/dekg_baselines.dir/tact.cc.o"
+  "CMakeFiles/dekg_baselines.dir/tact.cc.o.d"
+  "libdekg_baselines.a"
+  "libdekg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_common.dir/logging.cc.o"
+  "CMakeFiles/dekg_common.dir/logging.cc.o.d"
+  "CMakeFiles/dekg_common.dir/rng.cc.o"
+  "CMakeFiles/dekg_common.dir/rng.cc.o.d"
+  "CMakeFiles/dekg_common.dir/string_util.cc.o"
+  "CMakeFiles/dekg_common.dir/string_util.cc.o.d"
+  "libdekg_common.a"
+  "libdekg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_core.dir/clrm.cc.o"
+  "CMakeFiles/dekg_core.dir/clrm.cc.o.d"
+  "CMakeFiles/dekg_core.dir/dekg_ilp.cc.o"
+  "CMakeFiles/dekg_core.dir/dekg_ilp.cc.o.d"
+  "CMakeFiles/dekg_core.dir/explain.cc.o"
+  "CMakeFiles/dekg_core.dir/explain.cc.o.d"
+  "CMakeFiles/dekg_core.dir/gsm.cc.o"
+  "CMakeFiles/dekg_core.dir/gsm.cc.o.d"
+  "CMakeFiles/dekg_core.dir/trainer.cc.o"
+  "CMakeFiles/dekg_core.dir/trainer.cc.o.d"
+  "libdekg_core.a"
+  "libdekg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_datagen.dir/synthetic_kg.cc.o"
+  "CMakeFiles/dekg_datagen.dir/synthetic_kg.cc.o.d"
+  "libdekg_datagen.a"
+  "libdekg_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

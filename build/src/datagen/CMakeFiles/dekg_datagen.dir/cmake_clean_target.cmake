@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdekg_datagen.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/evaluator.cc" "src/eval/CMakeFiles/dekg_eval.dir/evaluator.cc.o" "gcc" "src/eval/CMakeFiles/dekg_eval.dir/evaluator.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/eval/CMakeFiles/dekg_eval.dir/significance.cc.o" "gcc" "src/eval/CMakeFiles/dekg_eval.dir/significance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/dekg_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dekg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_eval.dir/evaluator.cc.o"
+  "CMakeFiles/dekg_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/dekg_eval.dir/significance.cc.o"
+  "CMakeFiles/dekg_eval.dir/significance.cc.o.d"
+  "libdekg_eval.a"
+  "libdekg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_gnn.dir/rgcn.cc.o"
+  "CMakeFiles/dekg_gnn.dir/rgcn.cc.o.d"
+  "libdekg_gnn.a"
+  "libdekg_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_graph.dir/subgraph.cc.o"
+  "CMakeFiles/dekg_graph.dir/subgraph.cc.o.d"
+  "libdekg_graph.a"
+  "libdekg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/dataset.cc" "src/kg/CMakeFiles/dekg_kg.dir/dataset.cc.o" "gcc" "src/kg/CMakeFiles/dekg_kg.dir/dataset.cc.o.d"
+  "/root/repo/src/kg/dataset_io.cc" "src/kg/CMakeFiles/dekg_kg.dir/dataset_io.cc.o" "gcc" "src/kg/CMakeFiles/dekg_kg.dir/dataset_io.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/kg/CMakeFiles/dekg_kg.dir/knowledge_graph.cc.o" "gcc" "src/kg/CMakeFiles/dekg_kg.dir/knowledge_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dekg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

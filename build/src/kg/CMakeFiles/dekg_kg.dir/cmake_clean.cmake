@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_kg.dir/dataset.cc.o"
+  "CMakeFiles/dekg_kg.dir/dataset.cc.o.d"
+  "CMakeFiles/dekg_kg.dir/dataset_io.cc.o"
+  "CMakeFiles/dekg_kg.dir/dataset_io.cc.o.d"
+  "CMakeFiles/dekg_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/dekg_kg.dir/knowledge_graph.cc.o.d"
+  "libdekg_kg.a"
+  "libdekg_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

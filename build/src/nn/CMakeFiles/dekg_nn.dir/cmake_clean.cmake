@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_nn.dir/layers.cc.o"
+  "CMakeFiles/dekg_nn.dir/layers.cc.o.d"
+  "CMakeFiles/dekg_nn.dir/module.cc.o"
+  "CMakeFiles/dekg_nn.dir/module.cc.o.d"
+  "CMakeFiles/dekg_nn.dir/optimizer.cc.o"
+  "CMakeFiles/dekg_nn.dir/optimizer.cc.o.d"
+  "libdekg_nn.a"
+  "libdekg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

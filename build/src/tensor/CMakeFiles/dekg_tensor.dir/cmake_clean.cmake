@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_tensor.dir/tensor.cc.o"
+  "CMakeFiles/dekg_tensor.dir/tensor.cc.o.d"
+  "libdekg_tensor.a"
+  "libdekg_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

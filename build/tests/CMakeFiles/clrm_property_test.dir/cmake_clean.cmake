@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clrm_property_test.dir/clrm_property_test.cc.o"
+  "CMakeFiles/clrm_property_test.dir/clrm_property_test.cc.o.d"
+  "clrm_property_test"
+  "clrm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clrm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clrm_test.dir/clrm_test.cc.o"
+  "CMakeFiles/clrm_test.dir/clrm_test.cc.o.d"
+  "clrm_test"
+  "clrm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contrastive_semantics_test.dir/contrastive_semantics_test.cc.o"
+  "CMakeFiles/contrastive_semantics_test.dir/contrastive_semantics_test.cc.o.d"
+  "contrastive_semantics_test"
+  "contrastive_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contrastive_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

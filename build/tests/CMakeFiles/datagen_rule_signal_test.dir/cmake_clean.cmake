@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_rule_signal_test.dir/datagen_rule_signal_test.cc.o"
+  "CMakeFiles/datagen_rule_signal_test.dir/datagen_rule_signal_test.cc.o.d"
+  "datagen_rule_signal_test"
+  "datagen_rule_signal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_rule_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

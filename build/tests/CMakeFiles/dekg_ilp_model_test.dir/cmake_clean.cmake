@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dekg_ilp_model_test.dir/dekg_ilp_model_test.cc.o"
+  "CMakeFiles/dekg_ilp_model_test.dir/dekg_ilp_model_test.cc.o.d"
+  "dekg_ilp_model_test"
+  "dekg_ilp_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dekg_ilp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_benchmark_test.dir/family_benchmark_test.cc.o"
+  "CMakeFiles/family_benchmark_test.dir/family_benchmark_test.cc.o.d"
+  "family_benchmark_test"
+  "family_benchmark_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_benchmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_behavior_test.dir/gen_behavior_test.cc.o"
+  "CMakeFiles/gen_behavior_test.dir/gen_behavior_test.cc.o.d"
+  "gen_behavior_test"
+  "gen_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

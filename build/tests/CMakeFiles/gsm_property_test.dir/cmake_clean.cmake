@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsm_property_test.dir/gsm_property_test.cc.o"
+  "CMakeFiles/gsm_property_test.dir/gsm_property_test.cc.o.d"
+  "gsm_property_test"
+  "gsm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsm_test.dir/gsm_test.cc.o"
+  "CMakeFiles/gsm_test.dir/gsm_test.cc.o.d"
+  "gsm_test"
+  "gsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_headline_test.dir/integration_headline_test.cc.o"
+  "CMakeFiles/integration_headline_test.dir/integration_headline_test.cc.o.d"
+  "integration_headline_test"
+  "integration_headline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_headline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_property_test.dir/kge_property_test.cc.o"
+  "CMakeFiles/kge_property_test.dir/kge_property_test.cc.o.d"
+  "kge_property_test"
+  "kge_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

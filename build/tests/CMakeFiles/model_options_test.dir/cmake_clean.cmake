@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_options_test.dir/model_options_test.cc.o"
+  "CMakeFiles/model_options_test.dir/model_options_test.cc.o.d"
+  "model_options_test"
+  "model_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_lp_test.dir/neural_lp_test.cc.o"
+  "CMakeFiles/neural_lp_test.dir/neural_lp_test.cc.o.d"
+  "neural_lp_test"
+  "neural_lp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_sparse_test.dir/optimizer_sparse_test.cc.o"
+  "CMakeFiles/optimizer_sparse_test.dir/optimizer_sparse_test.cc.o.d"
+  "optimizer_sparse_test"
+  "optimizer_sparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgcn_test.dir/rgcn_test.cc.o"
+  "CMakeFiles/rgcn_test.dir/rgcn_test.cc.o.d"
+  "rgcn_test"
+  "rgcn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/rng_test.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/rng_test.dir/rng_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/dekg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dekg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dekg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/dekg_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dekg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dekg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dekg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/dekg_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dekg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/dekg_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dekg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulen_test.dir/rulen_test.cc.o"
+  "CMakeFiles/rulen_test.dir/rulen_test.cc.o.d"
+  "rulen_test"
+  "rulen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_property_test.dir/subgraph_property_test.cc.o"
+  "CMakeFiles/subgraph_property_test.dir/subgraph_property_test.cc.o.d"
+  "subgraph_property_test"
+  "subgraph_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

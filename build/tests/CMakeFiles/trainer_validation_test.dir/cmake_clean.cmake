@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_validation_test.dir/trainer_validation_test.cc.o"
+  "CMakeFiles/trainer_validation_test.dir/trainer_validation_test.cc.o.d"
+  "trainer_validation_test"
+  "trainer_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
