@@ -114,4 +114,10 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t sm = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  SplitMix64(&sm);
+  return SplitMix64(&sm);
+}
+
 }  // namespace dekg

@@ -69,6 +69,13 @@ class Rng {
   bool has_cached_gaussian_ = false;
 };
 
+// Deterministically mixes a base seed with a stream index into a new,
+// statistically independent seed (two rounds of the SplitMix64 finalizer
+// over the pair). This is the seeding discipline for parallel loops: give
+// iteration i its own Rng(MixSeed(seed, i)) so results do not depend on
+// which thread runs which iteration or in what order.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace dekg
 
 #endif  // DEKG_COMMON_RNG_H_

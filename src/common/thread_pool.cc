@@ -1,0 +1,191 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace dekg {
+
+namespace {
+
+// Set while the current thread executes a ParallelFor chunk; nested
+// parallel regions detect it and degrade to inline serial execution.
+thread_local bool tls_inside_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  if (workers_.empty()) {
+    // Serial pool: run inline, in submission order. packaged_task routes
+    // any exception into the future, same as the threaded path.
+    (*task)();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DEKG_CHECK(!stop_) << "Submit on a stopped ThreadPool";
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t range = end - begin;
+  // Serial pool, tiny range, or nested region: run inline. This is the
+  // exact-equivalence path — one call covering the whole range, in order.
+  if (workers_.empty() || range <= grain || tls_inside_parallel_region) {
+    fn(begin, end);
+    return;
+  }
+
+  const int64_t num_chunks = (range + grain - 1) / grain;
+  // Shared by the caller and the queued helper tasks. Helpers may run
+  // after ParallelFor returned (as no-ops, once every chunk is claimed),
+  // so the state lives behind a shared_ptr. The loop only returns once
+  // `completed` reaches num_chunks, i.e. after the last use of `fn`.
+  struct LoopState {
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> completed{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  auto run_chunks = [state, begin, end, grain, num_chunks, &fn] {
+    const bool was_inside = tls_inside_parallel_region;
+    tls_inside_parallel_region = true;
+    for (;;) {
+      const int64_t chunk = state->next_chunk.fetch_add(1);
+      if (chunk >= num_chunks) break;
+      const int64_t b = begin + chunk * grain;
+      const int64_t e = std::min(end, b + grain);
+      try {
+        fn(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      if (state->completed.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> done_lock(state->done_mutex);
+        state->done_cv.notify_all();
+      }
+    }
+    tls_inside_parallel_region = was_inside;
+  };
+
+  // Queue one helper per worker (capped by chunk count). The caller drains
+  // chunks itself, so progress never depends on a helper being scheduled —
+  // a helper that runs late simply finds no chunks left.
+  const int helpers = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(workers_.size()), num_chunks - 1));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int i = 0; i < helpers; ++i) queue_.emplace_back(run_chunks);
+  }
+  cv_.notify_all();
+
+  run_chunks();
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock,
+                        [&] { return state->completed.load() == num_chunks; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+// ----- Default pool -----
+
+namespace {
+
+std::mutex default_pool_mutex;
+std::unique_ptr<ThreadPool> default_pool;
+int default_pool_override = 0;  // 0 = derive from env / hardware
+
+int ResolveThreadCount() {
+  if (default_pool_override > 0) return default_pool_override;
+  if (const char* env = std::getenv("DEKG_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+int DefaultThreadCount() {
+  std::lock_guard<std::mutex> lock(default_pool_mutex);
+  return ResolveThreadCount();
+}
+
+void SetDefaultThreadCount(int num_threads) {
+  std::lock_guard<std::mutex> lock(default_pool_mutex);
+  default_pool_override = std::max(num_threads, 0);
+  default_pool.reset();  // rebuilt at the new size on next use
+}
+
+ThreadPool* DefaultThreadPool() {
+  std::lock_guard<std::mutex> lock(default_pool_mutex);
+  const int want = ResolveThreadCount();
+  if (!default_pool || default_pool->num_threads() != want) {
+    default_pool = std::make_unique<ThreadPool>(want);
+  }
+  return default_pool.get();
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool* pool = DefaultThreadPool();
+  if (grain <= 0) {
+    const int64_t range = std::max<int64_t>(end - begin, 1);
+    grain = std::max<int64_t>(1, range / (4 * pool->num_threads()));
+  }
+  pool->ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace dekg

@@ -1,0 +1,94 @@
+// Deterministic thread-pool parallelism for CPU-bound loops.
+//
+// A fixed-size pool of worker threads executes submitted tasks and
+// chunked parallel-for loops. The design rules that keep the rest of the
+// repository bit-for-bit reproducible:
+//
+//  * Parallelism never changes *what* is computed, only *when*. Loop
+//    bodies write to disjoint, pre-sized output slots; any reduction is
+//    merged serially in index order by the caller.
+//  * A pool of size 1 is an exact serial fallback: tasks and loop bodies
+//    run inline on the calling thread, in order, with no worker threads
+//    at all. Results are therefore identical for every pool size by
+//    construction, and the serial path stays debuggable.
+//  * Randomness inside a parallel region must come from a per-index Rng
+//    stream (see MixSeed in common/rng.h), never from a shared Rng.
+//
+// The process-wide default pool is sized by the DEKG_NUM_THREADS
+// environment variable (or SetDefaultThreadCount), clamped to at least 1;
+// unset or 0 means std::thread::hardware_concurrency.
+#ifndef DEKG_COMMON_THREAD_POOL_H_
+#define DEKG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dekg {
+
+class ThreadPool {
+ public:
+  // A pool of total parallelism `num_threads` (>= 1): the calling thread
+  // participates in ParallelFor, so num_threads - 1 workers are spawned.
+  // Size 1 spawns no threads and runs everything inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Enqueues a task for a worker thread. The returned future rethrows any
+  // exception the task raised. On a size-1 pool the task runs inline
+  // before Submit returns.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Splits [begin, end) into chunks of at most `grain` indices and runs
+  // `fn(chunk_begin, chunk_end)` across the pool, the calling thread
+  // included. Blocks until every chunk finished. The first exception
+  // thrown by any chunk is rethrown on the calling thread after the loop
+  // drains. Nested calls (from inside a chunk) run inline serially, so a
+  // parallel outer loop over parallel inner kernels cannot deadlock.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// ----- Process-wide default pool -----
+
+// Thread count the default pool uses: the last SetDefaultThreadCount value
+// if any, else DEKG_NUM_THREADS, else hardware concurrency; always >= 1.
+int DefaultThreadCount();
+
+// Overrides the default pool size. Rebuilds the pool on next use. Not safe
+// to call concurrently with running ParallelFor loops on the default pool;
+// intended for setup code, benchmarks, and tests.
+void SetDefaultThreadCount(int num_threads);
+
+// The lazily constructed process-wide pool.
+ThreadPool* DefaultThreadPool();
+
+// ParallelFor on the default pool. grain <= 0 picks a grain that yields
+// ~4 chunks per thread.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace dekg
+
+#endif  // DEKG_COMMON_THREAD_POOL_H_

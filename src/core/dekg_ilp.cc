@@ -1,5 +1,7 @@
 #include "core/dekg_ilp.h"
 
+#include "common/thread_pool.h"
+
 namespace dekg::core {
 
 std::string DekgIlpConfig::VariantName() const {
@@ -75,12 +77,23 @@ ag::Var DekgIlpModel::ContrastiveLossForLink(const KnowledgeGraph& graph,
 
 std::vector<double> DekgIlpPredictor::ScoreTriples(
     const KnowledgeGraph& inference_graph, const std::vector<Triple>& triples) {
-  std::vector<double> scores;
-  scores.reserve(triples.size());
-  for (const Triple& t : triples) {
-    ag::Var s = model_->ScoreLink(inference_graph, t, /*training=*/false, &rng_);
-    scores.push_back(static_cast<double>(s.value().Data()[0]));
-  }
+  std::vector<double> scores(triples.size(), 0.0);
+  // Subgraph extraction + encoding dominates scoring cost; independent
+  // triples split across the pool. When the evaluator already runs this
+  // predictor inside a parallel ranking loop, the nested ParallelFor
+  // degrades to inline serial execution automatically.
+  ParallelFor(0, static_cast<int64_t>(triples.size()), /*grain=*/0,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  Rng rng(MixSeed(seed_, static_cast<uint64_t>(i)));
+                  ag::Var s =
+                      model_->ScoreLink(inference_graph,
+                                        triples[static_cast<size_t>(i)],
+                                        /*training=*/false, &rng);
+                  scores[static_cast<size_t>(i)] =
+                      static_cast<double>(s.value().Data()[0]);
+                }
+              });
   return scores;
 }
 

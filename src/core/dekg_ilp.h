@@ -67,22 +67,27 @@ class DekgIlpModel : public nn::Module {
   std::unique_ptr<Gsm> gsm_;
 };
 
-// LinkPredictor adapter for the shared evaluation harness.
+// LinkPredictor adapter for the shared evaluation harness. Inference-mode
+// scoring reads the model parameters without mutating them, so batches
+// split across the thread pool and Evaluate() may call ScoreTriples from
+// several threads at once; every triple draws from its own seed-derived
+// Rng stream, keeping scores bit-identical at any thread count.
 class DekgIlpPredictor : public LinkPredictor {
  public:
   explicit DekgIlpPredictor(DekgIlpModel* model)
-      : model_(model), rng_(123) {}
+      : model_(model), seed_(123) {}
 
   std::string Name() const override {
     return model_->config().VariantName();
   }
   std::vector<double> ScoreTriples(const KnowledgeGraph& inference_graph,
                                    const std::vector<Triple>& triples) override;
+  bool SupportsConcurrentScoring() const override { return true; }
   int64_t ParameterCount() const override { return model_->ParameterCount(); }
 
  private:
   DekgIlpModel* model_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 }  // namespace dekg::core

@@ -1,5 +1,7 @@
 #include "core/gsm.h"
 
+#include "common/thread_pool.h"
+
 namespace dekg::core {
 
 Gsm::Gsm(const GsmConfig& config, Rng* rng) : config_(config) {
@@ -27,11 +29,18 @@ Gsm::Gsm(const GsmConfig& config, Rng* rng) : config_(config) {
 }
 
 Subgraph Gsm::Extract(const KnowledgeGraph& graph, const Triple& triple) const {
+  SubgraphWorkspace workspace;
+  return Extract(graph, triple, &workspace);
+}
+
+Subgraph Gsm::Extract(const KnowledgeGraph& graph, const Triple& triple,
+                      SubgraphWorkspace* workspace) const {
   SubgraphConfig sc;
   sc.num_hops = config_.num_hops;
   sc.labeling = config_.labeling;
   sc.max_nodes = config_.max_subgraph_nodes;
-  return ExtractSubgraph(graph, triple.head, triple.tail, triple.rel, sc);
+  return ExtractSubgraph(graph, triple.head, triple.tail, triple.rel, sc,
+                         workspace);
 }
 
 gnn::RgcnOutput Gsm::Encode(const Subgraph& subgraph, RelationId rel,
@@ -54,6 +63,27 @@ ag::Var Gsm::ScoreTriple(const KnowledgeGraph& graph, const Triple& triple,
                          bool training, Rng* rng) const {
   Subgraph subgraph = Extract(graph, triple);
   return ScoreSubgraph(subgraph, triple.rel, training, rng);
+}
+
+std::vector<double> Gsm::ScoreTriplesBatch(const KnowledgeGraph& graph,
+                                           const std::vector<Triple>& triples,
+                                           uint64_t seed) const {
+  std::vector<double> scores(triples.size(), 0.0);
+  ParallelFor(
+      0, static_cast<int64_t>(triples.size()), /*grain=*/0,
+      [&](int64_t begin, int64_t end) {
+        SubgraphWorkspace workspace;
+        for (int64_t i = begin; i < end; ++i) {
+          const Triple& t = triples[static_cast<size_t>(i)];
+          Rng rng(MixSeed(seed, static_cast<uint64_t>(i)));
+          Subgraph subgraph = Extract(graph, t, &workspace);
+          ag::Var s =
+              ScoreSubgraph(subgraph, t.rel, /*training=*/false, &rng);
+          scores[static_cast<size_t>(i)] =
+              static_cast<double>(s.value().Data()[0]);
+        }
+      });
+  return scores;
 }
 
 }  // namespace dekg::core

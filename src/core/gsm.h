@@ -42,6 +42,10 @@ class Gsm : public nn::Module {
   // Extracts the labeled subgraph for (head, rel, tail) from `graph`.
   Subgraph Extract(const KnowledgeGraph& graph, const Triple& triple) const;
 
+  // Workspace-reusing form for hot loops; identical output.
+  Subgraph Extract(const KnowledgeGraph& graph, const Triple& triple,
+                   SubgraphWorkspace* workspace) const;
+
   // phi_tpo for a pre-extracted subgraph: scalar Var [1].
   ag::Var ScoreSubgraph(const Subgraph& subgraph, RelationId rel,
                         bool training, Rng* rng) const;
@@ -49,6 +53,15 @@ class Gsm : public nn::Module {
   // Convenience: extract + score.
   ag::Var ScoreTriple(const KnowledgeGraph& graph, const Triple& triple,
                       bool training, Rng* rng) const;
+
+  // Batched inference: extracts and encodes the enclosing subgraph of
+  // every triple, splitting independent triples across the default thread
+  // pool (each worker owns a SubgraphWorkspace and a per-triple Rng stream
+  // seeded MixSeed(seed, i)). Returns phi_tpo values only — no autograd
+  // tape — and is bit-identical for every thread count, including 1.
+  std::vector<double> ScoreTriplesBatch(const KnowledgeGraph& graph,
+                                        const std::vector<Triple>& triples,
+                                        uint64_t seed) const;
 
   // Final-layer head/tail representations (for the Fig. 8 case study).
   gnn::RgcnOutput Encode(const Subgraph& subgraph, RelationId rel,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace dekg {
 
 void RankingMetrics::Accumulate(double rank) {
@@ -93,33 +95,42 @@ std::vector<Triple> RelationNegatives(const DekgDataset& dataset,
 
 EvalResult Evaluate(LinkPredictor* model, const DekgDataset& dataset,
                     const EvalConfig& config) {
-  Rng rng(config.seed);
   EvalResult result;
   const KnowledgeGraph& graph = dataset.inference_graph();
 
-  int32_t evaluated = 0;
-  for (const LabeledLink& link : dataset.test_links()) {
-    if (config.max_links > 0 && evaluated >= config.max_links) break;
-    ++evaluated;
+  const std::vector<LabeledLink>& links = dataset.test_links();
+  int64_t num_links = static_cast<int64_t>(links.size());
+  if (config.max_links > 0) {
+    num_links = std::min<int64_t>(num_links, config.max_links);
+  }
+  const bool relation_task =
+      config.include_relation_task && dataset.num_relations() > 1;
 
-    RankingMetrics* kind_bucket = link.kind == LinkKind::kEnclosing
-                                      ? &result.enclosing
-                                      : &result.bridging;
+  // Ranks one link against its sampled candidates. Every stochastic choice
+  // comes from a per-link Rng stream derived from (seed, link index), so
+  // the outcome of link i does not depend on which thread computes it or
+  // on how many other links ran before it — the precondition for
+  // thread-count-invariant metrics.
+  //
+  // Task order within a link is fixed: head replacement, tail replacement,
+  // then relation replacement (when enabled).
+  struct LinkOutcome {
+    std::vector<double> ranks;
+  };
+  std::vector<LinkOutcome> outcomes(static_cast<size_t>(num_links));
+  auto rank_link = [&](int64_t i) {
+    const LabeledLink& link = links[static_cast<size_t>(i)];
+    Rng rng(MixSeed(config.seed, static_cast<uint64_t>(i)));
 
-    // Assemble all tasks for this link: each is (positive, negatives).
     std::vector<std::vector<Triple>> tasks;
-    std::vector<RankingMetrics*> task_buckets;
     tasks.push_back(SampleEntityNegatives(dataset, link.triple,
                                           /*corrupt_head=*/true,
                                           config.num_entity_negatives, &rng));
-    task_buckets.push_back(&result.head_task);
     tasks.push_back(SampleEntityNegatives(dataset, link.triple,
                                           /*corrupt_head=*/false,
                                           config.num_entity_negatives, &rng));
-    task_buckets.push_back(&result.tail_task);
-    if (config.include_relation_task && dataset.num_relations() > 1) {
+    if (relation_task) {
       tasks.push_back(RelationNegatives(dataset, link.triple));
-      task_buckets.push_back(&result.relation_task);
     }
 
     // One batched scoring call per link: [positive, all negatives...].
@@ -132,13 +143,46 @@ EvalResult Evaluate(LinkPredictor* model, const DekgDataset& dataset,
 
     const double positive_score = scores[0];
     size_t offset = 1;
-    for (size_t task = 0; task < tasks.size(); ++task) {
-      const auto& negatives = tasks[task];
+    LinkOutcome& out = outcomes[static_cast<size_t>(i)];
+    out.ranks.reserve(tasks.size());
+    for (const auto& negatives : tasks) {
       std::vector<double> negative_scores(
           scores.begin() + static_cast<ptrdiff_t>(offset),
           scores.begin() + static_cast<ptrdiff_t>(offset + negatives.size()));
       offset += negatives.size();
-      const double rank = RankOf(positive_score, negative_scores);
+      out.ranks.push_back(RankOf(positive_score, negative_scores));
+    }
+  };
+
+  const int32_t want_threads =
+      config.num_threads > 0 ? config.num_threads : DefaultThreadCount();
+  if (want_threads > 1 && num_links > 1 &&
+      model->SupportsConcurrentScoring()) {
+    auto body = [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) rank_link(i);
+    };
+    if (config.num_threads > 0) {
+      ThreadPool pool(config.num_threads);
+      pool.ParallelFor(0, num_links, /*grain=*/1, body);
+    } else {
+      DefaultThreadPool()->ParallelFor(0, num_links, /*grain=*/1, body);
+    }
+  } else {
+    for (int64_t i = 0; i < num_links; ++i) rank_link(i);
+  }
+
+  // Serial merge in link order: accumulation order — and therefore every
+  // floating-point sum — is independent of the thread count.
+  for (int64_t i = 0; i < num_links; ++i) {
+    const LabeledLink& link = links[static_cast<size_t>(i)];
+    RankingMetrics* kind_bucket = link.kind == LinkKind::kEnclosing
+                                      ? &result.enclosing
+                                      : &result.bridging;
+    RankingMetrics* task_buckets[] = {&result.head_task, &result.tail_task,
+                                      &result.relation_task};
+    const LinkOutcome& out = outcomes[static_cast<size_t>(i)];
+    for (size_t task = 0; task < out.ranks.size(); ++task) {
+      const double rank = out.ranks[task];
       result.overall.Accumulate(rank);
       kind_bucket->Accumulate(rank);
       task_buckets[task]->Accumulate(rank);

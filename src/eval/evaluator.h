@@ -39,6 +39,12 @@ class LinkPredictor {
       const KnowledgeGraph& inference_graph,
       const std::vector<Triple>& triples) = 0;
 
+  // Whether ScoreTriples may be invoked concurrently from multiple threads
+  // (i.e. scoring treats the model as read-only). Evaluate() only
+  // parallelizes the ranking loop when this returns true; stateful
+  // predictors keep the serial path with no change in results.
+  virtual bool SupportsConcurrentScoring() const { return false; }
+
   // Trainable parameter count (complexity study, Fig. 7).
   virtual int64_t ParameterCount() const = 0;
 };
@@ -84,6 +90,12 @@ struct EvalConfig {
   uint64_t seed = 17;
   // Record the per-task rank list in EvalResult::ranks.
   bool collect_ranks = false;
+  // Ranking-loop parallelism: 0 = the process-wide default pool
+  // (DEKG_NUM_THREADS), 1 = serial, N > 1 = a dedicated N-thread pool for
+  // this call. Negative sampling draws from a per-link Rng stream
+  // (MixSeed(seed, link_index)) and per-link results merge in link order,
+  // so metrics and ranks are bit-identical for every thread count.
+  int32_t num_threads = 0;
 };
 
 // Runs the full protocol over dataset.test_links().

@@ -1,30 +1,32 @@
 #include "graph/subgraph.h"
 
 #include <algorithm>
-#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace dekg {
 
-std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
-                                  EntityId blocked, int32_t max_depth) {
-  std::vector<int32_t> dist(static_cast<size_t>(g.num_entities()), -1);
+void BfsDistances(const KnowledgeGraph& g, EntityId source, EntityId blocked,
+                  int32_t max_depth, std::vector<int32_t>* dist,
+                  std::vector<EntityId>* frontier) {
+  dist->assign(static_cast<size_t>(g.num_entities()), -1);
   DEKG_CHECK(source >= 0 && source < g.num_entities());
-  dist[static_cast<size_t>(source)] = 0;
-  std::deque<EntityId> frontier{source};
-  while (!frontier.empty()) {
-    EntityId u = frontier.front();
-    frontier.pop_front();
-    const int32_t du = dist[static_cast<size_t>(u)];
+  (*dist)[static_cast<size_t>(source)] = 0;
+  frontier->clear();
+  frontier->push_back(source);
+  // The frontier vector doubles as the BFS queue: qi is the pop cursor.
+  // Visit order matches the classic FIFO traversal exactly.
+  for (size_t qi = 0; qi < frontier->size(); ++qi) {
+    const EntityId u = (*frontier)[qi];
+    const int32_t du = (*dist)[static_cast<size_t>(u)];
     if (du >= max_depth) continue;
     for (int32_t eid : g.IncidentEdges(u)) {
       const Edge& e = g.edge(eid);
       const EntityId v = e.src == u ? e.dst : e.src;
       if (v == blocked) continue;
-      if (dist[static_cast<size_t>(v)] != -1) continue;
-      dist[static_cast<size_t>(v)] = du + 1;
-      frontier.push_back(v);
+      if ((*dist)[static_cast<size_t>(v)] != -1) continue;
+      (*dist)[static_cast<size_t>(v)] = du + 1;
+      frontier->push_back(v);
     }
   }
   // The blocked node must read as unreachable even if it is the source's
@@ -32,20 +34,30 @@ std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
   // in principle, but GraIL's labeling excludes it; head/tail get their
   // fixed labels anyway).
   if (blocked >= 0 && blocked < g.num_entities() && blocked != source) {
-    dist[static_cast<size_t>(blocked)] = -1;
+    (*dist)[static_cast<size_t>(blocked)] = -1;
   }
+}
+
+std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
+                                  EntityId blocked, int32_t max_depth) {
+  std::vector<int32_t> dist;
+  std::vector<EntityId> frontier;
+  BfsDistances(g, source, blocked, max_depth, &dist, &frontier);
   return dist;
 }
 
 Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
                          EntityId tail, RelationId target_rel,
-                         const SubgraphConfig& config) {
+                         const SubgraphConfig& config,
+                         SubgraphWorkspace* workspace) {
   DEKG_CHECK(g.built());
   DEKG_CHECK_GE(config.num_hops, 1);
-  const std::vector<int32_t> dist_head =
-      BfsDistances(g, head, tail, config.num_hops);
-  const std::vector<int32_t> dist_tail =
-      BfsDistances(g, tail, head, config.num_hops);
+  BfsDistances(g, head, tail, config.num_hops, &workspace->dist_head,
+               &workspace->frontier);
+  BfsDistances(g, tail, head, config.num_hops, &workspace->dist_tail,
+               &workspace->frontier);
+  const std::vector<int32_t>& dist_head = workspace->dist_head;
+  const std::vector<int32_t>& dist_tail = workspace->dist_tail;
 
   Subgraph sub;
   // Node 0 = head with label (0, 1); node 1 = tail with label (1, 0).
@@ -120,6 +132,13 @@ Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
     }
   }
   return sub;
+}
+
+Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
+                         EntityId tail, RelationId target_rel,
+                         const SubgraphConfig& config) {
+  SubgraphWorkspace workspace;
+  return ExtractSubgraph(g, head, tail, target_rel, config, &workspace);
 }
 
 }  // namespace dekg

@@ -63,11 +63,26 @@ struct SubgraphConfig {
   int32_t max_nodes = 256;
 };
 
+// Reusable scratch buffers for repeated extractions. Extraction reads only
+// a const KnowledgeGraph and writes only into the workspace, so concurrent
+// extractions are safe as long as each thread owns its own workspace.
+struct SubgraphWorkspace {
+  std::vector<int32_t> dist_head;
+  std::vector<int32_t> dist_tail;
+  std::vector<EntityId> frontier;
+};
+
 // BFS distances from `source` to every node, avoiding `blocked` (distance
 // computed as if `blocked` were deleted). Unreached nodes get -1. Distances
 // greater than `max_depth` are not explored.
 std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
                                   EntityId blocked, int32_t max_depth);
+
+// Allocation-reusing form: distances land in *dist (resized to
+// g.num_entities()); *frontier is scratch. Re-entrant over a const graph.
+void BfsDistances(const KnowledgeGraph& g, EntityId source, EntityId blocked,
+                  int32_t max_depth, std::vector<int32_t>* dist,
+                  std::vector<EntityId>* frontier);
 
 // Extracts the labeled subgraph around (head, ?, tail) from `g`. Any edge
 // identical to the target triple (head, target_rel, tail) — or its exact
@@ -75,6 +90,13 @@ std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
 Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
                          EntityId tail, RelationId target_rel,
                          const SubgraphConfig& config);
+
+// Same, reusing the caller's workspace across calls (hot loops: training
+// epochs, batched inference). Results are identical to the form above.
+Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
+                         EntityId tail, RelationId target_rel,
+                         const SubgraphConfig& config,
+                         SubgraphWorkspace* workspace);
 
 }  // namespace dekg
 

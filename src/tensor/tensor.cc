@@ -4,7 +4,30 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace dekg {
+
+namespace {
+
+// Below these sizes the fork/join overhead of ParallelFor outweighs the
+// arithmetic; small tensors always take the serial path.
+constexpr int64_t kParallelElementwiseMin = 1 << 15;  // elements
+constexpr int64_t kParallelMatMulMinFlops = 1 << 20;  // m * k * n
+
+// Runs fn(begin, end) over [0, n): serially when the range is small,
+// otherwise chunked across the default pool. fn must only write to
+// indices inside its chunk, which keeps results independent of chunking.
+template <typename F>
+void MaybeParallelRange(int64_t n, int64_t serial_below, F&& fn) {
+  if (n < serial_below) {
+    fn(0, n);
+  } else {
+    ParallelFor(0, n, /*grain=*/0, fn);
+  }
+}
+
+}  // namespace
 
 int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
@@ -201,7 +224,12 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
       const float* pa = a.Data();
       const float* pb = b.Data();
       float* po = out.Data();
-      for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], pb[i]);
+      MaybeParallelRange(a.numel(), kParallelElementwiseMin,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             po[i] = f(pa[i], pb[i]);
+                           }
+                         });
       return out;
     }
     case BroadcastKind::kScalarRight: {
@@ -209,7 +237,12 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
       const float* pa = a.Data();
       const float sb = b.Data()[0];
       float* po = out.Data();
-      for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], sb);
+      MaybeParallelRange(a.numel(), kParallelElementwiseMin,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             po[i] = f(pa[i], sb);
+                           }
+                         });
       return out;
     }
     case BroadcastKind::kScalarLeft: {
@@ -217,7 +250,12 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
       const float sa = a.Data()[0];
       const float* pb = b.Data();
       float* po = out.Data();
-      for (int64_t i = 0; i < b.numel(); ++i) po[i] = f(sa, pb[i]);
+      MaybeParallelRange(b.numel(), kParallelElementwiseMin,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             po[i] = f(sa, pb[i]);
+                           }
+                         });
       return out;
     }
     case BroadcastKind::kRowRight: {
@@ -227,11 +265,15 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
       const float* pa = a.Data();
       const float* pb = b.Data();
       float* po = out.Data();
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < n; ++j) {
-          po[i * n + j] = f(pa[i * n + j], pb[j]);
-        }
-      }
+      MaybeParallelRange(
+          m, std::max<int64_t>(1, kParallelElementwiseMin / std::max<int64_t>(n, 1)),
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              for (int64_t j = 0; j < n; ++j) {
+                po[i * n + j] = f(pa[i * n + j], pb[j]);
+              }
+            }
+          });
       return out;
     }
   }
@@ -244,7 +286,10 @@ Tensor ElementwiseUnary(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.Data();
   float* po = out.Data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
+  MaybeParallelRange(a.numel(), kParallelElementwiseMin,
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+                     });
   return out;
 }
 
@@ -329,14 +374,55 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pb = b.Data();
   float* po = out.Data();
   // i-k-j loop order: streams through b rows, cache-friendly for row-major.
-  for (int64_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+  // Dense inner loop — no zero test, the branch mispredicts on dense
+  // inputs (use MatMulSkipZeroLhs for genuinely sparse left operands).
+  // Output rows are disjoint, so row blocks parallelize without changing
+  // any result bit.
+  auto compute_rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      float* out_row = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = pa[i * k + kk];
+        const float* b_row = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+      }
     }
+  };
+  if (m * k * n >= kParallelMatMulMinFlops && m > 1) {
+    ParallelFor(0, m, /*grain=*/0, compute_rows);
+  } else {
+    compute_rows(0, m);
+  }
+  return out;
+}
+
+Tensor MatMulSkipZeroLhs(const Tensor& a, const Tensor& b) {
+  DEKG_CHECK_EQ(a.rank(), 2u);
+  DEKG_CHECK_EQ(b.rank(), 2u);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  DEKG_CHECK_EQ(k, b.dim(0)) << "MatMul inner dims: " << ShapeToString(a.shape())
+                             << " x " << ShapeToString(b.shape());
+  const int64_t n = b.dim(1);
+  Tensor out(Shape{m, n});
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.Data();
+  auto compute_rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      float* out_row = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = pa[i * k + kk];
+        if (aik == 0.0f) continue;  // pays off only on mostly-zero rows
+        const float* b_row = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+      }
+    }
+  };
+  if (m * k * n >= kParallelMatMulMinFlops && m > 1) {
+    ParallelFor(0, m, /*grain=*/0, compute_rows);
+  } else {
+    compute_rows(0, m);
   }
   return out;
 }

@@ -118,8 +118,14 @@ Tensor Abs(const Tensor& a);
 Tensor Clamp(const Tensor& a, float lo, float hi);
 
 // ----- Matrix ops -----
-// [m, k] x [k, n] -> [m, n].
+// [m, k] x [k, n] -> [m, n]. Dense kernel: no per-element zero test; rows
+// split across the thread pool above a size threshold (deterministic —
+// each output row is produced by exactly one serial inner loop).
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// MatMul variant that skips zero entries of `a`. Only worthwhile when `a`
+// is mostly zeros (e.g. one-hot node-label features); on dense inputs the
+// per-element branch costs more than it saves — use MatMul.
+Tensor MatMulSkipZeroLhs(const Tensor& a, const Tensor& b);
 // 2-D transpose.
 Tensor Transpose(const Tensor& a);
 

@@ -1,0 +1,138 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dekg {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<void> ok = pool.Submit([] {});
+  std::future<void> bad =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsSubmitInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, 1000, /*grain=*/7, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 1,
+                                [](int64_t b, int64_t) {
+                                  if (b == 42) {
+                                    throw std::runtime_error("chunk failed");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool stays usable after a failed loop.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, 10, 1,
+                   [&](int64_t b, int64_t e) { counter += static_cast<int>(e - b); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletesAndCoversRange) {
+  ThreadPool pool(4);
+  constexpr int kOuter = 16;
+  constexpr int kInner = 32;
+  std::vector<std::vector<int>> hits(kOuter, std::vector<int>(kInner, 0));
+  pool.ParallelFor(0, kOuter, 1, [&](int64_t ob, int64_t oe) {
+    for (int64_t o = ob; o < oe; ++o) {
+      // Inner loop reuses the same pool from inside a chunk; it must run
+      // inline (serially) rather than deadlock waiting on busy workers.
+      pool.ParallelFor(0, kInner, 4, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          ++hits[static_cast<size_t>(o)][static_cast<size_t>(i)];
+        }
+      });
+    }
+  });
+  for (const auto& row : hits) {
+    for (int h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+// The core determinism contract: a loop whose iterations draw from
+// per-index Rng streams produces identical output for every pool size.
+std::vector<uint64_t> StreamedDraws(int num_threads) {
+  ThreadPool pool(num_threads);
+  std::vector<uint64_t> out(512, 0);
+  pool.ParallelFor(0, 512, 3, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      Rng rng(MixSeed(99, static_cast<uint64_t>(i)));
+      out[static_cast<size_t>(i)] = rng.NextUint64();
+    }
+  });
+  return out;
+}
+
+TEST(ThreadPoolTest, PoolSizeOneIsExactSerialFallback) {
+  const std::vector<uint64_t> serial = StreamedDraws(1);
+  EXPECT_EQ(serial, StreamedDraws(2));
+  EXPECT_EQ(serial, StreamedDraws(4));
+  EXPECT_EQ(serial, StreamedDraws(8));
+}
+
+TEST(ThreadPoolTest, MixSeedSeparatesStreams) {
+  EXPECT_NE(MixSeed(7, 0), MixSeed(7, 1));
+  EXPECT_NE(MixSeed(7, 0), MixSeed(8, 0));
+  EXPECT_EQ(MixSeed(7, 3), MixSeed(7, 3));
+}
+
+TEST(ThreadPoolTest, DefaultPoolHonorsSetDefaultThreadCount) {
+  SetDefaultThreadCount(3);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  EXPECT_EQ(DefaultThreadPool()->num_threads(), 3);
+  std::atomic<int> counter{0};
+  ParallelFor(0, 100, 0,
+              [&](int64_t b, int64_t e) { counter += static_cast<int>(e - b); });
+  EXPECT_EQ(counter.load(), 100);
+  SetDefaultThreadCount(0);  // restore env/hardware derivation
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace dekg
