@@ -1,0 +1,46 @@
+#!/bin/sh
+# Sanitizer gate for the parallel and checkpoint subsystems. Two sweeps:
+#
+#   thread            (-DDEKG_SANITIZE=thread)            data races in the
+#                     thread pool, parallel evaluator, tensor kernels, and
+#                     the checkpoint format/resume paths
+#   address,undefined (-DDEKG_SANITIZE=address,undefined) memory and UB bugs
+#                     in the same set plus the fork-heavy dataset-I/O fuzz
+#                     and checkpoint death tests (fork/abort tests are kept
+#                     out of the TSan sweep, which does not support them
+#                     reliably)
+#
+# Usage: scripts/sanitize_check.sh [thread|asan|all]   (default: all)
+# Build trees: build-tsan/ and build-asan-ubsan/ (both gitignored).
+set -e
+cd "$(dirname "$0")/.."
+MODE="${1:-all}"
+
+# Tests built and run under every sanitizer.
+COMMON_TESTS="thread_pool_test parallel_eval_determinism_test evaluator_test \
+  tensor_test checkpoint_format_test checkpoint_resume_test"
+# Death-test / fork-based suites: address,undefined sweep only.
+FORKY_TESTS="checkpoint_test dataset_io_fuzz_test"
+
+run_suite() {
+  BUILD_DIR="$1"
+  SANITIZERS="$2"
+  TESTS="$3"
+  cmake -B "$BUILD_DIR" -S . -DDEKG_SANITIZE="$SANITIZERS"
+  # shellcheck disable=SC2086
+  cmake --build "$BUILD_DIR" -j --target $TESTS
+  for t in $TESTS; do
+    echo "== $SANITIZERS: $t =="
+    # Force real concurrency so races are reachable even where the default
+    # pool would size itself to 1 on small machines.
+    DEKG_NUM_THREADS=4 "$BUILD_DIR/tests/$t"
+  done
+}
+
+if [ "$MODE" = "thread" ] || [ "$MODE" = "all" ]; then
+  run_suite build-tsan thread "$COMMON_TESTS"
+fi
+if [ "$MODE" = "asan" ] || [ "$MODE" = "all" ]; then
+  run_suite build-asan-ubsan address,undefined "$COMMON_TESTS $FORKY_TESTS"
+fi
+echo "Sanitize check ($MODE) passed."

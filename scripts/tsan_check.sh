@@ -1,24 +1,7 @@
 #!/bin/sh
-# ThreadSanitizer gate for the parallel subsystem: builds the thread-pool,
-# evaluator, and determinism tests with -DDEKG_SANITIZE=thread and runs
-# them. Any data race in the pool, the parallel ranking loop, batched GSM
-# scoring, or the parallel tensor kernels fails this script.
-#
-# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+# Back-compat wrapper: the ThreadSanitizer gate now lives in
+# scripts/sanitize_check.sh, which additionally runs an address,undefined
+# sweep. This entry point keeps `scripts/tsan_check.sh` invocations
+# working and runs the thread sweep only.
 set -e
-cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
-
-cmake -B "$BUILD_DIR" -S . -DDEKG_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test parallel_eval_determinism_test evaluator_test \
-           tensor_test
-
-for t in thread_pool_test parallel_eval_determinism_test evaluator_test \
-         tensor_test; do
-  echo "== TSan: $t =="
-  # Force real concurrency so races are reachable even where the default
-  # pool would size itself to 1 on small machines.
-  DEKG_NUM_THREADS=4 "$BUILD_DIR/tests/$t"
-done
-echo "TSan check passed."
+exec "$(dirname "$0")/sanitize_check.sh" thread

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/optimizer.h"
+#include "nn/train_checkpoint.h"
 
 namespace dekg::baselines {
 
@@ -34,11 +35,16 @@ std::vector<double> TrainGraphModel(nn::Module* module,
     return positive;
   };
 
-  std::vector<double> losses;
-  std::vector<Triple> triples = dataset.train_triples();
-  for (int32_t epoch = 0; epoch < config.epochs; ++epoch) {
-    rng.Shuffle(&triples);
+  nn::TrainLoopState loop;
+  if (!config.checkpoint_path.empty()) {
+    nn::LoadTrainState(config.checkpoint_path, module, &optimizer, &rng,
+                       &loop);
+  }
+  const std::vector<Triple>& triples = dataset.train_triples();
+  for (int32_t epoch = static_cast<int32_t>(loop.epochs_completed);
+       epoch < config.epochs; ++epoch) {
     std::vector<Triple> epoch_triples = triples;
+    rng.Shuffle(&epoch_triples);
     if (config.max_triples_per_epoch > 0 &&
         static_cast<int32_t>(epoch_triples.size()) >
             config.max_triples_per_epoch) {
@@ -69,12 +75,24 @@ std::vector<double> TrainGraphModel(nn::Module* module,
       nn::ClipGradNorm(module, config.grad_clip);
       optimizer.Step();
     }
-    losses.push_back(count > 0 ? epoch_loss / static_cast<double>(count) : 0.0);
+    loop.epoch_losses.push_back(
+        count > 0 ? epoch_loss / static_cast<double>(count) : 0.0);
+    loop.epochs_completed = epoch + 1;
     if (config.verbose) {
-      DEKG_INFO() << "epoch " << epoch + 1 << " loss " << losses.back();
+      DEKG_INFO() << "epoch " << epoch + 1 << " loss "
+                  << loop.epoch_losses.back();
+    }
+    if (!config.checkpoint_path.empty() && config.checkpoint_every > 0 &&
+        ((epoch + 1) % config.checkpoint_every == 0 ||
+         epoch + 1 == config.epochs)) {
+      if (!nn::SaveTrainState(config.checkpoint_path, *module, optimizer, rng,
+                              loop)) {
+        DEKG_WARN() << "checkpoint save failed at epoch " << epoch + 1 << ": "
+                    << config.checkpoint_path;
+      }
     }
   }
-  return losses;
+  return loop.epoch_losses;
 }
 
 }  // namespace dekg::baselines

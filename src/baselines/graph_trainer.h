@@ -6,6 +6,7 @@
 #define DEKG_BASELINES_GRAPH_TRAINER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -27,10 +28,19 @@ struct GraphTrainConfig {
   double grad_clip = 5.0;
   uint64_t seed = 42;
   bool verbose = false;
+  // Crash-safe checkpointing (see core::TrainConfig): non-empty path
+  // resumes from an existing checkpoint and atomically rewrites it every
+  // checkpoint_every epochs plus after the final epoch.
+  std::string checkpoint_path;
+  int32_t checkpoint_every = 1;
 };
 
 // Margin ranking over positives vs head/tail-corrupted negatives on the
-// dataset's original KG. Returns per-epoch mean losses.
+// dataset's original KG. Returns per-epoch mean losses (including epochs
+// recovered from a checkpoint when resuming). Each epoch shuffles a fresh
+// copy of the train triples, so an epoch's batch order depends only on
+// the RNG stream position — the property that makes a checkpoint resume
+// bit-identical to an uninterrupted run.
 std::vector<double> TrainGraphModel(nn::Module* module,
                                     const GraphScoreFn& score,
                                     const DekgDataset& dataset,

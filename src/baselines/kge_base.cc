@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nn/train_checkpoint.h"
+
 namespace dekg::baselines {
 
 KgeModel::KgeModel(std::string name, const KgeConfig& config)
@@ -49,9 +51,14 @@ std::vector<double> TrainKgeModel(KgeModel* model, const DekgDataset& dataset,
     return positive;
   };
 
-  std::vector<double> losses;
-  std::vector<Triple> triples = dataset.train_triples();
-  for (int32_t epoch = 0; epoch < config.epochs; ++epoch) {
+  nn::TrainLoopState loop;
+  if (!config.checkpoint_path.empty()) {
+    nn::LoadTrainState(config.checkpoint_path, model, &optimizer, &rng, &loop);
+  }
+  const std::vector<Triple>& base_triples = dataset.train_triples();
+  for (int32_t epoch = static_cast<int32_t>(loop.epochs_completed);
+       epoch < config.epochs; ++epoch) {
+    std::vector<Triple> triples = base_triples;
     rng.Shuffle(&triples);
     double epoch_loss = 0.0;
     int64_t count = 0;
@@ -109,13 +116,23 @@ std::vector<double> TrainKgeModel(KgeModel* model, const DekgDataset& dataset,
     }
     const double mean_loss =
         count > 0 ? epoch_loss / static_cast<double>(count) : 0.0;
-    losses.push_back(mean_loss);
+    loop.epoch_losses.push_back(mean_loss);
+    loop.epochs_completed = epoch + 1;
     if (config.verbose) {
       DEKG_INFO() << model->Name() << " epoch " << epoch + 1 << " loss "
                   << mean_loss;
     }
+    if (!config.checkpoint_path.empty() && config.checkpoint_every > 0 &&
+        ((epoch + 1) % config.checkpoint_every == 0 ||
+         epoch + 1 == config.epochs)) {
+      if (!nn::SaveTrainState(config.checkpoint_path, *model, optimizer, rng,
+                              loop)) {
+        DEKG_WARN() << "checkpoint save failed at epoch " << epoch + 1 << ": "
+                    << config.checkpoint_path;
+      }
+    }
   }
-  return losses;
+  return loop.epoch_losses;
 }
 
 }  // namespace dekg::baselines

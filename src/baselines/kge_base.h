@@ -75,11 +75,19 @@ struct KgeTrainConfig {
   double adversarial_alpha = 1.0;
   uint64_t seed = 11;
   bool verbose = false;
+  // Crash-safe checkpointing (see core::TrainConfig): non-empty path
+  // resumes from an existing checkpoint and atomically rewrites it every
+  // checkpoint_every epochs plus after the final epoch.
+  std::string checkpoint_path;
+  int32_t checkpoint_every = 1;
 };
 
 // Margin-ranking training on the original KG only. Negative corruption
 // draws replacement entities from the original entity range, so emerging
-// rows are untouched (their gradient is never populated).
+// rows are untouched (their gradient is never populated). Returns
+// per-epoch mean losses (including epochs recovered from a checkpoint
+// when resuming); each epoch shuffles a fresh copy of the train triples
+// so resume is bit-identical.
 std::vector<double> TrainKgeModel(KgeModel* model, const DekgDataset& dataset,
                                   const KgeTrainConfig& config);
 

@@ -1,0 +1,298 @@
+#include "common/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace dekg::ckpt {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// Chunk size for payload appends. Small enough that a multi-KB checkpoint
+// spans several Append operations, giving the fault-injection sweep many
+// distinct byte offsets to kill at.
+constexpr size_t kAppendChunk = 4096;
+
+WritableFileFactory& FactoryOverride() {
+  static WritableFileFactory factory;
+  return factory;
+}
+
+std::unique_ptr<WritableFile> OpenForWrite(const std::string& path) {
+  if (FactoryOverride()) return FactoryOverride()(path);
+  return PosixWritableFile::Open(path);
+}
+
+// fsync the parent directory so the rename itself is durable. Best effort:
+// some filesystems refuse O_RDONLY directory fsync.
+void SyncParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  int fd = ::open(parent.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void AppendRaw(std::vector<uint8_t>* out, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + size);
+}
+
+void AppendString(std::vector<uint8_t>* out, std::string_view text) {
+  AppendPod(out, static_cast<uint32_t>(text.size()));
+  AppendRaw(out, text.data(), text.size());
+}
+
+bool ByteReader::ReadRaw(void* out, size_t size) {
+  if (!ok_ || size > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool ByteReader::ReadString(std::string* out) {
+  uint32_t length = 0;
+  if (!ReadPod(&length) || length > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return true;
+}
+
+std::unique_ptr<PosixWritableFile> PosixWritableFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return nullptr;
+  return std::unique_ptr<PosixWritableFile>(new PosixWritableFile(fd));
+}
+
+PosixWritableFile::~PosixWritableFile() { Close(); }
+
+bool PosixWritableFile::Append(const void* data, size_t size) {
+  if (fd_ < 0) return false;
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::write(fd_, p, size);
+    if (n < 0) return false;
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool PosixWritableFile::Sync() { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+bool PosixWritableFile::Close() {
+  if (fd_ < 0) return true;
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  return rc == 0;
+}
+
+FaultInjectionFile::FaultInjectionFile(std::unique_ptr<WritableFile> base,
+                                       const FaultPlan& plan,
+                                       int64_t* op_counter)
+    : base_(std::move(base)), plan_(plan), op_counter_(op_counter) {}
+
+// Advances the op counter; true when the plan is armed and this op index
+// has reached the planned failure point. The fault only fires when the op
+// type matches plan_.kind, but `>=` keeps the plan armed until an eligible
+// op arrives, so every fail_at_op in a sweep lands on some fault.
+bool FaultInjectionFile::NextOpTriggers(FaultKind kind) {
+  ++ops_;
+  if (op_counter_ != nullptr) *op_counter_ = ops_;
+  return plan_.fail_at_op > 0 && ops_ >= plan_.fail_at_op &&
+         plan_.kind == kind;
+}
+
+bool FaultInjectionFile::Append(const void* data, size_t size) {
+  const bool short_write = NextOpTriggers(FaultKind::kShortWrite);
+  const bool enospc = !short_write && plan_.fail_at_op > 0 &&
+                      ops_ >= plan_.fail_at_op &&
+                      plan_.kind == FaultKind::kEnospc;
+  if (failed_) return false;
+  if (short_write) {
+    // Half the bytes reach the disk before the device gives up.
+    base_->Append(data, size / 2);
+    failed_ = true;
+    return false;
+  }
+  if (enospc) {
+    failed_ = true;
+    return false;
+  }
+  return base_->Append(data, size);
+}
+
+bool FaultInjectionFile::Sync() {
+  const bool fail = NextOpTriggers(FaultKind::kSyncFail);
+  if (failed_) return false;
+  if (fail) {
+    failed_ = true;
+    return false;
+  }
+  return base_->Sync();
+}
+
+bool FaultInjectionFile::Close() {
+  const bool fail = NextOpTriggers(FaultKind::kCloseFail);
+  if (failed_) {
+    base_->Close();
+    return false;
+  }
+  if (fail) {
+    failed_ = true;
+    base_->Close();
+    return false;
+  }
+  return base_->Close();
+}
+
+void SetWritableFileFactoryForTest(WritableFileFactory factory) {
+  FactoryOverride() = std::move(factory);
+}
+
+bool WriteCheckpointFile(const std::string& path,
+                         const std::vector<Section>& sections) {
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file = OpenForWrite(tmp);
+  if (file == nullptr) return false;
+
+  auto append_chunked = [&](const std::vector<uint8_t>& bytes) {
+    for (size_t off = 0; off < bytes.size(); off += kAppendChunk) {
+      const size_t n = std::min(kAppendChunk, bytes.size() - off);
+      if (!file->Append(bytes.data() + off, n)) return false;
+    }
+    return true;
+  };
+
+  bool ok = true;
+  {
+    std::vector<uint8_t> header;
+    AppendPod(&header, kMagic);
+    AppendPod(&header, kFormatVersion);
+    AppendPod(&header, static_cast<uint32_t>(sections.size()));
+    ok = file->Append(header.data(), header.size());
+  }
+  for (const Section& section : sections) {
+    if (!ok) break;
+    std::vector<uint8_t> head;
+    AppendString(&head, section.name);
+    AppendPod(&head, static_cast<uint64_t>(section.payload.size()));
+    AppendPod(&head, Crc32(section.payload.data(), section.payload.size()));
+    ok = file->Append(head.data(), head.size()) &&
+         append_chunked(section.payload);
+  }
+  ok = ok && file->Sync() && file->Close();
+  if (!ok) {
+    file->Close();
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  SyncParentDir(path);
+  return true;
+}
+
+ReadStatus ReadCheckpointFile(const std::string& path,
+                              std::vector<Section>* sections,
+                              std::string* error) {
+  sections->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return ReadStatus::kNotFound;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+
+  auto corrupt = [&](const std::string& why) {
+    sections->clear();
+    if (error != nullptr) *error = why + ": " + path;
+    return ReadStatus::kCorrupt;
+  };
+
+  ByteReader reader(bytes);
+  uint64_t magic = 0;
+  if (!reader.ReadPod(&magic) || magic != kMagic) {
+    return corrupt("not a DEKG checkpoint");
+  }
+  uint32_t version = 0;
+  if (!reader.ReadPod(&version) || version != kFormatVersion) {
+    return corrupt("unsupported checkpoint format version");
+  }
+  uint32_t count = 0;
+  if (!reader.ReadPod(&count)) return corrupt("truncated checkpoint header");
+  for (uint32_t i = 0; i < count; ++i) {
+    Section section;
+    uint64_t payload_len = 0;
+    uint32_t crc = 0;
+    if (!reader.ReadString(&section.name) || !reader.ReadPod(&payload_len) ||
+        !reader.ReadPod(&crc) || payload_len > reader.remaining()) {
+      return corrupt("truncated checkpoint section");
+    }
+    section.payload.resize(static_cast<size_t>(payload_len));
+    if (!reader.ReadRaw(section.payload.data(), section.payload.size())) {
+      return corrupt("truncated checkpoint section");
+    }
+    if (Crc32(section.payload.data(), section.payload.size()) != crc) {
+      return corrupt("checkpoint CRC mismatch in section '" + section.name +
+                     "'");
+    }
+    sections->push_back(std::move(section));
+  }
+  if (!reader.AtEnd()) return corrupt("trailing bytes after checkpoint");
+  return ReadStatus::kOk;
+}
+
+const Section* FindSection(const std::vector<Section>& sections,
+                           std::string_view name) {
+  for (const Section& section : sections) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+}  // namespace dekg::ckpt

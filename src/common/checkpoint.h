@@ -1,0 +1,192 @@
+// Crash-safe versioned checkpoint container (PR 2).
+//
+// A checkpoint file is a sequence of named, individually CRC-checked
+// sections behind a magic + format-version header:
+//
+//   u64  magic            0xDE6B11F0C8EC4B01
+//   u32  format version   (currently 2)
+//   u32  section count
+//   per section:
+//     u32  name length, name bytes
+//     u64  payload length
+//     u32  CRC32 of the payload
+//     payload bytes
+//
+// Files are written atomically: the full image goes to `<path>.tmp`
+// through a WritableFile (append + fsync + close), and only after a
+// successful fsync is the tmp renamed over `path`. A crash or I/O failure
+// at any byte offset therefore leaves either the old checkpoint or the
+// new one — never a torn file — and a stale `<path>.tmp` remnant is
+// simply overwritten by the next save.
+//
+// All writes go through the WritableFile interface so tests can swap in
+// FaultInjectionFile (via SetWritableFileFactoryForTest) and exercise the
+// recovery path under deterministic write failures: short writes, ENOSPC,
+// fsync failure, close failure — at the Nth I/O operation.
+#ifndef DEKG_COMMON_CHECKPOINT_H_
+#define DEKG_COMMON_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace dekg::ckpt {
+
+inline constexpr uint64_t kMagic = 0xDE6B11F0C8EC4B01ULL;
+inline constexpr uint32_t kFormatVersion = 2;
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+// ----- Byte-level serialization helpers -----
+
+void AppendRaw(std::vector<uint8_t>* out, const void* data, size_t size);
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendRaw(out, &value, sizeof(T));
+}
+
+// u32 length prefix + bytes.
+void AppendString(std::vector<uint8_t>* out, std::string_view text);
+
+// Bounds-checked sequential reader over a byte span. Every Read* returns
+// false (and poisons the reader) on underrun instead of reading garbage.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ReadRaw(void* out, size_t size);
+
+  template <typename T>
+  bool ReadPod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadRaw(out, sizeof(T));
+  }
+
+  bool ReadString(std::string* out);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  // True when the reader is healthy and fully consumed — trailing bytes in
+  // a section are a format error the caller should reject.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ----- Write-side I/O abstraction (fault-injection seam) -----
+
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual bool Append(const void* data, size_t size) = 0;
+  virtual bool Sync() = 0;   // fsync
+  virtual bool Close() = 0;  // idempotent
+};
+
+// O_WRONLY|O_CREAT|O_TRUNC file with real fsync.
+class PosixWritableFile : public WritableFile {
+ public:
+  // Returns null when the file cannot be opened.
+  static std::unique_ptr<PosixWritableFile> Open(const std::string& path);
+  ~PosixWritableFile() override;
+
+  bool Append(const void* data, size_t size) override;
+  bool Sync() override;
+  bool Close() override;
+
+ private:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+enum class FaultKind {
+  kShortWrite,  // the Nth op writes only half its bytes, then fails
+  kEnospc,      // the Nth op writes nothing and fails (disk full)
+  kSyncFail,    // the Nth op, if a Sync, fails after the data was buffered
+  kCloseFail,   // the Nth op, if a Close, fails
+};
+
+struct FaultPlan {
+  int64_t fail_at_op = -1;  // 1-based index over Append/Sync/Close; <=0 off
+  FaultKind kind = FaultKind::kEnospc;
+};
+
+// Wraps a real file and deterministically injects the planned fault at the
+// Nth I/O operation. Once an injected fault fires, every later operation
+// fails too (the file descriptor is treated as lost). The running op count
+// is mirrored into *op_counter when provided, so tests can first measure
+// how many operations a save performs, then sweep fail_at_op across all of
+// them.
+class FaultInjectionFile : public WritableFile {
+ public:
+  FaultInjectionFile(std::unique_ptr<WritableFile> base, const FaultPlan& plan,
+                     int64_t* op_counter = nullptr);
+
+  bool Append(const void* data, size_t size) override;
+  bool Sync() override;
+  bool Close() override;
+
+ private:
+  bool NextOpTriggers(FaultKind kind);
+
+  std::unique_ptr<WritableFile> base_;
+  FaultPlan plan_;
+  int64_t* op_counter_;
+  int64_t ops_ = 0;
+  bool failed_ = false;
+};
+
+// Overrides how WriteCheckpointFile opens its tmp file. Pass nullptr to
+// restore the default (PosixWritableFile). Test-only; not thread-safe
+// against concurrent checkpoint writes.
+using WritableFileFactory =
+    std::function<std::unique_ptr<WritableFile>(const std::string& path)>;
+void SetWritableFileFactoryForTest(WritableFileFactory factory);
+
+// ----- Container read/write -----
+
+struct Section {
+  std::string name;
+  std::vector<uint8_t> payload;
+};
+
+// Atomically replaces `path` with a checkpoint holding `sections`.
+// Returns false on any I/O failure; in that case `path` is untouched (the
+// partially written `<path>.tmp` is removed best-effort).
+bool WriteCheckpointFile(const std::string& path,
+                         const std::vector<Section>& sections);
+
+enum class ReadStatus {
+  kOk,
+  kNotFound,  // missing or unreadable file
+  kCorrupt,   // bad magic / version / CRC / truncation
+};
+
+// Reads and fully validates a checkpoint (magic, version, every section
+// CRC, exact end-of-file). Never aborts: corruption is reported through
+// the status and *error so recovery code can decide what to do.
+ReadStatus ReadCheckpointFile(const std::string& path,
+                              std::vector<Section>* sections,
+                              std::string* error);
+
+// Convenience: pointer to the named section, or null.
+const Section* FindSection(const std::vector<Section>& sections,
+                           std::string_view name);
+
+}  // namespace dekg::ckpt
+
+#endif  // DEKG_COMMON_CHECKPOINT_H_

@@ -114,6 +114,20 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng::Snapshot Rng::SaveState() const {
+  Snapshot snapshot;
+  for (int i = 0; i < 4; ++i) snapshot.state[i] = state_[i];
+  snapshot.cached_gaussian = cached_gaussian_;
+  snapshot.has_cached_gaussian = has_cached_gaussian_;
+  return snapshot;
+}
+
+void Rng::RestoreState(const Snapshot& snapshot) {
+  for (int i = 0; i < 4; ++i) state_[i] = snapshot.state[i];
+  cached_gaussian_ = snapshot.cached_gaussian;
+  has_cached_gaussian_ = snapshot.has_cached_gaussian;
+}
+
 uint64_t MixSeed(uint64_t seed, uint64_t stream) {
   uint64_t sm = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
   SplitMix64(&sm);

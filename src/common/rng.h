@@ -63,6 +63,17 @@ class Rng {
   // own stream without coupling their consumption patterns.
   Rng Fork();
 
+  // Full generator state (xoshiro words plus the Box-Muller cache), so a
+  // checkpointed training run resumes its random stream exactly where the
+  // interrupted run left off.
+  struct Snapshot {
+    uint64_t state[4] = {0, 0, 0, 0};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+  };
+  Snapshot SaveState() const;
+  void RestoreState(const Snapshot& snapshot);
+
  private:
   uint64_t state_[4];
   double cached_gaussian_ = 0.0;

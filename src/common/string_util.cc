@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace dekg {
@@ -50,6 +51,17 @@ std::string FormatFixed(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return std::string(buf);
+}
+
+bool ParseInt32(std::string_view text, int32_t* out) {
+  if (text.empty()) return false;
+  int32_t value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc() || ptr != last) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace dekg

@@ -25,6 +25,12 @@ std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
 // match the paper's tables).
 std::string FormatFixed(double value, int precision);
 
+// Strict base-10 parse of the ENTIRE string into an int32 (optional
+// leading '-'). Rejects empty input, whitespace, trailing garbage
+// (including embedded NULs), and out-of-range values — unlike std::stoi,
+// which throws on some of these and silently ignores others.
+bool ParseInt32(std::string_view text, int32_t* out);
+
 }  // namespace dekg
 
 #endif  // DEKG_COMMON_STRING_UTIL_H_

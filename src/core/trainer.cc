@@ -127,17 +127,39 @@ double DekgIlpTrainer::TrainWithValidation(const EvalConfig& eval_config,
 }
 
 std::vector<double> DekgIlpTrainer::Train() {
-  std::vector<double> losses;
-  losses.reserve(static_cast<size_t>(config_.epochs));
-  for (int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  if (!config_.checkpoint_path.empty() &&
+      LoadCheckpoint(config_.checkpoint_path) && config_.verbose) {
+    DEKG_INFO() << model_->config().VariantName() << " resumed from "
+                << config_.checkpoint_path << " at epoch "
+                << loop_.epochs_completed;
+  }
+  for (int32_t epoch = static_cast<int32_t>(loop_.epochs_completed);
+       epoch < config_.epochs; ++epoch) {
     const double loss = TrainEpoch();
-    losses.push_back(loss);
+    loop_.epoch_losses.push_back(loss);
+    loop_.epochs_completed = epoch + 1;
     if (config_.verbose) {
       DEKG_INFO() << model_->config().VariantName() << " epoch " << epoch + 1
                   << "/" << config_.epochs << " loss " << loss;
     }
+    if (!config_.checkpoint_path.empty() && config_.checkpoint_every > 0 &&
+        ((epoch + 1) % config_.checkpoint_every == 0 ||
+         epoch + 1 == config_.epochs)) {
+      if (!SaveCheckpoint(config_.checkpoint_path)) {
+        DEKG_WARN() << "checkpoint save failed at epoch " << epoch + 1
+                    << ": " << config_.checkpoint_path;
+      }
+    }
   }
-  return losses;
+  return loop_.epoch_losses;
+}
+
+bool DekgIlpTrainer::SaveCheckpoint(const std::string& path) const {
+  return nn::SaveTrainState(path, *model_, *optimizer_, rng_, loop_);
+}
+
+bool DekgIlpTrainer::LoadCheckpoint(const std::string& path) {
+  return nn::LoadTrainState(path, model_, optimizer_.get(), &rng_, &loop_);
 }
 
 }  // namespace dekg::core

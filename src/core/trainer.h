@@ -7,11 +7,13 @@
 #ifndef DEKG_CORE_TRAINER_H_
 #define DEKG_CORE_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "core/dekg_ilp.h"
 #include "kg/dataset.h"
 #include "nn/optimizer.h"
+#include "nn/train_checkpoint.h"
 
 namespace dekg::core {
 
@@ -26,6 +28,13 @@ struct TrainConfig {
   double grad_clip = 5.0;
   uint64_t seed = 42;
   bool verbose = false;
+  // Crash-safe checkpointing: when checkpoint_path is non-empty, Train()
+  // resumes from an existing checkpoint at that path and atomically
+  // rewrites it every checkpoint_every epochs (and after the final
+  // epoch). A failed save (disk full, injected fault) logs a warning and
+  // training continues on the previous checkpoint.
+  std::string checkpoint_path;
+  int32_t checkpoint_every = 1;
 };
 
 class DekgIlpTrainer {
@@ -37,8 +46,18 @@ class DekgIlpTrainer {
   // per-positive loss.
   double TrainEpoch();
 
-  // Runs config.epochs epochs; returns per-epoch mean losses.
+  // Runs config.epochs epochs; returns per-epoch mean losses (including
+  // epochs recovered from a checkpoint when resuming, so the returned
+  // curve always spans epoch 0..config.epochs).
   std::vector<double> Train();
+
+  // Atomically saves / restores the full training state (model params,
+  // Adam moments, RNG stream, epoch counter + loss curve). Save returns
+  // false on I/O failure leaving any previous checkpoint intact; Load
+  // returns false when the file is missing.
+  bool SaveCheckpoint(const std::string& path) const;
+  bool LoadCheckpoint(const std::string& path);
+  int64_t epochs_completed() const { return loop_.epochs_completed; }
 
   // Trains with validation-based model selection: every `eval_every`
   // epochs the model is scored on dataset->valid_links() (the paper's grid
@@ -58,6 +77,7 @@ class DekgIlpTrainer {
   TrainConfig config_;
   Rng rng_;
   std::unique_ptr<nn::Adam> optimizer_;
+  nn::TrainLoopState loop_;
 };
 
 }  // namespace dekg::core

@@ -1,6 +1,7 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/thread_pool.h"
 
@@ -197,6 +198,33 @@ EvalResult Evaluate(LinkPredictor* model, const DekgDataset& dataset,
   result.tail_task.Finalize();
   result.relation_task.Finalize();
   return result;
+}
+
+std::string GoldenSummary(const EvalResult& result) {
+  std::string out;
+  char buf[128];
+  auto emit_group = [&](const char* group, const RankingMetrics& m) {
+    const struct {
+      const char* metric;
+      double value;
+    } rows[] = {{"mrr", m.mrr},
+                {"hits_at_1", m.hits_at_1},
+                {"hits_at_5", m.hits_at_5},
+                {"hits_at_10", m.hits_at_10},
+                {"num_tasks", static_cast<double>(m.num_tasks)}};
+    for (const auto& row : rows) {
+      std::snprintf(buf, sizeof(buf), "%s.%s\t%.17g\n", group, row.metric,
+                    row.value);
+      out += buf;
+    }
+  };
+  emit_group("overall", result.overall);
+  emit_group("enclosing", result.enclosing);
+  emit_group("bridging", result.bridging);
+  emit_group("head_task", result.head_task);
+  emit_group("tail_task", result.tail_task);
+  emit_group("relation_task", result.relation_task);
+  return out;
 }
 
 }  // namespace dekg

@@ -107,6 +107,13 @@ EvalResult Evaluate(LinkPredictor* model, const DekgDataset& dataset,
 // scorers. Exposed for tests.
 double RankOf(double positive_score, const std::vector<double>& negative_scores);
 
+// Serializes every metric of an EvalResult as "group.metric<TAB>value"
+// lines (value at full %.17g double precision, so equal strings mean
+// bit-equal doubles) in a fixed order. This is the exact-precision form
+// pinned by the golden-regression tier (tests/golden/) and compared by
+// the resume-determinism tests.
+std::string GoldenSummary(const EvalResult& result);
+
 }  // namespace dekg
 
 #endif  // DEKG_EVAL_EVALUATOR_H_

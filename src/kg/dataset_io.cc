@@ -9,6 +9,31 @@ namespace dekg {
 
 namespace {
 
+// First characters of a (possibly huge or binary) line, sanitized for an
+// error message.
+std::string Preview(std::string_view text) {
+  constexpr size_t kMax = 64;
+  std::string out;
+  for (char c : text.substr(0, kMax)) {
+    out.push_back((c >= 0x20 && c < 0x7f) ? c : '?');
+  }
+  if (text.size() > kMax) out += "...";
+  return out;
+}
+
+// Strict non-negative id parse; std::stoi is unusable here — it throws on
+// non-numeric/overflowing input and silently accepts trailing garbage
+// (including embedded NULs), turning malformed files into crashes or
+// silently wrong ids.
+int32_t ParseIdField(const std::string& field, const std::string& path,
+                     std::string_view line) {
+  int32_t value = 0;
+  DEKG_CHECK(ParseInt32(field, &value) && value >= 0)
+      << "bad id field '" << Preview(field) << "' in " << path
+      << " line: " << Preview(line);
+  return value;
+}
+
 void WriteTriples(const std::string& path, const std::vector<Triple>& triples) {
   std::ofstream out(path);
   DEKG_CHECK(out.good()) << "cannot write " << path;
@@ -35,10 +60,12 @@ std::vector<Triple> ReadTriples(const std::string& path) {
     std::string_view trimmed = Trim(line);
     if (trimmed.empty()) continue;
     std::vector<std::string> fields = Split(trimmed, '\t');
-    DEKG_CHECK_EQ(fields.size(), 3u) << "bad triple line in " << path;
-    triples.push_back(Triple{static_cast<EntityId>(std::stoi(fields[0])),
-                             static_cast<RelationId>(std::stoi(fields[1])),
-                             static_cast<EntityId>(std::stoi(fields[2]))});
+    DEKG_CHECK_EQ(fields.size(), 3u)
+        << "bad triple line in " << path << ": " << Preview(trimmed);
+    triples.push_back(
+        Triple{static_cast<EntityId>(ParseIdField(fields[0], path, trimmed)),
+               static_cast<RelationId>(ParseIdField(fields[1], path, trimmed)),
+               static_cast<EntityId>(ParseIdField(fields[2], path, trimmed))});
   }
   return triples;
 }
@@ -52,11 +79,13 @@ std::vector<LabeledLink> ReadLinks(const std::string& path) {
     std::string_view trimmed = Trim(line);
     if (trimmed.empty()) continue;
     std::vector<std::string> fields = Split(trimmed, '\t');
-    DEKG_CHECK_EQ(fields.size(), 4u) << "bad link line in " << path;
+    DEKG_CHECK_EQ(fields.size(), 4u)
+        << "bad link line in " << path << ": " << Preview(trimmed);
     LabeledLink link;
-    link.triple = Triple{static_cast<EntityId>(std::stoi(fields[0])),
-                         static_cast<RelationId>(std::stoi(fields[1])),
-                         static_cast<EntityId>(std::stoi(fields[2]))};
+    link.triple =
+        Triple{static_cast<EntityId>(ParseIdField(fields[0], path, trimmed)),
+               static_cast<RelationId>(ParseIdField(fields[1], path, trimmed)),
+               static_cast<EntityId>(ParseIdField(fields[2], path, trimmed))};
     if (fields[3] == "enclosing") {
       link.kind = LinkKind::kEnclosing;
     } else if (fields[3] == "bridging") {
@@ -91,7 +120,8 @@ DekgDataset LoadDekgDatasetDir(const std::string& dir, std::string name) {
   DEKG_CHECK(meta.good()) << "cannot read " << dir << "/meta.tsv";
   int32_t num_original = 0, num_emerging = 0, num_relations = 0;
   meta >> num_original >> num_emerging >> num_relations;
-  DEKG_CHECK(num_original > 0 && num_relations > 0) << "corrupt meta.tsv";
+  DEKG_CHECK(num_original > 0 && num_emerging >= 0 && num_relations > 0)
+      << "corrupt meta.tsv";
   DekgDataset dataset(std::move(name), num_original, num_emerging,
                       num_relations, ReadTriples(dir + "/train.tsv"),
                       ReadTriples(dir + "/emerging.tsv"),

@@ -1,13 +1,10 @@
 #include "nn/module.h"
 
 #include <cstdint>
-#include <fstream>
+
+#include "common/checkpoint.h"
 
 namespace dekg::nn {
-
-namespace {
-constexpr uint64_t kCheckpointMagic = 0xDE6B11F0C8EC4B01ULL;
-}  // namespace
 
 int64_t Module::ParameterCount() const {
   int64_t total = 0;
@@ -42,35 +39,63 @@ void Module::LoadStateVector(const std::vector<float>& state) {
   DEKG_CHECK_EQ(offset, state.size()) << "state vector size mismatch";
 }
 
+void Module::SerializeParameters(std::vector<uint8_t>* out) const {
+  ckpt::AppendPod(out, static_cast<uint32_t>(parameters_.size()));
+  for (const Parameter& p : parameters_) {
+    const Tensor& t = p.var.value();
+    ckpt::AppendString(out, p.name);
+    ckpt::AppendPod(out, static_cast<uint64_t>(t.numel()));
+    ckpt::AppendRaw(out, t.Data(),
+                    static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+}
+
+void Module::RestoreParameters(const std::vector<uint8_t>& payload,
+                               const std::string& source) {
+  ckpt::ByteReader reader(payload);
+  uint32_t count = 0;
+  DEKG_CHECK(reader.ReadPod(&count)) << "truncated params section: " << source;
+  DEKG_CHECK_EQ(count, parameters_.size())
+      << "checkpoint architecture mismatch (parameter count) for " << source;
+  for (Parameter& p : parameters_) {
+    std::string name;
+    uint64_t numel = 0;
+    DEKG_CHECK(reader.ReadString(&name) && reader.ReadPod(&numel))
+        << "truncated params section: " << source;
+    Tensor& t = p.var.mutable_value();
+    DEKG_CHECK(name == p.name && numel == static_cast<uint64_t>(t.numel()))
+        << "checkpoint architecture mismatch for " << source << ": expected "
+        << p.name << "[" << t.numel() << "], found " << name << "[" << numel
+        << "]";
+    DEKG_CHECK(reader.ReadRaw(t.Data(),
+                              static_cast<size_t>(t.numel()) * sizeof(float)))
+        << "truncated params section: " << source;
+  }
+  DEKG_CHECK(reader.AtEnd()) << "trailing bytes in params section: " << source;
+}
+
 bool Module::SaveCheckpoint(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.good()) return false;
-  const std::vector<float> state = StateVector();
-  const uint64_t count = state.size();
-  out.write(reinterpret_cast<const char*>(&kCheckpointMagic),
-            sizeof(kCheckpointMagic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  out.write(reinterpret_cast<const char*>(state.data()),
-            static_cast<std::streamsize>(state.size() * sizeof(float)));
-  return out.good();
+  std::vector<ckpt::Section> sections(1);
+  sections[0].name = "params";
+  SerializeParameters(&sections[0].payload);
+  return ckpt::WriteCheckpointFile(path, sections);
 }
 
 bool Module::LoadCheckpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return false;
-  uint64_t magic = 0;
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in.good()) return false;
-  DEKG_CHECK_EQ(magic, kCheckpointMagic) << "not a DEKG checkpoint: " << path;
-  DEKG_CHECK_EQ(count, static_cast<uint64_t>(ParameterCount()))
-      << "checkpoint architecture mismatch for " << path;
-  std::vector<float> state(count);
-  in.read(reinterpret_cast<char*>(state.data()),
-          static_cast<std::streamsize>(count * sizeof(float)));
-  if (!in.good()) return false;
-  LoadStateVector(state);
+  std::vector<ckpt::Section> sections;
+  std::string error;
+  switch (ckpt::ReadCheckpointFile(path, &sections, &error)) {
+    case ckpt::ReadStatus::kNotFound:
+      return false;
+    case ckpt::ReadStatus::kCorrupt:
+      DEKG_FATAL() << error;
+      return false;
+    case ckpt::ReadStatus::kOk:
+      break;
+  }
+  const ckpt::Section* params = ckpt::FindSection(sections, "params");
+  DEKG_CHECK(params != nullptr) << "checkpoint has no params section: " << path;
+  RestoreParameters(params->payload, path);
   return true;
 }
 

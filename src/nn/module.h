@@ -5,6 +5,7 @@
 #ifndef DEKG_NN_MODULE_H_
 #define DEKG_NN_MODULE_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,9 +45,17 @@ class Module {
   std::vector<float> StateVector() const;
   void LoadStateVector(const std::vector<float>& state);
 
-  // Binary checkpoint I/O. The file stores a magic header, the parameter
-  // count, and the raw float32 state vector; loading into a module with a
-  // different architecture aborts. Returns false on I/O failure.
+  // Serializes every parameter (name, numel, float32 data) into the
+  // checkpoint "params" section payload, and restores it with full
+  // name/shape validation. Restore aborts on architecture mismatch.
+  void SerializeParameters(std::vector<uint8_t>* out) const;
+  void RestoreParameters(const std::vector<uint8_t>& payload,
+                         const std::string& source);
+
+  // Binary checkpoint I/O in the versioned, CRC-checked container of
+  // common/checkpoint.h, written atomically (tmp + fsync + rename).
+  // Loading into a module with a different architecture, or from a
+  // corrupt file, aborts; a missing file returns false.
   bool SaveCheckpoint(const std::string& path) const;
   bool LoadCheckpoint(const std::string& path);
 

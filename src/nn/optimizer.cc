@@ -2,7 +2,49 @@
 
 #include <cmath>
 
+#include "common/checkpoint.h"
+
 namespace dekg::nn {
+
+namespace {
+
+// Moment tensors are stored as (numel, float data) per parameter; a numel
+// of 0 marks a lazily-uninitialized slot. Shapes are recovered from the
+// module's parameters, which restore before the optimizer.
+void AppendMomentTensors(const std::vector<Tensor>& tensors,
+                         std::vector<uint8_t>* out) {
+  ckpt::AppendPod(out, static_cast<uint32_t>(tensors.size()));
+  for (const Tensor& t : tensors) {
+    ckpt::AppendPod(out, static_cast<uint64_t>(t.numel()));
+    if (t.numel() > 0) {
+      ckpt::AppendRaw(out, t.Data(),
+                      static_cast<size_t>(t.numel()) * sizeof(float));
+    }
+  }
+}
+
+bool ReadMomentTensors(ckpt::ByteReader* reader,
+                       const std::vector<Parameter>& params,
+                       std::vector<Tensor>* tensors) {
+  uint32_t count = 0;
+  if (!reader->ReadPod(&count) || count != params.size()) return false;
+  tensors->assign(count, Tensor());
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t numel = 0;
+    if (!reader->ReadPod(&numel)) return false;
+    if (numel == 0) continue;
+    const Tensor& value = params[i].var.value();
+    if (numel != static_cast<uint64_t>(value.numel())) return false;
+    (*tensors)[i] = Tensor::Zeros(value.shape());
+    if (!reader->ReadRaw((*tensors)[i].Data(),
+                         static_cast<size_t>(numel) * sizeof(float))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 double ClipGradNorm(Module* module, double max_norm) {
   double sq = 0.0;
@@ -64,6 +106,19 @@ void Sgd::Step() {
   }
 }
 
+void Sgd::SerializeState(std::vector<uint8_t>* out) const {
+  ckpt::AppendPod(out, static_cast<uint8_t>('S'));
+  AppendMomentTensors(velocity_, out);
+}
+
+bool Sgd::RestoreState(const std::vector<uint8_t>& payload) {
+  ckpt::ByteReader reader(payload);
+  uint8_t tag = 0;
+  if (!reader.ReadPod(&tag) || tag != 'S') return false;
+  return ReadMomentTensors(&reader, module_->parameters(), &velocity_) &&
+         reader.AtEnd();
+}
+
 Adam::Adam(Module* module, Options options)
     : module_(module), options_(options) {
   m_.resize(module_->parameters().size());
@@ -100,6 +155,23 @@ void Adam::Step() {
       w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
     }
   }
+}
+
+void Adam::SerializeState(std::vector<uint8_t>* out) const {
+  ckpt::AppendPod(out, static_cast<uint8_t>('A'));
+  ckpt::AppendPod(out, t_);
+  AppendMomentTensors(m_, out);
+  AppendMomentTensors(v_, out);
+}
+
+bool Adam::RestoreState(const std::vector<uint8_t>& payload) {
+  ckpt::ByteReader reader(payload);
+  uint8_t tag = 0;
+  if (!reader.ReadPod(&tag) || tag != 'A') return false;
+  if (!reader.ReadPod(&t_)) return false;
+  return ReadMomentTensors(&reader, module_->parameters(), &m_) &&
+         ReadMomentTensors(&reader, module_->parameters(), &v_) &&
+         reader.AtEnd();
 }
 
 }  // namespace dekg::nn

@@ -22,6 +22,13 @@ class Optimizer {
   // parameters. Parameters whose gradient was never touched this step are
   // skipped (sparse-friendly).
   virtual void Step() = 0;
+
+  // Serializes the optimizer's internal state (moment tensors, step
+  // counter) for checkpointing, and restores it. RestoreState returns
+  // false on malformed bytes or a parameter-count mismatch, leaving the
+  // state unspecified; callers treat that as a corrupt checkpoint.
+  virtual void SerializeState(std::vector<uint8_t>* out) const = 0;
+  virtual bool RestoreState(const std::vector<uint8_t>& payload) = 0;
 };
 
 class Sgd : public Optimizer {
@@ -34,6 +41,8 @@ class Sgd : public Optimizer {
 
   Sgd(Module* module, Options options);
   void Step() override;
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  bool RestoreState(const std::vector<uint8_t>& payload) override;
 
  private:
   Module* module_;
@@ -53,6 +62,8 @@ class Adam : public Optimizer {
 
   Adam(Module* module, Options options);
   void Step() override;
+  void SerializeState(std::vector<uint8_t>* out) const override;
+  bool RestoreState(const std::vector<uint8_t>& payload) override;
 
  private:
   Module* module_;

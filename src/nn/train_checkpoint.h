@@ -1,0 +1,49 @@
+// Whole-training-run checkpointing: one atomic, versioned, CRC-checked
+// file (common/checkpoint.h) holding everything a trainer needs to resume
+// a bit-identical trajectory after process death —
+//
+//   "params"     every nn::Parameter tensor (name/shape validated)
+//   "optimizer"  moment/state tensors and the step counter
+//   "rng"        the trainer's full random stream state
+//   "trainer"    epochs completed + the per-epoch loss curve so far
+//
+// Every trainer in the repo (core::DekgIlpTrainer, TrainGraphModel,
+// TrainKgeModel) composes these helpers; a run resumed from epoch k
+// produces the same parameters, losses, and Evaluate() metrics as one
+// that ran straight through.
+#ifndef DEKG_NN_TRAIN_CHECKPOINT_H_
+#define DEKG_NN_TRAIN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace dekg::nn {
+
+// Epoch-loop progress carried across a crash.
+struct TrainLoopState {
+  int64_t epochs_completed = 0;
+  std::vector<double> epoch_losses;  // one entry per completed epoch
+};
+
+// Atomically writes the full training state to `path`. Returns false on
+// I/O failure (disk full, unwritable directory, injected fault); the
+// previous checkpoint at `path`, if any, is left intact.
+bool SaveTrainState(const std::string& path, const Module& module,
+                    const Optimizer& optimizer, const Rng& rng,
+                    const TrainLoopState& loop);
+
+// Restores all four sections from `path`. Returns false when the file is
+// missing (fresh start); aborts on corruption or architecture mismatch —
+// a checkpoint that passed its CRC but doesn't fit the model is operator
+// error, not crash damage.
+bool LoadTrainState(const std::string& path, Module* module,
+                    Optimizer* optimizer, Rng* rng, TrainLoopState* loop);
+
+}  // namespace dekg::nn
+
+#endif  // DEKG_NN_TRAIN_CHECKPOINT_H_

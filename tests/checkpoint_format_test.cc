@@ -1,0 +1,251 @@
+// Container-level tests for the versioned checkpoint format
+// (common/checkpoint.h): CRC validation, corruption detection, atomic
+// replace semantics, and the fault-injection write matrix. Deliberately
+// free of death tests so the whole file runs under all three sanitizers
+// (scripts/sanitize_check.sh).
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/checkpoint.h"
+
+namespace dekg::ckpt {
+namespace {
+
+class CheckpointFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dekg_ckpt_fmt_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    SetWritableFileFactoryForTest(nullptr);
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  static std::vector<Section> MakeSections(uint8_t tag) {
+    std::vector<Section> sections(2);
+    sections[0].name = "params";
+    sections[0].payload.assign(9000, tag);  // > one 4 KiB append chunk
+    sections[1].name = "trainer";
+    for (int i = 0; i < 32; ++i) {
+      sections[1].payload.push_back(static_cast<uint8_t>(tag + i));
+    }
+    return sections;
+  }
+
+  static std::vector<uint8_t> FileBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  }
+
+  static void WriteBytes(const std::string& path,
+                         const std::vector<uint8_t>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointFormatTest, Crc32MatchesReferenceVector) {
+  // The canonical IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST_F(CheckpointFormatTest, RoundTripPreservesSections) {
+  const std::string path = Path("a.ckpt");
+  const std::vector<Section> sections = MakeSections(3);
+  ASSERT_TRUE(WriteCheckpointFile(path, sections));
+
+  std::vector<Section> loaded;
+  std::string error;
+  ASSERT_EQ(ReadCheckpointFile(path, &loaded, &error), ReadStatus::kOk)
+      << error;
+  ASSERT_EQ(loaded.size(), sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, sections[i].name);
+    EXPECT_EQ(loaded[i].payload, sections[i].payload);
+  }
+  EXPECT_NE(FindSection(loaded, "trainer"), nullptr);
+  EXPECT_EQ(FindSection(loaded, "nope"), nullptr);
+}
+
+TEST_F(CheckpointFormatTest, MissingFileReportsNotFound) {
+  std::vector<Section> loaded;
+  std::string error;
+  EXPECT_EQ(ReadCheckpointFile(Path("missing.ckpt"), &loaded, &error),
+            ReadStatus::kNotFound);
+}
+
+TEST_F(CheckpointFormatTest, GarbageMagicIsCorrupt) {
+  const std::string path = Path("garbage.ckpt");
+  WriteBytes(path, std::vector<uint8_t>(64, 0x5A));
+  std::vector<Section> loaded;
+  std::string error;
+  EXPECT_EQ(ReadCheckpointFile(path, &loaded, &error), ReadStatus::kCorrupt);
+  EXPECT_NE(error.find("not a DEKG checkpoint"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointFormatTest, UnsupportedVersionIsCorrupt) {
+  const std::string path = Path("version.ckpt");
+  ASSERT_TRUE(WriteCheckpointFile(path, MakeSections(1)));
+  std::vector<uint8_t> bytes = FileBytes(path);
+  bytes[8] ^= 0xFF;  // format version lives right after the u64 magic
+  WriteBytes(path, bytes);
+  std::vector<Section> loaded;
+  std::string error;
+  EXPECT_EQ(ReadCheckpointFile(path, &loaded, &error), ReadStatus::kCorrupt);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointFormatTest, Everysingle_ByteCorruptionIsDetected) {
+  const std::string path = Path("flip.ckpt");
+  ASSERT_TRUE(WriteCheckpointFile(path, MakeSections(7)));
+  const std::vector<uint8_t> good = FileBytes(path);
+  ASSERT_GT(good.size(), 9000u);
+  // Flipping any single byte must never yield kOk with different content.
+  // (Stride keeps the sweep fast; boundaries get dedicated coverage.)
+  for (size_t i = 0; i < good.size(); i += 97) {
+    std::vector<uint8_t> bad = good;
+    bad[i] ^= 0x01;
+    WriteBytes(path, bad);
+    std::vector<Section> loaded;
+    std::string error;
+    const ReadStatus status = ReadCheckpointFile(path, &loaded, &error);
+    EXPECT_EQ(status, ReadStatus::kCorrupt) << "byte " << i << " undetected";
+  }
+}
+
+TEST_F(CheckpointFormatTest, EveryTruncationIsDetected) {
+  const std::string path = Path("trunc.ckpt");
+  ASSERT_TRUE(WriteCheckpointFile(path, MakeSections(9)));
+  const std::vector<uint8_t> good = FileBytes(path);
+  for (size_t len = 0; len < good.size(); len += 61) {
+    WriteBytes(path, std::vector<uint8_t>(good.begin(),
+                                          good.begin() + static_cast<long>(len)));
+    std::vector<Section> loaded;
+    std::string error;
+    EXPECT_EQ(ReadCheckpointFile(path, &loaded, &error), ReadStatus::kCorrupt)
+        << "truncation at " << len << " undetected";
+  }
+  WriteBytes(path, good);
+  std::vector<uint8_t> padded = good;
+  padded.push_back(0);
+  WriteBytes(path, padded);
+  std::vector<Section> loaded;
+  std::string error;
+  EXPECT_EQ(ReadCheckpointFile(path, &loaded, &error), ReadStatus::kCorrupt)
+      << "trailing byte undetected";
+}
+
+// A crash remnant `<path>.tmp` — any byte prefix of a new checkpoint image
+// — must never affect reads of `path`, and the next save must replace it.
+TEST_F(CheckpointFormatTest, StaleTmpRemnantIsHarmless) {
+  const std::string path = Path("model.ckpt");
+  const std::vector<Section> old_state = MakeSections(1);
+  const std::vector<Section> new_state = MakeSections(2);
+  ASSERT_TRUE(WriteCheckpointFile(path, old_state));
+
+  const std::string image_path = Path("image.ckpt");
+  ASSERT_TRUE(WriteCheckpointFile(image_path, new_state));
+  const std::vector<uint8_t> new_image = FileBytes(image_path);
+
+  for (size_t len = 0; len <= new_image.size(); len += 127) {
+    WriteBytes(path + ".tmp",
+               std::vector<uint8_t>(new_image.begin(),
+                                    new_image.begin() + static_cast<long>(len)));
+    std::vector<Section> loaded;
+    std::string error;
+    ASSERT_EQ(ReadCheckpointFile(path, &loaded, &error), ReadStatus::kOk);
+    ASSERT_EQ(loaded[0].payload, old_state[0].payload)
+        << "tmp remnant of length " << len << " leaked into the checkpoint";
+  }
+  // Recovery after the crash: the next save overwrites the remnant.
+  ASSERT_TRUE(WriteCheckpointFile(path, new_state));
+  std::vector<Section> loaded;
+  std::string error;
+  ASSERT_EQ(ReadCheckpointFile(path, &loaded, &error), ReadStatus::kOk);
+  EXPECT_EQ(loaded[0].payload, new_state[0].payload);
+}
+
+// The acceptance matrix: for every I/O operation index and every fault
+// kind, a save interrupted at that operation either completes or leaves
+// the previous checkpoint fully intact — never a torn file.
+TEST_F(CheckpointFormatTest, KillAtEveryInjectedFaultKeepsOldOrNew) {
+  const std::string path = Path("sweep.ckpt");
+  const std::vector<Section> old_state = MakeSections(1);
+  const std::vector<Section> new_state = MakeSections(2);
+  ASSERT_TRUE(WriteCheckpointFile(path, old_state));
+
+  // Measure how many file operations one save performs.
+  int64_t total_ops = 0;
+  SetWritableFileFactoryForTest([&](const std::string& p) {
+    return std::make_unique<FaultInjectionFile>(PosixWritableFile::Open(p),
+                                                FaultPlan{}, &total_ops);
+  });
+  ASSERT_TRUE(WriteCheckpointFile(Path("count.ckpt"), new_state));
+  ASSERT_GT(total_ops, 5) << "fault sweep needs several distinct ops";
+
+  const FaultKind kinds[] = {FaultKind::kShortWrite, FaultKind::kEnospc,
+                             FaultKind::kSyncFail, FaultKind::kCloseFail};
+  for (FaultKind kind : kinds) {
+    int64_t failures = 0;
+    for (int64_t n = 1; n <= total_ops; ++n) {
+      ASSERT_TRUE(WriteCheckpointFile(path, old_state));
+      SetWritableFileFactoryForTest([&, kind, n](const std::string& p) {
+        return std::make_unique<FaultInjectionFile>(
+            PosixWritableFile::Open(p), FaultPlan{n, kind}, nullptr);
+      });
+      // A plan fires at the first eligible op at or after n; a plan whose
+      // index lands past the last op of its kind (e.g. a short-write armed
+      // at the Close op) never fires and the save completes — both
+      // outcomes must leave a fully valid checkpoint.
+      const bool saved = WriteCheckpointFile(path, new_state);
+      SetWritableFileFactoryForTest(nullptr);
+      failures += saved ? 0 : 1;
+
+      std::vector<Section> loaded;
+      std::string error;
+      ASSERT_EQ(ReadCheckpointFile(path, &loaded, &error), ReadStatus::kOk)
+          << "kind " << static_cast<int>(kind) << " op " << n << ": " << error;
+      const std::vector<Section>& expect = saved ? new_state : old_state;
+      ASSERT_EQ(loaded[0].payload, expect[0].payload)
+          << "kind " << static_cast<int>(kind) << " op " << n;
+      // The failed attempt must not leave a tmp file behind.
+      EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    }
+    // A fault armed at op 1 always has an eligible op ahead of it, so
+    // every kind must have produced at least one failed save.
+    EXPECT_GT(failures, 0) << "kind " << static_cast<int>(kind);
+  }
+}
+
+TEST_F(CheckpointFormatTest, ByteReaderRejectsUnderrun) {
+  const uint8_t bytes[4] = {1, 2, 3, 4};
+  ByteReader reader(bytes, sizeof(bytes));
+  uint64_t big = 0;
+  EXPECT_FALSE(reader.ReadPod(&big));
+  EXPECT_FALSE(reader.ok());
+  uint8_t small = 0;
+  EXPECT_FALSE(reader.ReadPod(&small)) << "poisoned reader must stay failed";
+}
+
+}  // namespace
+}  // namespace dekg::ckpt

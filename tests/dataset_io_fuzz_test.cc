@@ -1,0 +1,213 @@
+// Property/fuzz tests for dataset I/O: malformed, truncated, or
+// byte-corrupted TSV input must always produce a clean diagnostic abort
+// (DEKG_CHECK) or a successful load — never an uncaught exception, a
+// crash, or silently wrong data. These inputs used to reach std::stoi,
+// which throws on non-numeric/overflowing fields and silently accepts
+// trailing garbage; the strict ParseInt32 path is pinned here.
+#include <csignal>
+#include <cstdlib>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic_kg.h"
+#include "kg/dataset_io.h"
+
+namespace dekg {
+namespace {
+
+class DatasetIoFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dekg_fuzz_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    std::filesystem::remove_all(dir_);
+    WriteValidDataset();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // A minimal hand-written dataset in the id-based directory format:
+  // 3 original entities, 2 emerging, 2 relations.
+  void WriteValidDataset() {
+    std::filesystem::create_directories(dir_);
+    WriteFile("meta.tsv", "3\t2\t2\n");
+    WriteFile("train.tsv", "0\t0\t1\n1\t1\t2\n2\t0\t0\n");
+    WriteFile("emerging.tsv", "3\t0\t4\n");
+    WriteFile("valid.tsv", "");
+    WriteFile("test.tsv", "4\t1\t3\tenclosing\n0\t0\t3\tbridging\n");
+  }
+
+  void WriteFile(const std::string& leaf, const std::string& content) {
+    std::ofstream out(dir_ / leaf, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+
+  DekgDataset Load() { return LoadDekgDatasetDir(dir_.string(), "fuzz"); }
+
+  std::filesystem::path dir_;
+};
+
+using DatasetIoFuzzDeathTest = DatasetIoFuzzTest;
+
+TEST_F(DatasetIoFuzzTest, ValidBaselineLoads) {
+  DekgDataset dataset = Load();
+  EXPECT_EQ(dataset.num_original_entities(), 3);
+  EXPECT_EQ(dataset.num_emerging_entities(), 2);
+  EXPECT_EQ(dataset.train_triples().size(), 3u);
+  EXPECT_EQ(dataset.test_links().size(), 2u);
+}
+
+TEST_F(DatasetIoFuzzTest, DuplicateTriplesAreNotSilentlyDropped) {
+  WriteFile("train.tsv", "0\t0\t1\n0\t0\t1\n0\t0\t1\n1\t1\t2\n");
+  DekgDataset dataset = Load();
+  EXPECT_EQ(dataset.train_triples().size(), 4u)
+      << "duplicate train edges must survive the round trip";
+}
+
+TEST_F(DatasetIoFuzzDeathTest, MissingColumnIsRejected) {
+  WriteFile("train.tsv", "0\t0\n");
+  EXPECT_DEATH(Load(), "bad triple line");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, ExtraColumnIsRejected) {
+  WriteFile("train.tsv", "0\t0\t1\t9\n");
+  EXPECT_DEATH(Load(), "bad triple line");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, NonNumericIdIsRejected) {
+  // std::stoi would have thrown std::invalid_argument here (uncaught ->
+  // std::terminate), not produced a diagnostic.
+  WriteFile("train.tsv", "zero\t0\t1\n");
+  EXPECT_DEATH(Load(), "bad id field");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, TrailingGarbageInIdIsRejected) {
+  // std::stoi would have silently parsed 12 and dropped "abc".
+  WriteFile("train.tsv", "12abc\t0\t1\n");
+  EXPECT_DEATH(Load(), "bad id field");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, OverflowingIdIsRejected) {
+  // std::stoi would have thrown std::out_of_range.
+  WriteFile("train.tsv", "99999999999999999999\t0\t1\n");
+  EXPECT_DEATH(Load(), "bad id field");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, NegativeIdIsRejected) {
+  WriteFile("train.tsv", "-1\t0\t1\n");
+  EXPECT_DEATH(Load(), "bad id field");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, EmbeddedNulIsRejected) {
+  WriteFile("train.tsv", std::string("0\t0\t1\0\n", 7));
+  EXPECT_DEATH(Load(), "bad id field");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, HugeLineProducesBoundedDiagnostic) {
+  // A pathological multi-megabyte line must die with the usual message;
+  // Preview() caps how much of it reaches the diagnostic.
+  WriteFile("train.tsv", std::string(2 << 20, 'x') + "\n");
+  EXPECT_DEATH(Load(), "bad triple line");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, OutOfRangeEntityIdIsRejected) {
+  // 7 parses fine but exceeds the entity count declared in meta.tsv; the
+  // graph layer rejects it when the triple is inserted.
+  WriteFile("train.tsv", "7\t0\t1\n");
+  EXPECT_DEATH(Load(), "head 7");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, UnknownLinkKindIsRejected) {
+  WriteFile("test.tsv", "4\t1\t3\tweird\n");
+  EXPECT_DEATH(Load(), "unknown link kind");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, TruncatedLinkLineIsRejected) {
+  WriteFile("test.tsv", "4\t1\t3\n");
+  EXPECT_DEATH(Load(), "bad link line");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, CorruptMetaIsRejected) {
+  WriteFile("meta.tsv", "0\t-3\tbananas\n");
+  EXPECT_DEATH(Load(), "corrupt meta");
+}
+
+TEST_F(DatasetIoFuzzDeathTest, EmptyMetaIsRejected) {
+  WriteFile("meta.tsv", "");
+  EXPECT_DEATH(Load(), "corrupt meta");
+}
+
+// Randomized byte-level fuzzing: corrupt random bytes of random dataset
+// files and load. Each attempt runs in a forked child; the only
+// acceptable outcomes are a clean load (exit 0) or a DEKG_CHECK abort
+// (SIGABRT with a diagnostic). An uncaught C++ exception would also
+// raise SIGABRT but via std::terminate, whose distinctive "terminate
+// called" banner on stderr is rejected — as is any other signal
+// (SIGSEGV, SIGBUS, ...).
+TEST_F(DatasetIoFuzzDeathTest, RandomByteCorruptionNeverCrashesUncleanly) {
+  const char* files[] = {"meta.tsv", "train.tsv", "emerging.tsv", "test.tsv"};
+  const char junk[] = {'x', '-', '\t', '\n', '\0', ' ', '9', ':', '/', '\x80'};
+  Rng rng(20260805);
+  for (int iter = 0; iter < 40; ++iter) {
+    WriteValidDataset();
+    const char* leaf = files[rng.UniformUint64(4)];
+    std::ifstream in(dir_ / leaf, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    const uint64_t edits = 1 + rng.UniformUint64(3);
+    for (uint64_t e = 0; e < edits && !bytes.empty(); ++e) {
+      const size_t pos = rng.UniformUint64(bytes.size());
+      switch (rng.UniformUint64(3)) {
+        case 0:  // overwrite
+          bytes[pos] = junk[rng.UniformUint64(sizeof(junk))];
+          break;
+        case 1:  // insert
+          bytes.insert(pos, 1, junk[rng.UniformUint64(sizeof(junk))]);
+          break;
+        default:  // truncate tail
+          bytes.resize(pos);
+          break;
+      }
+    }
+    WriteFile(leaf, bytes);
+
+    const std::string err_path = (dir_ / "child_stderr.txt").string();
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      const int fd = ::open(err_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0600);
+      if (fd >= 0) {
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      LoadDekgDatasetDir(dir_.string(), "fuzz");
+      std::_Exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    std::ifstream err_in(err_path);
+    const std::string child_err((std::istreambuf_iterator<char>(err_in)),
+                                std::istreambuf_iterator<char>());
+    const bool clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    const bool clean_abort =
+        WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT &&
+        child_err.find("terminate called") == std::string::npos;
+    EXPECT_TRUE(clean_exit || clean_abort)
+        << "iteration " << iter << " corrupting " << leaf
+        << ": child status " << status << ", stderr:\n" << child_err;
+  }
+}
+
+}  // namespace
+}  // namespace dekg

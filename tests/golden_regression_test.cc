@@ -1,0 +1,92 @@
+// Golden-regression tier: pins the exact (bit-for-bit) headline metrics
+// of the Table III pipeline at the benchmark defaults (scale 0.45,
+// seed 7) with runtime-friendly epoch/link counts. Any change to the
+// data generator, training loops, RNG streams, or evaluator that moves a
+// single bit of any metric fails this test with a readable diff.
+//
+// Refreshing after an intentional behavior change:
+//   DEKG_UPDATE_GOLDEN=1 ./build/tests/golden_regression_test
+// then review and commit the rewritten tests/golden/ file.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/experiment.h"
+
+#ifndef DEKG_GOLDEN_DIR
+#error "build must define DEKG_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace dekg::bench {
+namespace {
+
+ExperimentConfig GoldenConfig() {
+  ExperimentConfig config;  // benchmark defaults: scale 0.45, seed 7
+  config.subgraph_epochs = 3;
+  config.subgraph_triples_per_epoch = 100;
+  config.kge_epochs = 10;
+  config.eval_links = 20;
+  config.eval_negatives = 20;
+  config.dim = 16;
+  return config;
+}
+
+std::string GoldenPath() {
+  return std::string(DEKG_GOLDEN_DIR) + "/headline_metrics.golden";
+}
+
+std::string ComputeSummary() {
+  const ExperimentConfig config = GoldenConfig();
+  DekgDataset dataset = MakeDataset(datagen::KgFamily::kNellLike,
+                                    datagen::EvalSplit::kEq, config);
+  const ModelKind kinds[] = {ModelKind::kDekgIlp, ModelKind::kGrail,
+                             ModelKind::kRuleN, ModelKind::kTransE};
+  std::string out;
+  out += "# golden headline metrics: scale=0.45 seed=7 family=nell split=eq\n";
+  for (ModelKind kind : kinds) {
+    ModelRun run = RunModel(kind, dataset, config);
+    out += "== " + run.name + " ==\n";
+    out += GoldenSummary(run.result);
+  }
+  return out;
+}
+
+TEST(GoldenRegressionTest, HeadlineMetricsMatchGolden) {
+  const std::string actual = ComputeSummary();
+
+  const char* update = std::getenv("DEKG_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) == "1") {
+    std::ofstream out(GoldenPath(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << GoldenPath()
+                 << "; review and commit it";
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << GoldenPath()
+      << " — generate it with DEKG_UPDATE_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  EXPECT_EQ(actual, expected)
+      << "headline metrics drifted from tests/golden/headline_metrics.golden."
+      << " If the change is intentional, regenerate with DEKG_UPDATE_GOLDEN=1"
+      << " and commit the diff.";
+}
+
+// The golden pipeline itself must be deterministic: two fresh runs in one
+// process produce byte-identical summaries (guards against hidden global
+// state that would make the golden file flaky rather than regression-
+// sensitive).
+TEST(GoldenRegressionTest, SummaryIsDeterministicWithinProcess) {
+  EXPECT_EQ(ComputeSummary(), ComputeSummary());
+}
+
+}  // namespace
+}  // namespace dekg::bench
