@@ -1,0 +1,26 @@
+#!/bin/sh
+# Fast benchmark smoke gate: a Release build of bench_train on a tiny
+# synthetic dataset. bench_train exits nonzero when any of its hard
+# contracts fail — parallel training not bitwise identical to serial,
+# cached losses diverging from uncached, the sparse optimizer diverging
+# from dense, or the subgraph-cache hit rate dropping below 99% after
+# epoch 1 — so this script doubles as a determinism check, not just a
+# does-it-run probe. Wall-clock numbers are printed but never gated.
+#
+# Usage: scripts/bench_smoke.sh
+# Build tree: build-release/ (gitignored). Scale/threads can be tuned via
+# DEKG_BENCH_SCALE / DEKG_BENCH_THREADS; the defaults keep this under a
+# couple of minutes on one core.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j --target bench_train
+
+# Small dataset, explicit thread count: the point is the bitwise
+# serial-vs-parallel comparison, not throughput.
+cd build-release/bench
+DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
+DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
+  ./bench_train
+echo "Bench smoke passed (BENCH_train.json in build-release/bench/)."

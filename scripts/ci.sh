@@ -1,0 +1,29 @@
+#!/bin/sh
+# Single-entry CI gate, in increasing order of cost:
+#
+#   1. tier-1 build + ctest          (the correctness floor)
+#   2. bench smoke                   (Release build; training determinism
+#                                     and cache contracts, via bench_train)
+#   3. sanitizer sweeps              (TSan + ASan/UBSan on the parallel and
+#                                     checkpoint subsystems)
+#
+# Usage: scripts/ci.sh [fast]
+#   fast: skip the sanitizer sweeps (they rebuild two extra trees).
+set -e
+cd "$(dirname "$0")/.."
+MODE="${1:-full}"
+
+echo "== ci: tier-1 build + tests =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== ci: bench smoke =="
+scripts/bench_smoke.sh
+
+if [ "$MODE" != "fast" ]; then
+  echo "== ci: sanitizers =="
+  scripts/sanitize_check.sh all
+fi
+
+echo "CI ($MODE) passed."

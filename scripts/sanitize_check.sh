@@ -18,7 +18,8 @@ MODE="${1:-all}"
 
 # Tests built and run under every sanitizer.
 COMMON_TESTS="thread_pool_test parallel_eval_determinism_test evaluator_test \
-  tensor_test checkpoint_format_test checkpoint_resume_test"
+  tensor_test checkpoint_format_test checkpoint_resume_test \
+  trainer_parallel_determinism_test subgraph_cache_test"
 # Death-test / fork-based suites: address,undefined sweep only.
 FORKY_TESTS="checkpoint_test dataset_io_fuzz_test"
 

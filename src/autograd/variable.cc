@@ -1,12 +1,30 @@
 #include "autograd/variable.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace dekg::ag {
 
+namespace {
+
+// Active gradient sink for the backward sweep running on this thread, or
+// null for classic in-place accumulation. Thread-local so concurrent
+// sweeps on different threads each see only their own sink.
+thread_local GradSink* tls_grad_sink = nullptr;
+
+}  // namespace
+
 namespace internal {
 
 void VarImpl::AccumulateGrad(const Tensor& g) {
+  // Leaves (parameters) are the only nodes shared between concurrently
+  // built tapes; when a sink is active their gradients are redirected into
+  // it so the shared VarImpl stays untouched. Untracked leaves and all
+  // interior nodes (private to the tape) accumulate in place as usual.
+  if (tls_grad_sink != nullptr && requires_grad && parents.empty() &&
+      tls_grad_sink->Accumulate(this, g)) {
+    return;
+  }
   if (!grad_initialized) {
     grad = g.Clone();
     grad_initialized = true;
@@ -76,7 +94,9 @@ void Var::ZeroGrad() {
   impl_->grad_initialized = false;
 }
 
-void Var::Backward() {
+void Var::Backward() { Backward(nullptr); }
+
+void Var::Backward(GradSink* sink) {
   DEKG_CHECK(defined());
   DEKG_CHECK_EQ(impl_->value.numel(), 1)
       << "Backward() requires a scalar loss";
@@ -102,6 +122,13 @@ void Var::Backward() {
     }
   }
 
+  // Route leaf gradients into the sink for the duration of the sweep.
+  // Save/restore rather than set/clear so a (hypothetical) nested sweep
+  // does not clobber an outer one. DEKG_CHECK aborts on failure, so plain
+  // save/restore is exception-safe enough.
+  GradSink* const saved_sink = tls_grad_sink;
+  tls_grad_sink = sink;
+
   // Seed d(loss)/d(loss) = 1.
   impl_->AccumulateGrad(Tensor::Ones(impl_->value.shape()));
 
@@ -113,6 +140,51 @@ void Var::Backward() {
       node->backward_fn(node);
     }
   }
+
+  tls_grad_sink = saved_sink;
+}
+
+void GradSink::Track(const Var& leaf) {
+  DEKG_CHECK(leaf.defined()) << "GradSink::Track on undefined Var";
+  DEKG_CHECK(leaf.requires_grad()) << "GradSink tracks trainable leaves only";
+  DEKG_CHECK(leaf.impl()->parents.empty())
+      << "GradSink::Track requires a leaf (no parents)";
+  const internal::VarImpl* key = leaf.impl().get();
+  const bool inserted = index_.emplace(key, grads_.size()).second;
+  DEKG_CHECK(inserted) << "leaf tracked twice in the same GradSink";
+  grads_.emplace_back();
+  fresh_.push_back(0);
+}
+
+bool GradSink::has(size_t slot) const {
+  DEKG_CHECK_LT(slot, fresh_.size());
+  return fresh_[slot] != 0;
+}
+
+const Tensor& GradSink::grad(size_t slot) const {
+  DEKG_CHECK(has(slot)) << "slot " << slot << " has no accumulated grad";
+  return grads_[slot];
+}
+
+void GradSink::Reset() { std::fill(fresh_.begin(), fresh_.end(), 0); }
+
+bool GradSink::Accumulate(const internal::VarImpl* leaf, const Tensor& g) {
+  auto it = index_.find(leaf);
+  if (it == index_.end()) {
+    return false;
+  }
+  const size_t slot = it->second;
+  if (fresh_[slot]) {
+    grads_[slot].AddInPlace(g);
+  } else if (grads_[slot].SameShape(g)) {
+    // Stale buffer from a previous batch: overwrite in place, no realloc.
+    std::copy(g.Data(), g.Data() + g.numel(), grads_[slot].Data());
+    fresh_[slot] = 1;
+  } else {
+    grads_[slot] = g.Clone();
+    fresh_[slot] = 1;
+  }
+  return true;
 }
 
 Var Var::FromImpl(std::shared_ptr<internal::VarImpl> impl) {

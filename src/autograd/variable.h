@@ -7,13 +7,19 @@
 // tensor. Leaf Vars with requires_grad=true (model parameters) keep their
 // gradient after the sweep; interior node gradients are transient.
 //
-// The engine is eager and single-threaded, matching the deterministic,
-// CPU-only design of this repository.
+// The engine is eager and builds one tape per loss. A single tape is
+// always swept by one thread, but several tapes over the *same* leaf
+// parameters may be built and swept concurrently (data-parallel training)
+// as long as each sweep redirects its leaf gradients into a private
+// GradSink — see Backward(GradSink*) below. Interior nodes are private to
+// their tape, so the sink is the only piece of shared mutable state the
+// sweep would otherwise touch.
 #ifndef DEKG_AUTOGRAD_VARIABLE_H_
 #define DEKG_AUTOGRAD_VARIABLE_H_
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -21,6 +27,7 @@
 namespace dekg::ag {
 
 class Var;
+class GradSink;
 
 namespace internal {
 
@@ -69,12 +76,58 @@ class Var {
   // ancestors in its subtree.
   void Backward();
 
+  // Same sweep, but gradients destined for *tracked leaf* nodes accumulate
+  // into `sink` instead of the leaves' shared grad tensors. Leaves the sink
+  // does not track fall back to in-place accumulation. This is the
+  // thread-safe form for data-parallel training: workers sweeping private
+  // tapes over shared parameters never write the shared VarImpls.
+  void Backward(GradSink* sink);
+
   // Internal: used by ops.
   std::shared_ptr<internal::VarImpl> impl() const { return impl_; }
   static Var FromImpl(std::shared_ptr<internal::VarImpl> impl);
 
  private:
   std::shared_ptr<internal::VarImpl> impl_;
+};
+
+// A private gradient buffer for one backward sweep over shared leaf
+// parameters. Track() assigns each leaf a dense slot (slot order = call
+// order, typically a Module's parameter registration order); during
+// Backward(sink), gradient contributions for tracked leaves land in the
+// slot buffers. Buffers persist across Reset() so per-batch reuse does not
+// reallocate. A GradSink is single-threaded; concurrency comes from giving
+// every worker (or every example) its own sink.
+class GradSink {
+ public:
+  GradSink() = default;
+  GradSink(const GradSink&) = delete;
+  GradSink& operator=(const GradSink&) = delete;
+  GradSink(GradSink&&) = default;
+  GradSink& operator=(GradSink&&) = default;
+
+  // Registers `leaf` under the next slot index. Must be a leaf Var
+  // (no parents) with requires_grad.
+  void Track(const Var& leaf);
+
+  size_t size() const { return grads_.size(); }
+  // Whether slot received any gradient since the last Reset().
+  bool has(size_t slot) const;
+  // The accumulated gradient for slot; only valid when has(slot).
+  const Tensor& grad(size_t slot) const;
+
+  // Clears accumulated flags; keeps tracked leaves and slot buffers.
+  void Reset();
+
+  // Internal: called from VarImpl::AccumulateGrad during Backward(sink).
+  // Returns false when `leaf` is not tracked (caller falls back to the
+  // leaf's own grad tensor).
+  bool Accumulate(const internal::VarImpl* leaf, const Tensor& g);
+
+ private:
+  std::unordered_map<const internal::VarImpl*, size_t> index_;
+  std::vector<Tensor> grads_;
+  std::vector<uint8_t> fresh_;  // has slot accumulated since Reset()?
 };
 
 namespace internal {

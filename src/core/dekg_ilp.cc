@@ -46,7 +46,7 @@ DekgIlpModel::DekgIlpModel(const DekgIlpConfig& config, uint64_t seed)
 
 ag::Var DekgIlpModel::ScoreLink(const KnowledgeGraph& graph,
                                 const Triple& triple, bool training,
-                                Rng* rng) {
+                                Rng* rng, const Subgraph* subgraph) {
   ag::Var score;
   if (clrm_) {
     RelationTable head_table = graph.RelationComponentTable(triple.head);
@@ -54,7 +54,10 @@ ag::Var DekgIlpModel::ScoreLink(const KnowledgeGraph& graph,
     score = clrm_->ScoreTriple(head_table, triple.rel, tail_table);
   }
   if (gsm_) {
-    ag::Var tpo = gsm_->ScoreTriple(graph, triple, training, rng);
+    ag::Var tpo =
+        subgraph != nullptr
+            ? gsm_->ScoreSubgraph(*subgraph, triple.rel, training, rng)
+            : gsm_->ScoreTriple(graph, triple, training, rng);
     score = score.defined() ? ag::Add(score, tpo) : tpo;
   }
   return score;

@@ -53,8 +53,13 @@ class DekgIlpModel : public nn::Module {
   Gsm* gsm() { return gsm_.get(); }
 
   // phi(e_i, r_k, e_j) on the given graph (Eq. 13). Differentiable.
+  // When `subgraph` is non-null it must be the enclosing subgraph of
+  // `triple` on `graph` (e.g. served by a SubgraphCache); GSM scores it
+  // directly instead of re-extracting. Extraction is deterministic, so
+  // both forms produce bit-identical scores.
   ag::Var ScoreLink(const KnowledgeGraph& graph, const Triple& triple,
-                    bool training, Rng* rng);
+                    bool training, Rng* rng,
+                    const Subgraph* subgraph = nullptr);
 
   // Contrastive regularizer for the link's endpoint entities; undefined
   // Var when CLRM or the contrastive term is disabled.

@@ -65,6 +65,26 @@ ag::Var Gsm::ScoreTriple(const KnowledgeGraph& graph, const Triple& triple,
   return ScoreSubgraph(subgraph, triple.rel, training, rng);
 }
 
+std::vector<Subgraph> Gsm::ExtractBatch(const KnowledgeGraph& graph,
+                                        const std::vector<Triple>& triples,
+                                        ThreadPool* pool) const {
+  std::vector<Subgraph> out(triples.size());
+  const auto body = [&](int64_t begin, int64_t end) {
+    SubgraphWorkspace workspace;
+    for (int64_t i = begin; i < end; ++i) {
+      out[static_cast<size_t>(i)] =
+          Extract(graph, triples[static_cast<size_t>(i)], &workspace);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, static_cast<int64_t>(triples.size()), /*grain=*/0,
+                      body);
+  } else {
+    ParallelFor(0, static_cast<int64_t>(triples.size()), /*grain=*/0, body);
+  }
+  return out;
+}
+
 std::vector<double> Gsm::ScoreTriplesBatch(const KnowledgeGraph& graph,
                                            const std::vector<Triple>& triples,
                                            uint64_t seed) const {

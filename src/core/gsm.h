@@ -11,6 +11,7 @@
 
 #include "autograd/ops.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "gnn/rgcn.h"
 #include "graph/subgraph.h"
 #include "nn/module.h"
@@ -45,6 +46,16 @@ class Gsm : public nn::Module {
   // Workspace-reusing form for hot loops; identical output.
   Subgraph Extract(const KnowledgeGraph& graph, const Triple& triple,
                    SubgraphWorkspace* workspace) const;
+
+  // Extracts every triple's subgraph, splitting independent extractions
+  // across `pool` (or the default pool when null); each worker owns a
+  // SubgraphWorkspace. Extraction is RNG-free and deterministic, so the
+  // result is identical at any thread count. Results are index-aligned
+  // with `triples` — the SubgraphCache prefill consumes them in that
+  // fixed order.
+  std::vector<Subgraph> ExtractBatch(const KnowledgeGraph& graph,
+                                     const std::vector<Triple>& triples,
+                                     ThreadPool* pool = nullptr) const;
 
   // phi_tpo for a pre-extracted subgraph: scalar Var [1].
   ag::Var ScoreSubgraph(const Subgraph& subgraph, RelationId rel,

@@ -1,38 +1,112 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 
 namespace dekg::core {
 
-DekgIlpTrainer::DekgIlpTrainer(DekgIlpModel* model, const DekgDataset* dataset,
-                               const TrainConfig& config)
-    : model_(model), dataset_(dataset), config_(config), rng_(config.seed) {
-  nn::Adam::Options opt;
-  opt.lr = config_.lr;
-  optimizer_ = std::make_unique<nn::Adam>(model_, opt);
+namespace {
+
+void WarnNegativeFallback() {
+  // The fallback is benign but worth surfacing; without rate limiting a
+  // pathologically dense graph would emit one line per sampled negative.
+  static std::atomic<int64_t> fires{0};
+  const int64_t n = ++fires;
+  if (n <= 3 || (n & 1023) == 0) {
+    DEKG_WARN() << "SampleNegativeTriple: filtered sampling found no "
+                << "negative in 100 attempts, using deterministic scan "
+                << "(fired " << n << " times)";
+  }
 }
 
-Triple DekgIlpTrainer::SampleNegative(const Triple& positive) {
-  const int32_t n = dataset_->num_original_entities();
+}  // namespace
+
+Triple SampleNegativeTriple(const DekgDataset& dataset,
+                            const Triple& positive, Rng* rng) {
+  const int32_t n = dataset.num_original_entities();
   for (int attempt = 0; attempt < 100; ++attempt) {
     Triple corrupted = positive;
     EntityId candidate =
-        static_cast<EntityId>(rng_.UniformUint64(static_cast<uint64_t>(n)));
-    if (rng_.Bernoulli(0.5)) {
+        static_cast<EntityId>(rng->UniformUint64(static_cast<uint64_t>(n)));
+    if (rng->Bernoulli(0.5)) {
       corrupted.head = candidate;
     } else {
       corrupted.tail = candidate;
     }
     if (corrupted.head == corrupted.tail) continue;
     if (corrupted == positive) continue;
-    if (dataset_->original_graph().Contains(corrupted)) continue;
+    if (dataset.original_graph().Contains(corrupted)) continue;
     return corrupted;
   }
-  // Pathologically dense graph: fall back to an unfiltered corruption.
+  WarnNegativeFallback();
+  // Deterministic fallback: scan entities from a random start until a
+  // corruption satisfies the hard invariants (not the positive, not a
+  // self-loop). The known-triple filter is intentionally dropped — on a
+  // graph dense enough to get here, insisting on it could leave no valid
+  // negative at all.
+  const int32_t span = std::max(n, 1);
+  const EntityId base = static_cast<EntityId>(
+      rng->UniformUint64(static_cast<uint64_t>(span)));
+  const bool head_first = rng->Bernoulli(0.5);
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool corrupt_head = (pass == 0) == head_first;
+    for (int32_t step = 0; step < span; ++step) {
+      const EntityId candidate =
+          static_cast<EntityId>((base + step) % span);
+      Triple corrupted = positive;
+      if (corrupt_head) {
+        corrupted.head = candidate;
+      } else {
+        corrupted.tail = candidate;
+      }
+      if (corrupted.head == corrupted.tail) continue;
+      if (corrupted == positive) continue;
+      return corrupted;
+    }
+  }
+  // Fewer than three entities: no endpoint corruption can avoid both the
+  // positive and a self-loop, so corrupt the relation instead.
   Triple corrupted = positive;
-  corrupted.head = static_cast<EntityId>(
-      rng_.UniformUint64(static_cast<uint64_t>(std::max(n, 1))));
+  const int32_t num_rels = std::max(dataset.num_relations(), 1);
+  corrupted.rel = static_cast<RelationId>(
+      (positive.rel + 1) % num_rels);
+  DEKG_CHECK(!(corrupted == positive))
+      << "degenerate dataset: cannot construct any negative triple";
   return corrupted;
+}
+
+DekgIlpTrainer::DekgIlpTrainer(DekgIlpModel* model, const DekgDataset* dataset,
+                               const TrainConfig& config)
+    : model_(model),
+      dataset_(dataset),
+      config_(config),
+      rng_(config.seed),
+      cache_(config.subgraph_cache_capacity) {
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  optimizer_ = std::make_unique<nn::Adam>(model_, opt);
+  if (config_.num_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  if (config_.sparse_optimizer) {
+    for (const nn::Parameter& p : model_->parameters()) {
+      nn::StepSparsity::ParamPlan plan;
+      if (p.var.value().rank() == 2) {
+        plan.mode = nn::StepSparsity::Mode::kAutoRows;
+      }
+      sparsity_.plans.push_back(std::move(plan));
+    }
+  }
+}
+
+void DekgIlpTrainer::ParallelExamples(
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(0, n, /*grain=*/1, fn);
+  } else {
+    ParallelFor(0, n, /*grain=*/1, fn);
+  }
 }
 
 double DekgIlpTrainer::TrainEpoch() {
@@ -44,51 +118,133 @@ double DekgIlpTrainer::TrainEpoch() {
     triples.resize(static_cast<size_t>(config_.max_triples_per_epoch));
   }
 
+  // One draw per epoch seeds every per-example RNG stream via MixSeed.
+  // The trainer RNG therefore advances by a fixed number of draws per
+  // epoch (shuffle + this), which is what keeps checkpoint resume
+  // bit-identical regardless of batch shapes or thread counts.
+  const uint64_t epoch_seed = rng_.NextUint64();
+
+  // ----- Subgraph-cache prefill (positives only) -----
+  // Phase A/B: one Lookup per epoch triple scopes hit/miss stats to this
+  // epoch and collects the misses. Phase C: extract misses in parallel,
+  // insert serially in index order (deterministic FIFO age). Phase D:
+  // resolve a read-only pointer per example; entries the capacity bound
+  // evicted mid-prefill are served from the extraction buffer instead.
+  cache_.ResetCounters();
+  const bool use_cache = config_.use_subgraph_cache && model_->gsm() != nullptr;
+  std::vector<const Subgraph*> positive_subgraphs(triples.size(), nullptr);
+  std::vector<Subgraph> extracted;  // kept alive for the whole epoch
+  std::vector<int64_t> extracted_slot;  // example index -> extracted index
+  if (use_cache) {
+    std::vector<Triple> missing;
+    extracted_slot.assign(triples.size(), -1);
+    for (size_t i = 0; i < triples.size(); ++i) {
+      if (cache_.Lookup(triples[i]) == nullptr) {
+        extracted_slot[i] = static_cast<int64_t>(missing.size());
+        missing.push_back(triples[i]);
+      }
+    }
+    extracted = model_->gsm()->ExtractBatch(graph, missing, pool_.get());
+    for (size_t i = 0; i < triples.size(); ++i) {
+      if (extracted_slot[i] >= 0) {
+        cache_.Insert(triples[i],
+                      extracted[static_cast<size_t>(extracted_slot[i])]);
+      }
+    }
+    for (size_t i = 0; i < triples.size(); ++i) {
+      const Subgraph* cached = cache_.Find(triples[i]);
+      if (cached != nullptr) {
+        positive_subgraphs[i] = cached;
+      } else if (extracted_slot[i] >= 0) {
+        // Evicted during this prefill; the extraction buffer still holds it.
+        positive_subgraphs[i] =
+            &extracted[static_cast<size_t>(extracted_slot[i])];
+      }
+      // else: was resident at lookup time but evicted by later inserts —
+      // left null, the example falls back to a fresh extraction.
+    }
+  }
+
   double epoch_loss = 0.0;
   int64_t count = 0;
   const float margin = static_cast<float>(model_->config().margin);
   const float sigma = static_cast<float>(model_->config().sigma);
 
-  for (size_t begin = 0; begin < triples.size();
-       begin += static_cast<size_t>(config_.batch_size)) {
-    const size_t end = std::min(
-        triples.size(), begin + static_cast<size_t>(config_.batch_size));
+  const size_t batch_size = static_cast<size_t>(config_.batch_size);
+  std::vector<float> slot_loss(batch_size, 0.0f);
+  std::vector<uint8_t> slot_has_loss(batch_size, 0);
+  while (sinks_.size() < batch_size) sinks_.push_back(model_->MakeGradSink());
+
+  for (size_t begin = 0; begin < triples.size(); begin += batch_size) {
+    const size_t end = std::min(triples.size(), begin + batch_size);
+    const size_t used = end - begin;
     model_->ZeroGrad();
-    ag::Var batch_loss;
+    std::fill(slot_has_loss.begin(), slot_has_loss.end(), 0);
+
+    // Each example builds a private tape from its own RNG stream and
+    // backpropagates into its own sink; d(batch)/d(example) = 1, so the
+    // per-example sweep seeds 1 exactly like the old summed-tape sweep.
+    ParallelExamples(
+        static_cast<int64_t>(used), [&](int64_t slot_begin, int64_t slot_end) {
+          for (int64_t slot = slot_begin; slot < slot_end; ++slot) {
+            const size_t i = begin + static_cast<size_t>(slot);
+            const Triple& positive = triples[i];
+            Rng ex_rng(MixSeed(epoch_seed, static_cast<uint64_t>(i)));
+            ag::Var pos_score =
+                model_->ScoreLink(graph, positive, /*training=*/true, &ex_rng,
+                                  positive_subgraphs[i]);
+            ag::Var sample_loss;
+            for (int32_t k = 0; k < config_.negatives_per_positive; ++k) {
+              Triple negative =
+                  SampleNegativeTriple(*dataset_, positive, &ex_rng);
+              ag::Var neg_score = model_->ScoreLink(
+                  graph, negative, /*training=*/true, &ex_rng);
+              // L_s = [gamma - phi(pos) + phi(neg)]_+  (Eq. 14).
+              ag::Var hinge = ag::Relu(
+                  ag::AddScalar(ag::Sub(neg_score, pos_score), margin));
+              sample_loss =
+                  sample_loss.defined() ? ag::Add(sample_loss, hinge) : hinge;
+            }
+            if (model_->config().use_contrastive && sigma > 0.0f) {
+              ag::Var contrastive =
+                  model_->ContrastiveLossForLink(graph, positive, &ex_rng);
+              if (contrastive.defined()) {
+                sample_loss = sample_loss.defined()
+                                  ? ag::Add(sample_loss,
+                                            ag::MulScalar(contrastive, sigma))
+                                  : ag::MulScalar(contrastive, sigma);
+              }
+            }
+            ag::GradSink& sink = sinks_[static_cast<size_t>(slot)];
+            sink.Reset();
+            if (!sample_loss.defined()) continue;
+            slot_loss[static_cast<size_t>(slot)] =
+                sample_loss.value().Data()[0];
+            slot_has_loss[static_cast<size_t>(slot)] = 1;
+            sample_loss.Backward(&sink);
+          }
+        });
+
+    // Fixed-order reduction: the batch loss sums example losses in example
+    // order (same float association as the old serial Add chain), and the
+    // sinks reduce parameter-major, example-ascending.
+    float batch_sum = 0.0f;
     int32_t batch_count = 0;
-    for (size_t i = begin; i < end; ++i) {
-      const Triple& positive = triples[i];
-      ag::Var pos_score =
-          model_->ScoreLink(graph, positive, /*training=*/true, &rng_);
-      ag::Var sample_loss;
-      for (int32_t k = 0; k < config_.negatives_per_positive; ++k) {
-        Triple negative = SampleNegative(positive);
-        ag::Var neg_score =
-            model_->ScoreLink(graph, negative, /*training=*/true, &rng_);
-        // L_s = [gamma - phi(pos) + phi(neg)]_+  (Eq. 14).
-        ag::Var hinge = ag::Relu(ag::AddScalar(
-            ag::Sub(neg_score, pos_score), margin));
-        sample_loss =
-            sample_loss.defined() ? ag::Add(sample_loss, hinge) : hinge;
-      }
-      if (model_->config().use_contrastive && sigma > 0.0f) {
-        ag::Var contrastive =
-            model_->ContrastiveLossForLink(graph, positive, &rng_);
-        if (contrastive.defined()) {
-          sample_loss =
-              ag::Add(sample_loss, ag::MulScalar(contrastive, sigma));
-        }
-      }
-      batch_loss = batch_loss.defined() ? ag::Add(batch_loss, sample_loss)
-                                        : sample_loss;
+    for (size_t slot = 0; slot < used; ++slot) {
+      if (!slot_has_loss[slot]) continue;
+      batch_sum += slot_loss[slot];
       ++batch_count;
     }
-    if (!batch_loss.defined()) continue;
-    epoch_loss += static_cast<double>(batch_loss.value().Data()[0]);
+    if (batch_count == 0) continue;
+    epoch_loss += static_cast<double>(batch_sum);
     count += batch_count;
-    batch_loss.Backward();
+    model_->AccumulateShardedGrads(sinks_, used);
     nn::ClipGradNorm(model_, config_.grad_clip);
-    optimizer_->Step();
+    if (config_.sparse_optimizer) {
+      optimizer_->Step(sparsity_);
+    } else {
+      optimizer_->Step();
+    }
   }
   return count > 0 ? epoch_loss / static_cast<double>(count) : 0.0;
 }

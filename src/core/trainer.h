@@ -4,12 +4,21 @@
 //
 // Training only ever sees the original KG G; the contrastive operations
 // likewise only consider G (Sec. IV-B2).
+//
+// The epoch loop is data-parallel and bit-identical at any thread count
+// (see DESIGN.md §8): every example draws from its own MixSeed RNG stream,
+// workers build private autograd tapes whose leaf gradients land in
+// per-example GradSinks, and sinks are reduced in fixed example order
+// before the optimizer step. Positive-triple subgraphs are extracted once
+// into an epoch-persistent SubgraphCache; the optimizer runs row-sparse
+// hot-row-tracked sparse updates over embedding-style parameters.
 #ifndef DEKG_CORE_TRAINER_H_
 #define DEKG_CORE_TRAINER_H_
 
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/dekg_ilp.h"
 #include "kg/dataset.h"
 #include "nn/optimizer.h"
@@ -35,7 +44,29 @@ struct TrainConfig {
   // training continues on the previous checkpoint.
   std::string checkpoint_path;
   int32_t checkpoint_every = 1;
+  // Threads for the data-parallel example loop: 0 uses the process-wide
+  // default pool (DEKG_NUM_THREADS), > 0 builds a dedicated pool of that
+  // size. Every setting produces bit-identical results.
+  int32_t num_threads = 0;
+  // Epoch-persistent cache of positive-triple subgraphs. Numerically
+  // transparent: extraction is deterministic, so cached and fresh
+  // subgraphs are identical.
+  bool use_subgraph_cache = true;
+  // Max resident cached subgraphs (0 = unlimited; FIFO eviction).
+  int64_t subgraph_cache_capacity = 1 << 18;
+  // Row-sparse optimizer steps for rank-2 parameters; bit-identical
+  // to dense updates (see DESIGN.md §8).
+  bool sparse_optimizer = true;
 };
+
+// Corrupts the head or tail of `positive` with a random original entity,
+// filtered against the train graph. After 100 rejected attempts it falls
+// back to a deterministic scan that still honors the two hard invariants —
+// never the positive triple itself, never a self-loop — and logs a
+// rate-limited warning (the fallback firing means the graph is so dense
+// that filtered sampling keeps colliding).
+Triple SampleNegativeTriple(const DekgDataset& dataset,
+                            const Triple& positive, Rng* rng);
 
 class DekgIlpTrainer {
  public:
@@ -43,7 +74,8 @@ class DekgIlpTrainer {
                  const TrainConfig& config);
 
   // One pass over (a subsample of) the training triples. Returns the mean
-  // per-positive loss.
+  // per-positive loss. Subgraph-cache hit/miss counters are reset on
+  // entry, so subgraph_cache().stats() afterwards describes this epoch.
   double TrainEpoch();
 
   // Runs config.epochs epochs; returns per-epoch mean losses (including
@@ -67,10 +99,13 @@ class DekgIlpTrainer {
   double TrainWithValidation(const EvalConfig& eval_config,
                              int32_t eval_every = 2);
 
+  // Cache observability for benchmarks and tests.
+  const SubgraphCache& subgraph_cache() const { return cache_; }
+
  private:
-  // Corrupts head or tail with a random original entity, filtered against
-  // the train set.
-  Triple SampleNegative(const Triple& positive);
+  // Runs `fn(begin, end)` chunks over [0, n) on the configured pool.
+  void ParallelExamples(int64_t n,
+                        const std::function<void(int64_t, int64_t)>& fn);
 
   DekgIlpModel* model_;
   const DekgDataset* dataset_;
@@ -78,6 +113,10 @@ class DekgIlpTrainer {
   Rng rng_;
   std::unique_ptr<nn::Adam> optimizer_;
   nn::TrainLoopState loop_;
+  std::unique_ptr<ThreadPool> pool_;  // only when config_.num_threads > 0
+  SubgraphCache cache_;
+  std::vector<ag::GradSink> sinks_;  // one per batch example slot, reused
+  nn::StepSparsity sparsity_;        // per-parameter plan, built once
 };
 
 }  // namespace dekg::core

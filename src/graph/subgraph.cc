@@ -141,4 +141,67 @@ Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
   return ExtractSubgraph(g, head, tail, target_rel, config, &workspace);
 }
 
+SubgraphCache::SubgraphCache(int64_t capacity) : capacity_(capacity) {
+  DEKG_CHECK_GE(capacity, 0);
+}
+
+int64_t SubgraphCache::PayloadBytes(const Subgraph& s) {
+  return static_cast<int64_t>(s.nodes.size() * sizeof(SubgraphNode) +
+                              s.edges.size() * sizeof(SubgraphEdge));
+}
+
+const Subgraph* SubgraphCache::Lookup(const Triple& triple) {
+  auto it = map_.find(triple);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second.get();
+}
+
+const Subgraph* SubgraphCache::Find(const Triple& triple) const {
+  auto it = map_.find(triple);
+  return it == map_.end() ? nullptr : it->second.get();
+}
+
+const Subgraph* SubgraphCache::Insert(const Triple& triple,
+                                      Subgraph subgraph) {
+  auto it = map_.find(triple);
+  if (it != map_.end()) return it->second.get();
+  if (capacity_ > 0 &&
+      static_cast<int64_t>(map_.size()) >= capacity_) {
+    // FIFO: retire the oldest insertion. The front key is always resident
+    // because keys enter the queue exactly when they enter the map.
+    const Triple victim = fifo_.front();
+    fifo_.pop_front();
+    auto vit = map_.find(victim);
+    DEKG_CHECK(vit != map_.end());
+    stats_.bytes -= PayloadBytes(*vit->second);
+    map_.erase(vit);
+    ++stats_.evictions;
+    --stats_.entries;
+  }
+  auto owned = std::make_unique<Subgraph>(std::move(subgraph));
+  const Subgraph* stored = owned.get();
+  stats_.bytes += PayloadBytes(*stored);
+  ++stats_.entries;
+  map_.emplace(triple, std::move(owned));
+  fifo_.push_back(triple);
+  return stored;
+}
+
+void SubgraphCache::Clear() {
+  map_.clear();
+  fifo_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+void SubgraphCache::ResetCounters() {
+  stats_.hits = 0;
+  stats_.misses = 0;
+  stats_.evictions = 0;
+}
+
 }  // namespace dekg

@@ -18,6 +18,9 @@
 #define DEKG_GRAPH_SUBGRAPH_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "kg/knowledge_graph.h"
@@ -97,6 +100,59 @@ Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
                          EntityId tail, RelationId target_rel,
                          const SubgraphConfig& config,
                          SubgraphWorkspace* workspace);
+
+// Epoch-persistent cache of extracted subgraphs, keyed by the target
+// triple. Extraction is deterministic over an immutable graph, so a cached
+// subgraph is exactly what a fresh extraction would produce — serving from
+// the cache is numerically transparent. The cache is NOT thread-safe:
+// the training loop prefills it serially (from parallel-extracted results
+// in fixed index order) and serves it read-only during the epoch.
+//
+// Eviction is FIFO over insertion order, which is deterministic because
+// insertion order is deterministic and each key is inserted at most once
+// while resident. Entry pointers are stable until that entry is evicted.
+class SubgraphCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;
+    int64_t bytes = 0;  // payload bytes of resident nodes + edges
+  };
+
+  // capacity = maximum resident subgraphs; 0 = unlimited.
+  explicit SubgraphCache(int64_t capacity = 0);
+
+  // Returns the cached subgraph for `triple` or null, counting a hit or
+  // a miss.
+  const Subgraph* Lookup(const Triple& triple);
+
+  // Lookup without touching the hit/miss counters.
+  const Subgraph* Find(const Triple& triple) const;
+
+  // Stores `subgraph` under `triple` (no-op when already resident),
+  // evicting the oldest insertion first when at capacity. Returns the
+  // resident subgraph.
+  const Subgraph* Insert(const Triple& triple, Subgraph subgraph);
+
+  void Clear();
+  // Zeroes hits/misses/evictions; entries/bytes reflect residency and are
+  // kept. Used to scope hit-rate measurement to one epoch.
+  void ResetCounters();
+
+  int64_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static int64_t PayloadBytes(const Subgraph& s);
+
+  int64_t capacity_;
+  Stats stats_;
+  // unique_ptr payloads keep Subgraph addresses stable across rehashes.
+  std::unordered_map<Triple, std::unique_ptr<Subgraph>, TripleHash> map_;
+  std::deque<Triple> fifo_;
+};
 
 }  // namespace dekg
 

@@ -16,6 +16,25 @@ void Module::ZeroGrad() {
   for (Parameter& p : parameters_) p.var.ZeroGrad();
 }
 
+ag::GradSink Module::MakeGradSink() const {
+  ag::GradSink sink;
+  for (const Parameter& p : parameters_) sink.Track(p.var);
+  return sink;
+}
+
+void Module::AccumulateShardedGrads(const std::vector<ag::GradSink>& sinks,
+                                    size_t count) {
+  DEKG_CHECK_LE(count, sinks.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    auto impl = parameters_[i].var.impl();
+    for (size_t s = 0; s < count; ++s) {
+      DEKG_CHECK_EQ(sinks[s].size(), parameters_.size())
+          << "sink was not created by MakeGradSink() on this module";
+      if (sinks[s].has(i)) impl->AccumulateGrad(sinks[s].grad(i));
+    }
+  }
+}
+
 std::vector<float> Module::StateVector() const {
   std::vector<float> state;
   for (const Parameter& p : parameters_) {

@@ -40,6 +40,21 @@ class Module {
   // Zeroes all parameter gradients. Call before each backward pass.
   void ZeroGrad();
 
+  // A GradSink tracking every parameter in registration order (slot i ==
+  // parameters()[i]). Workers in a data-parallel step each hand a private
+  // sink to ag::Var::Backward so concurrent tapes never write the shared
+  // parameter grads.
+  ag::GradSink MakeGradSink() const;
+
+  // Reduces the first `count` per-shard sinks into the parameter grads in
+  // a fixed order: parameter-major, shard index ascending. The grouping of
+  // the float sums therefore never depends on how shards were assigned to
+  // threads, which is what keeps data-parallel training bit-identical to a
+  // serial run. `count` lets a caller reuse an over-sized sink pool for a
+  // short final batch.
+  void AccumulateShardedGrads(const std::vector<ag::GradSink>& sinks,
+                              size_t count);
+
   // Serializes / restores all parameter values (order-based). Sizes must
   // match exactly.
   std::vector<float> StateVector() const;

@@ -1,5 +1,7 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/checkpoint.h"
@@ -44,6 +46,87 @@ bool ReadMomentTensors(ckpt::ByteReader* reader,
   return true;
 }
 
+// True when every element of row `row` has the exact +0.0f bit pattern
+// (0x00000000). -0.0f does NOT qualify: a zero-grad Adam/momentum update
+// turns -0 state into +0, so such rows are not bitwise no-ops.
+bool RowBitsAllPositiveZero(const Tensor& t, int64_t row) {
+  const int64_t cols = t.dim(1);
+  const float* p = t.Data() + row * cols;
+  for (int64_t j = 0; j < cols; ++j) {
+    if (std::bit_cast<uint32_t>(p[j]) != 0u) return false;
+  }
+  return true;
+}
+
+// Resolves the touched-row list for a sparse param step. kAutoRows scans
+// the (full-size) gradient: a row participates when any element has a
+// nonzero bit pattern, so an explicit -0.0 gradient still counts as
+// touched. Returns rows in ascending order.
+std::vector<int64_t> TouchedRows(StepSparsity::Mode mode,
+                                 const std::vector<int64_t>& explicit_rows,
+                                 const Tensor& grad) {
+  const int64_t rows = grad.dim(0);
+  const int64_t cols = grad.dim(1);
+  if (mode == StepSparsity::Mode::kRows) {
+    int64_t prev = -1;
+    for (int64_t r : explicit_rows) {
+      DEKG_CHECK(r > prev && r < rows)
+          << "StepSparsity::kRows rows must be strictly ascending and in "
+          << "range; got " << r << " after " << prev << " (rows=" << rows
+          << ")";
+      prev = r;
+    }
+    return explicit_rows;
+  }
+  std::vector<int64_t> touched;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* g = grad.Data() + r * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      if (std::bit_cast<uint32_t>(g[j]) != 0u) {
+        touched.push_back(r);
+        break;
+      }
+    }
+  }
+  return touched;
+}
+
+// Ascending union of the touched rows with the currently-hot rows: the
+// exact set of rows whose dense update this step is (potentially) not a
+// bitwise no-op.
+std::vector<int64_t> UnionRows(const std::vector<int64_t>& a,
+                               const std::vector<int64_t>& b) {
+  std::vector<int64_t> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// Rebuilds a hot-row set by scanning a rank-2 state tensor pair (second
+// may be null): a row is hot when either tensor holds any nonzero bit.
+void RebuildHotRows(const Tensor* s1, const Tensor* s2, int64_t rows,
+                    HotRowState* hot) {
+  hot->rows.clear();
+  for (int64_t r = 0; r < rows; ++r) {
+    const bool zero = (s1 == nullptr || s1->numel() == 0 ||
+                       RowBitsAllPositiveZero(*s1, r)) &&
+                      (s2 == nullptr || s2->numel() == 0 ||
+                       RowBitsAllPositiveZero(*s2, r));
+    if (!zero) hot->rows.push_back(r);
+  }
+  hot->valid = true;
+}
+
+// Adam's per-step effective learning rate (bias-corrected).
+float AdamLrT(const Adam::Options& options, int64_t t) {
+  const double bias1 =
+      1.0 - std::pow(options.beta1, static_cast<double>(t));
+  const double bias2 =
+      1.0 - std::pow(options.beta2, static_cast<double>(t));
+  return static_cast<float>(options.lr * std::sqrt(bias2) / bias1);
+}
+
 }  // namespace
 
 double ClipGradNorm(Module* module, double max_norm) {
@@ -70,36 +153,107 @@ double ClipGradNorm(Module* module, double max_norm) {
   return norm;
 }
 
+// ----- Sgd -----
+
 Sgd::Sgd(Module* module, Options options)
     : module_(module), options_(options) {
   velocity_.resize(module_->parameters().size());
+  hot_.resize(module_->parameters().size());
 }
 
-void Sgd::Step() {
+void Sgd::Step() { StepImpl(nullptr); }
+
+void Sgd::Step(const StepSparsity& sparsity) { StepImpl(&sparsity); }
+
+void Sgd::StepImpl(const StepSparsity* sparsity) {
   const auto& params = module_->parameters();
   DEKG_CHECK_EQ(params.size(), velocity_.size());
+  DEKG_CHECK(sparsity == nullptr || sparsity->plans.empty() ||
+             sparsity->plans.size() == params.size())
+      << "StepSparsity plan count does not match parameter count";
   for (size_t i = 0; i < params.size(); ++i) {
     const Parameter& p = params[i];
     if (!p.var.has_grad()) continue;
     Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
-    const Tensor& grad = p.var.grad();
-    float* w = value.Data();
-    const float* g = grad.Data();
-    const float lr = static_cast<float>(options_.lr);
-    const float wd = static_cast<float>(options_.weight_decay);
-    if (options_.momentum > 0.0) {
-      if (velocity_[i].numel() != value.numel()) {
-        velocity_[i] = Tensor::Zeros(value.shape());
-      }
-      float* vel = velocity_[i].Data();
-      const float mu = static_cast<float>(options_.momentum);
-      for (int64_t j = 0; j < value.numel(); ++j) {
+    if (options_.momentum > 0.0 && velocity_[i].numel() != value.numel()) {
+      velocity_[i] = Tensor::Zeros(value.shape());
+      hot_[i].rows.clear();
+      hot_[i].valid = true;
+    }
+    StepSparsity::Mode mode = StepSparsity::Mode::kDense;
+    if (sparsity != nullptr && !sparsity->plans.empty()) {
+      mode = sparsity->plans[i].mode;
+    }
+    // The skipped-row no-op argument needs zero weight decay and a
+    // non-negative learning rate; anything else runs dense.
+    if (mode != StepSparsity::Mode::kDense && value.rank() == 2 &&
+        options_.weight_decay == 0.0 && options_.lr >= 0.0) {
+      SparseParamStep(i, mode, sparsity->plans[i].rows);
+    } else {
+      DenseParamStep(i);
+    }
+  }
+}
+
+void Sgd::DenseParamStep(size_t i) {
+  const Parameter& p = module_->parameters()[i];
+  Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
+  const Tensor& grad = p.var.grad();
+  const float lr = static_cast<float>(options_.lr);
+  const float wd = static_cast<float>(options_.weight_decay);
+  const float mu = static_cast<float>(options_.momentum);
+  float* w = value.Data();
+  const float* g = grad.Data();
+  if (options_.momentum > 0.0) {
+    float* vel = velocity_[i].Data();
+    for (int64_t j = 0; j < value.numel(); ++j) {
+      float gj = g[j] + wd * w[j];
+      vel[j] = mu * vel[j] + gj;
+      w[j] -= lr * vel[j];
+    }
+    // A dense pass may light up any row's velocity; recompute lazily.
+    hot_[i].valid = false;
+  } else {
+    for (int64_t j = 0; j < value.numel(); ++j) {
+      w[j] -= lr * (g[j] + wd * w[j]);
+    }
+  }
+}
+
+void Sgd::SparseParamStep(size_t i, StepSparsity::Mode mode,
+                          const std::vector<int64_t>& explicit_rows) {
+  const Parameter& p = module_->parameters()[i];
+  Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
+  const Tensor& grad = p.var.grad();
+  const int64_t cols = value.dim(1);
+  const float lr = static_cast<float>(options_.lr);
+  const float wd = static_cast<float>(options_.weight_decay);  // 0 here
+  const float mu = static_cast<float>(options_.momentum);
+  std::vector<int64_t> rows = TouchedRows(mode, explicit_rows, grad);
+  if (options_.momentum > 0.0) {
+    HotRowState& hot = hot_[i];
+    if (!hot.valid) {
+      RebuildHotRows(&velocity_[i], nullptr, value.dim(0), &hot);
+    }
+    rows = UnionRows(rows, hot.rows);
+    hot.rows.clear();
+    for (int64_t r : rows) {
+      float* w = value.Data() + r * cols;
+      const float* g = grad.Data() + r * cols;
+      float* vel = velocity_[i].Data() + r * cols;
+      for (int64_t j = 0; j < cols; ++j) {
         float gj = g[j] + wd * w[j];
         vel[j] = mu * vel[j] + gj;
         w[j] -= lr * vel[j];
       }
-    } else {
-      for (int64_t j = 0; j < value.numel(); ++j) {
+      if (!RowBitsAllPositiveZero(velocity_[i], r)) hot.rows.push_back(r);
+    }
+  } else {
+    // No optimizer state at all: only touched rows can change.
+    for (int64_t r : rows) {
+      float* w = value.Data() + r * cols;
+      const float* g = grad.Data() + r * cols;
+      for (int64_t j = 0; j < cols; ++j) {
         w[j] -= lr * (g[j] + wd * w[j]);
       }
     }
@@ -115,44 +269,118 @@ bool Sgd::RestoreState(const std::vector<uint8_t>& payload) {
   ckpt::ByteReader reader(payload);
   uint8_t tag = 0;
   if (!reader.ReadPod(&tag) || tag != 'S') return false;
-  return ReadMomentTensors(&reader, module_->parameters(), &velocity_) &&
-         reader.AtEnd();
+  if (!ReadMomentTensors(&reader, module_->parameters(), &velocity_) ||
+      !reader.AtEnd()) {
+    return false;
+  }
+  // Hot rows are derived from the velocity tensors; recompute on demand.
+  hot_.assign(module_->parameters().size(), HotRowState());
+  return true;
 }
+
+// ----- Adam -----
 
 Adam::Adam(Module* module, Options options)
     : module_(module), options_(options) {
   m_.resize(module_->parameters().size());
   v_.resize(module_->parameters().size());
+  hot_.resize(module_->parameters().size());
 }
 
-void Adam::Step() {
+void Adam::Step() { StepImpl(nullptr); }
+
+void Adam::Step(const StepSparsity& sparsity) { StepImpl(&sparsity); }
+
+void Adam::StepImpl(const StepSparsity* sparsity) {
   ++t_;
   const auto& params = module_->parameters();
-  const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
-  const double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
-  const float lr_t = static_cast<float>(options_.lr * std::sqrt(bias2) / bias1);
-  const float b1 = static_cast<float>(options_.beta1);
-  const float b2 = static_cast<float>(options_.beta2);
-  const float eps = static_cast<float>(options_.eps);
-  const float wd = static_cast<float>(options_.weight_decay);
+  DEKG_CHECK(sparsity == nullptr || sparsity->plans.empty() ||
+             sparsity->plans.size() == params.size())
+      << "StepSparsity plan count does not match parameter count";
+  const float lr_t = AdamLrT(options_, t_);
   for (size_t i = 0; i < params.size(); ++i) {
     const Parameter& p = params[i];
     if (!p.var.has_grad()) continue;
     Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
-    const Tensor& grad = p.var.grad();
     if (m_[i].numel() != value.numel()) {
       m_[i] = Tensor::Zeros(value.shape());
       v_[i] = Tensor::Zeros(value.shape());
+      hot_[i].rows.clear();
+      hot_[i].valid = true;
     }
-    float* w = value.Data();
-    const float* g = grad.Data();
-    float* m = m_[i].Data();
-    float* v = v_[i].Data();
-    for (int64_t j = 0; j < value.numel(); ++j) {
+    StepSparsity::Mode mode = StepSparsity::Mode::kDense;
+    if (sparsity != nullptr && !sparsity->plans.empty()) {
+      mode = sparsity->plans[i].mode;
+    }
+    if (mode != StepSparsity::Mode::kDense && value.rank() == 2 &&
+        options_.weight_decay == 0.0 && options_.lr >= 0.0) {
+      SparseParamStep(i, mode, sparsity->plans[i].rows, lr_t);
+    } else {
+      DenseParamStep(i, lr_t);
+    }
+  }
+}
+
+void Adam::DenseParamStep(size_t i, float lr_t) {
+  const Parameter& p = module_->parameters()[i];
+  Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
+  const Tensor& grad = p.var.grad();
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  const float eps = static_cast<float>(options_.eps);
+  const float wd = static_cast<float>(options_.weight_decay);
+  float* w = value.Data();
+  const float* g = grad.Data();
+  float* m = m_[i].Data();
+  float* v = v_[i].Data();
+  for (int64_t j = 0; j < value.numel(); ++j) {
+    float gj = g[j] + wd * w[j];
+    m[j] = b1 * m[j] + (1.0f - b1) * gj;
+    v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
+    w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+  }
+  // A dense pass may light up any row's moments; recompute lazily.
+  hot_[i].valid = false;
+}
+
+void Adam::SparseParamStep(size_t i, StepSparsity::Mode mode,
+                           const std::vector<int64_t>& explicit_rows,
+                           float lr_t) {
+  const Parameter& p = module_->parameters()[i];
+  Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
+  const Tensor& grad = p.var.grad();
+  const int64_t cols = value.dim(1);
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  const float eps = static_cast<float>(options_.eps);
+  const float wd = static_cast<float>(options_.weight_decay);  // 0 here
+  HotRowState& hot = hot_[i];
+  if (!hot.valid) {
+    RebuildHotRows(&m_[i], &v_[i], value.dim(0), &hot);
+  }
+  // Dense Adam moves every row with nonzero moments at every step the
+  // parameter has a gradient (the moments decay and the decayed momentum
+  // keeps nudging the weights), so hot rows are updated alongside the
+  // touched rows — with their true (possibly all-zero) gradient row. The
+  // remaining rows have +0 moments and +0 gradients: their dense update
+  // is a bitwise no-op, so skipping them cannot be observed.
+  std::vector<int64_t> rows =
+      UnionRows(TouchedRows(mode, explicit_rows, grad), hot.rows);
+  hot.rows.clear();
+  for (int64_t r : rows) {
+    float* w = value.Data() + r * cols;
+    const float* g = grad.Data() + r * cols;
+    float* m = m_[i].Data() + r * cols;
+    float* v = v_[i].Data() + r * cols;
+    for (int64_t j = 0; j < cols; ++j) {
       float gj = g[j] + wd * w[j];
       m[j] = b1 * m[j] + (1.0f - b1) * gj;
       v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
       w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+    }
+    if (!(RowBitsAllPositiveZero(m_[i], r) &&
+          RowBitsAllPositiveZero(v_[i], r))) {
+      hot.rows.push_back(r);
     }
   }
 }
@@ -168,10 +396,15 @@ bool Adam::RestoreState(const std::vector<uint8_t>& payload) {
   ckpt::ByteReader reader(payload);
   uint8_t tag = 0;
   if (!reader.ReadPod(&tag) || tag != 'A') return false;
-  if (!reader.ReadPod(&t_)) return false;
-  return ReadMomentTensors(&reader, module_->parameters(), &m_) &&
-         ReadMomentTensors(&reader, module_->parameters(), &v_) &&
-         reader.AtEnd();
+  if (!reader.ReadPod(&t_) ||
+      !ReadMomentTensors(&reader, module_->parameters(), &m_) ||
+      !ReadMomentTensors(&reader, module_->parameters(), &v_) ||
+      !reader.AtEnd()) {
+    return false;
+  }
+  // Hot rows are derived from the moment tensors; recompute on demand.
+  hot_.assign(module_->parameters().size(), HotRowState());
+  return true;
 }
 
 }  // namespace dekg::nn

@@ -2,9 +2,20 @@
 // learning rate over {0.1, 0.01, 0.001, 0.0005} and uses standard Adam-style
 // training; we provide SGD (with optional momentum and weight decay) and
 // Adam, plus global-norm gradient clipping.
+//
+// Both optimizers additionally support deterministic *row-sparse* steps for
+// embedding-style [rows, cols] parameters: Step(StepSparsity) updates only
+// the rows a step actually touched plus the tracked "hot" rows whose
+// optimizer state (moments / velocity) still holds nonzero bits. Every
+// skipped row is a provable bitwise no-op of the dense update (zero-bit
+// gradient row, all-+0 optimizer state, no weight decay), so the sparse
+// path is bit-identical to running every step dense — see DESIGN.md §8 —
+// and, unlike a deferred-replay design, parameter values are always
+// current: a forward pass may read any row between steps.
 #ifndef DEKG_NN_OPTIMIZER_H_
 #define DEKG_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/module.h"
@@ -15,6 +26,35 @@ namespace dekg::nn {
 // Returns the pre-clip norm. Parameters without gradients are skipped.
 double ClipGradNorm(Module* module, double max_norm);
 
+// Per-step sparsity plan handed to Optimizer::Step(const StepSparsity&).
+struct StepSparsity {
+  enum class Mode : uint8_t {
+    kDense,     // update every element (classic behavior)
+    kAutoRows,  // rank-2 params: scan the gradient for rows with any
+                // nonzero bit pattern (catches -0.0 rows too)
+    kRows,      // rank-2 params: caller supplies the touched rows
+  };
+  struct ParamPlan {
+    Mode mode = Mode::kDense;
+    // kRows only: touched row indices, strictly ascending, in range.
+    std::vector<int64_t> rows;
+  };
+  // One plan per module parameter (registration order); empty = all dense.
+  // Non-kDense modes on rank-!=2 parameters fall back to dense.
+  std::vector<ParamPlan> plans;
+};
+
+// Hot-row tracking for one parameter under row-sparse steps. Invariant
+// while `valid`: every row NOT listed in `rows` has exclusively +0.0f bit
+// patterns in the optimizer's per-row state (Adam moments, SGD velocity),
+// which makes its zero-gradient dense update a bitwise no-op. Dense steps
+// and state restores invalidate the set; the next sparse step rebuilds it
+// by scanning the state tensors.
+struct HotRowState {
+  std::vector<int64_t> rows;  // ascending
+  bool valid = false;
+};
+
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
@@ -23,10 +63,20 @@ class Optimizer {
   // skipped (sparse-friendly).
   virtual void Step() = 0;
 
+  // Row-sparse step. The default implementation ignores the plan and runs
+  // a dense Step(); Sgd and Adam honor it. Parameter values are always
+  // fully up to date after any Step variant returns.
+  virtual void Step(const StepSparsity& sparsity) {
+    (void)sparsity;
+    Step();
+  }
+
   // Serializes the optimizer's internal state (moment tensors, step
   // counter) for checkpointing, and restores it. RestoreState returns
   // false on malformed bytes or a parameter-count mismatch, leaving the
   // state unspecified; callers treat that as a corrupt checkpoint.
+  // Hot-row bookkeeping is derived state (recomputed from the restored
+  // tensors), so the wire format is identical to the all-dense one.
   virtual void SerializeState(std::vector<uint8_t>* out) const = 0;
   virtual bool RestoreState(const std::vector<uint8_t>& payload) = 0;
 };
@@ -41,13 +91,20 @@ class Sgd : public Optimizer {
 
   Sgd(Module* module, Options options);
   void Step() override;
+  void Step(const StepSparsity& sparsity) override;
   void SerializeState(std::vector<uint8_t>* out) const override;
   bool RestoreState(const std::vector<uint8_t>& payload) override;
 
  private:
+  void StepImpl(const StepSparsity* sparsity);
+  void SparseParamStep(size_t i, StepSparsity::Mode mode,
+                       const std::vector<int64_t>& explicit_rows);
+  void DenseParamStep(size_t i);
+
   Module* module_;
   Options options_;
   std::vector<Tensor> velocity_;  // lazily sized to parameters
+  std::vector<HotRowState> hot_;  // momentum runs only
 };
 
 class Adam : public Optimizer {
@@ -62,14 +119,22 @@ class Adam : public Optimizer {
 
   Adam(Module* module, Options options);
   void Step() override;
+  void Step(const StepSparsity& sparsity) override;
   void SerializeState(std::vector<uint8_t>* out) const override;
   bool RestoreState(const std::vector<uint8_t>& payload) override;
 
  private:
+  void StepImpl(const StepSparsity* sparsity);
+  void SparseParamStep(size_t i, StepSparsity::Mode mode,
+                       const std::vector<int64_t>& explicit_rows,
+                       float lr_t);
+  void DenseParamStep(size_t i, float lr_t);
+
   Module* module_;
   Options options_;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;
+  std::vector<HotRowState> hot_;
   int64_t t_ = 0;
 };
 

@@ -396,6 +396,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+float SampledZeroFraction(const Tensor& t) {
+  const int64_t numel = t.numel();
+  if (numel == 0) return 0.0f;
+  constexpr int64_t kMaxSamples = 256;
+  // ceil-divided stride covers the whole tensor with <= kMaxSamples probes
+  // and never aliases to a single column of a matrix whose width divides
+  // the stride cleanly only in pathological shapes.
+  const int64_t stride =
+      numel <= kMaxSamples ? 1 : (numel + kMaxSamples - 1) / kMaxSamples;
+  const float* p = t.Data();
+  int64_t zeros = 0;
+  int64_t samples = 0;
+  for (int64_t i = 0; i < numel; i += stride) {
+    zeros += p[i] == 0.0f ? 1 : 0;
+    ++samples;
+  }
+  return static_cast<float>(zeros) / static_cast<float>(samples);
+}
+
 Tensor MatMulSkipZeroLhs(const Tensor& a, const Tensor& b) {
   DEKG_CHECK_EQ(a.rank(), 2u);
   DEKG_CHECK_EQ(b.rank(), 2u);
@@ -403,6 +422,14 @@ Tensor MatMulSkipZeroLhs(const Tensor& a, const Tensor& b) {
   const int64_t k = a.dim(1);
   DEKG_CHECK_EQ(k, b.dim(0)) << "MatMul inner dims: " << ShapeToString(a.shape())
                              << " x " << ShapeToString(b.shape());
+  // Density probe: on a mostly-dense lhs the per-element zero test costs
+  // more (branch mispredictions) than the skipped work saves, so fall back
+  // to the dense kernel. The two kernels are bit-identical — skipping a
+  // zero aik merely avoids adding +0 to a +0-initialized accumulator — so
+  // this dispatch can never change a result.
+  if (SampledZeroFraction(a) < kSkipZeroLhsMinZeroFraction) {
+    return MatMul(a, b);
+  }
   const int64_t n = b.dim(1);
   Tensor out(Shape{m, n});
   const float* pa = a.Data();

@@ -122,9 +122,18 @@ Tensor Clamp(const Tensor& a, float lo, float hi);
 // split across the thread pool above a size threshold (deterministic —
 // each output row is produced by exactly one serial inner loop).
 Tensor MatMul(const Tensor& a, const Tensor& b);
-// MatMul variant that skips zero entries of `a`. Only worthwhile when `a`
-// is mostly zeros (e.g. one-hot node-label features); on dense inputs the
-// per-element branch costs more than it saves — use MatMul.
+// Estimated fraction of zero elements in `t`, from a strided sample of at
+// most 256 elements (every element for small tensors). Cheap enough to run
+// per MatMul dispatch; deterministic for a given tensor.
+float SampledZeroFraction(const Tensor& t);
+// MatMul variant for mostly-zero left operands (e.g. one-hot node-label
+// features): a cheap density probe on `a` picks the zero-skipping inner
+// loop when the sampled zero fraction clears kSkipZeroLhsMinZeroFraction,
+// and the plain dense loop otherwise — so a dense `a` routed here no
+// longer pays for mispredicted per-element branches. Both loops produce
+// bit-identical results (skipping a zero term leaves the +0 accumulator
+// unchanged), making the dispatch purely a performance decision.
+inline constexpr float kSkipZeroLhsMinZeroFraction = 0.5f;
 Tensor MatMulSkipZeroLhs(const Tensor& a, const Tensor& b);
 // 2-D transpose.
 Tensor Transpose(const Tensor& a);

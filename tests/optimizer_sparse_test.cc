@@ -3,6 +3,9 @@
 // must keep exactly their previous values (modulo weight decay choices).
 // These semantics are what keeps unseen-entity rows frozen at their random
 // initialization during baseline training — the paper's OpenKE extension.
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "nn/layers.h"
@@ -10,6 +13,192 @@
 
 namespace dekg::nn {
 namespace {
+
+// Asserts every element of the two tables is bitwise equal (EXPECT_EQ on
+// floats is exact; NaN-free by construction here).
+void ExpectTablesBitIdentical(const Embedding& a, const Embedding& b,
+                              const std::string& label) {
+  const Tensor& ta = a.table().value();
+  const Tensor& tb = b.table().value();
+  ASSERT_EQ(ta.numel(), tb.numel()) << label;
+  for (int64_t i = 0; i < ta.numel(); ++i) {
+    ASSERT_EQ(ta.Data()[i], tb.Data()[i]) << label << " element " << i;
+  }
+}
+
+// Populates gradients on `table`: gather `rows`, square-sum loss, backward.
+void BackwardGather(Embedding* table, const std::vector<int64_t>& rows) {
+  table->ZeroGrad();
+  ag::SumAll(ag::Square(table->Forward(rows))).Backward();
+}
+
+StepSparsity AutoRowsPlan() {
+  StepSparsity sparsity;
+  StepSparsity::ParamPlan plan;
+  plan.mode = StepSparsity::Mode::kAutoRows;
+  sparsity.plans.push_back(plan);
+  return sparsity;
+}
+
+StepSparsity RowsPlan(std::vector<int64_t> rows) {
+  StepSparsity sparsity;
+  StepSparsity::ParamPlan plan;
+  plan.mode = StepSparsity::Mode::kRows;
+  plan.rows = std::move(rows);
+  sparsity.plans.push_back(plan);
+  return sparsity;
+}
+
+// The touch schedule used by the equivalence tests: rows revisited after
+// idle stretches, rows never touched, and one step touching nothing new —
+// the shapes that distinguish true dense semantics (hot rows keep moving
+// through moment decay while idle) from approximate sparse updates.
+const std::vector<std::vector<int64_t>> kTouchSchedule = {
+    {0, 3}, {3, 5}, {1}, {3}, {0, 1, 5}, {2}, {2}, {0}, {5}, {1, 2, 3},
+};
+
+TEST(SparseOptimizerTest, AdamSparseStepsAreBitIdenticalToDense) {
+  Rng rng_a(21), rng_b(21);
+  Embedding dense_table(8, 4, &rng_a);
+  Embedding sparse_table(8, 4, &rng_b);
+  ExpectTablesBitIdentical(dense_table, sparse_table, "init");
+  Adam dense_opt(&dense_table, {.lr = 0.05});
+  Adam sparse_opt(&sparse_table, {.lr = 0.05});
+  const StepSparsity sparsity = AutoRowsPlan();
+  for (size_t s = 0; s < kTouchSchedule.size(); ++s) {
+    BackwardGather(&dense_table, kTouchSchedule[s]);
+    dense_opt.Step();
+    BackwardGather(&sparse_table, kTouchSchedule[s]);
+    sparse_opt.Step(sparsity);
+    // Values must match after EVERY step — the next forward pass may read
+    // any row, so sparse updates cannot defer work across steps.
+    ExpectTablesBitIdentical(dense_table, sparse_table,
+                             "step " + std::to_string(s));
+  }
+}
+
+TEST(SparseOptimizerTest, ExplicitRowsPlanMatchesAutoScan) {
+  Rng rng_a(22), rng_b(22);
+  Embedding auto_table(8, 4, &rng_a);
+  Embedding rows_table(8, 4, &rng_b);
+  Adam auto_opt(&auto_table, {.lr = 0.05});
+  Adam rows_opt(&rows_table, {.lr = 0.05});
+  const StepSparsity auto_plan = AutoRowsPlan();
+  for (size_t s = 0; s < kTouchSchedule.size(); ++s) {
+    BackwardGather(&auto_table, kTouchSchedule[s]);
+    auto_opt.Step(auto_plan);
+    BackwardGather(&rows_table, kTouchSchedule[s]);
+    // The schedule's row lists are already strictly ascending, as kRows
+    // requires.
+    rows_opt.Step(RowsPlan(kTouchSchedule[s]));
+    ExpectTablesBitIdentical(auto_table, rows_table,
+                             "step " + std::to_string(s));
+  }
+}
+
+TEST(SparseOptimizerTest, SgdMomentumSparseStepsAreBitIdenticalToDense) {
+  Rng rng_a(23), rng_b(23);
+  Embedding dense_table(8, 4, &rng_a);
+  Embedding sparse_table(8, 4, &rng_b);
+  Sgd dense_opt(&dense_table, {.lr = 0.05, .momentum = 0.9});
+  Sgd sparse_opt(&sparse_table, {.lr = 0.05, .momentum = 0.9});
+  const StepSparsity sparsity = AutoRowsPlan();
+  for (size_t s = 0; s < kTouchSchedule.size(); ++s) {
+    BackwardGather(&dense_table, kTouchSchedule[s]);
+    dense_opt.Step();
+    BackwardGather(&sparse_table, kTouchSchedule[s]);
+    sparse_opt.Step(sparsity);
+    ExpectTablesBitIdentical(dense_table, sparse_table,
+                             "step " + std::to_string(s));
+  }
+}
+
+TEST(SparseOptimizerTest, IdleHotRowsKeepDecayingLikeDense) {
+  // Dense-Adam semantics: once a row has nonzero moments, it moves at
+  // every subsequent step the parameter has a gradient — even steps where
+  // its own gradient row is all zeros. The sparse path must reproduce
+  // those "decay" moves immediately (not defer them), because forward
+  // passes read rows between steps.
+  Rng rng(24);
+  Embedding table(4, 2, &rng);
+  Adam optimizer(&table, {.lr = 0.1});
+  const StepSparsity sparsity = AutoRowsPlan();
+  BackwardGather(&table, {1});
+  optimizer.Step(sparsity);
+  Tensor after_touch = table.table().value().Clone();
+  // Row 1 idle, row 2 touched: row 1 must still move (moment decay).
+  BackwardGather(&table, {2});
+  optimizer.Step(sparsity);
+  bool row1_moved = false;
+  for (int64_t c = 0; c < 2; ++c) {
+    row1_moved =
+        row1_moved || table.table().value().At(1, c) != after_touch.At(1, c);
+  }
+  EXPECT_TRUE(row1_moved) << "idle hot row skipped its decay step";
+  // Row 0 has never been touched: bitwise frozen.
+  for (int64_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(table.table().value().At(0, c), after_touch.At(0, c));
+  }
+}
+
+TEST(SparseOptimizerTest, RestoreMidSparseContinuesBitIdentically) {
+  // Serialize after a few sparse steps, restore into a fresh optimizer,
+  // and continue both — the hot-row set is derived state, so the restored
+  // run must track the original bit-for-bit. Also checks the wire format
+  // is the same one a dense-only run produces.
+  Rng rng_a(25), rng_b(25);
+  Embedding table(8, 4, &rng_a);
+  Embedding restored_table(8, 4, &rng_b);
+  Adam optimizer(&table, {.lr = 0.05});
+  const StepSparsity sparsity = AutoRowsPlan();
+  for (size_t s = 0; s < 4; ++s) {
+    BackwardGather(&table, kTouchSchedule[s]);
+    optimizer.Step(sparsity);
+  }
+  std::vector<uint8_t> state;
+  optimizer.SerializeState(&state);
+
+  // Mirror the parameter values, then restore the optimizer state.
+  for (int64_t i = 0; i < table.table().value().numel(); ++i) {
+    restored_table.table().mutable_value().Data()[i] =
+        table.table().value().Data()[i];
+  }
+  Adam restored_opt(&restored_table, {.lr = 0.05});
+  ASSERT_TRUE(restored_opt.RestoreState(state));
+
+  for (size_t s = 4; s < kTouchSchedule.size(); ++s) {
+    BackwardGather(&table, kTouchSchedule[s]);
+    optimizer.Step(sparsity);
+    BackwardGather(&restored_table, kTouchSchedule[s]);
+    restored_opt.Step(sparsity);
+    ExpectTablesBitIdentical(table, restored_table,
+                             "step " + std::to_string(s));
+  }
+}
+
+TEST(SparseOptimizerTest, MixedDenseAndSparseStepsStayBitIdentical) {
+  // Alternating Step() and Step(sparsity) on the same optimizer must match
+  // an all-dense run: a dense pass invalidates the hot-row set, and the
+  // next sparse step rebuilds it from the moment tensors.
+  Rng rng_a(26), rng_b(26);
+  Embedding dense_table(8, 4, &rng_a);
+  Embedding mixed_table(8, 4, &rng_b);
+  Adam dense_opt(&dense_table, {.lr = 0.05});
+  Adam mixed_opt(&mixed_table, {.lr = 0.05});
+  const StepSparsity sparsity = AutoRowsPlan();
+  for (size_t s = 0; s < kTouchSchedule.size(); ++s) {
+    BackwardGather(&dense_table, kTouchSchedule[s]);
+    dense_opt.Step();
+    BackwardGather(&mixed_table, kTouchSchedule[s]);
+    if (s % 2 == 0) {
+      mixed_opt.Step(sparsity);
+    } else {
+      mixed_opt.Step();
+    }
+    ExpectTablesBitIdentical(dense_table, mixed_table,
+                             "step " + std::to_string(s));
+  }
+}
 
 TEST(SparseOptimizerTest, ParametersWithoutGradAreSkipped) {
   Rng rng(1);
