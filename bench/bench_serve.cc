@@ -1,0 +1,243 @@
+// Online-serving throughput/latency sweep (DESIGN.md §9): closed-loop
+// clients against an in-process ScoringServer over real TCP, swept over
+// micro-batch cap x thread count. Every configuration is gated on the
+// subsystem's acceptance criterion — one full request scored online must
+// be bit-identical to offline DekgIlpPredictor::ScoreTriples — before its
+// throughput numbers count; a gate failure flips the exit code.
+//
+// Knobs: DEKG_BENCH_THREADS (parallel thread count, default max(4, hw)),
+// DEKG_BENCH_SERVE_CLIENTS (closed-loop clients, default 4),
+// DEKG_BENCH_SERVE_ITERS (requests per client per config, default 64).
+// Results land in BENCH_serve.json in the working directory.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/experiment.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/dekg_ilp.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+
+namespace dekg::bench {
+namespace {
+
+using serve::BatcherConfig;
+using serve::Client;
+using serve::EngineConfig;
+using serve::InferenceEngine;
+using serve::MicroBatcher;
+using serve::ScoreRequest;
+using serve::ScoreResponse;
+using serve::ScoringServer;
+using serve::ServerConfig;
+using serve::StatsResponse;
+using serve::Status;
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+struct SweepPoint {
+  int threads = 1;
+  int64_t max_batch_triples = 1;
+  bool gate_identical = false;
+  double seconds = 0.0;
+  double triples_per_s = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t batches_scored = 0;
+};
+
+// One configuration: fresh engine/batcher/server, gate request, then a
+// closed loop of `clients` threads each sending `iters` single-triple
+// requests (cycling over the workload) — queue pressure is what lets the
+// micro-batcher actually pack.
+SweepPoint RunPoint(core::DekgIlpModel* model, const DekgDataset& dataset,
+                    const std::vector<Triple>& triples,
+                    const std::vector<double>& offline, int threads,
+                    int64_t max_batch, int clients, int iters) {
+  SweepPoint point;
+  point.threads = threads;
+  point.max_batch_triples = max_batch;
+
+  SetDefaultThreadCount(threads);
+  InferenceEngine engine(model, dataset.inference_graph(), EngineConfig{});
+  BatcherConfig batcher_config;
+  batcher_config.max_batch_triples = max_batch;
+  MicroBatcher batcher(&engine, batcher_config);
+  ScoringServer server(&batcher, ServerConfig{});  // ephemeral port
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    SetDefaultThreadCount(0);
+    return point;
+  }
+
+  {
+    // Gate: the whole workload in one request, default seed 123 — the
+    // offline predictor's stream. Must match bit for bit.
+    Client gate;
+    ScoreResponse response;
+    point.gate_identical =
+        gate.Connect("127.0.0.1", server.port(), &error) &&
+        [&] {
+          ScoreRequest request;
+          request.triples = triples;
+          return gate.Score(request, &response, &error) &&
+                 response.status == Status::kOk &&
+                 response.scores == offline;
+        }();
+
+    if (point.gate_identical) {
+      Timer timer;
+      std::vector<std::thread> workers;
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          Client client;
+          std::string client_error;
+          if (!client.Connect("127.0.0.1", server.port(), &client_error)) {
+            return;
+          }
+          for (int i = 0; i < iters; ++i) {
+            ScoreRequest request;
+            request.triples = {
+                triples[static_cast<size_t>(c * iters + i) % triples.size()]};
+            ScoreResponse client_response;
+            if (!client.Score(request, &client_response, &client_error)) break;
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      point.seconds = timer.ElapsedSeconds();
+      const double total =
+          static_cast<double>(clients) * static_cast<double>(iters);
+      point.triples_per_s = point.seconds > 0.0 ? total / point.seconds : 0.0;
+
+      StatsResponse stats;
+      if (gate.Stats(&stats, &error)) {
+        point.latency_p50_ms = stats.latency_p50_ms;
+        point.latency_p99_ms = stats.latency_p99_ms;
+        point.batches_scored = stats.batches_scored;
+        const double lookups =
+            static_cast<double>(stats.cache_hits + stats.cache_misses);
+        point.cache_hit_rate =
+            lookups > 0.0 ? static_cast<double>(stats.cache_hits) / lookups
+                          : 0.0;
+      }
+    }
+  }
+
+  server.RequestStop();
+  server.Wait();
+  SetDefaultThreadCount(0);
+  return point;
+}
+
+}  // namespace
+}  // namespace dekg::bench
+
+int main() {
+  using namespace dekg;
+  using namespace dekg::bench;
+  SetMinLogSeverity(LogSeverity::kWarning);
+
+  const int parallel_threads =
+      std::max(4, EnvInt("DEKG_BENCH_THREADS",
+                         static_cast<int>(std::thread::hardware_concurrency())));
+  const int clients = EnvInt("DEKG_BENCH_SERVE_CLIENTS", 4);
+  const int iters = EnvInt("DEKG_BENCH_SERVE_ITERS", 64);
+
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  DekgDataset dataset =
+      MakeDataset(datagen::KgFamily::kFbLike, datagen::EvalSplit::kEq, config);
+
+  core::DekgIlpConfig model_config;
+  model_config.num_relations = dataset.num_relations();
+  model_config.dim = 16;
+  core::DekgIlpModel model(model_config, /*seed=*/1);
+
+  std::vector<Triple> triples;
+  for (const LabeledLink& link : dataset.test_links()) {
+    triples.push_back(link.triple);
+    if (triples.size() >= 48) break;
+  }
+  core::DekgIlpPredictor predictor(&model);
+  const std::vector<double> offline =
+      predictor.ScoreTriples(dataset.inference_graph(), triples);
+
+  std::printf(
+      "bench_serve: %d-thread sweep, %d closed-loop clients x %d requests, "
+      "%zu-triple workload\n",
+      parallel_threads, clients, iters, triples.size());
+
+  std::vector<SweepPoint> points;
+  for (int threads : {1, parallel_threads}) {
+    for (int64_t batch : {int64_t{1}, int64_t{16}, int64_t{64}}) {
+      points.push_back(RunPoint(&model, dataset, triples, offline, threads,
+                                batch, clients, iters));
+    }
+  }
+
+  std::printf("\n%8s %6s %6s %12s %10s %10s %9s %9s\n", "threads", "batch",
+              "gate", "triples/s", "p50(ms)", "p99(ms)", "hit-rate",
+              "batches");
+  for (const SweepPoint& p : points) {
+    std::printf("%8d %6lld %6s %12.1f %10.3f %10.3f %8.1f%% %9llu\n",
+                p.threads, static_cast<long long>(p.max_batch_triples),
+                p.gate_identical ? "ok" : "FAIL", p.triples_per_s,
+                p.latency_p50_ms, p.latency_p99_ms, p.cache_hit_rate * 100.0,
+                static_cast<unsigned long long>(p.batches_scored));
+  }
+
+  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"clients\": %d,\n  \"iters_per_client\": %d,\n"
+               "  \"workload_triples\": %zu,\n  \"sweep\": [",
+               clients, iters, triples.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(json,
+                 "%s\n    {\n"
+                 "      \"threads\": %d,\n"
+                 "      \"max_batch_triples\": %lld,\n"
+                 "      \"gate_identical\": %s,\n"
+                 "      \"seconds\": %.6f,\n"
+                 "      \"triples_per_s\": %.1f,\n"
+                 "      \"latency_p50_ms\": %.3f,\n"
+                 "      \"latency_p99_ms\": %.3f,\n"
+                 "      \"cache_hit_rate\": %.4f,\n"
+                 "      \"batches_scored\": %llu\n    }",
+                 i == 0 ? "" : ",", p.threads,
+                 static_cast<long long>(p.max_batch_triples),
+                 p.gate_identical ? "true" : "false", p.seconds,
+                 p.triples_per_s, p.latency_p50_ms, p.latency_p99_ms,
+                 p.cache_hit_rate,
+                 static_cast<unsigned long long>(p.batches_scored));
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_serve.json\n");
+
+  // Throughput depends on the machine; only the bitwise gate is a hard
+  // requirement.
+  for (const SweepPoint& p : points) {
+    if (!p.gate_identical) return 1;
+  }
+  return 0;
+}

@@ -2,10 +2,13 @@
 # Single-entry CI gate, in increasing order of cost:
 #
 #   1. tier-1 build + ctest          (the correctness floor)
-#   2. bench smoke                   (Release build; training determinism
+#   2. serve smoke                   (server binaries over real TCP: online
+#                                     scores bit-for-bit vs offline golden,
+#                                     before and after live ingestion)
+#   3. bench smoke                   (Release build; training determinism
 #                                     and cache contracts, via bench_train)
-#   3. sanitizer sweeps              (TSan + ASan/UBSan on the parallel and
-#                                     checkpoint subsystems)
+#   4. sanitizer sweeps              (TSan + ASan/UBSan on the parallel,
+#                                     checkpoint, and serving subsystems)
 #
 # Usage: scripts/ci.sh [fast]
 #   fast: skip the sanitizer sweeps (they rebuild two extra trees).
@@ -17,6 +20,9 @@ echo "== ci: tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== ci: serve smoke =="
+scripts/serve_smoke.sh build
 
 echo "== ci: bench smoke =="
 scripts/bench_smoke.sh

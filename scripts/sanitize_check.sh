@@ -2,8 +2,9 @@
 # Sanitizer gate for the parallel and checkpoint subsystems. Two sweeps:
 #
 #   thread            (-DDEKG_SANITIZE=thread)            data races in the
-#                     thread pool, parallel evaluator, tensor kernels, and
-#                     the checkpoint format/resume paths
+#                     thread pool, parallel evaluator, tensor kernels, the
+#                     checkpoint format/resume paths, and the serving stack
+#                     (connection threads + scheduler + engine)
 #   address,undefined (-DDEKG_SANITIZE=address,undefined) memory and UB bugs
 #                     in the same set plus the fork-heavy dataset-I/O fuzz
 #                     and checkpoint death tests (fork/abort tests are kept
@@ -19,7 +20,8 @@ MODE="${1:-all}"
 # Tests built and run under every sanitizer.
 COMMON_TESTS="thread_pool_test parallel_eval_determinism_test evaluator_test \
   tensor_test checkpoint_format_test checkpoint_resume_test \
-  trainer_parallel_determinism_test subgraph_cache_test"
+  trainer_parallel_determinism_test subgraph_cache_test \
+  serve_protocol_test live_graph_test serve_determinism_test"
 # Death-test / fork-based suites: address,undefined sweep only.
 FORKY_TESTS="checkpoint_test dataset_io_fuzz_test"
 

@@ -44,6 +44,15 @@ ag::Var Clrm::ScoreTriple(const RelationTable& head_table, RelationId rel,
   return ag::SumAll(ag::Mul(ag::Mul(head, rel_emb), tail));
 }
 
+ag::Var Clrm::ScoreEmbedded(const Tensor& head, RelationId rel,
+                            const Tensor& tail) const {
+  DEKG_CHECK(rel >= 0 && rel < config_.num_relations);
+  ag::Var rel_emb = ag::GatherRows(relation_sem_, {rel});
+  // Same op order as ScoreTriple: Mul(Mul(head, rel), tail) then SumAll.
+  return ag::SumAll(ag::Mul(
+      ag::Mul(ag::Var::Constant(head), rel_emb), ag::Var::Constant(tail)));
+}
+
 double Clrm::MeanNonzero(const RelationTable& table) {
   int64_t sum = 0;
   int64_t nonzero = 0;

@@ -80,6 +80,12 @@ ag::Var DekgIlpModel::ContrastiveLossForLink(const KnowledgeGraph& graph,
 
 std::vector<double> DekgIlpPredictor::ScoreTriples(
     const KnowledgeGraph& inference_graph, const std::vector<Triple>& triples) {
+  return ScoreTriplesCached(inference_graph, triples, /*cache=*/nullptr);
+}
+
+std::vector<double> DekgIlpPredictor::ScoreTriplesCached(
+    const KnowledgeGraph& inference_graph, const std::vector<Triple>& triples,
+    const SubgraphCache* cache) {
   std::vector<double> scores(triples.size(), 0.0);
   // Subgraph extraction + encoding dominates scoring cost; independent
   // triples split across the pool. When the evaluator already runs this
@@ -88,11 +94,13 @@ std::vector<double> DekgIlpPredictor::ScoreTriples(
   ParallelFor(0, static_cast<int64_t>(triples.size()), /*grain=*/0,
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
+                  const Triple& t = triples[static_cast<size_t>(i)];
                   Rng rng(MixSeed(seed_, static_cast<uint64_t>(i)));
-                  ag::Var s =
-                      model_->ScoreLink(inference_graph,
-                                        triples[static_cast<size_t>(i)],
-                                        /*training=*/false, &rng);
+                  const Subgraph* subgraph =
+                      cache != nullptr ? cache->Find(t) : nullptr;
+                  ag::Var s = model_->ScoreLink(inference_graph, t,
+                                                /*training=*/false, &rng,
+                                                subgraph);
                   scores[static_cast<size_t>(i)] =
                       static_cast<double>(s.value().Data()[0]);
                 }

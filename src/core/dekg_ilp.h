@@ -87,6 +87,12 @@ class DekgIlpPredictor : public LinkPredictor {
   }
   std::vector<double> ScoreTriples(const KnowledgeGraph& inference_graph,
                                    const std::vector<Triple>& triples) override;
+  // Serves pre-extracted subgraphs from `cache` (Find only — no counter
+  // mutation, so a shared cache stays safely read-only) and extracts the
+  // rest; scores are bit-identical either way.
+  std::vector<double> ScoreTriplesCached(const KnowledgeGraph& inference_graph,
+                                         const std::vector<Triple>& triples,
+                                         const SubgraphCache* cache) override;
   bool SupportsConcurrentScoring() const override { return true; }
   int64_t ParameterCount() const override { return model_->ParameterCount(); }
 

@@ -139,7 +139,8 @@ EvalResult Evaluate(LinkPredictor* model, const DekgDataset& dataset,
     for (const auto& negatives : tasks) {
       batch.insert(batch.end(), negatives.begin(), negatives.end());
     }
-    const std::vector<double> scores = model->ScoreTriples(graph, batch);
+    const std::vector<double> scores =
+        model->ScoreTriplesCached(graph, batch, config.subgraph_cache);
     DEKG_CHECK_EQ(scores.size(), batch.size());
 
     const double positive_score = scores[0];

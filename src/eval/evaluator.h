@@ -25,6 +25,8 @@
 
 namespace dekg {
 
+class SubgraphCache;  // graph/subgraph.h
+
 // Interface every scoring model implements. Scores are arbitrary reals;
 // higher means more plausible.
 class LinkPredictor {
@@ -38,6 +40,18 @@ class LinkPredictor {
   virtual std::vector<double> ScoreTriples(
       const KnowledgeGraph& inference_graph,
       const std::vector<Triple>& triples) = 0;
+
+  // Same, consulting an optional read-only subgraph cache for
+  // pre-extracted enclosing subgraphs (extraction is deterministic, so a
+  // cache hit is numerically transparent). This is the entry point
+  // Evaluate() uses, and the one the serve layer shares; predictors
+  // without a subgraph stage keep the default, which ignores the cache.
+  virtual std::vector<double> ScoreTriplesCached(
+      const KnowledgeGraph& inference_graph, const std::vector<Triple>& triples,
+      const SubgraphCache* cache) {
+    (void)cache;
+    return ScoreTriples(inference_graph, triples);
+  }
 
   // Whether ScoreTriples may be invoked concurrently from multiple threads
   // (i.e. scoring treats the model as read-only). Evaluate() only
@@ -96,6 +110,11 @@ struct EvalConfig {
   // (MixSeed(seed, link_index)) and per-link results merge in link order,
   // so metrics and ranks are bit-identical for every thread count.
   int32_t num_threads = 0;
+  // Optional read-only cache of pre-extracted enclosing subgraphs, served
+  // to the predictor through ScoreTriplesCached. Never mutated (no hit/
+  // miss counting) — safe to share with concurrent readers. Metrics are
+  // bit-identical with and without it.
+  const SubgraphCache* subgraph_cache = nullptr;
 };
 
 // Runs the full protocol over dataset.test_links().

@@ -141,6 +141,17 @@ Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
   return ExtractSubgraph(g, head, tail, target_rel, config, &workspace);
 }
 
+std::vector<EntityId> TouchedEntities(const SubgraphWorkspace& workspace) {
+  DEKG_CHECK_EQ(workspace.dist_head.size(), workspace.dist_tail.size());
+  std::vector<EntityId> touched;
+  for (size_t u = 0; u < workspace.dist_head.size(); ++u) {
+    if (workspace.dist_head[u] >= 0 || workspace.dist_tail[u] >= 0) {
+      touched.push_back(static_cast<EntityId>(u));
+    }
+  }
+  return touched;
+}
+
 SubgraphCache::SubgraphCache(int64_t capacity) : capacity_(capacity) {
   DEKG_CHECK_GE(capacity, 0);
 }
@@ -169,14 +180,16 @@ const Subgraph* SubgraphCache::Insert(const Triple& triple,
                                       Subgraph subgraph) {
   auto it = map_.find(triple);
   if (it != map_.end()) return it->second.get();
-  if (capacity_ > 0 &&
-      static_cast<int64_t>(map_.size()) >= capacity_) {
-    // FIFO: retire the oldest insertion. The front key is always resident
-    // because keys enter the queue exactly when they enter the map.
+  while (capacity_ > 0 &&
+         static_cast<int64_t>(map_.size()) >= capacity_) {
+    // FIFO: retire the oldest resident insertion. Keys enter the queue
+    // exactly when they enter the map, but Erase() removes only the map
+    // entry — queue occurrences it leaves behind are skipped here.
+    DEKG_CHECK(!fifo_.empty());
     const Triple victim = fifo_.front();
     fifo_.pop_front();
     auto vit = map_.find(victim);
-    DEKG_CHECK(vit != map_.end());
+    if (vit == map_.end()) continue;  // erased earlier; stale queue entry
     stats_.bytes -= PayloadBytes(*vit->second);
     map_.erase(vit);
     ++stats_.evictions;
@@ -189,6 +202,15 @@ const Subgraph* SubgraphCache::Insert(const Triple& triple,
   map_.emplace(triple, std::move(owned));
   fifo_.push_back(triple);
   return stored;
+}
+
+bool SubgraphCache::Erase(const Triple& triple) {
+  auto it = map_.find(triple);
+  if (it == map_.end()) return false;
+  stats_.bytes -= PayloadBytes(*it->second);
+  map_.erase(it);
+  --stats_.entries;
+  return true;
 }
 
 void SubgraphCache::Clear() {

@@ -96,10 +96,23 @@ Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
 
 // Same, reusing the caller's workspace across calls (hot loops: training
 // epochs, batched inference). Results are identical to the form above.
+// On return the workspace's dist_head / dist_tail hold the two blocked-BFS
+// distance fields the extraction was computed from (part of the contract:
+// TouchedEntities below consumes them).
 Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
                          EntityId tail, RelationId target_rel,
                          const SubgraphConfig& config,
                          SubgraphWorkspace* workspace);
+
+// Entities the last extraction's result depends on: every u with
+// dist_head[u] >= 0 or dist_tail[u] >= 0 (the union of the two blocked
+// t-hop neighborhoods, endpoints included). A new edge can only change an
+// extraction when at least one of its endpoints lies in this set — to
+// alter either BFS field it must be reached through a node at blocked
+// distance <= t-1, which is itself in the set, and an edge newly induced
+// between kept nodes has both endpoints in it. The serve-layer cache
+// invalidation indexes cached subgraphs by this set.
+std::vector<EntityId> TouchedEntities(const SubgraphWorkspace& workspace);
 
 // Epoch-persistent cache of extracted subgraphs, keyed by the target
 // triple. Extraction is deterministic over an immutable graph, so a cached
@@ -135,6 +148,12 @@ class SubgraphCache {
   // evicting the oldest insertion first when at capacity. Returns the
   // resident subgraph.
   const Subgraph* Insert(const Triple& triple, Subgraph subgraph);
+
+  // Removes the entry for `triple`; returns true when it was resident.
+  // The serve layer's delta ingester uses this to invalidate exactly the
+  // entries a new edge can affect. Stale occurrences of erased keys in
+  // the FIFO queue are skipped lazily at eviction time.
+  bool Erase(const Triple& triple);
 
   void Clear();
   // Zeroes hits/misses/evictions; entries/bytes reflect residency and are

@@ -90,9 +90,54 @@ void KnowledgeGraph::Build() {
   }
 }
 
+void KnowledgeGraph::BeginDynamic() {
+  DEKG_CHECK(built_) << "BeginDynamic before Build()";
+  if (dynamic_) return;
+  dynamic_ = true;
+  dyn_adj_.resize(static_cast<size_t>(num_entities_));
+  for (int32_t v = 0; v < num_entities_; ++v) {
+    const int64_t begin = adj_offsets_[static_cast<size_t>(v)];
+    const int64_t end = adj_offsets_[static_cast<size_t>(v) + 1];
+    dyn_adj_[static_cast<size_t>(v)].assign(adj_edges_.begin() + begin,
+                                            adj_edges_.begin() + end);
+  }
+  adj_offsets_.clear();
+  adj_offsets_.shrink_to_fit();
+  adj_edges_.clear();
+  adj_edges_.shrink_to_fit();
+}
+
+void KnowledgeGraph::AddTripleDynamic(const Triple& t) {
+  DEKG_CHECK(dynamic_) << "AddTripleDynamic before BeginDynamic()";
+  DEKG_CHECK(t.head >= 0 && t.head < num_entities_) << "head " << t.head;
+  DEKG_CHECK(t.tail >= 0 && t.tail < num_entities_) << "tail " << t.tail;
+  DEKG_CHECK(t.rel >= 0 && t.rel < num_relations_) << "rel " << t.rel;
+  const int32_t eid = static_cast<int32_t>(edges_.size());
+  edges_.push_back(Edge{t.head, t.rel, t.tail});
+  triple_set_.insert(t);
+  // Appending keeps each list in ascending edge-id order — the same order
+  // the CSR fill pass produces — and mirrors its self-loop handling (one
+  // entry, not two).
+  dyn_adj_[static_cast<size_t>(t.head)].push_back(eid);
+  if (t.tail != t.head) {
+    dyn_adj_[static_cast<size_t>(t.tail)].push_back(eid);
+  }
+}
+
+void KnowledgeGraph::GrowEntities(int32_t new_num_entities) {
+  DEKG_CHECK(dynamic_) << "GrowEntities before BeginDynamic()";
+  if (new_num_entities <= num_entities_) return;
+  dyn_adj_.resize(static_cast<size_t>(new_num_entities));
+  num_entities_ = new_num_entities;
+}
+
 std::span<const int32_t> KnowledgeGraph::IncidentEdges(EntityId node) const {
   DEKG_CHECK(built_) << "IncidentEdges before Build()";
   DEKG_CHECK(node >= 0 && node < num_entities_) << "node " << node;
+  if (dynamic_) {
+    const std::vector<int32_t>& adj = dyn_adj_[static_cast<size_t>(node)];
+    return {adj.data(), adj.size()};
+  }
   const int64_t begin = adj_offsets_[static_cast<size_t>(node)];
   const int64_t end = adj_offsets_[static_cast<size_t>(node) + 1];
   return {adj_edges_.data() + begin, static_cast<size_t>(end - begin)};

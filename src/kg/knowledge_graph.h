@@ -74,11 +74,19 @@ struct Edge {
   EntityId dst;
 };
 
-// Immutable indexed multigraph over [0, num_entities) x [0, num_relations).
+// Indexed multigraph over [0, num_entities) x [0, num_relations).
 // Construction: collect triples, then Build(). Provides
 //  * undirected adjacency (edge ids incident to a node, either direction),
 //  * per-entity relation-component tables a_i^k (CLRM, Eq. 2),
 //  * membership tests for the filtered evaluation setting.
+//
+// A built graph is immutable unless switched into *dynamic mode*
+// (BeginDynamic), where triples may keep arriving after Build() — the
+// online-serving ingest path. Dynamic appends preserve the static index's
+// ordering invariant (each adjacency list holds edge ids in ascending
+// order), so for any triple sequence, "build everything statically" and
+// "build a prefix, then append the rest dynamically" produce identical
+// adjacency — and therefore bit-identical subgraph extractions.
 class KnowledgeGraph {
  public:
   KnowledgeGraph(int32_t num_entities, int32_t num_relations);
@@ -89,6 +97,24 @@ class KnowledgeGraph {
   void AddTriples(const std::vector<Triple>& triples);
   // Freezes the graph and builds the indexes. Idempotent.
   void Build();
+
+  // Converts the built CSR incidence index into per-node adjacency
+  // vectors so AddTripleDynamic / GrowEntities become legal. Idempotent.
+  // Not thread-safe against concurrent readers; mutation and reads must
+  // be externally serialized (the serve scheduler applies ingests only
+  // between scoring batches).
+  void BeginDynamic();
+  bool dynamic() const { return dynamic_; }
+
+  // Appends one triple to a dynamic graph, updating the incidence index
+  // and membership set. Ids must be in range — grow the entity space
+  // first with GrowEntities. Duplicate triples are kept, exactly like
+  // AddTriple before Build().
+  void AddTripleDynamic(const Triple& t);
+
+  // Raises the entity-id space of a dynamic graph (no-op when already at
+  // least that large). New entities start isolated.
+  void GrowEntities(int32_t new_num_entities);
 
   bool built() const { return built_; }
   int32_t num_entities() const { return num_entities_; }
@@ -117,11 +143,14 @@ class KnowledgeGraph {
   int32_t num_entities_;
   int32_t num_relations_;
   bool built_ = false;
+  bool dynamic_ = false;
   std::vector<Edge> edges_;
   TripleSet triple_set_;
-  // CSR over undirected incidence.
+  // CSR over undirected incidence (static mode).
   std::vector<int64_t> adj_offsets_;  // size num_entities_ + 1
   std::vector<int32_t> adj_edges_;    // edge ids
+  // Per-node adjacency (dynamic mode); same per-node ordering as the CSR.
+  std::vector<std::vector<int32_t>> dyn_adj_;
 };
 
 // ----- TSV I/O -----

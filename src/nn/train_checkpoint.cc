@@ -95,4 +95,27 @@ bool LoadTrainState(const std::string& path, Module* module,
   return true;
 }
 
+bool LoadParamsOnly(const std::string& path, Module* module,
+                    std::string* error) {
+  std::vector<ckpt::Section> sections;
+  std::string read_error;
+  switch (ckpt::ReadCheckpointFile(path, &sections, &read_error)) {
+    case ckpt::ReadStatus::kNotFound:
+      if (error != nullptr) *error = "checkpoint not found: " + path;
+      return false;
+    case ckpt::ReadStatus::kCorrupt:
+      if (error != nullptr) *error = "corrupt checkpoint " + path + ": " + read_error;
+      return false;
+    case ckpt::ReadStatus::kOk:
+      break;
+  }
+  const ckpt::Section* params = ckpt::FindSection(sections, "params");
+  if (params == nullptr) {
+    if (error != nullptr) *error = "checkpoint has no params section: " + path;
+    return false;
+  }
+  module->RestoreParameters(params->payload, path);
+  return true;
+}
+
 }  // namespace dekg::nn

@@ -44,6 +44,18 @@ bool SaveTrainState(const std::string& path, const Module& module,
 bool LoadTrainState(const std::string& path, Module* module,
                     Optimizer* optimizer, Rng* rng, TrainLoopState* loop);
 
+// Restores only the "params" section — what a frozen inference server
+// needs from a training checkpoint (optimizer moments and RNG state are
+// training-only). Accepts both full train checkpoints and bare
+// Module::SaveCheckpoint files. Unlike LoadTrainState this never aborts
+// on a bad file: missing files and corruption are reported through the
+// return value and *error so a long-lived server can refuse to start (or
+// to hot-reload) gracefully. Architecture mismatch still aborts inside
+// RestoreParameters — wiring the wrong checkpoint to the wrong model is
+// operator error.
+bool LoadParamsOnly(const std::string& path, Module* module,
+                    std::string* error);
+
 }  // namespace dekg::nn
 
 #endif  // DEKG_NN_TRAIN_CHECKPOINT_H_

@@ -1,0 +1,122 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dekg::serve {
+
+bool Client::Connect(const std::string& host, uint16_t port,
+                     std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address: " + host;
+    Close();
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::RoundTrip(MessageType request_type,
+                       const std::vector<uint8_t>& payload,
+                       MessageType expected, Frame* reply,
+                       std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, request_type, payload, error)) return false;
+  if (!ReadFrame(fd_, reply, error)) {
+    if (error->empty()) *error = "server closed the connection";
+    return false;
+  }
+  if (reply->type == MessageType::kErrorResponse) {
+    ScoreResponse err;
+    *error = DecodeScoreResponse(reply->payload, &err)
+                 ? "server error: " + err.error
+                 : "server error (unparseable)";
+    return false;
+  }
+  if (reply->type != expected) {
+    *error = "unexpected response type";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Score(const ScoreRequest& request, ScoreResponse* response,
+                   std::string* error) {
+  Frame reply;
+  if (!RoundTrip(MessageType::kScoreRequest, EncodeScoreRequest(request),
+                 MessageType::kScoreResponse, &reply, error)) {
+    return false;
+  }
+  if (!DecodeScoreResponse(reply.payload, response)) {
+    *error = "malformed score response";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Ingest(const IngestRequest& request, IngestResponse* response,
+                    std::string* error) {
+  Frame reply;
+  if (!RoundTrip(MessageType::kIngestRequest, EncodeIngestRequest(request),
+                 MessageType::kIngestResponse, &reply, error)) {
+    return false;
+  }
+  if (!DecodeIngestResponse(reply.payload, response)) {
+    *error = "malformed ingest response";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Stats(StatsResponse* response, std::string* error) {
+  Frame reply;
+  if (!RoundTrip(MessageType::kStatsRequest, {}, MessageType::kStatsResponse,
+                 &reply, error)) {
+    return false;
+  }
+  if (!DecodeStatsResponse(reply.payload, response)) {
+    *error = "malformed stats response";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Shutdown(std::string* error) {
+  Frame reply;
+  return RoundTrip(MessageType::kShutdownRequest, {},
+                   MessageType::kShutdownResponse, &reply, error);
+}
+
+}  // namespace dekg::serve

@@ -1,0 +1,52 @@
+// Blocking client for the online scoring server's wire protocol.
+//
+// One connection, synchronous request/response. Used by the
+// dekg_serve_client CLI, the serve determinism test, and bench_serve.
+// Thread-safety: none — use one Client per thread (the closed-loop
+// benchmark does exactly that).
+#ifndef DEKG_SERVE_CLIENT_H_
+#define DEKG_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace dekg::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to host:port. False + error on failure.
+  bool Connect(const std::string& host, uint16_t port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Each call sends one request frame and blocks for the response.
+  // Returns false (with error) on transport failure or a protocol
+  // mismatch; an application-level rejection (response.status != kOk)
+  // still returns true.
+  bool Score(const ScoreRequest& request, ScoreResponse* response,
+             std::string* error);
+  bool Ingest(const IngestRequest& request, IngestResponse* response,
+              std::string* error);
+  bool Stats(StatsResponse* response, std::string* error);
+  // Asks the server to drain and exit.
+  bool Shutdown(std::string* error);
+
+ private:
+  bool RoundTrip(MessageType request_type,
+                 const std::vector<uint8_t>& payload, MessageType expected,
+                 Frame* reply, std::string* error);
+
+  int fd_ = -1;
+};
+
+}  // namespace dekg::serve
+
+#endif  // DEKG_SERVE_CLIENT_H_

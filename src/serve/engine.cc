@@ -1,0 +1,205 @@
+#include "serve/engine.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace dekg::serve {
+
+InferenceEngine::InferenceEngine(core::DekgIlpModel* model,
+                                 KnowledgeGraph base,
+                                 const EngineConfig& config)
+    : model_(model),
+      config_(config),
+      live_graph_(std::move(base), config.live_graph) {
+  core::Clrm* clrm = model_->clrm();
+  if (clrm == nullptr) return;
+  const int32_t n = graph().num_entities();
+  entity_emb_.resize(static_cast<size_t>(n));
+  // Fusion rows are independent; each lands in its own pre-sized slot, so
+  // the precompute is bit-identical at any thread count.
+  ParallelFor(0, n, /*grain=*/0, [&](int64_t begin, int64_t end) {
+    for (int64_t e = begin; e < end; ++e) {
+      entity_emb_[static_cast<size_t>(e)] =
+          clrm->EmbedEntity(
+                  graph().RelationComponentTable(static_cast<EntityId>(e)))
+              .value();
+    }
+  });
+}
+
+void InferenceEngine::RefreshEmbedding(EntityId e) {
+  entity_emb_[static_cast<size_t>(e)] =
+      model_->clrm()->EmbedEntity(graph().RelationComponentTable(e)).value();
+}
+
+std::vector<double> InferenceEngine::ScoreBatch(
+    const std::vector<ScoreItem>& items) {
+  const KnowledgeGraph& g = graph();
+  core::Clrm* clrm = model_->clrm();
+  core::Gsm* gsm = model_->gsm();
+  const size_t n = items.size();
+  std::vector<double> scores(n, 0.0);
+
+  // Phase 1 (serial): cache lookups, with hit/miss counting.
+  std::vector<const Subgraph*> subs(n, nullptr);
+  std::vector<int64_t> miss;
+  std::vector<Subgraph> miss_subs;
+  std::vector<std::vector<EntityId>> miss_touched;
+  if (gsm != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      subs[i] = cache_.Lookup(items[i].triple);
+      if (subs[i] == nullptr) miss.push_back(static_cast<int64_t>(i));
+    }
+    // Phase 2 (parallel): extract the misses into batch-local storage.
+    // Extraction is RNG-free and reads only the const graph; the touched
+    // set is captured from each workspace for the invalidation index.
+    miss_subs.resize(miss.size());
+    miss_touched.resize(miss.size());
+    ParallelFor(0, static_cast<int64_t>(miss.size()), /*grain=*/0,
+                [&](int64_t begin, int64_t end) {
+                  SubgraphWorkspace workspace;
+                  for (int64_t m = begin; m < end; ++m) {
+                    const Triple& t =
+                        items[static_cast<size_t>(miss[static_cast<size_t>(m)])]
+                            .triple;
+                    miss_subs[static_cast<size_t>(m)] =
+                        gsm->Extract(g, t, &workspace);
+                    miss_touched[static_cast<size_t>(m)] =
+                        TouchedEntities(workspace);
+                  }
+                });
+    for (size_t m = 0; m < miss.size(); ++m) {
+      subs[static_cast<size_t>(miss[m])] = &miss_subs[m];
+    }
+  }
+
+  // Phase 3 (parallel): model scoring, one seed-derived Rng stream per
+  // item. Same term order as DekgIlpModel::ScoreLink: sem, then
+  // Add(sem, tpo).
+  ParallelFor(0, static_cast<int64_t>(n), /*grain=*/0,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const ScoreItem& item = items[static_cast<size_t>(i)];
+                  Rng rng(item.seed);
+                  ag::Var score;
+                  if (clrm != nullptr) {
+                    score = clrm->ScoreEmbedded(
+                        entity_emb_[static_cast<size_t>(item.triple.head)],
+                        item.triple.rel,
+                        entity_emb_[static_cast<size_t>(item.triple.tail)]);
+                  }
+                  if (gsm != nullptr) {
+                    ag::Var tpo = gsm->ScoreSubgraph(
+                        *subs[static_cast<size_t>(i)], item.triple.rel,
+                        /*training=*/false, &rng);
+                    score = score.defined() ? ag::Add(score, tpo) : tpo;
+                  }
+                  scores[static_cast<size_t>(i)] =
+                      static_cast<double>(score.value().Data()[0]);
+                }
+              });
+
+  // Phase 4 (serial, index order): admit the misses. Insertion after
+  // scoring means a capacity-bounded cache can never evict a subgraph
+  // this same batch still needs.
+  for (size_t m = 0; m < miss.size(); ++m) {
+    const Triple& t = items[static_cast<size_t>(miss[m])].triple;
+    if (key_touched_.count(t) > 0) continue;  // duplicate within the batch
+    cache_.Insert(t, std::move(miss_subs[m]));
+    for (EntityId e : miss_touched[m]) entity_index_[e].insert(t);
+    key_touched_.emplace(t, std::move(miss_touched[m]));
+    fifo_.push_back(t);
+  }
+  EnforceCapacity();
+  return scores;
+}
+
+void InferenceEngine::Ingest(const std::vector<Triple>& triples,
+                             IngestResponse* response) {
+  IngestReport report;
+  std::string error;
+  const Status status = live_graph_.Ingest(triples, &report, &error);
+  response->status = status;
+  response->error = error;
+  if (status != Status::kOk) return;
+  response->accepted = report.accepted;
+  response->duplicates = report.duplicates;
+  response->new_entities = report.new_entities;
+
+  // Invalidate exactly the cached extractions a new edge can affect: those
+  // whose touched set contains an endpoint of an accepted triple.
+  std::vector<Triple> stale;
+  TripleSet seen;
+  for (EntityId e : report.touched_entities) {
+    auto it = entity_index_.find(e);
+    if (it == entity_index_.end()) continue;
+    for (const Triple& key : it->second) {
+      if (seen.insert(key).second) stale.push_back(key);
+    }
+  }
+  for (const Triple& key : stale) RemoveCached(key);
+  invalidated_ += stale.size();
+  response->invalidated = stale.size();
+
+  core::Clrm* clrm = model_->clrm();
+  if (clrm == nullptr) return;
+  const size_t new_n = static_cast<size_t>(graph().num_entities());
+  if (new_n > entity_emb_.size()) {
+    // Brand-new ids (including any gap below the highest ingested id)
+    // start from the all-zero table. The shared tensor is safe: rows are
+    // replaced wholesale, never mutated in place.
+    const core::RelationTable zero_table(
+        static_cast<size_t>(graph().num_relations()), 0);
+    const Tensor zero_row = clrm->EmbedEntity(zero_table).value();
+    entity_emb_.resize(new_n, zero_row);
+  }
+  for (EntityId e : report.touched_entities) RefreshEmbedding(e);
+  embedding_refreshes_ += report.touched_entities.size();
+}
+
+void InferenceEngine::RemoveCached(const Triple& key) {
+  auto it = key_touched_.find(key);
+  if (it == key_touched_.end()) return;
+  cache_.Erase(key);
+  for (EntityId e : it->second) {
+    auto idx = entity_index_.find(e);
+    if (idx == entity_index_.end()) continue;
+    idx->second.erase(key);
+    if (idx->second.empty()) entity_index_.erase(idx);
+  }
+  key_touched_.erase(it);
+}
+
+void InferenceEngine::EnforceCapacity() {
+  if (config_.cache_capacity <= 0) return;
+  while (static_cast<int64_t>(key_touched_.size()) > config_.cache_capacity) {
+    DEKG_CHECK(!fifo_.empty());
+    const Triple victim = fifo_.front();
+    fifo_.pop_front();
+    // Stale queue entries (invalidated keys) are skipped. A key that was
+    // invalidated and later re-inserted can retire early through an old
+    // queue occurrence — harmless, since removal is always sound.
+    if (key_touched_.count(victim) == 0) continue;
+    RemoveCached(victim);
+    ++evictions_;
+  }
+}
+
+EngineStats InferenceEngine::Stats() const {
+  EngineStats stats;
+  const SubgraphCache::Stats& cs = cache_.stats();
+  stats.cache_hits = static_cast<uint64_t>(cs.hits);
+  stats.cache_misses = static_cast<uint64_t>(cs.misses);
+  stats.cache_entries = static_cast<uint64_t>(cs.entries);
+  stats.cache_bytes = static_cast<uint64_t>(cs.bytes);
+  stats.cache_evictions = evictions_;
+  stats.cache_invalidated = invalidated_;
+  stats.graph_triples = static_cast<uint64_t>(graph().num_triples());
+  stats.graph_entities = static_cast<uint64_t>(graph().num_entities());
+  stats.ingested_triples = live_graph_.ingested_triples();
+  stats.embedding_refreshes = embedding_refreshes_;
+  return stats;
+}
+
+}  // namespace dekg::serve

@@ -1,0 +1,135 @@
+// Inference engine of the online scoring server (DESIGN.md §9).
+//
+// Owns the frozen DEKG-ILP model, the live graph, the materialized CLRM
+// entity embeddings, and the subgraph cache with its invalidation index.
+// Three operations, all invoked from the single scheduler thread:
+//
+//  * ScoreBatch — scores a micro-batch of triples. Cache lookups and
+//    insertions are serial (index order); extraction of misses and model
+//    scoring fan out over the PR-1 thread pool with read-only shared
+//    state, so results are bit-identical at any thread count.
+//  * Ingest — applies emerging triples to the live graph, refreshes the
+//    CLRM embedding rows of exactly the entities whose relation tables
+//    changed, and invalidates exactly the cached subgraphs the new edges
+//    can affect (via the touched-entity reverse index; soundness argument
+//    on TouchedEntities in graph/subgraph.h).
+//  * Stats — counter snapshot.
+//
+// Determinism contract: a triple scored with stream seed s produces the
+// same bits as DekgIlpPredictor scoring it at an index i with
+// MixSeed(123, i) == s against the statically built equivalent graph —
+// regardless of micro-batch composition, cache state, or thread count.
+// The CLRM fast path (ScoreEmbedded over materialized fusion rows)
+// applies the identical op sequence to identical inputs; cached and
+// fresh extractions are identical by determinism of extraction.
+#ifndef DEKG_SERVE_ENGINE_H_
+#define DEKG_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dekg_ilp.h"
+#include "graph/subgraph.h"
+#include "serve/live_graph.h"
+#include "serve/protocol.h"
+
+namespace dekg::serve {
+
+struct EngineConfig {
+  // Maximum resident cached subgraphs (0 = unlimited). Enforced FIFO by
+  // the engine itself so every removal also cleans the invalidation
+  // index.
+  int64_t cache_capacity = 4096;
+  LiveGraphConfig live_graph;
+};
+
+// One unit of scoring work: the triple plus its fully derived Rng stream
+// seed (MixSeed(request_seed, index_within_request) — derived by the
+// batcher, so scores cannot depend on micro-batch composition).
+struct ScoreItem {
+  Triple triple;
+  uint64_t seed = 0;
+};
+
+struct EngineStats {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_evictions = 0;    // capacity-driven removals
+  uint64_t cache_invalidated = 0;  // ingest-driven removals
+  uint64_t cache_bytes = 0;
+  uint64_t graph_triples = 0;
+  uint64_t graph_entities = 0;
+  uint64_t ingested_triples = 0;
+  uint64_t embedding_refreshes = 0;  // CLRM rows recomputed after startup
+};
+
+class InferenceEngine {
+ public:
+  // `model` must outlive the engine and is treated as frozen (read-only).
+  // `base` is the built graph the server starts from (offline: the train
+  // split). Materializes the CLRM embedding table at construction,
+  // parallelized over entities.
+  InferenceEngine(core::DekgIlpModel* model, KnowledgeGraph base,
+                  const EngineConfig& config);
+
+  const KnowledgeGraph& graph() const { return live_graph_.graph(); }
+
+  // Scoring-side validation (relation vocabulary, entity space).
+  Status ValidateScore(const std::vector<Triple>& triples,
+                       std::string* error) const {
+    return live_graph_.ValidateForScoring(triples, error);
+  }
+
+  // Scores every item. Items must have passed ValidateScore.
+  std::vector<double> ScoreBatch(const std::vector<ScoreItem>& items);
+
+  // Applies an emerging-triple batch. Fills every response field
+  // (including error/status); the graph is unchanged on rejection.
+  void Ingest(const std::vector<Triple>& triples, IngestResponse* response);
+
+  EngineStats Stats() const;
+
+  // Test hook: the materialized CLRM fusion row for an entity.
+  const Tensor& EntityEmbedding(EntityId e) const {
+    return entity_emb_[static_cast<size_t>(e)];
+  }
+
+ private:
+  // Recomputes entity_emb_[e] from the entity's current relation table.
+  void RefreshEmbedding(EntityId e);
+  // Removes one cached key and its invalidation-index entries.
+  void RemoveCached(const Triple& key);
+  // FIFO-evicts until the resident count fits the capacity.
+  void EnforceCapacity();
+
+  core::DekgIlpModel* model_;
+  EngineConfig config_;
+  LiveGraph live_graph_;
+
+  // Materialized CLRM fusion rows, [1, dim] each; row e always equals
+  // EmbedEntity(RelationComponentTable(e)).value() for the current graph.
+  // Rows are replaced wholesale (never mutated in place), so concurrent
+  // readers inside one scoring batch are safe. Empty when CLRM is off.
+  std::vector<Tensor> entity_emb_;
+
+  // Subgraph cache (unlimited; capacity enforced here) plus the
+  // invalidation bookkeeping. key_touched_ holds each resident key's
+  // touched-entity set; entity_index_ is its inverse. fifo_ may hold
+  // stale keys (invalidated before eviction); EnforceCapacity skips them.
+  SubgraphCache cache_{0};
+  std::deque<Triple> fifo_;
+  std::unordered_map<Triple, std::vector<EntityId>, TripleHash> key_touched_;
+  std::unordered_map<EntityId, TripleSet> entity_index_;
+
+  uint64_t evictions_ = 0;
+  uint64_t invalidated_ = 0;
+  uint64_t embedding_refreshes_ = 0;
+};
+
+}  // namespace dekg::serve
+
+#endif  // DEKG_SERVE_ENGINE_H_

@@ -1,0 +1,88 @@
+// Live DEKG adjacency for the online scoring server (DESIGN.md §9).
+//
+// Wraps a dynamic-mode KnowledgeGraph behind an ingestion API with the
+// validation and accounting the server needs: whole-batch (atomic)
+// admission, entity-space growth up to a hard cap, duplicate counting,
+// and a record of which entities each accepted batch touched (the serve
+// engine refreshes exactly those CLRM embedding rows and invalidates
+// exactly the cached subgraphs they can affect).
+//
+// Determinism: a server built from the train triples that ingests the
+// emerging triples in file order holds a graph identical — same edge ids,
+// same adjacency order — to the offline inference graph built statically
+// from train + emerging. That is the ordering invariant documented on
+// KnowledgeGraph, and it is what makes online scores bit-identical to
+// offline Evaluate.
+//
+// Not thread-safe: the scheduler thread owns all calls (reads included
+// while a mutation is in flight). The engine scores from a const reference
+// only between Ingest calls.
+#ifndef DEKG_SERVE_LIVE_GRAPH_H_
+#define DEKG_SERVE_LIVE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "serve/protocol.h"
+
+namespace dekg::serve {
+
+struct LiveGraphConfig {
+  // Hard cap on entity-id space growth; an ingest that would exceed it is
+  // rejected whole (kBadEntity). Guards the O(num_entities) extraction
+  // scan and the embedding table against hostile ids.
+  int32_t max_entities = 1 << 20;
+};
+
+// Per-batch ingestion outcome (successful admissions only).
+struct IngestReport {
+  uint32_t accepted = 0;
+  uint32_t duplicates = 0;    // triples already present (kept — the
+                              // multiplicity feeds the CLRM tables)
+  uint32_t new_entities = 0;  // entity-id space growth
+  // Entities whose relation-component table changed (deduplicated,
+  // ascending): the endpoints of every accepted triple. These are the
+  // only entities whose CLRM embedding rows need refreshing, and new
+  // edges incident to them are the only ones that can invalidate a
+  // cached subgraph.
+  std::vector<EntityId> touched_entities;
+};
+
+class LiveGraph {
+ public:
+  // Takes a built (static) base graph — offline, the train split — and
+  // switches it into dynamic mode. Emerging triples arrive via Ingest.
+  LiveGraph(KnowledgeGraph base, const LiveGraphConfig& config);
+
+  const KnowledgeGraph& graph() const { return graph_; }
+
+  // Validates the whole batch, then applies it in order. Admission is
+  // atomic: any invalid triple rejects the batch with a clear error and
+  // changes nothing. Validation rules:
+  //  * relation id must be in the checkpointed vocabulary (kUnknownRelation)
+  //  * entity ids must be >= 0 and < max_entities (kBadEntity)
+  // Entity ids beyond the current space (but under the cap) grow it; a
+  // brand-new entity with no other incident triples is legal and scores
+  // through the all-zero relation table (the zero CLRM embedding).
+  Status Ingest(const std::vector<Triple>& triples, IngestReport* report,
+                std::string* error);
+
+  // Validates a scoring request against the current graph: relation in
+  // vocabulary, entities within the current entity space (an id the graph
+  // has never seen cannot be scored — it has no table row).
+  Status ValidateForScoring(const std::vector<Triple>& triples,
+                            std::string* error) const;
+
+  uint64_t ingested_triples() const { return ingested_; }
+
+ private:
+  LiveGraphConfig config_;
+  KnowledgeGraph graph_;
+  uint64_t ingested_ = 0;
+};
+
+}  // namespace dekg::serve
+
+#endif  // DEKG_SERVE_LIVE_GRAPH_H_

@@ -1,0 +1,320 @@
+#include "serve/protocol.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/checkpoint.h"
+
+namespace dekg::serve {
+
+namespace {
+
+void AppendTriples(std::vector<uint8_t>* out,
+                   const std::vector<Triple>& triples) {
+  ckpt::AppendPod(out, static_cast<uint32_t>(triples.size()));
+  for (const Triple& t : triples) {
+    ckpt::AppendPod(out, t.head);
+    ckpt::AppendPod(out, t.rel);
+    ckpt::AppendPod(out, t.tail);
+  }
+}
+
+bool ReadTriples(ckpt::ByteReader* reader, std::vector<Triple>* triples) {
+  uint32_t count = 0;
+  if (!reader->ReadPod(&count)) return false;
+  // Each triple costs 12 payload bytes; a count outrunning the payload is
+  // rejected up front instead of attempting a giant allocation.
+  if (static_cast<uint64_t>(count) * 12 > reader->remaining()) return false;
+  triples->assign(count, Triple{});
+  for (Triple& t : *triples) {
+    if (!reader->ReadPod(&t.head) || !reader->ReadPod(&t.rel) ||
+        !reader->ReadPod(&t.tail)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kBadRequest:
+      return "bad request";
+    case Status::kUnknownRelation:
+      return "unknown relation";
+    case Status::kBadEntity:
+      return "bad entity";
+    case Status::kShuttingDown:
+      return "shutting down";
+    case Status::kInternal:
+      return "internal error";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  ckpt::AppendPod(&out, kFrameMagic);
+  ckpt::AppendPod(&out, kProtocolVersion);
+  ckpt::AppendPod(&out, static_cast<uint8_t>(type));
+  ckpt::AppendPod(&out, static_cast<uint16_t>(0));
+  ckpt::AppendPod(&out, static_cast<uint64_t>(payload.size()));
+  ckpt::AppendRaw(&out, payload.data(), payload.size());
+  return out;
+}
+
+bool DecodeFrameHeader(const uint8_t* header, MessageType* type,
+                       uint64_t* payload_size, std::string* error) {
+  ckpt::ByteReader reader(header, kFrameHeaderBytes);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t raw_type = 0;
+  uint16_t reserved = 0;
+  if (!reader.ReadPod(&magic) || !reader.ReadPod(&version) ||
+      !reader.ReadPod(&raw_type) || !reader.ReadPod(&reserved) ||
+      !reader.ReadPod(payload_size)) {
+    if (error != nullptr) *error = "short frame header";
+    return false;
+  }
+  if (magic != kFrameMagic) {
+    if (error != nullptr) *error = "bad frame magic";
+    return false;
+  }
+  if (version != kProtocolVersion) {
+    if (error != nullptr) {
+      *error = "unsupported protocol version " + std::to_string(version);
+    }
+    return false;
+  }
+  if (*payload_size > kMaxPayloadBytes) {
+    if (error != nullptr) *error = "oversized frame payload";
+    return false;
+  }
+  *type = static_cast<MessageType>(raw_type);
+  return true;
+}
+
+std::vector<uint8_t> EncodeScoreRequest(const ScoreRequest& request) {
+  std::vector<uint8_t> out;
+  ckpt::AppendPod(&out, request.seed);
+  ckpt::AppendPod(&out, static_cast<uint8_t>(request.with_rank ? 1 : 0));
+  AppendTriples(&out, request.triples);
+  return out;
+}
+
+bool DecodeScoreRequest(const std::vector<uint8_t>& payload,
+                        ScoreRequest* request) {
+  ckpt::ByteReader reader(payload);
+  uint8_t with_rank = 0;
+  if (!reader.ReadPod(&request->seed) || !reader.ReadPod(&with_rank) ||
+      !ReadTriples(&reader, &request->triples)) {
+    return false;
+  }
+  request->with_rank = with_rank != 0;
+  return reader.AtEnd();
+}
+
+std::vector<uint8_t> EncodeScoreResponse(const ScoreResponse& response) {
+  std::vector<uint8_t> out;
+  ckpt::AppendPod(&out, static_cast<uint8_t>(response.status));
+  ckpt::AppendString(&out, response.error);
+  ckpt::AppendPod(&out, static_cast<uint8_t>(response.has_rank ? 1 : 0));
+  ckpt::AppendPod(&out, response.rank);
+  ckpt::AppendPod(&out, static_cast<uint32_t>(response.scores.size()));
+  for (double s : response.scores) ckpt::AppendPod(&out, s);
+  return out;
+}
+
+bool DecodeScoreResponse(const std::vector<uint8_t>& payload,
+                         ScoreResponse* response) {
+  ckpt::ByteReader reader(payload);
+  uint8_t status = 0;
+  uint8_t has_rank = 0;
+  uint32_t count = 0;
+  if (!reader.ReadPod(&status) || !reader.ReadString(&response->error) ||
+      !reader.ReadPod(&has_rank) || !reader.ReadPod(&response->rank) ||
+      !reader.ReadPod(&count)) {
+    return false;
+  }
+  if (static_cast<uint64_t>(count) * sizeof(double) > reader.remaining()) {
+    return false;
+  }
+  response->status = static_cast<Status>(status);
+  response->has_rank = has_rank != 0;
+  response->scores.assign(count, 0.0);
+  for (double& s : response->scores) {
+    if (!reader.ReadPod(&s)) return false;
+  }
+  return reader.AtEnd();
+}
+
+std::vector<uint8_t> EncodeIngestRequest(const IngestRequest& request) {
+  std::vector<uint8_t> out;
+  AppendTriples(&out, request.triples);
+  return out;
+}
+
+bool DecodeIngestRequest(const std::vector<uint8_t>& payload,
+                         IngestRequest* request) {
+  ckpt::ByteReader reader(payload);
+  return ReadTriples(&reader, &request->triples) && reader.AtEnd();
+}
+
+std::vector<uint8_t> EncodeIngestResponse(const IngestResponse& response) {
+  std::vector<uint8_t> out;
+  ckpt::AppendPod(&out, static_cast<uint8_t>(response.status));
+  ckpt::AppendString(&out, response.error);
+  ckpt::AppendPod(&out, response.accepted);
+  ckpt::AppendPod(&out, response.duplicates);
+  ckpt::AppendPod(&out, response.invalidated);
+  ckpt::AppendPod(&out, response.new_entities);
+  return out;
+}
+
+bool DecodeIngestResponse(const std::vector<uint8_t>& payload,
+                          IngestResponse* response) {
+  ckpt::ByteReader reader(payload);
+  uint8_t status = 0;
+  if (!reader.ReadPod(&status) || !reader.ReadString(&response->error) ||
+      !reader.ReadPod(&response->accepted) ||
+      !reader.ReadPod(&response->duplicates) ||
+      !reader.ReadPod(&response->invalidated) ||
+      !reader.ReadPod(&response->new_entities)) {
+    return false;
+  }
+  response->status = static_cast<Status>(status);
+  return reader.AtEnd();
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response) {
+  std::vector<uint8_t> out;
+  ckpt::AppendPod(&out, static_cast<uint8_t>(response.status));
+  ckpt::AppendPod(&out, response.queue_depth);
+  ckpt::AppendPod(&out, response.requests_admitted);
+  ckpt::AppendPod(&out, response.batches_scored);
+  ckpt::AppendPod(&out, response.triples_scored);
+  for (uint64_t bucket : response.batch_hist) ckpt::AppendPod(&out, bucket);
+  ckpt::AppendPod(&out, response.latency_p50_ms);
+  ckpt::AppendPod(&out, response.latency_p99_ms);
+  ckpt::AppendPod(&out, response.latency_samples);
+  ckpt::AppendPod(&out, response.cache_hits);
+  ckpt::AppendPod(&out, response.cache_misses);
+  ckpt::AppendPod(&out, response.cache_entries);
+  ckpt::AppendPod(&out, response.cache_evictions);
+  ckpt::AppendPod(&out, response.cache_invalidated);
+  ckpt::AppendPod(&out, response.cache_bytes);
+  ckpt::AppendPod(&out, response.graph_triples);
+  ckpt::AppendPod(&out, response.graph_entities);
+  ckpt::AppendPod(&out, response.ingested_triples);
+  ckpt::AppendPod(&out, response.embedding_refreshes);
+  ckpt::AppendPod(&out, response.uptime_s);
+  return out;
+}
+
+bool DecodeStatsResponse(const std::vector<uint8_t>& payload,
+                         StatsResponse* response) {
+  ckpt::ByteReader reader(payload);
+  uint8_t status = 0;
+  if (!reader.ReadPod(&status)) return false;
+  response->status = static_cast<Status>(status);
+  bool ok = reader.ReadPod(&response->queue_depth) &&
+            reader.ReadPod(&response->requests_admitted) &&
+            reader.ReadPod(&response->batches_scored) &&
+            reader.ReadPod(&response->triples_scored);
+  for (uint64_t& bucket : response->batch_hist) {
+    ok = ok && reader.ReadPod(&bucket);
+  }
+  ok = ok && reader.ReadPod(&response->latency_p50_ms) &&
+       reader.ReadPod(&response->latency_p99_ms) &&
+       reader.ReadPod(&response->latency_samples) &&
+       reader.ReadPod(&response->cache_hits) &&
+       reader.ReadPod(&response->cache_misses) &&
+       reader.ReadPod(&response->cache_entries) &&
+       reader.ReadPod(&response->cache_evictions) &&
+       reader.ReadPod(&response->cache_invalidated) &&
+       reader.ReadPod(&response->cache_bytes) &&
+       reader.ReadPod(&response->graph_triples) &&
+       reader.ReadPod(&response->graph_entities) &&
+       reader.ReadPod(&response->ingested_triples) &&
+       reader.ReadPod(&response->embedding_refreshes) &&
+       reader.ReadPod(&response->uptime_s);
+  return ok && reader.AtEnd();
+}
+
+// ----- Socket I/O -----
+
+namespace {
+
+// Reads exactly `size` bytes. Returns 1 on success, 0 on clean EOF before
+// the first byte, -1 on error / truncated stream.
+int ReadExact(int fd, uint8_t* buf, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, buf + done, size - done);
+    if (n == 0) return done == 0 ? 0 : -1;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+bool WriteAll(int fd, const uint8_t* buf, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, buf + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ReadFrame(int fd, Frame* frame, std::string* error) {
+  uint8_t header[kFrameHeaderBytes];
+  const int header_status = ReadExact(fd, header, sizeof(header));
+  if (header_status == 0) {
+    if (error != nullptr) error->clear();  // clean EOF
+    return false;
+  }
+  if (header_status < 0) {
+    if (error != nullptr) *error = "truncated frame header";
+    return false;
+  }
+  uint64_t payload_size = 0;
+  if (!DecodeFrameHeader(header, &frame->type, &payload_size, error)) {
+    return false;
+  }
+  frame->payload.assign(static_cast<size_t>(payload_size), 0);
+  if (payload_size > 0 &&
+      ReadExact(fd, frame->payload.data(), frame->payload.size()) != 1) {
+    if (error != nullptr) *error = "truncated frame payload";
+    return false;
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, MessageType type, const std::vector<uint8_t>& payload,
+                std::string* error) {
+  const std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  if (!WriteAll(fd, frame.data(), frame.size())) {
+    if (error != nullptr) *error = "write failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dekg::serve

@@ -1,0 +1,189 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dekg::serve {
+
+ScoringServer::ScoringServer(MicroBatcher* batcher, const ServerConfig& config)
+    : batcher_(batcher), config_(config) {}
+
+ScoringServer::~ScoringServer() {
+  RequestStop();
+  Wait();
+}
+
+bool ScoringServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address: " + config_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void ScoringServer::RequestStop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return;
+  stopping_ = true;
+  // Unblocks the accept thread; accept() fails with EINVAL once the
+  // listener is shut down.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void ScoringServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Half-close every live connection for reading: its handler finishes
+    // the request in flight, flushes the response, then sees EOF.
+    for (const std::unique_ptr<Connection>& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  for (const std::unique_ptr<Connection>& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  batcher_->Drain();
+}
+
+void ScoringServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatal accept error): stop
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* connection = connections_.back().get();
+    connection->fd = fd;
+    connection->thread =
+        std::thread([this, connection] { HandleConnection(connection); });
+  }
+}
+
+void ScoringServer::HandleConnection(Connection* connection) {
+  const int fd = connection->fd;
+  std::string error;
+  Frame frame;
+  bool stop_after_close = false;
+  while (ReadFrame(fd, &frame, &error)) {
+    std::string write_error;
+    switch (frame.type) {
+      case MessageType::kScoreRequest: {
+        ScoreRequest request;
+        ScoreResponse response;
+        if (!DecodeScoreRequest(frame.payload, &request)) {
+          response.status = Status::kBadRequest;
+          response.error = "malformed score request";
+        } else {
+          response = batcher_->SubmitScore(std::move(request)).get();
+        }
+        WriteFrame(fd, MessageType::kScoreResponse,
+                   EncodeScoreResponse(response), &write_error);
+        break;
+      }
+      case MessageType::kIngestRequest: {
+        IngestRequest request;
+        IngestResponse response;
+        if (!DecodeIngestRequest(frame.payload, &request)) {
+          response.status = Status::kBadRequest;
+          response.error = "malformed ingest request";
+        } else {
+          response = batcher_->SubmitIngest(std::move(request)).get();
+        }
+        WriteFrame(fd, MessageType::kIngestResponse,
+                   EncodeIngestResponse(response), &write_error);
+        break;
+      }
+      case MessageType::kStatsRequest: {
+        const StatsResponse response = batcher_->SubmitStats().get();
+        WriteFrame(fd, MessageType::kStatsResponse,
+                   EncodeStatsResponse(response), &write_error);
+        break;
+      }
+      case MessageType::kShutdownRequest: {
+        WriteFrame(fd, MessageType::kShutdownResponse, {}, &write_error);
+        stop_after_close = true;
+        break;
+      }
+      default: {
+        // Unknown request type: an error frame whose payload reuses the
+        // ScoreResponse layout (status + error text).
+        ScoreResponse response;
+        response.status = Status::kBadRequest;
+        response.error = "unexpected message type";
+        WriteFrame(fd, MessageType::kErrorResponse,
+                   EncodeScoreResponse(response), &write_error);
+        break;
+      }
+    }
+    if (!write_error.empty()) break;  // peer gone; stop serving this fd
+    if (stop_after_close) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Close under the server mutex so Wait() never shuts down a reused fd.
+    ::close(connection->fd);
+    connection->fd = -1;
+  }
+  // A shutdown request stops the whole server once its response is on
+  // the wire.
+  if (stop_after_close) RequestStop();
+}
+
+}  // namespace dekg::serve

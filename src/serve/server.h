@@ -1,0 +1,81 @@
+// TCP front end of the online scoring server (DESIGN.md §9).
+//
+// A plain POSIX socket server: one accept thread, one thread per
+// connection. Connection threads only decode frames, submit work to the
+// MicroBatcher, block on the returned future, and encode the response —
+// the engine itself runs exclusively on the scheduler thread, so the
+// socket layer adds no shared mutable state beyond the admission queue.
+//
+// Shutdown is graceful: RequestStop() (idempotent, callable from any
+// thread, including a connection thread handling kShutdownRequest or a
+// signal-watcher thread) closes the listener; Wait() then stops accepting,
+// half-closes every live connection for reading (in-flight responses
+// still flush), joins the connection threads, and drains the batcher so
+// every admitted request is answered before the process exits.
+#ifndef DEKG_SERVE_SERVER_H_
+#define DEKG_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+
+namespace dekg::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral (bind-assigned; see port())
+};
+
+class ScoringServer {
+ public:
+  ScoringServer(MicroBatcher* batcher, const ServerConfig& config);
+  ~ScoringServer();
+
+  ScoringServer(const ScoringServer&) = delete;
+  ScoringServer& operator=(const ScoringServer&) = delete;
+
+  // Binds, listens, and starts the accept thread. False + error on any
+  // socket failure.
+  bool Start(std::string* error);
+
+  // The bound port (the assigned one when config.port was 0).
+  uint16_t port() const { return port_; }
+
+  // Triggers shutdown: no new connections are accepted. Safe from any
+  // thread; never blocks.
+  void RequestStop();
+
+  // Blocks until shutdown was requested, then performs the graceful
+  // drain (join connections, drain the batcher). Call from the owning
+  // thread; returns once the server is fully stopped.
+  void Wait();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* connection);
+
+  MicroBatcher* batcher_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace dekg::serve
+
+#endif  // DEKG_SERVE_SERVER_H_

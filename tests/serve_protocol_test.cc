@@ -1,0 +1,196 @@
+// Wire-protocol unit tests: every message round-trips bit-exactly, and
+// every malformed input (bad magic, wrong version, oversized or truncated
+// payload, lying length prefixes) is rejected by a decoder returning
+// false — never undefined behavior. These run without sockets.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "serve/protocol.h"
+
+namespace dekg::serve {
+namespace {
+
+TEST(ServeProtocolTest, FrameHeaderRoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> frame =
+      EncodeFrame(MessageType::kScoreRequest, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  MessageType type = MessageType::kErrorResponse;
+  uint64_t payload_size = 0;
+  std::string error;
+  ASSERT_TRUE(DecodeFrameHeader(frame.data(), &type, &payload_size, &error))
+      << error;
+  EXPECT_EQ(type, MessageType::kScoreRequest);
+  EXPECT_EQ(payload_size, payload.size());
+  EXPECT_EQ(0, std::memcmp(frame.data() + kFrameHeaderBytes, payload.data(),
+                           payload.size()));
+}
+
+TEST(ServeProtocolTest, FrameHeaderRejectsBadMagicVersionAndSize) {
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kStatsRequest, {});
+  MessageType type;
+  uint64_t payload_size;
+  std::string error;
+
+  std::vector<uint8_t> bad_magic = frame;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(
+      DecodeFrameHeader(bad_magic.data(), &type, &payload_size, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  std::vector<uint8_t> bad_version = frame;
+  bad_version[4] = kProtocolVersion + 1;
+  EXPECT_FALSE(
+      DecodeFrameHeader(bad_version.data(), &type, &payload_size, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+
+  std::vector<uint8_t> oversized = frame;
+  const uint64_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(oversized.data() + 8, &huge, sizeof(huge));
+  EXPECT_FALSE(
+      DecodeFrameHeader(oversized.data(), &type, &payload_size, &error));
+  EXPECT_NE(error.find("oversized"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, ScoreRequestRoundTrip) {
+  ScoreRequest request;
+  request.seed = 0xDEADBEEFCAFEF00Dull;
+  request.with_rank = true;
+  request.triples = {{1, 2, 3}, {4, 0, 4}, {-1, -2, -3}};
+
+  ScoreRequest decoded;
+  ASSERT_TRUE(DecodeScoreRequest(EncodeScoreRequest(request), &decoded));
+  EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.with_rank, request.with_rank);
+  ASSERT_EQ(decoded.triples.size(), request.triples.size());
+  for (size_t i = 0; i < request.triples.size(); ++i) {
+    EXPECT_EQ(decoded.triples[i], request.triples[i]);
+  }
+}
+
+TEST(ServeProtocolTest, ScoreResponseRoundTripPreservesBits) {
+  ScoreResponse response;
+  response.status = Status::kOk;
+  response.has_rank = true;
+  response.rank = 3.5;
+  // Values chosen so any precision loss in transit would be visible.
+  response.scores = {0.1, -1.0000000000000002, 1e-308, 12345.678901234567};
+
+  ScoreResponse decoded;
+  ASSERT_TRUE(DecodeScoreResponse(EncodeScoreResponse(response), &decoded));
+  EXPECT_EQ(decoded.status, Status::kOk);
+  EXPECT_EQ(decoded.has_rank, true);
+  EXPECT_EQ(decoded.rank, response.rank);
+  ASSERT_EQ(decoded.scores.size(), response.scores.size());
+  for (size_t i = 0; i < response.scores.size(); ++i) {
+    EXPECT_EQ(decoded.scores[i], response.scores[i]) << "score " << i;
+  }
+}
+
+TEST(ServeProtocolTest, IngestMessagesRoundTrip) {
+  IngestRequest request;
+  request.triples = {{7, 1, 9}, {9, 1, 7}};
+  IngestRequest decoded_request;
+  ASSERT_TRUE(
+      DecodeIngestRequest(EncodeIngestRequest(request), &decoded_request));
+  ASSERT_EQ(decoded_request.triples.size(), 2u);
+  EXPECT_EQ(decoded_request.triples[1], request.triples[1]);
+
+  IngestResponse response;
+  response.status = Status::kUnknownRelation;
+  response.error = "triple 0: unknown relation id 99";
+  response.accepted = 3;
+  response.duplicates = 1;
+  response.invalidated = 17;
+  response.new_entities = 2;
+  IngestResponse decoded;
+  ASSERT_TRUE(DecodeIngestResponse(EncodeIngestResponse(response), &decoded));
+  EXPECT_EQ(decoded.status, Status::kUnknownRelation);
+  EXPECT_EQ(decoded.error, response.error);
+  EXPECT_EQ(decoded.accepted, 3u);
+  EXPECT_EQ(decoded.duplicates, 1u);
+  EXPECT_EQ(decoded.invalidated, 17u);
+  EXPECT_EQ(decoded.new_entities, 2u);
+}
+
+TEST(ServeProtocolTest, StatsResponseRoundTrip) {
+  StatsResponse stats;
+  stats.queue_depth = 5;
+  stats.requests_admitted = 1000;
+  stats.batches_scored = 42;
+  stats.triples_scored = 900;
+  for (size_t b = 0; b < 16; ++b) stats.batch_hist[b] = b * b;
+  stats.latency_p50_ms = 1.25;
+  stats.latency_p99_ms = 9.75;
+  stats.latency_samples = 512;
+  stats.cache_hits = 7;
+  stats.cache_misses = 11;
+  stats.cache_entries = 4;
+  stats.cache_evictions = 2;
+  stats.cache_invalidated = 3;
+  stats.cache_bytes = 4096;
+  stats.graph_triples = 395;
+  stats.graph_entities = 126;
+  stats.ingested_triples = 88;
+  stats.embedding_refreshes = 117;
+  stats.uptime_s = 12.5;
+
+  StatsResponse decoded;
+  ASSERT_TRUE(DecodeStatsResponse(EncodeStatsResponse(stats), &decoded));
+  EXPECT_EQ(decoded.queue_depth, 5u);
+  EXPECT_EQ(decoded.requests_admitted, 1000u);
+  EXPECT_EQ(decoded.batches_scored, 42u);
+  EXPECT_EQ(decoded.triples_scored, 900u);
+  for (size_t b = 0; b < 16; ++b) {
+    EXPECT_EQ(decoded.batch_hist[b], b * b) << "bucket " << b;
+  }
+  EXPECT_EQ(decoded.latency_p50_ms, 1.25);
+  EXPECT_EQ(decoded.latency_p99_ms, 9.75);
+  EXPECT_EQ(decoded.cache_bytes, 4096u);
+  EXPECT_EQ(decoded.embedding_refreshes, 117u);
+  EXPECT_EQ(decoded.uptime_s, 12.5);
+}
+
+TEST(ServeProtocolTest, DecodersRejectTruncatedAndTrailingBytes) {
+  ScoreRequest request;
+  request.triples = {{1, 2, 3}};
+  std::vector<uint8_t> payload = EncodeScoreRequest(request);
+
+  // Truncation at every prefix length must fail cleanly.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> cut(payload.begin(),
+                             payload.begin() + static_cast<int64_t>(len));
+    ScoreRequest out;
+    EXPECT_FALSE(DecodeScoreRequest(cut, &out)) << "prefix " << len;
+  }
+  // Trailing garbage is a format error, not silently ignored.
+  std::vector<uint8_t> padded = payload;
+  padded.push_back(0);
+  ScoreRequest out;
+  EXPECT_FALSE(DecodeScoreRequest(padded, &out));
+}
+
+TEST(ServeProtocolTest, LyingTripleCountIsRejectedWithoutAllocating) {
+  // A 4-byte payload claiming 2^32-1 triples must fail the bound check
+  // up front (count * 12 > remaining), not attempt a giant allocation.
+  std::vector<uint8_t> payload(12, 0);
+  const uint32_t lying_count = 0xFFFFFFFFu;
+  std::memcpy(payload.data() + 8, &lying_count, sizeof(lying_count));
+  ScoreRequest out;
+  EXPECT_FALSE(DecodeScoreRequest(payload, &out));
+  IngestRequest ingest_out;
+  std::vector<uint8_t> ingest_payload(4);
+  std::memcpy(ingest_payload.data(), &lying_count, sizeof(lying_count));
+  EXPECT_FALSE(DecodeIngestRequest(ingest_payload, &ingest_out));
+}
+
+TEST(ServeProtocolTest, StatusNamesAreStable) {
+  EXPECT_STREQ(StatusName(Status::kOk), "ok");
+  EXPECT_STREQ(StatusName(Status::kUnknownRelation), "unknown relation");
+  EXPECT_STREQ(StatusName(Status::kShuttingDown), "shutting down");
+}
+
+}  // namespace
+}  // namespace dekg::serve
