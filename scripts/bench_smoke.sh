@@ -15,7 +15,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j --target bench_train
+cmake --build build-release -j --target bench_train bench_gsm_batch
 
 # Small dataset, explicit thread count: the point is the bitwise
 # serial-vs-parallel comparison, not throughput.
@@ -23,4 +23,11 @@ cd build-release/bench
 DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
 DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
   ./bench_train
-echo "Bench smoke passed (BENCH_train.json in build-release/bench/)."
+
+# Packed-batch GSM scoring: every (bucket policy, batch size, threads)
+# point is gated on bitwise identity with sequential scoring; speedups
+# are reported, not gated.
+DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
+DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
+  ./bench_gsm_batch
+echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json in build-release/bench/)."

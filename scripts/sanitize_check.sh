@@ -21,7 +21,8 @@ MODE="${1:-all}"
 COMMON_TESTS="thread_pool_test parallel_eval_determinism_test evaluator_test \
   tensor_test checkpoint_format_test checkpoint_resume_test \
   trainer_parallel_determinism_test subgraph_cache_test \
-  serve_protocol_test live_graph_test serve_determinism_test"
+  serve_protocol_test live_graph_test serve_determinism_test \
+  gsm_batch_test"
 # Death-test / fork-based suites: address,undefined sweep only.
 FORKY_TESTS="checkpoint_test dataset_io_fuzz_test"
 

@@ -403,6 +403,50 @@ Var ScaleRows(const Var& a, const Var& s) {
   });
 }
 
+namespace {
+
+// Column-wise per-segment reduction. The forward is the tensor-level
+// kernel (dekg::Segment{Sum,Mean}Rows), whose accumulation order keeps
+// per-segment results bit-identical to SumCols / MeanOverRows on each row
+// block alone — the packed inference path calls the same kernel directly.
+Var SegmentReduceRows(const Var& a, const std::vector<int64_t>& offsets,
+                      bool scale_by_len) {
+  Tensor fwd = scale_by_len ? dekg::SegmentMeanRows(a.value(), offsets)
+                            : dekg::SegmentSumRows(a.value(), offsets);
+  return MakeNode(std::move(fwd), {a}, [offsets, scale_by_len](VarImpl* n) {
+    if (!n->parents[0]->requires_grad) return;
+    const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+    const int64_t cols = n->grad.dim(1);
+    Tensor g(n->parents[0]->value.shape());
+    const float* pg = n->grad.Data();
+    float* po = g.Data();
+    for (int64_t s = 0; s < num_segments; ++s) {
+      const float inv =
+          scale_by_len
+              ? 1.0f / static_cast<float>(offsets[static_cast<size_t>(s) + 1] -
+                                          offsets[static_cast<size_t>(s)])
+              : 1.0f;
+      for (int64_t i = offsets[static_cast<size_t>(s)];
+           i < offsets[static_cast<size_t>(s) + 1]; ++i) {
+        for (int64_t j = 0; j < cols; ++j) {
+          po[i * cols + j] = pg[s * cols + j] * inv;
+        }
+      }
+    }
+    Accumulate(n, 0, g);
+  });
+}
+
+}  // namespace
+
+Var SegmentSumRows(const Var& a, const std::vector<int64_t>& offsets) {
+  return SegmentReduceRows(a, offsets, /*scale_by_len=*/false);
+}
+
+Var SegmentMeanRows(const Var& a, const std::vector<int64_t>& offsets) {
+  return SegmentReduceRows(a, offsets, /*scale_by_len=*/true);
+}
+
 Var Concat(const std::vector<Var>& parts, int axis) {
   DEKG_CHECK(!parts.empty());
   std::vector<Tensor> values;

@@ -64,6 +64,22 @@ Var ScatterSumRows(const Var& updates, const std::vector<int64_t>& indices,
 // Used for per-edge attention gates and basis coefficients in the GNN.
 Var ScaleRows(const Var& a, const Var& s);
 
+// ----- Segment reductions (packed block-diagonal batches) -----
+// `offsets` has K+1 nondecreasing entries with offsets[0] == 0 and
+// offsets[K] == a.dim(0); segment g is the row range
+// [offsets[g], offsets[g+1]), which must be nonempty.
+//
+// Segment g of the output is the column-wise sum (resp. mean) of segment
+// g's rows, accumulated in increasing row order with the exact float
+// arithmetic of SumCols / MeanOverRows — so the result for a segment is
+// bit-identical to running the whole-matrix reduction on that segment
+// alone. This is what lets a packed subgraph batch reproduce per-graph
+// readouts exactly (DESIGN.md §11).
+// [m, n] -> [K, n].
+Var SegmentSumRows(const Var& a, const std::vector<int64_t>& offsets);
+// [m, n] -> [K, n]; segment-wise mean over rows.
+Var SegmentMeanRows(const Var& a, const std::vector<int64_t>& offsets);
+
 // ----- Structural -----
 Var Concat(const std::vector<Var>& parts, int axis);
 Var SliceRows(const Var& a, int64_t begin, int64_t end);

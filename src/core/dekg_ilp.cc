@@ -87,17 +87,40 @@ std::vector<double> DekgIlpPredictor::ScoreTriplesCached(
     const KnowledgeGraph& inference_graph, const std::vector<Triple>& triples,
     const SubgraphCache* cache) {
   std::vector<double> scores(triples.size(), 0.0);
-  // Subgraph extraction + encoding dominates scoring cost; independent
-  // triples split across the pool. When the evaluator already runs this
-  // predictor inside a parallel ranking loop, the nested ParallelFor
-  // degrades to inline serial execution automatically.
-  ParallelFor(0, static_cast<int64_t>(triples.size()), /*grain=*/0,
+  Gsm* gsm = model_->gsm();
+  // Cache hits already hold their subgraph, so their GNN forwards can be
+  // packed into block-diagonal batches; misses (and every triple when
+  // packing is off) keep the per-triple path. Packing is bitwise
+  // transparent, so the split never changes a score.
+  const bool pack =
+      gsm != nullptr && cache != nullptr && batch_options_.max_batch > 1;
+  std::vector<const Subgraph*> subs;
+  std::vector<int64_t> hits;
+  std::vector<int64_t> misses;
+  if (pack) {
+    subs.assign(triples.size(), nullptr);
+    for (size_t i = 0; i < triples.size(); ++i) {
+      subs[i] = cache->Find(triples[i]);
+      (subs[i] != nullptr ? hits : misses).push_back(static_cast<int64_t>(i));
+    }
+  } else {
+    misses.resize(triples.size());
+    for (size_t i = 0; i < triples.size(); ++i) {
+      misses[i] = static_cast<int64_t>(i);
+    }
+  }
+  // Per-triple path. Subgraph extraction + encoding dominates scoring
+  // cost; independent triples split across the pool. When the evaluator
+  // already runs this predictor inside a parallel ranking loop, the
+  // nested ParallelFor degrades to inline serial execution automatically.
+  ParallelFor(0, static_cast<int64_t>(misses.size()), /*grain=*/0,
               [&](int64_t begin, int64_t end) {
-                for (int64_t i = begin; i < end; ++i) {
+                for (int64_t k = begin; k < end; ++k) {
+                  const int64_t i = misses[static_cast<size_t>(k)];
                   const Triple& t = triples[static_cast<size_t>(i)];
                   Rng rng(MixSeed(seed_, static_cast<uint64_t>(i)));
                   const Subgraph* subgraph =
-                      cache != nullptr ? cache->Find(t) : nullptr;
+                      (cache != nullptr && !pack) ? cache->Find(t) : nullptr;
                   ag::Var s = model_->ScoreLink(inference_graph, t,
                                                 /*training=*/false, &rng,
                                                 subgraph);
@@ -105,6 +128,48 @@ std::vector<double> DekgIlpPredictor::ScoreTriplesCached(
                       static_cast<double>(s.value().Data()[0]);
                 }
               });
+  if (pack && !hits.empty()) {
+    Clrm* clrm = model_->clrm();
+    const std::vector<std::vector<int64_t>> groups =
+        GroupForPacking(subs, hits, batch_options_);
+    ParallelFor(
+        0, static_cast<int64_t>(groups.size()), /*grain=*/0,
+        [&](int64_t begin, int64_t end) {
+          std::vector<const Subgraph*> group_subs;
+          std::vector<RelationId> group_rels;
+          for (int64_t g = begin; g < end; ++g) {
+            const std::vector<int64_t>& idxs = groups[static_cast<size_t>(g)];
+            group_subs.clear();
+            group_rels.clear();
+            for (int64_t i : idxs) {
+              group_subs.push_back(subs[static_cast<size_t>(i)]);
+              group_rels.push_back(triples[static_cast<size_t>(i)].rel);
+            }
+            const std::vector<float> tpo =
+                gsm->ScoreSubgraphsPacked(group_subs, group_rels);
+            for (size_t k = 0; k < idxs.size(); ++k) {
+              const int64_t i = idxs[k];
+              const Triple& t = triples[static_cast<size_t>(i)];
+              float value = tpo[k];
+              if (clrm != nullptr) {
+                // Mirrors ScoreLink: sem and tpo are added in float
+                // before widening to double, so the packed path matches
+                // ag::Add(sem, tpo) bit-for-bit.
+                RelationTable head_table =
+                    inference_graph.RelationComponentTable(t.head);
+                RelationTable tail_table =
+                    inference_graph.RelationComponentTable(t.tail);
+                const float sem =
+                    clrm->ScoreTriple(head_table, t.rel, tail_table)
+                        .value()
+                        .Data()[0];
+                value = sem + value;
+              }
+              scores[static_cast<size_t>(i)] = static_cast<double>(value);
+            }
+          }
+        });
+  }
   return scores;
 }
 

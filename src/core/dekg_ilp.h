@@ -89,16 +89,28 @@ class DekgIlpPredictor : public LinkPredictor {
                                    const std::vector<Triple>& triples) override;
   // Serves pre-extracted subgraphs from `cache` (Find only — no counter
   // mutation, so a shared cache stays safely read-only) and extracts the
-  // rest; scores are bit-identical either way.
+  // rest; scores are bit-identical either way. Cache hits are grouped by
+  // gsm_batch_options() and scored through Gsm::ScoreSubgraphsPacked —
+  // one block-diagonal GNN forward per group — which is also bitwise
+  // transparent (DESIGN.md §11), so the bitwise-determinism gates hold
+  // for every batch size and bucket policy.
   std::vector<double> ScoreTriplesCached(const KnowledgeGraph& inference_graph,
                                          const std::vector<Triple>& triples,
                                          const SubgraphCache* cache) override;
   bool SupportsConcurrentScoring() const override { return true; }
   int64_t ParameterCount() const override { return model_->ParameterCount(); }
 
+  // Packed-batch assembly policy for cache-hit GSM scoring; max_batch <= 1
+  // restores the sequential per-triple path.
+  void set_gsm_batch_options(const GsmBatchOptions& options) {
+    batch_options_ = options;
+  }
+  const GsmBatchOptions& gsm_batch_options() const { return batch_options_; }
+
  private:
   DekgIlpModel* model_;
   uint64_t seed_;
+  GsmBatchOptions batch_options_;
 };
 
 }  // namespace dekg::core

@@ -1,8 +1,69 @@
 #include "core/gsm.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
 #include "common/thread_pool.h"
 
 namespace dekg::core {
+
+namespace {
+
+// Smallest p with 2^p >= n (n >= 1): the kByPow2 bucket coordinate.
+int32_t CeilLog2(int64_t n) {
+  int32_t p = 0;
+  int64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++p;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::vector<int64_t>> GroupForPacking(
+    const std::vector<const Subgraph*>& subgraphs,
+    const std::vector<int64_t>& indices, const GsmBatchOptions& options) {
+  std::vector<std::vector<int64_t>> batches;
+  if (indices.empty()) return batches;
+  const int64_t cap = std::max<int32_t>(options.max_batch, 1);
+
+  // bucket key -> position of that bucket's open (not yet full) batch.
+  std::unordered_map<uint64_t, size_t> open;
+  for (int64_t idx : indices) {
+    const Subgraph& s = *subgraphs[static_cast<size_t>(idx)];
+    uint64_t key = 0;
+    switch (options.bucket) {
+      case GsmBatchOptions::Bucket::kNone:
+        key = 0;
+        break;
+      case GsmBatchOptions::Bucket::kBySize:
+        key = (static_cast<uint64_t>(s.nodes.size()) << 32) |
+              static_cast<uint64_t>(s.edges.size() & 0xffffffffu);
+        break;
+      case GsmBatchOptions::Bucket::kByPow2:
+        key = (static_cast<uint64_t>(
+                   CeilLog2(static_cast<int64_t>(s.nodes.size())))
+               << 32) |
+              static_cast<uint64_t>(
+                  CeilLog2(static_cast<int64_t>(s.edges.size()) + 1));
+        break;
+    }
+    auto it = open.find(key);
+    if (it == open.end() ||
+        static_cast<int64_t>(batches[it->second].size()) >= cap) {
+      open[key] = batches.size();
+      batches.emplace_back();
+      batches.back().reserve(static_cast<size_t>(cap));
+      batches.back().push_back(idx);
+    } else {
+      batches[it->second].push_back(idx);
+    }
+  }
+  return batches;
+}
 
 Gsm::Gsm(const GsmConfig& config, Rng* rng) : config_(config) {
   DEKG_CHECK_GT(config_.num_relations, 0);
@@ -59,6 +120,30 @@ ag::Var Gsm::ScoreSubgraph(const Subgraph& subgraph, RelationId rel,
   return ag::SumAll(ag::MatMul(features, score_weight_));
 }
 
+std::vector<float> Gsm::ScoreSubgraphsPacked(
+    const std::vector<const Subgraph*>& subgraphs,
+    const std::vector<RelationId>& rels) const {
+  gnn::PackedSubgraphBatch batch =
+      gnn::PackedSubgraphBatch::Pack(subgraphs, rels, config_.num_relations);
+  gnn::RgcnBatchOutput enc = encoder_->ForwardBatch(batch);
+  std::vector<int64_t> rel_rows_idx(rels.begin(), rels.end());
+  Tensor rel_rows = dekg::GatherRows(relation_tpo_.value(), rel_rows_idx);
+  // Row g of `features` equals the sequential ScoreSubgraph feature row
+  // for graph g; MatMul rows are computed independently, so score row g
+  // matches the sequential scalar bit-for-bit (SumAll over a [1, 1]
+  // product is the identity). Tape-free like ForwardBatch: the same
+  // tensor kernels the Var path wraps, on the same inputs.
+  Tensor features = dekg::Concat(
+      {enc.graph_reprs, enc.head_reprs, enc.tail_reprs, rel_rows},
+      /*axis=*/1);
+  Tensor values = dekg::MatMul(features, score_weight_.value());
+  std::vector<float> out(static_cast<size_t>(batch.size()));
+  for (int64_t g = 0; g < batch.size(); ++g) {
+    out[static_cast<size_t>(g)] = values.Data()[g];
+  }
+  return out;
+}
+
 ag::Var Gsm::ScoreTriple(const KnowledgeGraph& graph, const Triple& triple,
                          bool training, Rng* rng) const {
   Subgraph subgraph = Extract(graph, triple);
@@ -87,22 +172,26 @@ std::vector<Subgraph> Gsm::ExtractBatch(const KnowledgeGraph& graph,
 
 std::vector<double> Gsm::ScoreTriplesBatch(const KnowledgeGraph& graph,
                                            const std::vector<Triple>& triples,
-                                           uint64_t seed) const {
+                                           uint64_t seed,
+                                           ThreadPool* pool) const {
   std::vector<double> scores(triples.size(), 0.0);
-  ParallelFor(
-      0, static_cast<int64_t>(triples.size()), /*grain=*/0,
-      [&](int64_t begin, int64_t end) {
-        SubgraphWorkspace workspace;
-        for (int64_t i = begin; i < end; ++i) {
-          const Triple& t = triples[static_cast<size_t>(i)];
-          Rng rng(MixSeed(seed, static_cast<uint64_t>(i)));
-          Subgraph subgraph = Extract(graph, t, &workspace);
-          ag::Var s =
-              ScoreSubgraph(subgraph, t.rel, /*training=*/false, &rng);
-          scores[static_cast<size_t>(i)] =
-              static_cast<double>(s.value().Data()[0]);
-        }
-      });
+  const auto body = [&](int64_t begin, int64_t end) {
+    SubgraphWorkspace workspace;
+    for (int64_t i = begin; i < end; ++i) {
+      const Triple& t = triples[static_cast<size_t>(i)];
+      Rng rng(MixSeed(seed, static_cast<uint64_t>(i)));
+      Subgraph subgraph = Extract(graph, t, &workspace);
+      ag::Var s = ScoreSubgraph(subgraph, t.rel, /*training=*/false, &rng);
+      scores[static_cast<size_t>(i)] =
+          static_cast<double>(s.value().Data()[0]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, static_cast<int64_t>(triples.size()), /*grain=*/0,
+                      body);
+  } else {
+    ParallelFor(0, static_cast<int64_t>(triples.size()), /*grain=*/0, body);
+  }
   return scores;
 }
 

@@ -34,6 +34,32 @@ struct GsmConfig {
   int32_t max_subgraph_nodes = 256;
 };
 
+// Assembly policy for packed (block-diagonal) GSM batches. Batching is a
+// pure dispatch optimization — per-triple scores are bit-identical for
+// every policy and cap — so the knobs trade packing opportunity against
+// batch-shape variance, never correctness.
+struct GsmBatchOptions {
+  // Maximum subgraphs per packed forward; <= 1 disables packing (the
+  // sequential per-triple path).
+  int32_t max_batch = 64;
+  enum class Bucket {
+    kNone,     // pack in arrival order, size-oblivious
+    kBySize,   // group by exact (node count, edge count)
+    kByPow2,   // group by (ceil-log2 node count, ceil-log2 edge count)
+  };
+  Bucket bucket = Bucket::kBySize;
+};
+
+// Groups `indices` (positions into the parallel `subgraphs` array; null
+// entries are skipped by the caller, never passed here) into packed-batch
+// work lists: each inner vector holds at most options.max_batch indices
+// sharing a bucket. Deterministic — buckets are keyed in first-occurrence
+// order and filled in index order — though scores do not depend on the
+// grouping at all (packing is bitwise transparent).
+std::vector<std::vector<int64_t>> GroupForPacking(
+    const std::vector<const Subgraph*>& subgraphs,
+    const std::vector<int64_t>& indices, const GsmBatchOptions& options);
+
 class Gsm : public nn::Module {
  public:
   Gsm(const GsmConfig& config, Rng* rng);
@@ -61,18 +87,30 @@ class Gsm : public nn::Module {
   ag::Var ScoreSubgraph(const Subgraph& subgraph, RelationId rel,
                         bool training, Rng* rng) const;
 
+  // phi_tpo for K pre-extracted subgraphs in ONE packed block-diagonal
+  // forward (inference only): one RgcnEncoder::ForwardBatch plus one
+  // scorer matmul over the [K, 3*repr + dim] feature matrix. Entry i is
+  // bit-identical to ScoreSubgraph(*subgraphs[i], rels[i],
+  // training=false, ·).value().Data()[0] — see DESIGN.md §11 for the
+  // argument. Subgraphs may have arbitrary, mixed sizes.
+  std::vector<float> ScoreSubgraphsPacked(
+      const std::vector<const Subgraph*>& subgraphs,
+      const std::vector<RelationId>& rels) const;
+
   // Convenience: extract + score.
   ag::Var ScoreTriple(const KnowledgeGraph& graph, const Triple& triple,
                       bool training, Rng* rng) const;
 
   // Batched inference: extracts and encodes the enclosing subgraph of
-  // every triple, splitting independent triples across the default thread
-  // pool (each worker owns a SubgraphWorkspace and a per-triple Rng stream
-  // seeded MixSeed(seed, i)). Returns phi_tpo values only — no autograd
-  // tape — and is bit-identical for every thread count, including 1.
+  // every triple, splitting independent triples across `pool` (or the
+  // default pool when null, mirroring ExtractBatch; each worker owns a
+  // SubgraphWorkspace and a per-triple Rng stream seeded MixSeed(seed,
+  // i)). Returns phi_tpo values only — no autograd tape — and is
+  // bit-identical for every pool and thread count, including 1.
   std::vector<double> ScoreTriplesBatch(const KnowledgeGraph& graph,
                                         const std::vector<Triple>& triples,
-                                        uint64_t seed) const;
+                                        uint64_t seed,
+                                        ThreadPool* pool = nullptr) const;
 
   // Final-layer head/tail representations (for the Fig. 8 case study).
   gnn::RgcnOutput Encode(const Subgraph& subgraph, RelationId rel,

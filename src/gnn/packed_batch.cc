@@ -1,0 +1,55 @@
+#include "gnn/packed_batch.h"
+
+namespace dekg::gnn {
+
+PackedSubgraphBatch PackedSubgraphBatch::Pack(
+    const std::vector<const Subgraph*>& graphs,
+    const std::vector<RelationId>& target_rels, int32_t num_relations) {
+  DEKG_CHECK(!graphs.empty());
+  DEKG_CHECK_EQ(graphs.size(), target_rels.size());
+  DEKG_CHECK_GT(num_relations, 0);
+
+  PackedSubgraphBatch batch;
+  batch.graphs = graphs;
+  batch.target_rels = target_rels;
+  batch.node_offsets.reserve(graphs.size() + 1);
+  batch.msg_offsets.reserve(graphs.size() + 1);
+  batch.node_offsets.push_back(0);
+  batch.msg_offsets.push_back(0);
+
+  size_t total_messages = 0;
+  for (const Subgraph* g : graphs) {
+    DEKG_CHECK(g != nullptr);
+    total_messages += g->edges.size() * 2;
+  }
+  batch.src_ids.reserve(total_messages);
+  batch.dst_ids.reserve(total_messages);
+  batch.rel_ids.reserve(total_messages);
+  batch.msg_target_ids.reserve(total_messages);
+
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Subgraph& g = *graphs[gi];
+    const RelationId target = target_rels[gi];
+    DEKG_CHECK_GE(g.nodes.size(), 2u);
+    DEKG_CHECK(target >= 0 && target < num_relations);
+    const int64_t base = batch.node_offsets.back();
+    // Forward + inverse message per stored edge, in edge order — the exact
+    // sequence Forward builds at inference (no dropout), shifted by the
+    // graph's node base.
+    for (const SubgraphEdge& e : g.edges) {
+      batch.src_ids.push_back(base + e.src);
+      batch.dst_ids.push_back(base + e.dst);
+      batch.rel_ids.push_back(e.rel);
+      batch.src_ids.push_back(base + e.dst);
+      batch.dst_ids.push_back(base + e.src);
+      batch.rel_ids.push_back(static_cast<int64_t>(e.rel) + num_relations);
+      batch.msg_target_ids.push_back(target);
+      batch.msg_target_ids.push_back(target);
+    }
+    batch.node_offsets.push_back(base + static_cast<int64_t>(g.nodes.size()));
+    batch.msg_offsets.push_back(static_cast<int64_t>(batch.src_ids.size()));
+  }
+  return batch;
+}
+
+}  // namespace dekg::gnn

@@ -1,0 +1,68 @@
+// Packed (disjoint-union / block-diagonal) subgraph batch for the R-GCN
+// (DESIGN.md §11).
+//
+// K extracted subgraphs are concatenated into one node space: graph g's
+// local node i becomes global row node_offsets[g] + i, and its directed
+// message list (forward + inverse per stored edge, in the exact order
+// RgcnEncoder::Forward builds it) lands contiguously in
+// [msg_offsets[g], msg_offsets[g+1]) with offset-shifted endpoints.
+// Because every message stays inside its own graph's row segment, one
+// gather / matmul / scatter over the packed arrays computes exactly the
+// K independent per-graph forwards — same values, same per-row
+// accumulation order — while paying a single kernel dispatch instead
+// of K.
+#ifndef DEKG_GNN_PACKED_BATCH_H_
+#define DEKG_GNN_PACKED_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.h"
+
+namespace dekg::gnn {
+
+struct PackedSubgraphBatch {
+  // Borrowed subgraphs; the caller keeps them alive (cache entries or
+  // batch-local extractions). graphs[g] pairs with target_rels[g].
+  std::vector<const Subgraph*> graphs;
+  std::vector<RelationId> target_rels;
+
+  // Node segment bounds: K+1 entries, graph g owns rows
+  // [node_offsets[g], node_offsets[g+1]) of the packed node matrix.
+  std::vector<int64_t> node_offsets;
+
+  // Packed directed message list (global node indices; rel_ids already
+  // include the +R inverse offset) and its per-graph segment bounds.
+  std::vector<int64_t> src_ids;
+  std::vector<int64_t> dst_ids;
+  std::vector<int64_t> rel_ids;
+  std::vector<int64_t> msg_offsets;
+  // target_rels[g] repeated for every message of graph g (the per-message
+  // conditioning input of the edge attention).
+  std::vector<int64_t> msg_target_ids;
+
+  int64_t size() const { return static_cast<int64_t>(graphs.size()); }
+  int64_t total_nodes() const { return node_offsets.back(); }
+  int64_t total_messages() const { return msg_offsets.back(); }
+
+  // Global row indices of graph g's head (local node 0) / tail (local 1).
+  int64_t head_row(int64_t g) const {
+    return node_offsets[static_cast<size_t>(g)];
+  }
+  int64_t tail_row(int64_t g) const {
+    return node_offsets[static_cast<size_t>(g)] + 1;
+  }
+
+  // Builds the packed layout. Every subgraph must have >= 2 nodes (head +
+  // tail, the extraction invariant) and every target relation must lie in
+  // [0, num_relations). Edge order within a graph is preserved, so the
+  // packed message list restricted to one graph is exactly the sequential
+  // Forward's (inference) message list.
+  static PackedSubgraphBatch Pack(const std::vector<const Subgraph*>& graphs,
+                                  const std::vector<RelationId>& target_rels,
+                                  int32_t num_relations);
+};
+
+}  // namespace dekg::gnn
+
+#endif  // DEKG_GNN_PACKED_BATCH_H_

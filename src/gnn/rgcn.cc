@@ -46,6 +46,12 @@ RgcnEncoder::RgcnEncoder(const RgcnConfig& config, Rng* rng)
         Tensor::Uniform(Shape{config_.num_relations, config_.attention_rel_dim},
                         -0.5f, 0.5f, rng));
   }
+  basis_selectors_.reserve(static_cast<size_t>(config_.num_bases));
+  for (int32_t b = 0; b < config_.num_bases; ++b) {
+    Tensor selector = Tensor::Zeros(Shape{config_.num_bases, 1});
+    selector.At(b, 0) = 1.0f;
+    basis_selectors_.push_back(ag::Var::Constant(std::move(selector)));
+  }
 }
 
 Tensor RgcnEncoder::NodeFeatures(const Subgraph& subgraph) const {
@@ -62,6 +68,52 @@ Tensor RgcnEncoder::NodeFeatures(const Subgraph& subgraph) const {
     }
   }
   return features;
+}
+
+ag::Var RgcnEncoder::LayerForward(size_t l, const ag::Var& h,
+                                  const std::vector<int64_t>& src_ids,
+                                  const std::vector<int64_t>& dst_ids,
+                                  const std::vector<int64_t>& rel_ids,
+                                  const std::vector<int64_t>& target_ids,
+                                  const ag::Var& inv_indegree,
+                                  int64_t num_nodes) const {
+  const Layer& layer = layers_[l];
+  ag::Var aggregated;
+  if (!src_ids.empty()) {
+    // Basis-decomposed relational transform of source states:
+    // msg_e = sum_b c[rel_e, b] * (h_src_e @ B_b).
+    ag::Var msg;
+    ag::Var per_edge_coeff = ag::GatherRows(layer.coefficients, rel_ids);
+    for (int32_t b = 0; b < config_.num_bases; ++b) {
+      ag::Var transformed = ag::MatMul(h, layer.bases[static_cast<size_t>(b)]);
+      ag::Var gathered = ag::GatherRows(transformed, src_ids);
+      // Column b of the per-edge coefficients via the constructor-built
+      // constant selector.
+      ag::Var coeff_b =
+          ag::MatMul(per_edge_coeff, basis_selectors_[static_cast<size_t>(b)]);
+      ag::Var scaled = ag::ScaleRows(gathered, coeff_b);
+      msg = msg.defined() ? ag::Add(msg, scaled) : scaled;
+    }
+    if (config_.edge_attention) {
+      // Gate each message by sigmoid(w . [h_src, h_dst, rel, target_rel]).
+      ag::Var h_src = ag::GatherRows(h, src_ids);
+      ag::Var h_dst = ag::GatherRows(h, dst_ids);
+      ag::Var rel_emb = ag::GatherRows(att_rel_, rel_ids);
+      ag::Var target_emb = ag::GatherRows(att_target_rel_, target_ids);
+      ag::Var att_in =
+          ag::Concat({h_src, h_dst, rel_emb, target_emb}, /*axis=*/1);
+      ag::Var gate = ag::Sigmoid(
+          ag::Add(ag::MatMul(att_in, att_weight_[l]), att_bias_[l]));
+      msg = ag::ScaleRows(msg, gate);
+    }
+    aggregated = ag::ScatterSumRows(msg, dst_ids, num_nodes);
+    aggregated = ag::ScaleRows(aggregated, inv_indegree);
+  } else {
+    aggregated = ag::Var::Constant(
+        Tensor::Zeros(Shape{num_nodes, config_.hidden_dim}));
+  }
+  ag::Var self = ag::MatMul(h, layer.self_weight);
+  return ag::Relu(ag::Add(ag::Add(self, aggregated), layer.bias));
 }
 
 RgcnOutput RgcnEncoder::Forward(const Subgraph& subgraph,
@@ -90,7 +142,7 @@ RgcnOutput RgcnEncoder::Forward(const Subgraph& subgraph,
     dst_ids.push_back(e.src);
     rel_ids.push_back(e.rel + config_.num_relations);
   }
-  const int64_t num_messages = static_cast<int64_t>(src_ids.size());
+  const std::vector<int64_t> target_ids(src_ids.size(), target_rel);
 
   // Per-node inverse in-degree for mean aggregation (constant).
   Tensor inv_indegree(Shape{n});
@@ -108,46 +160,8 @@ RgcnOutput RgcnEncoder::Forward(const Subgraph& subgraph,
   std::vector<ag::Var> layer_outputs;
 
   for (size_t l = 0; l < layers_.size(); ++l) {
-    const Layer& layer = layers_[l];
-    ag::Var aggregated;
-    if (num_messages > 0) {
-      // Basis-decomposed relational transform of source states:
-      // msg_e = sum_b c[rel_e, b] * (h_src_e @ B_b).
-      ag::Var msg;
-      ag::Var per_edge_coeff = ag::GatherRows(layer.coefficients, rel_ids);
-      for (int32_t b = 0; b < config_.num_bases; ++b) {
-        ag::Var transformed = ag::MatMul(h, layer.bases[static_cast<size_t>(b)]);
-        ag::Var gathered = ag::GatherRows(transformed, src_ids);
-        // Column b of the per-edge coefficients via a constant selector.
-        Tensor selector = Tensor::Zeros(Shape{config_.num_bases, 1});
-        selector.At(b, 0) = 1.0f;
-        ag::Var coeff_b =
-            ag::MatMul(per_edge_coeff, ag::Var::Constant(selector));
-        ag::Var scaled = ag::ScaleRows(gathered, coeff_b);
-        msg = msg.defined() ? ag::Add(msg, scaled) : scaled;
-      }
-      if (config_.edge_attention) {
-        // Gate each message by sigmoid(w . [h_src, h_dst, rel, target_rel]).
-        ag::Var h_src = ag::GatherRows(h, src_ids);
-        ag::Var h_dst = ag::GatherRows(h, dst_ids);
-        ag::Var rel_emb = ag::GatherRows(att_rel_, rel_ids);
-        std::vector<int64_t> target_ids(static_cast<size_t>(num_messages),
-                                        target_rel);
-        ag::Var target_emb = ag::GatherRows(att_target_rel_, target_ids);
-        ag::Var att_in =
-            ag::Concat({h_src, h_dst, rel_emb, target_emb}, /*axis=*/1);
-        ag::Var gate = ag::Sigmoid(
-            ag::Add(ag::MatMul(att_in, att_weight_[l]), att_bias_[l]));
-        msg = ag::ScaleRows(msg, gate);
-      }
-      aggregated = ag::ScatterSumRows(msg, dst_ids, n);
-      aggregated = ag::ScaleRows(aggregated, inv_indegree_var);
-    } else {
-      aggregated =
-          ag::Var::Constant(Tensor::Zeros(Shape{n, config_.hidden_dim}));
-    }
-    ag::Var self = ag::MatMul(h, layer.self_weight);
-    h = ag::Relu(ag::Add(ag::Add(self, aggregated), layer.bias));
+    h = LayerForward(l, h, src_ids, dst_ids, rel_ids, target_ids,
+                     inv_indegree_var, n);
     if (config_.jk_concat) layer_outputs.push_back(h);
   }
 
@@ -158,6 +172,172 @@ RgcnOutput RgcnEncoder::Forward(const Subgraph& subgraph,
   out.graph_repr = ag::MeanOverRows(readout);
   out.head_repr = ag::GatherRows(readout, {subgraph.head_local()});
   out.tail_repr = ag::GatherRows(readout, {subgraph.tail_local()});
+  return out;
+}
+
+Tensor RgcnEncoder::LayerForwardInference(size_t l, const Tensor& h,
+                                          const PackedSubgraphBatch& batch,
+                                          const Tensor& inv_indegree) const {
+  const Layer& layer = layers_[l];
+  const int64_t num_nodes = h.dim(0);
+  const int64_t din = h.dim(1);
+  const int64_t dout = config_.hidden_dim;
+  const int64_t m = static_cast<int64_t>(batch.src_ids.size());
+  const int32_t num_bases = config_.num_bases;
+  Tensor aggregated = Tensor::Zeros(Shape{num_nodes, dout});
+  if (m > 0) {
+    // Dense per-node transforms and per-edge coefficient columns go
+    // through the same tensor kernels the Var path wraps (row-identical
+    // for identical rows); only the [m, dout]-sized message chain is
+    // fused below.
+    std::vector<Tensor> transformed;
+    transformed.reserve(static_cast<size_t>(num_bases));
+    for (int32_t b = 0; b < num_bases; ++b) {
+      transformed.push_back(
+          dekg::MatMul(h, layer.bases[static_cast<size_t>(b)].value()));
+    }
+    Tensor per_edge_coeff =
+        dekg::GatherRows(layer.coefficients.value(), batch.rel_ids);
+    std::vector<Tensor> coeff_cols;  // [m, 1] each
+    coeff_cols.reserve(static_cast<size_t>(num_bases));
+    for (int32_t b = 0; b < num_bases; ++b) {
+      coeff_cols.push_back(dekg::MatMul(
+          per_edge_coeff, basis_selectors_[static_cast<size_t>(b)].value()));
+    }
+
+    Tensor gate;  // [m, 1] when edge attention is on
+    if (config_.edge_attention) {
+      // Fused attention logits: per message, the dot product the Var path
+      // spells as MatMul(Concat({h_src, h_dst, rel, target}), w) — same
+      // zero-initialized accumulator, same k-ascending order over the
+      // concat layout, without materializing the [m, 2*din + 2*att] input.
+      const int64_t att_dim = config_.attention_rel_dim;
+      Tensor logits(Shape{m, 1});
+      const float* pw = att_weight_[l].value().Data();
+      const float bias0 = att_bias_[l].value().Data()[0];
+      const float* ph = h.Data();
+      const float* prel = att_rel_.value().Data();
+      const float* ptgt = att_target_rel_.value().Data();
+      float* plog = logits.Data();
+      for (int64_t e = 0; e < m; ++e) {
+        float acc = 0.0f;
+        const float* hs = ph + batch.src_ids[static_cast<size_t>(e)] * din;
+        for (int64_t k = 0; k < din; ++k) acc += hs[k] * pw[k];
+        const float* hd = ph + batch.dst_ids[static_cast<size_t>(e)] * din;
+        for (int64_t k = 0; k < din; ++k) acc += hd[k] * pw[din + k];
+        const float* re =
+            prel + batch.rel_ids[static_cast<size_t>(e)] * att_dim;
+        for (int64_t k = 0; k < att_dim; ++k) acc += re[k] * pw[2 * din + k];
+        const float* te =
+            ptgt + batch.msg_target_ids[static_cast<size_t>(e)] * att_dim;
+        for (int64_t k = 0; k < att_dim; ++k) {
+          acc += te[k] * pw[2 * din + att_dim + k];
+        }
+        plog[e] = acc + bias0;
+      }
+      gate = dekg::Sigmoid(logits);
+    }
+
+    // Fused message sweep, messages in packed (= sequential) order: mix
+    // the basis transforms of the source row with the per-edge
+    // coefficients (the left-fold the Var path builds from ScaleRows +
+    // Add), apply the gate, and scatter-add into the destination row.
+    std::vector<const float*> pt(static_cast<size_t>(num_bases));
+    for (int32_t b = 0; b < num_bases; ++b) {
+      pt[static_cast<size_t>(b)] = transformed[static_cast<size_t>(b)].Data();
+    }
+    std::vector<const float*> pc(static_cast<size_t>(num_bases));
+    for (int32_t b = 0; b < num_bases; ++b) {
+      pc[static_cast<size_t>(b)] = coeff_cols[static_cast<size_t>(b)].Data();
+    }
+    const float* pgate = config_.edge_attention ? gate.Data() : nullptr;
+    float* pagg = aggregated.Data();
+    for (int64_t e = 0; e < m; ++e) {
+      const int64_t src = batch.src_ids[static_cast<size_t>(e)];
+      const int64_t dst = batch.dst_ids[static_cast<size_t>(e)];
+      const float* t0 = pt[0] + src * dout;
+      float* out_row = pagg + dst * dout;
+      const float ge = pgate != nullptr ? pgate[e] : 1.0f;
+      for (int64_t j = 0; j < dout; ++j) {
+        float v = t0[j] * pc[0][e];
+        for (int32_t b = 1; b < num_bases; ++b) {
+          v += pt[static_cast<size_t>(b)][src * dout + j] *
+               pc[static_cast<size_t>(b)][e];
+        }
+        if (pgate != nullptr) v = v * ge;
+        out_row[j] += v;
+      }
+    }
+    // Mean aggregation (ScaleRows by inverse in-degree).
+    const float* pinv = inv_indegree.Data();
+    for (int64_t i = 0; i < num_nodes; ++i) {
+      for (int64_t j = 0; j < dout; ++j) pagg[i * dout + j] *= pinv[i];
+    }
+  }
+  Tensor self = dekg::MatMul(h, layer.self_weight.value());
+  return dekg::Relu(
+      dekg::Add(dekg::Add(self, aggregated), layer.bias.value()));
+}
+
+RgcnBatchOutput RgcnEncoder::ForwardBatch(
+    const PackedSubgraphBatch& batch) const {
+  const int64_t total_nodes = batch.total_nodes();
+  DEKG_CHECK_GT(batch.size(), 0);
+
+  // Packed node features: graph g's rows are exactly NodeFeatures(g)
+  // (feature construction is per-node, so concatenation is trivially
+  // value-preserving).
+  Tensor features(Shape{total_nodes, input_dim()});
+  const int32_t span = config_.num_hops + 1;
+  for (int64_t gi = 0; gi < batch.size(); ++gi) {
+    const Subgraph& g = *batch.graphs[static_cast<size_t>(gi)];
+    const int64_t base = batch.node_offsets[static_cast<size_t>(gi)];
+    for (size_t i = 0; i < g.nodes.size(); ++i) {
+      const SubgraphNode& node = g.nodes[i];
+      const int64_t row = base + static_cast<int64_t>(i);
+      if (node.dist_head >= 0 && node.dist_head <= config_.num_hops) {
+        features.At(row, node.dist_head) = 1.0f;
+      }
+      if (node.dist_tail >= 0 && node.dist_tail <= config_.num_hops) {
+        features.At(row, span + node.dist_tail) = 1.0f;
+      }
+    }
+  }
+
+  // Per-node inverse in-degree over the packed message list. Messages
+  // never cross segment boundaries, so each row's degree equals its
+  // degree in the sequential per-graph forward.
+  Tensor inv_indegree(Shape{total_nodes});
+  {
+    std::vector<int32_t> deg(static_cast<size_t>(total_nodes), 0);
+    for (int64_t d : batch.dst_ids) ++deg[static_cast<size_t>(d)];
+    for (int64_t i = 0; i < total_nodes; ++i) {
+      const int32_t d = deg[static_cast<size_t>(i)];
+      inv_indegree.At(i) = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+    }
+  }
+  Tensor h = std::move(features);
+  std::vector<Tensor> layer_outputs;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = LayerForwardInference(l, h, batch, inv_indegree);
+    if (config_.jk_concat) layer_outputs.push_back(h);
+  }
+
+  Tensor readout =
+      config_.jk_concat ? dekg::Concat(layer_outputs, /*axis=*/1) : h;
+  std::vector<int64_t> head_rows;
+  std::vector<int64_t> tail_rows;
+  head_rows.reserve(static_cast<size_t>(batch.size()));
+  tail_rows.reserve(static_cast<size_t>(batch.size()));
+  for (int64_t g = 0; g < batch.size(); ++g) {
+    head_rows.push_back(batch.head_row(g));
+    tail_rows.push_back(batch.tail_row(g));
+  }
+  RgcnBatchOutput out;
+  out.graph_reprs = dekg::SegmentMeanRows(readout, batch.node_offsets);
+  out.head_reprs = dekg::GatherRows(readout, head_rows);
+  out.tail_reprs = dekg::GatherRows(readout, tail_rows);
+  out.node_states = std::move(readout);
   return out;
 }
 

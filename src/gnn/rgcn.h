@@ -12,6 +12,7 @@
 
 #include "autograd/ops.h"
 #include "common/rng.h"
+#include "gnn/packed_batch.h"
 #include "graph/subgraph.h"
 #include "nn/layers.h"
 #include "nn/module.h"
@@ -40,6 +41,17 @@ struct RgcnOutput {
   ag::Var tail_repr;    // [1, output_dim()]
 };
 
+// Output of one packed-batch encoding pass: row g of each matrix is the
+// readout of batch graph g, bit-identical to the corresponding field of
+// Forward(subgraph g, training=false). Plain tensors — the packed path is
+// inference-only and runs tape-free, so no intermediate outlives the pass.
+struct RgcnBatchOutput {
+  Tensor node_states;  // [total_nodes, output_dim()]
+  Tensor graph_reprs;  // [K, output_dim()] (per-segment average pooling)
+  Tensor head_reprs;   // [K, output_dim()]
+  Tensor tail_reprs;   // [K, output_dim()]
+};
+
 class RgcnEncoder : public nn::Module {
  public:
   RgcnEncoder(const RgcnConfig& config, Rng* rng);
@@ -49,6 +61,20 @@ class RgcnEncoder : public nn::Module {
   // *rng.
   RgcnOutput Forward(const Subgraph& subgraph, RelationId target_rel,
                      bool training, Rng* rng) const;
+
+  // Encodes K subgraphs in one pass over the packed block-diagonal batch
+  // (inference only — no edge dropout, no RNG, no autograd tape). The
+  // dense transforms reuse the tensor kernels the Var path wraps; the
+  // per-message gather → basis-mix → gate → scatter chain is fused into
+  // one pass over the packed message list that replicates the sequential
+  // per-element float expressions in the same order, so nothing of size
+  // [messages, dim] is ever materialized. Readouts are segment-aware
+  // (dekg::SegmentMeanRows + head/tail row gathers). Per-graph results
+  // are bit-identical to K sequential Forward(·, training=false) calls:
+  // every kernel on the hot path is row-independent or accumulates
+  // strictly in index order, and a packed graph's rows/messages preserve
+  // the sequential order (DESIGN.md §11).
+  RgcnBatchOutput ForwardBatch(const PackedSubgraphBatch& batch) const;
 
   // Dimension of the initial one-hot double-radius node features.
   int32_t input_dim() const { return 2 * (config_.num_hops + 1); }
@@ -65,6 +91,25 @@ class RgcnEncoder : public nn::Module {
   Tensor NodeFeatures(const Subgraph& subgraph) const;
 
  private:
+  // One message-passing layer over an explicit message list; shared by
+  // Forward and ForwardBatch (identical op sequence, hence identical bits
+  // for identical inputs). `target_ids` carries the per-message target
+  // relation for the attention gate.
+  ag::Var LayerForward(size_t l, const ag::Var& h,
+                       const std::vector<int64_t>& src_ids,
+                       const std::vector<int64_t>& dst_ids,
+                       const std::vector<int64_t>& rel_ids,
+                       const std::vector<int64_t>& target_ids,
+                       const ag::Var& inv_indegree, int64_t num_nodes) const;
+
+  // Tape-free twin of LayerForward for the packed inference path: the
+  // same arithmetic per output element, with the per-message chain
+  // (gather, basis mix, attention gate, scatter) fused into one ordered
+  // sweep over the message list instead of materialized intermediates.
+  Tensor LayerForwardInference(size_t l, const Tensor& h,
+                               const PackedSubgraphBatch& batch,
+                               const Tensor& inv_indegree) const;
+
   RgcnConfig config_;
   struct Layer {
     std::vector<ag::Var> bases;  // num_bases x [din, dout]
@@ -78,6 +123,12 @@ class RgcnEncoder : public nn::Module {
   ag::Var att_target_rel_;  // [R, attention_rel_dim]
   std::vector<ag::Var> att_weight_;  // per layer: [2*din + 2*att_dim, 1]
   std::vector<ag::Var> att_bias_;    // per layer: [1]
+  // Constant column selectors for the basis decomposition: selector b is a
+  // [num_bases, 1] one-hot picking column b of the per-edge coefficient
+  // matrix. Built once here instead of per layer×basis×call; constants are
+  // never written by backward sweeps, so sharing them across concurrent
+  // tapes is safe.
+  std::vector<ag::Var> basis_selectors_;
 };
 
 }  // namespace dekg::gnn

@@ -74,31 +74,78 @@ std::vector<double> InferenceEngine::ScoreBatch(
     }
   }
 
-  // Phase 3 (parallel): model scoring, one seed-derived Rng stream per
-  // item. Same term order as DekgIlpModel::ScoreLink: sem, then
-  // Add(sem, tpo).
-  ParallelFor(0, static_cast<int64_t>(n), /*grain=*/0,
-              [&](int64_t begin, int64_t end) {
-                for (int64_t i = begin; i < end; ++i) {
-                  const ScoreItem& item = items[static_cast<size_t>(i)];
-                  Rng rng(item.seed);
-                  ag::Var score;
-                  if (clrm != nullptr) {
-                    score = clrm->ScoreEmbedded(
-                        entity_emb_[static_cast<size_t>(item.triple.head)],
-                        item.triple.rel,
-                        entity_emb_[static_cast<size_t>(item.triple.tail)]);
+  // Phase 3 (parallel): model scoring. Same term order as
+  // DekgIlpModel::ScoreLink: sem, then Add(sem, tpo) — the packed branch
+  // adds in float before widening to double for the identical bits.
+  const bool pack = gsm != nullptr && config_.gsm_batch.max_batch > 1;
+  if (pack) {
+    // Every item's subgraph is in hand (cache hit or fresh extraction),
+    // so the whole micro-batch packs into block-diagonal GNN forwards.
+    std::vector<int64_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = static_cast<int64_t>(i);
+    const std::vector<std::vector<int64_t>> groups =
+        core::GroupForPacking(subs, all, config_.gsm_batch);
+    ParallelFor(
+        0, static_cast<int64_t>(groups.size()), /*grain=*/0,
+        [&](int64_t begin, int64_t end) {
+          std::vector<const Subgraph*> group_subs;
+          std::vector<RelationId> group_rels;
+          for (int64_t b = begin; b < end; ++b) {
+            const std::vector<int64_t>& idxs =
+                groups[static_cast<size_t>(b)];
+            group_subs.clear();
+            group_rels.clear();
+            for (int64_t i : idxs) {
+              group_subs.push_back(subs[static_cast<size_t>(i)]);
+              group_rels.push_back(
+                  items[static_cast<size_t>(i)].triple.rel);
+            }
+            const std::vector<float> tpo =
+                gsm->ScoreSubgraphsPacked(group_subs, group_rels);
+            for (size_t k = 0; k < idxs.size(); ++k) {
+              const int64_t i = idxs[k];
+              const ScoreItem& item = items[static_cast<size_t>(i)];
+              float value = tpo[k];
+              if (clrm != nullptr) {
+                const float sem =
+                    clrm->ScoreEmbedded(
+                            entity_emb_[static_cast<size_t>(
+                                item.triple.head)],
+                            item.triple.rel,
+                            entity_emb_[static_cast<size_t>(
+                                item.triple.tail)])
+                        .value()
+                        .Data()[0];
+                value = sem + value;
+              }
+              scores[static_cast<size_t>(i)] = static_cast<double>(value);
+            }
+          }
+        });
+  } else {
+    ParallelFor(0, static_cast<int64_t>(n), /*grain=*/0,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    const ScoreItem& item = items[static_cast<size_t>(i)];
+                    Rng rng(item.seed);
+                    ag::Var score;
+                    if (clrm != nullptr) {
+                      score = clrm->ScoreEmbedded(
+                          entity_emb_[static_cast<size_t>(item.triple.head)],
+                          item.triple.rel,
+                          entity_emb_[static_cast<size_t>(item.triple.tail)]);
+                    }
+                    if (gsm != nullptr) {
+                      ag::Var tpo = gsm->ScoreSubgraph(
+                          *subs[static_cast<size_t>(i)], item.triple.rel,
+                          /*training=*/false, &rng);
+                      score = score.defined() ? ag::Add(score, tpo) : tpo;
+                    }
+                    scores[static_cast<size_t>(i)] =
+                        static_cast<double>(score.value().Data()[0]);
                   }
-                  if (gsm != nullptr) {
-                    ag::Var tpo = gsm->ScoreSubgraph(
-                        *subs[static_cast<size_t>(i)], item.triple.rel,
-                        /*training=*/false, &rng);
-                    score = score.defined() ? ag::Add(score, tpo) : tpo;
-                  }
-                  scores[static_cast<size_t>(i)] =
-                      static_cast<double>(score.value().Data()[0]);
-                }
-              });
+                });
+  }
 
   // Phase 4 (serial, index order): admit the misses. Insertion after
   // scoring means a capacity-bounded cache can never evict a subgraph

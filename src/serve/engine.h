@@ -44,6 +44,12 @@ struct EngineConfig {
   // index.
   int64_t cache_capacity = 4096;
   LiveGraphConfig live_graph;
+  // Packed-batch assembly for GSM scoring (ScoreBatch Phase 3): every
+  // item's subgraph is in hand by then, so groups run through
+  // Gsm::ScoreSubgraphsPacked — one block-diagonal GNN forward per
+  // group. Bitwise transparent (DESIGN.md §11); max_batch <= 1 restores
+  // the per-item path.
+  core::GsmBatchOptions gsm_batch;
 };
 
 // One unit of scoring work: the triple plus its fully derived Rng stream

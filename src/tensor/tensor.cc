@@ -522,6 +522,49 @@ Tensor SumCols(const Tensor& a) {
   return out;
 }
 
+namespace {
+
+Tensor SegmentReduceRowsImpl(const Tensor& a,
+                             const std::vector<int64_t>& offsets,
+                             bool scale_by_len) {
+  DEKG_CHECK_EQ(a.rank(), 2u);
+  DEKG_CHECK_GE(offsets.size(), 2u) << "segment offsets need K+1 entries";
+  DEKG_CHECK_EQ(offsets.front(), 0);
+  DEKG_CHECK_EQ(offsets.back(), a.dim(0));
+  for (size_t g = 0; g + 1 < offsets.size(); ++g) {
+    DEKG_CHECK_LT(offsets[g], offsets[g + 1]) << "empty segment " << g;
+  }
+  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  const int64_t cols = a.dim(1);
+  Tensor out(Shape{num_segments, cols});
+  const float* pa = a.Data();
+  float* po = out.Data();
+  for (int64_t g = 0; g < num_segments; ++g) {
+    float* out_row = po + g * cols;
+    for (int64_t i = offsets[static_cast<size_t>(g)];
+         i < offsets[static_cast<size_t>(g) + 1]; ++i) {
+      for (int64_t j = 0; j < cols; ++j) out_row[j] += pa[i * cols + j];
+    }
+    if (scale_by_len) {
+      const float inv =
+          1.0f / static_cast<float>(offsets[static_cast<size_t>(g) + 1] -
+                                    offsets[static_cast<size_t>(g)]);
+      for (int64_t j = 0; j < cols; ++j) out_row[j] *= inv;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor SegmentSumRows(const Tensor& a, const std::vector<int64_t>& offsets) {
+  return SegmentReduceRowsImpl(a, offsets, /*scale_by_len=*/false);
+}
+
+Tensor SegmentMeanRows(const Tensor& a, const std::vector<int64_t>& offsets) {
+  return SegmentReduceRowsImpl(a, offsets, /*scale_by_len=*/true);
+}
+
 Tensor SoftmaxRows(const Tensor& a) {
   DEKG_CHECK_EQ(a.rank(), 2u);
   const int64_t m = a.dim(0);

@@ -147,6 +147,15 @@ Tensor SumRows(const Tensor& a);
 Tensor MeanRows(const Tensor& a);
 // Column-wise over a [m, n] matrix -> [n].
 Tensor SumCols(const Tensor& a);
+// Column-wise per-segment sum / mean over the rows of a [m, n] matrix.
+// `offsets` has K+1 ascending entries with offsets[0] == 0 and
+// offsets[K] == m; segment g covers rows [offsets[g], offsets[g+1]) and
+// must be non-empty. Accumulation is rows-ascending with a float
+// accumulator, and the mean applies one multiply by 1/len per element, so
+// segment g's row is bit-identical to SumCols / MeanOverRows applied to
+// that row block alone.
+Tensor SegmentSumRows(const Tensor& a, const std::vector<int64_t>& offsets);
+Tensor SegmentMeanRows(const Tensor& a, const std::vector<int64_t>& offsets);
 // Numerically stable row-wise softmax on [m, n].
 Tensor SoftmaxRows(const Tensor& a);
 // L2 norm of each row of [m, n] -> [m].

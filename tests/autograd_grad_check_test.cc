@@ -184,6 +184,21 @@ TEST(GradCheck, ScaleRowsBothInputs) {
                  });
 }
 
+TEST(GradCheck, SegmentSumRowsOp) {
+  CheckGradients({RandomTensor({5, 3}, 37)},
+                 [](const std::vector<Var>& v) {
+                   return SumAll(Square(SegmentSumRows(v[0], {0, 2, 5})));
+                 });
+}
+
+TEST(GradCheck, SegmentMeanRowsOp) {
+  CheckGradients({RandomTensor({6, 2}, 38)},
+                 [](const std::vector<Var>& v) {
+                   return SumAll(
+                       Square(SegmentMeanRows(v[0], {0, 1, 4, 6})));
+                 });
+}
+
 TEST(GradCheck, ConcatAxis0) {
   CheckGradients({RandomTensor({2, 3}, 26), RandomTensor({1, 3}, 27)},
                  [](const std::vector<Var>& v) {

@@ -1,0 +1,428 @@
+// Bitwise-identity gate of the packed (block-diagonal) GSM batch path
+// (DESIGN.md §11): for every batch size, bucket policy, thread count, and
+// encoder configuration, packed scores must equal the sequential
+// per-subgraph scores bit for bit — including degenerate subgraphs (zero
+// edges, minimum 2-node graphs).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/thread_pool.h"
+#include "core/dekg_ilp.h"
+#include "core/gsm.h"
+#include "datagen/synthetic_kg.h"
+#include "gnn/packed_batch.h"
+#include "gnn/rgcn.h"
+#include "graph/subgraph.h"
+#include "serve/engine.h"
+
+namespace dekg::core {
+namespace {
+
+GsmConfig SmallConfig() {
+  GsmConfig config;
+  config.num_relations = 4;
+  config.dim = 8;
+  config.num_hops = 2;
+  config.num_layers = 2;
+  config.edge_dropout = 0.0f;
+  return config;
+}
+
+// 16-entity ring with chords plus two isolated entities (16, 17): triples
+// touching the isolated pair extract degenerate two-node, zero-edge
+// subgraphs.
+KnowledgeGraph BatchGraph() {
+  KnowledgeGraph g(18, 4);
+  for (int i = 0; i < 16; ++i) {
+    g.AddTriple({i, i % 4, (i + 1) % 16});
+    if (i % 3 == 0) g.AddTriple({i, (i + 1) % 4, (i + 5) % 16});
+  }
+  g.Build();
+  return g;
+}
+
+// Deterministic candidate list mixing connected pairs with degenerate
+// (isolated-endpoint) ones.
+std::vector<Triple> CandidateTriples(size_t count) {
+  std::vector<Triple> triples;
+  size_t i = 0;
+  while (triples.size() < count) {
+    Triple t;
+    if (i % 9 == 7) {
+      t = {16, static_cast<RelationId>(i % 4), 17};  // zero-edge subgraph
+    } else {
+      const EntityId head = static_cast<EntityId>((i * 5) % 16);
+      const EntityId tail = static_cast<EntityId>((i * 7 + 3) % 16);
+      t = {head, static_cast<RelationId>(i % 4), tail};
+      if (head == tail) {
+        ++i;
+        continue;
+      }
+    }
+    triples.push_back(t);
+    ++i;
+  }
+  return triples;
+}
+
+std::vector<const Subgraph*> Pointers(const std::vector<Subgraph>& subs) {
+  std::vector<const Subgraph*> ptrs;
+  for (const Subgraph& s : subs) ptrs.push_back(&s);
+  return ptrs;
+}
+
+TEST(SegmentOpsTest, SegmentMeanRowsMatchesMeanOverRowsBitwise) {
+  Rng rng(11);
+  Tensor m = Tensor::Uniform(Shape{7, 5}, -2.0f, 2.0f, &rng);
+  const std::vector<int64_t> offsets = {0, 1, 3, 7};
+  ag::Var packed =
+      ag::SegmentMeanRows(ag::Var::Constant(m.Clone()), offsets);
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    const int64_t lo = offsets[s];
+    const int64_t hi = offsets[s + 1];
+    Tensor slice(Shape{hi - lo, 5});
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < 5; ++j) slice.At(i - lo, j) = m.At(i, j);
+    }
+    ag::Var mean = ag::MeanOverRows(ag::Var::Constant(std::move(slice)));
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(packed.value().At(static_cast<int64_t>(s), j),
+                mean.value().Data()[j])
+          << "segment " << s << " col " << j;
+    }
+  }
+}
+
+TEST(PackedBatchTest, LayoutPreservesPerGraphOrder) {
+  KnowledgeGraph g = BatchGraph();
+  Rng rng(1);
+  Gsm gsm(SmallConfig(), &rng);
+  std::vector<Triple> triples = CandidateTriples(5);
+  std::vector<Subgraph> subs = gsm.ExtractBatch(g, triples);
+  std::vector<RelationId> rels;
+  for (const Triple& t : triples) rels.push_back(t.rel);
+
+  gnn::PackedSubgraphBatch batch =
+      gnn::PackedSubgraphBatch::Pack(Pointers(subs), rels, 4);
+  ASSERT_EQ(batch.size(), 5);
+  EXPECT_EQ(batch.node_offsets.front(), 0);
+  int64_t nodes = 0;
+  int64_t msgs = 0;
+  for (size_t i = 0; i < subs.size(); ++i) {
+    nodes += static_cast<int64_t>(subs[i].nodes.size());
+    msgs += static_cast<int64_t>(subs[i].edges.size()) * 2;
+    EXPECT_EQ(batch.node_offsets[i + 1], nodes);
+    EXPECT_EQ(batch.msg_offsets[i + 1], msgs);
+    EXPECT_EQ(batch.head_row(static_cast<int64_t>(i)),
+              batch.node_offsets[i]);
+    EXPECT_EQ(batch.tail_row(static_cast<int64_t>(i)),
+              batch.node_offsets[i] + 1);
+  }
+  EXPECT_EQ(batch.total_nodes(), nodes);
+  EXPECT_EQ(batch.total_messages(), msgs);
+  // Every message stays inside its graph's node segment.
+  for (size_t gi = 0; gi < subs.size(); ++gi) {
+    for (int64_t e = batch.msg_offsets[gi]; e < batch.msg_offsets[gi + 1];
+         ++e) {
+      EXPECT_GE(batch.src_ids[static_cast<size_t>(e)],
+                batch.node_offsets[gi]);
+      EXPECT_LT(batch.src_ids[static_cast<size_t>(e)],
+                batch.node_offsets[gi + 1]);
+      EXPECT_GE(batch.dst_ids[static_cast<size_t>(e)],
+                batch.node_offsets[gi]);
+      EXPECT_LT(batch.dst_ids[static_cast<size_t>(e)],
+                batch.node_offsets[gi + 1]);
+    }
+  }
+}
+
+TEST(PackedBatchTest, ForwardBatchMatchesForwardBitwise) {
+  KnowledgeGraph g = BatchGraph();
+  for (bool jk : {false, true}) {
+    for (bool attention : {false, true}) {
+      gnn::RgcnConfig config;
+      config.num_relations = 4;
+      config.hidden_dim = 8;
+      config.edge_dropout = 0.0f;
+      config.jk_concat = jk;
+      config.edge_attention = attention;
+      Rng rng(3);
+      gnn::RgcnEncoder encoder(config, &rng);
+
+      SubgraphConfig sc;
+      std::vector<Triple> triples = CandidateTriples(6);
+      std::vector<Subgraph> subs;
+      std::vector<RelationId> rels;
+      for (const Triple& t : triples) {
+        subs.push_back(ExtractSubgraph(g, t.head, t.tail, t.rel, sc));
+        rels.push_back(t.rel);
+      }
+      gnn::RgcnBatchOutput packed = encoder.ForwardBatch(
+          gnn::PackedSubgraphBatch::Pack(Pointers(subs), rels, 4));
+      const int64_t out_dim = encoder.output_dim();
+      for (size_t i = 0; i < subs.size(); ++i) {
+        Rng unused(0);
+        gnn::RgcnOutput seq =
+            encoder.Forward(subs[i], rels[i], /*training=*/false, &unused);
+        for (int64_t j = 0; j < out_dim; ++j) {
+          const int64_t row = static_cast<int64_t>(i);
+          EXPECT_EQ(packed.graph_reprs.At(row, j),
+                    seq.graph_repr.value().Data()[j])
+              << "jk=" << jk << " att=" << attention << " graph " << i;
+          EXPECT_EQ(packed.head_reprs.At(row, j),
+                    seq.head_repr.value().At(0, j));
+          EXPECT_EQ(packed.tail_reprs.At(row, j),
+                    seq.tail_repr.value().At(0, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(GsmBatchTest, PackedScoresBitIdenticalAcrossSweep) {
+  KnowledgeGraph g = BatchGraph();
+  for (bool jk : {false, true}) {
+    for (bool attention : {false, true}) {
+      GsmConfig config = SmallConfig();
+      config.jk_concat = jk;
+      config.edge_attention = attention;
+      Rng rng(7);
+      Gsm gsm(config, &rng);
+      for (int batch_size : {1, 2, 7, 64}) {
+        std::vector<Triple> triples =
+            CandidateTriples(static_cast<size_t>(batch_size));
+        std::vector<Subgraph> subs = gsm.ExtractBatch(g, triples);
+        std::vector<RelationId> rels;
+        for (const Triple& t : triples) rels.push_back(t.rel);
+
+        // Sequential reference.
+        std::vector<float> expected;
+        for (size_t i = 0; i < subs.size(); ++i) {
+          Rng unused(0);
+          expected.push_back(
+              gsm.ScoreSubgraph(subs[i], rels[i], /*training=*/false,
+                                &unused)
+                  .value()
+                  .Data()[0]);
+        }
+
+        for (int threads : {1, 4}) {
+          SetDefaultThreadCount(threads);
+          std::vector<float> packed =
+              gsm.ScoreSubgraphsPacked(Pointers(subs), rels);
+          SetDefaultThreadCount(0);
+          ASSERT_EQ(packed.size(), expected.size());
+          for (size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(packed[i], expected[i])
+                << "jk=" << jk << " att=" << attention << " batch "
+                << batch_size << " threads " << threads << " item " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GsmBatchTest, DegenerateSubgraphsScoreIdentically) {
+  // A batch of only degenerate graphs: the zero-edge pair and assorted
+  // minimum two-node extractions.
+  KnowledgeGraph g = BatchGraph();
+  Rng rng(9);
+  Gsm gsm(SmallConfig(), &rng);
+  std::vector<Triple> triples = {{16, 0, 17}, {16, 3, 17}, {17, 1, 16}};
+  std::vector<Subgraph> subs = gsm.ExtractBatch(g, triples);
+  for (const Subgraph& s : subs) {
+    ASSERT_EQ(s.nodes.size(), 2u);
+    ASSERT_TRUE(s.edges.empty());
+  }
+  std::vector<RelationId> rels = {0, 3, 1};
+  std::vector<float> packed = gsm.ScoreSubgraphsPacked(Pointers(subs), rels);
+  for (size_t i = 0; i < subs.size(); ++i) {
+    Rng unused(0);
+    const float expected =
+        gsm.ScoreSubgraph(subs[i], rels[i], /*training=*/false, &unused)
+            .value()
+            .Data()[0];
+    EXPECT_EQ(packed[i], expected) << "degenerate item " << i;
+  }
+}
+
+TEST(GroupForPackingTest, PoliciesPartitionAndRespectCap) {
+  // Dummy subgraphs with controlled sizes (grouping reads sizes only).
+  std::vector<Subgraph> subs(10);
+  for (size_t i = 0; i < subs.size(); ++i) {
+    subs[i].nodes.resize(i % 3 == 0 ? 4 : 7);
+    subs[i].edges.resize(i % 2);
+  }
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < 10; ++i) indices.push_back(i);
+
+  for (auto bucket :
+       {GsmBatchOptions::Bucket::kNone, GsmBatchOptions::Bucket::kBySize,
+        GsmBatchOptions::Bucket::kByPow2}) {
+    GsmBatchOptions options;
+    options.bucket = bucket;
+    options.max_batch = 3;
+    const auto groups = GroupForPacking(Pointers(subs), indices, options);
+    std::vector<bool> seen(10, false);
+    for (const auto& group : groups) {
+      EXPECT_LE(group.size(), 3u);
+      EXPECT_FALSE(group.empty());
+      for (int64_t i : group) {
+        EXPECT_FALSE(seen[static_cast<size_t>(i)]) << "duplicate index";
+        seen[static_cast<size_t>(i)] = true;
+      }
+    }
+    for (bool s : seen) EXPECT_TRUE(s);
+    if (bucket == GsmBatchOptions::Bucket::kBySize) {
+      for (const auto& group : groups) {
+        for (int64_t i : group) {
+          EXPECT_EQ(subs[static_cast<size_t>(i)].nodes.size(),
+                    subs[static_cast<size_t>(group[0])].nodes.size());
+          EXPECT_EQ(subs[static_cast<size_t>(i)].edges.size(),
+                    subs[static_cast<size_t>(group[0])].edges.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(GsmBatchTest, ScoreTriplesBatchPoolParameterIsBitwiseTransparent) {
+  KnowledgeGraph g = BatchGraph();
+  Rng rng(13);
+  Gsm gsm(SmallConfig(), &rng);
+  std::vector<Triple> triples = CandidateTriples(9);
+  const std::vector<double> reference =
+      gsm.ScoreTriplesBatch(g, triples, /*seed=*/77);
+  ThreadPool pool(3);
+  const std::vector<double> pooled =
+      gsm.ScoreTriplesBatch(g, triples, /*seed=*/77, &pool);
+  ASSERT_EQ(pooled.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(pooled[i], reference[i]) << "triple " << i;
+  }
+}
+
+TEST(GsmBatchTest, PredictorCacheHitPackingIsBitwiseTransparent) {
+  DekgDataset dataset = datagen::MakeDekgDataset(
+      "gsm-batch",
+      [] {
+        datagen::SchemaConfig schema;
+        schema.num_types = 5;
+        schema.num_relations = 14;
+        schema.num_entities = 160;
+        return schema;
+      }(),
+      [] {
+        datagen::SplitConfig split;
+        split.max_test_links = 40;
+        return split;
+      }(),
+      /*seed=*/21);
+  DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  config.dim = 8;
+  DekgIlpModel model(config, /*seed=*/3);
+  std::vector<Triple> triples;
+  for (const LabeledLink& link : dataset.test_links()) {
+    triples.push_back(link.triple);
+    if (triples.size() >= 24) break;
+  }
+  ASSERT_GE(triples.size(), 16u);
+
+  // Prefill only the even triples so the batch mixes hits and misses.
+  SubgraphCache cache;
+  for (size_t i = 0; i < triples.size(); i += 2) {
+    cache.Insert(triples[i],
+                 model.gsm()->Extract(dataset.inference_graph(), triples[i]));
+  }
+
+  DekgIlpPredictor sequential(&model);
+  GsmBatchOptions off;
+  off.max_batch = 1;
+  sequential.set_gsm_batch_options(off);
+  const std::vector<double> reference = sequential.ScoreTriplesCached(
+      dataset.inference_graph(), triples, &cache);
+
+  for (auto bucket :
+       {GsmBatchOptions::Bucket::kNone, GsmBatchOptions::Bucket::kBySize,
+        GsmBatchOptions::Bucket::kByPow2}) {
+    for (int32_t max_batch : {2, 7, 64}) {
+      DekgIlpPredictor packed(&model);
+      GsmBatchOptions options;
+      options.bucket = bucket;
+      options.max_batch = max_batch;
+      packed.set_gsm_batch_options(options);
+      for (int threads : {1, 4}) {
+        SetDefaultThreadCount(threads);
+        const std::vector<double> scores = packed.ScoreTriplesCached(
+            dataset.inference_graph(), triples, &cache);
+        SetDefaultThreadCount(0);
+        ASSERT_EQ(scores.size(), reference.size());
+        for (size_t i = 0; i < reference.size(); ++i) {
+          EXPECT_EQ(scores[i], reference[i])
+              << "bucket " << static_cast<int>(bucket) << " max_batch "
+              << max_batch << " threads " << threads << " triple " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GsmBatchTest, ServeEnginePackingIsBitwiseTransparent) {
+  DekgDataset dataset = datagen::MakeDekgDataset(
+      "gsm-batch-serve",
+      [] {
+        datagen::SchemaConfig schema;
+        schema.num_types = 5;
+        schema.num_relations = 14;
+        schema.num_entities = 160;
+        return schema;
+      }(),
+      [] {
+        datagen::SplitConfig split;
+        split.max_test_links = 40;
+        return split;
+      }(),
+      /*seed=*/22);
+  DekgIlpConfig config;
+  config.num_relations = dataset.num_relations();
+  config.dim = 8;
+  DekgIlpModel model(config, /*seed=*/5);
+  std::vector<serve::ScoreItem> items;
+  for (const LabeledLink& link : dataset.test_links()) {
+    items.push_back({link.triple, MixSeed(123, items.size())});
+    if (items.size() >= 16) break;
+  }
+  ASSERT_GE(items.size(), 8u);
+
+  serve::EngineConfig sequential_config;
+  sequential_config.gsm_batch.max_batch = 1;
+  serve::InferenceEngine sequential(&model, dataset.inference_graph(),
+                                    sequential_config);
+  const std::vector<double> reference = sequential.ScoreBatch(items);
+
+  for (auto bucket :
+       {GsmBatchOptions::Bucket::kNone, GsmBatchOptions::Bucket::kBySize,
+        GsmBatchOptions::Bucket::kByPow2}) {
+    serve::EngineConfig packed_config;
+    packed_config.gsm_batch.bucket = bucket;
+    serve::InferenceEngine engine(&model, dataset.inference_graph(),
+                                  packed_config);
+    // Cold (all misses) and warm (all cache hits) batches both pack.
+    const std::vector<double> cold = engine.ScoreBatch(items);
+    const std::vector<double> warm = engine.ScoreBatch(items);
+    ASSERT_EQ(cold.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(cold[i], reference[i])
+          << "bucket " << static_cast<int>(bucket) << " cold item " << i;
+      EXPECT_EQ(warm[i], reference[i])
+          << "bucket " << static_cast<int>(bucket) << " warm item " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dekg::core
