@@ -15,7 +15,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j --target bench_train bench_gsm_batch
+cmake --build build-release -j --target bench_train bench_gsm_batch bench_simd
 
 # Small dataset, explicit thread count: the point is the bitwise
 # serial-vs-parallel comparison, not throughput.
@@ -30,4 +30,12 @@ DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
 DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
 DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
   ./bench_gsm_batch
-echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json in build-release/bench/)."
+
+# SIMD kernel sweep: every micro-kernel point is gated on bitwise identity
+# with the historical scalar kernel (or the fixed-lane contract reference
+# for the n == 1 dot column), and both end-to-end points on thread-count
+# invariance; speedups are reported, not gated.
+DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
+DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
+  ./bench_simd
+echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json in build-release/bench/)."

@@ -2,13 +2,19 @@
 # Single-entry CI gate, in increasing order of cost:
 #
 #   1. tier-1 build + ctest          (the correctness floor)
-#   2. serve smoke                   (server binaries over real TCP: online
+#   2. vectorization check           (the SIMD kernels still auto-vectorize;
+#                                     a scalar regression fails no test)
+#   3. serve smoke                   (server binaries over real TCP: online
 #                                     scores bit-for-bit vs offline golden,
 #                                     before and after live ingestion)
-#   3. bench smoke                   (Release build; training determinism
-#                                     and cache contracts, via bench_train)
-#   4. sanitizer sweeps              (TSan + ASan/UBSan on the parallel,
-#                                     checkpoint, and serving subsystems)
+#   4. bench smoke                   (Release build; training determinism
+#                                     and cache contracts, via bench_train,
+#                                     plus the SIMD kernel bitwise gates
+#                                     via bench_simd)
+#   5. sanitizer sweeps              (TSan + ASan/UBSan on the parallel,
+#                                     checkpoint, and serving subsystems,
+#                                     plus the O0-vs-O3 kernel fingerprint
+#                                     diff)
 #
 # Usage: scripts/ci.sh [fast]
 #   fast: skip the sanitizer sweeps (they rebuild two extra trees).
@@ -20,6 +26,9 @@ echo "== ci: tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== ci: vectorization check =="
+scripts/vectorization_check.sh
 
 echo "== ci: serve smoke =="
 scripts/serve_smoke.sh build

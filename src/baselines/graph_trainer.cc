@@ -15,6 +15,18 @@ std::vector<double> TrainGraphModel(nn::Module* module,
   nn::Adam::Options opt;
   opt.lr = config.lr;
   nn::Adam optimizer(module, opt);
+  // Row-sparse fused steps for embedding-style [rows, cols] parameters:
+  // kAutoRows is bitwise-identical to a dense step (DESIGN.md §8), so the
+  // baselines keep their historical trajectories while only paying for
+  // the rows a batch actually touched.
+  nn::StepSparsity sparsity;
+  for (const nn::Parameter& p : module->parameters()) {
+    nn::StepSparsity::ParamPlan plan;
+    if (p.var.value().rank() == 2) {
+      plan.mode = nn::StepSparsity::Mode::kAutoRows;
+    }
+    sparsity.plans.push_back(std::move(plan));
+  }
   const KnowledgeGraph& graph = dataset.original_graph();
   const int32_t n_original = dataset.num_original_entities();
 
@@ -73,7 +85,7 @@ std::vector<double> TrainGraphModel(nn::Module* module,
       epoch_loss += static_cast<double>(batch_loss.value().Data()[0]);
       batch_loss.Backward();
       nn::ClipGradNorm(module, config.grad_clip);
-      optimizer.Step();
+      optimizer.Step(sparsity);
     }
     loop.epoch_losses.push_back(
         count > 0 ? epoch_loss / static_cast<double>(count) : 0.0);

@@ -32,6 +32,18 @@ std::vector<double> TrainKgeModel(KgeModel* model, const DekgDataset& dataset,
   nn::Adam::Options opt;
   opt.lr = config.lr;
   nn::Adam optimizer(model, opt);
+  // Row-sparse fused steps for the entity/relation embedding tables:
+  // kAutoRows is bitwise-identical to a dense step (DESIGN.md §8), so
+  // KGE training trajectories are unchanged while each step only walks
+  // the rows the batch touched (plus decaying hot rows).
+  nn::StepSparsity sparsity;
+  for (const nn::Parameter& p : model->parameters()) {
+    nn::StepSparsity::ParamPlan plan;
+    if (p.var.value().rank() == 2) {
+      plan.mode = nn::StepSparsity::Mode::kAutoRows;
+    }
+    sparsity.plans.push_back(std::move(plan));
+  }
   const int32_t n_original = dataset.num_original_entities();
 
   auto sample_negative = [&](const Triple& positive) {
@@ -111,7 +123,7 @@ std::vector<double> TrainKgeModel(KgeModel* model, const DekgDataset& dataset,
       count += static_cast<int64_t>(positives.size());
       loss.Backward();
       nn::ClipGradNorm(model, 5.0);
-      optimizer.Step();
+      optimizer.Step(sparsity);
       model->PostOptimizerStep();
     }
     const double mean_loss =

@@ -1,0 +1,81 @@
+#include "gnn/message_kernels.h"
+
+#include <algorithm>
+
+#include "tensor/lanes.h"
+
+namespace dekg::gnn {
+
+using lanes::kLanes;
+
+void FusedMessageSweep(const std::vector<int64_t>& src_ids,
+                       const std::vector<int64_t>& dst_ids,
+                       const std::vector<const float*>& transformed,
+                       const std::vector<const float*>& coeff_cols,
+                       const float* gate, int64_t dout, float* out) {
+  const int64_t m = static_cast<int64_t>(src_ids.size());
+  const int64_t num_bases = static_cast<int64_t>(transformed.size());
+  const int64_t blocked = dout - dout % kLanes;
+  for (int64_t e = 0; e < m; ++e) {
+    const int64_t src = src_ids[static_cast<size_t>(e)];
+    const int64_t dst = dst_ids[static_cast<size_t>(e)];
+    float* out_row = out + dst * dout;
+    const float* t0 = transformed[0] + src * dout;
+    const float c0 = coeff_cols[0][e];
+    const float ge = gate != nullptr ? gate[e] : 1.0f;
+    // Lane blocks: kLanes independent output elements in flight, each
+    // evaluating the exact scalar expression
+    //   out[j] += ge * (t0[j]*c0 + t1[j]*c1 + ...)
+    // — no cross-element reduction, so the tiling never changes a bit.
+    for (int64_t j0 = 0; j0 < blocked; j0 += kLanes) {
+      float v[kLanes];
+      for (int64_t l = 0; l < kLanes; ++l) v[l] = t0[j0 + l] * c0;
+      for (int64_t b = 1; b < num_bases; ++b) {
+        const float* tb = transformed[static_cast<size_t>(b)] + src * dout;
+        const float cb = coeff_cols[static_cast<size_t>(b)][e];
+        for (int64_t l = 0; l < kLanes; ++l) v[l] += tb[j0 + l] * cb;
+      }
+      if (gate != nullptr) {
+        for (int64_t l = 0; l < kLanes; ++l) v[l] *= ge;
+      }
+      for (int64_t l = 0; l < kLanes; ++l) out_row[j0 + l] += v[l];
+    }
+    for (int64_t j = blocked; j < dout; ++j) {
+      float v = t0[j] * c0;
+      for (int64_t b = 1; b < num_bases; ++b) {
+        v += transformed[static_cast<size_t>(b)][src * dout + j] *
+             coeff_cols[static_cast<size_t>(b)][e];
+      }
+      if (gate != nullptr) v *= ge;
+      out_row[j] += v;
+    }
+  }
+}
+
+void FusedAttentionLogits(const std::vector<int64_t>& src_ids,
+                          const std::vector<int64_t>& dst_ids,
+                          const std::vector<int64_t>& rel_ids,
+                          const std::vector<int64_t>& target_ids,
+                          const float* h, int64_t din, const float* rel_emb,
+                          const float* target_emb, int64_t att_dim,
+                          const float* w, float bias, float* logits) {
+  const int64_t m = static_cast<int64_t>(src_ids.size());
+  const int64_t att_in = 2 * din + 2 * att_dim;
+  // One scratch row reused across messages: the concat layout the
+  // autograd path materializes as a full [m, att_in] tensor.
+  std::vector<float> row(static_cast<size_t>(att_in));
+  float* pr = row.data();
+  for (int64_t e = 0; e < m; ++e) {
+    const float* hs = h + src_ids[static_cast<size_t>(e)] * din;
+    const float* hd = h + dst_ids[static_cast<size_t>(e)] * din;
+    const float* re = rel_emb + rel_ids[static_cast<size_t>(e)] * att_dim;
+    const float* te = target_emb + target_ids[static_cast<size_t>(e)] * att_dim;
+    std::copy(hs, hs + din, pr);
+    std::copy(hd, hd + din, pr + din);
+    std::copy(re, re + att_dim, pr + 2 * din);
+    std::copy(te, te + att_dim, pr + 2 * din + att_dim);
+    logits[e] = lanes::LaneDotF32(pr, w, att_in) + bias;
+  }
+}
+
+}  // namespace dekg::gnn

@@ -1,0 +1,52 @@
+// Fused per-message kernels of the packed-batch RGCN forward, factored
+// out of RgcnEncoder so bench/bench_simd.cc can time them against
+// reference implementations on synthetic message lists.
+//
+// Both kernels are lane-tiled (tensor/lanes.h shapes) but order-preserving
+// per output element: the basis mix is the same left-fold the autograd
+// path builds from ScaleRows + Add, and the scatter-add touches each
+// destination row in packed message order. Only FusedAttentionLogits
+// performs a cross-element reduction, and it does so through
+// lanes::LaneDotF32 on a materialized concat row — the exact reduction
+// MatMul's n == 1 path runs for the autograd formulation
+// MatMul(Concat({h_src, h_dst, rel, target}), w), keeping the two
+// formulations bit-identical under the fixed-lane contract (DESIGN.md
+// §12).
+#ifndef DEKG_GNN_MESSAGE_KERNELS_H_
+#define DEKG_GNN_MESSAGE_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dekg::gnn {
+
+// For each message e: out[dst[e], :] += gate_e * sum_b coeff_cols[b][e] *
+// transformed[b][src[e], :], with gate_e = gate[e] when gate != nullptr
+// and 1 otherwise. `transformed` holds num_bases pointers to [num_nodes,
+// dout] basis transforms, `coeff_cols` num_bases pointers to [m] per-edge
+// coefficient columns. The basis sum is accumulated b-ascending per
+// element (b == 0 initializes), matching the autograd left-fold bit for
+// bit; messages run e-ascending so duplicate destinations accumulate in
+// packed order.
+void FusedMessageSweep(const std::vector<int64_t>& src_ids,
+                       const std::vector<int64_t>& dst_ids,
+                       const std::vector<const float*>& transformed,
+                       const std::vector<const float*>& coeff_cols,
+                       const float* gate, int64_t dout, float* out);
+
+// For each message e: logits[e] = bias + w . [h[src[e]], h[dst[e]],
+// rel_emb[rel[e]], target_emb[target[e]]], the concat row materialized
+// into a reusable scratch buffer and reduced with lanes::LaneDotF32 so the
+// result is bit-identical to MatMul(Concat(...), w) + bias. `w` has
+// 2*din + 2*att_dim rows.
+void FusedAttentionLogits(const std::vector<int64_t>& src_ids,
+                          const std::vector<int64_t>& dst_ids,
+                          const std::vector<int64_t>& rel_ids,
+                          const std::vector<int64_t>& target_ids,
+                          const float* h, int64_t din, const float* rel_emb,
+                          const float* target_emb, int64_t att_dim,
+                          const float* w, float bias, float* logits);
+
+}  // namespace dekg::gnn
+
+#endif  // DEKG_GNN_MESSAGE_KERNELS_H_

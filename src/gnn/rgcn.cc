@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "gnn/message_kernels.h"
+#include "tensor/lanes.h"
+
 namespace dekg::gnn {
 
 RgcnEncoder::RgcnEncoder(const RgcnConfig& config, Rng* rng)
@@ -208,33 +211,19 @@ Tensor RgcnEncoder::LayerForwardInference(size_t l, const Tensor& h,
     Tensor gate;  // [m, 1] when edge attention is on
     if (config_.edge_attention) {
       // Fused attention logits: per message, the dot product the Var path
-      // spells as MatMul(Concat({h_src, h_dst, rel, target}), w) — same
-      // zero-initialized accumulator, same k-ascending order over the
-      // concat layout, without materializing the [m, 2*din + 2*att] input.
-      const int64_t att_dim = config_.attention_rel_dim;
+      // spells as MatMul(Concat({h_src, h_dst, rel, target}), w). The
+      // kernel materializes each concat row into a scratch buffer and
+      // reduces it with the same LaneDotF32 that MatMul's n == 1 path
+      // runs, so the two formulations stay bit-identical under the
+      // fixed-lane contract.
       Tensor logits(Shape{m, 1});
-      const float* pw = att_weight_[l].value().Data();
-      const float bias0 = att_bias_[l].value().Data()[0];
-      const float* ph = h.Data();
-      const float* prel = att_rel_.value().Data();
-      const float* ptgt = att_target_rel_.value().Data();
-      float* plog = logits.Data();
-      for (int64_t e = 0; e < m; ++e) {
-        float acc = 0.0f;
-        const float* hs = ph + batch.src_ids[static_cast<size_t>(e)] * din;
-        for (int64_t k = 0; k < din; ++k) acc += hs[k] * pw[k];
-        const float* hd = ph + batch.dst_ids[static_cast<size_t>(e)] * din;
-        for (int64_t k = 0; k < din; ++k) acc += hd[k] * pw[din + k];
-        const float* re =
-            prel + batch.rel_ids[static_cast<size_t>(e)] * att_dim;
-        for (int64_t k = 0; k < att_dim; ++k) acc += re[k] * pw[2 * din + k];
-        const float* te =
-            ptgt + batch.msg_target_ids[static_cast<size_t>(e)] * att_dim;
-        for (int64_t k = 0; k < att_dim; ++k) {
-          acc += te[k] * pw[2 * din + att_dim + k];
-        }
-        plog[e] = acc + bias0;
-      }
+      FusedAttentionLogits(batch.src_ids, batch.dst_ids, batch.rel_ids,
+                           batch.msg_target_ids, h.Data(), din,
+                           att_rel_.value().Data(),
+                           att_target_rel_.value().Data(),
+                           config_.attention_rel_dim,
+                           att_weight_[l].value().Data(),
+                           att_bias_[l].value().Data()[0], logits.Data());
       gate = dekg::Sigmoid(logits);
     }
 
@@ -250,28 +239,15 @@ Tensor RgcnEncoder::LayerForwardInference(size_t l, const Tensor& h,
     for (int32_t b = 0; b < num_bases; ++b) {
       pc[static_cast<size_t>(b)] = coeff_cols[static_cast<size_t>(b)].Data();
     }
-    const float* pgate = config_.edge_attention ? gate.Data() : nullptr;
     float* pagg = aggregated.Data();
-    for (int64_t e = 0; e < m; ++e) {
-      const int64_t src = batch.src_ids[static_cast<size_t>(e)];
-      const int64_t dst = batch.dst_ids[static_cast<size_t>(e)];
-      const float* t0 = pt[0] + src * dout;
-      float* out_row = pagg + dst * dout;
-      const float ge = pgate != nullptr ? pgate[e] : 1.0f;
-      for (int64_t j = 0; j < dout; ++j) {
-        float v = t0[j] * pc[0][e];
-        for (int32_t b = 1; b < num_bases; ++b) {
-          v += pt[static_cast<size_t>(b)][src * dout + j] *
-               pc[static_cast<size_t>(b)][e];
-        }
-        if (pgate != nullptr) v = v * ge;
-        out_row[j] += v;
-      }
-    }
-    // Mean aggregation (ScaleRows by inverse in-degree).
+    FusedMessageSweep(batch.src_ids, batch.dst_ids, pt, pc,
+                      config_.edge_attention ? gate.Data() : nullptr, dout,
+                      pagg);
+    // Mean aggregation (ScaleRows by inverse in-degree): per-row scale,
+    // no reduction, so the lane loop changes nothing.
     const float* pinv = inv_indegree.Data();
     for (int64_t i = 0; i < num_nodes; ++i) {
-      for (int64_t j = 0; j < dout; ++j) pagg[i * dout + j] *= pinv[i];
+      lanes::LaneScaleF32(pagg + i * dout, pinv[i], dout);
     }
   }
   Tensor self = dekg::MatMul(h, layer.self_weight.value());

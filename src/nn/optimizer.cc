@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/checkpoint.h"
+#include "tensor/lanes.h"
 
 namespace dekg::nn {
 
@@ -127,16 +128,68 @@ float AdamLrT(const Adam::Options& options, int64_t t) {
   return static_cast<float>(options.lr * std::sqrt(bias2) / bias1);
 }
 
+// The fused multi-tensor step works on contiguous element runs ("spans")
+// gathered across ALL parameters up front: a dense parameter contributes
+// one whole-tensor span, a row-sparse one one span per run of consecutive
+// touched-or-hot rows. A single lane-vectorized pass then walks the span
+// list, so the per-element update loop is instantiated once per optimizer
+// instead of once per parameter-times-mode, and short parameter tails no
+// longer each pay their own loop setup. Updates are per-element
+// independent (no cross-element reduction), so fusing and lane-tiling
+// change no bits relative to the historical per-parameter loops.
+struct SgdSpan {
+  float* w;
+  const float* g;
+  float* vel;  // null when momentum is off
+  int64_t n;
+};
+
+struct AdamSpan {
+  float* w;
+  const float* g;
+  float* m;
+  float* v;
+  int64_t n;
+};
+
+// Calls make(first_row, num_elements) once per maximal run of consecutive
+// rows. Touched/hot row sets cluster heavily in practice (contiguous
+// entity-id ranges), so most sparse steps collapse into a few long spans.
+template <typename MakeSpan>
+void ForEachRowRun(const std::vector<int64_t>& rows, int64_t cols,
+                   MakeSpan&& make) {
+  size_t s = 0;
+  while (s < rows.size()) {
+    size_t e = s + 1;
+    while (e < rows.size() && rows[e] == rows[e - 1] + 1) ++e;
+    make(rows[s], (rows[e - 1] - rows[s] + 1) * cols);
+    s = e;
+  }
+}
+
+// Rows whose optimizer state kept nonzero bits after the pass; everything
+// else in `candidates` decayed to exact +0 rows and leaves the hot set.
+void RetainHotRows(const std::vector<int64_t>& candidates, const Tensor* s1,
+                   const Tensor* s2, HotRowState* hot) {
+  hot->rows.clear();
+  for (int64_t r : candidates) {
+    const bool zero = (s1 == nullptr || RowBitsAllPositiveZero(*s1, r)) &&
+                      (s2 == nullptr || RowBitsAllPositiveZero(*s2, r));
+    if (!zero) hot->rows.push_back(r);
+  }
+  hot->valid = true;
+}
+
 }  // namespace
 
 double ClipGradNorm(Module* module, double max_norm) {
+  // Per-tensor fixed-lane sums of squares (lanes.h contract), combined in
+  // parameter-registration order.
   double sq = 0.0;
   for (const Parameter& p : module->parameters()) {
     if (!p.var.has_grad()) continue;
     const Tensor& g = p.var.grad();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      sq += static_cast<double>(g.Data()[i]) * g.Data()[i];
-    }
+    sq += lanes::LaneSumSquaresF64(g.Data(), g.numel());
   }
   double norm = std::sqrt(sq);
   if (norm > max_norm && norm > 0.0) {
@@ -171,11 +224,24 @@ void Sgd::StepImpl(const StepSparsity* sparsity) {
   DEKG_CHECK(sparsity == nullptr || sparsity->plans.empty() ||
              sparsity->plans.size() == params.size())
       << "StepSparsity plan count does not match parameter count";
+  const bool momentum_on = options_.momentum > 0.0;
+  const float lr = static_cast<float>(options_.lr);
+  const float wd = static_cast<float>(options_.weight_decay);
+  const float mu = static_cast<float>(options_.momentum);
+
+  // Phase 1: resolve each parameter's plan into contiguous spans.
+  std::vector<SgdSpan> spans;
+  struct HotMaintenance {
+    size_t param;
+    std::vector<int64_t> rows;
+  };
+  std::vector<HotMaintenance> maintenance;
   for (size_t i = 0; i < params.size(); ++i) {
     const Parameter& p = params[i];
     if (!p.var.has_grad()) continue;
     Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
-    if (options_.momentum > 0.0 && velocity_[i].numel() != value.numel()) {
+    const Tensor& grad = p.var.grad();
+    if (momentum_on && velocity_[i].numel() != value.numel()) {
       velocity_[i] = Tensor::Zeros(value.shape());
       hot_[i].rows.clear();
       hot_[i].valid = true;
@@ -184,79 +250,80 @@ void Sgd::StepImpl(const StepSparsity* sparsity) {
     if (sparsity != nullptr && !sparsity->plans.empty()) {
       mode = sparsity->plans[i].mode;
     }
+    float* w = value.Data();
+    const float* g = grad.Data();
+    float* vel = momentum_on ? velocity_[i].Data() : nullptr;
     // The skipped-row no-op argument needs zero weight decay and a
     // non-negative learning rate; anything else runs dense.
     if (mode != StepSparsity::Mode::kDense && value.rank() == 2 &&
         options_.weight_decay == 0.0 && options_.lr >= 0.0) {
-      SparseParamStep(i, mode, sparsity->plans[i].rows);
+      std::vector<int64_t> rows =
+          TouchedRows(mode, sparsity->plans[i].rows, grad);
+      if (momentum_on) {
+        if (!hot_[i].valid) {
+          RebuildHotRows(&velocity_[i], nullptr, value.dim(0), &hot_[i]);
+        }
+        rows = UnionRows(rows, hot_[i].rows);
+      }
+      const int64_t cols = value.dim(1);
+      ForEachRowRun(rows, cols, [&](int64_t r0, int64_t n) {
+        spans.push_back({w + r0 * cols, g + r0 * cols,
+                         vel != nullptr ? vel + r0 * cols : nullptr, n});
+      });
+      if (momentum_on) maintenance.push_back({i, std::move(rows)});
     } else {
-      DenseParamStep(i);
+      spans.push_back({w, g, vel, value.numel()});
+      // A dense pass may light up any row's velocity; recompute lazily.
+      if (momentum_on) hot_[i].valid = false;
     }
   }
-}
 
-void Sgd::DenseParamStep(size_t i) {
-  const Parameter& p = module_->parameters()[i];
-  Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
-  const Tensor& grad = p.var.grad();
-  const float lr = static_cast<float>(options_.lr);
-  const float wd = static_cast<float>(options_.weight_decay);
-  const float mu = static_cast<float>(options_.momentum);
-  float* w = value.Data();
-  const float* g = grad.Data();
-  if (options_.momentum > 0.0) {
-    float* vel = velocity_[i].Data();
-    for (int64_t j = 0; j < value.numel(); ++j) {
-      float gj = g[j] + wd * w[j];
-      vel[j] = mu * vel[j] + gj;
-      w[j] -= lr * vel[j];
-    }
-    // A dense pass may light up any row's velocity; recompute lazily.
-    hot_[i].valid = false;
-  } else {
-    for (int64_t j = 0; j < value.numel(); ++j) {
-      w[j] -= lr * (g[j] + wd * w[j]);
-    }
-  }
-}
-
-void Sgd::SparseParamStep(size_t i, StepSparsity::Mode mode,
-                          const std::vector<int64_t>& explicit_rows) {
-  const Parameter& p = module_->parameters()[i];
-  Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
-  const Tensor& grad = p.var.grad();
-  const int64_t cols = value.dim(1);
-  const float lr = static_cast<float>(options_.lr);
-  const float wd = static_cast<float>(options_.weight_decay);  // 0 here
-  const float mu = static_cast<float>(options_.momentum);
-  std::vector<int64_t> rows = TouchedRows(mode, explicit_rows, grad);
-  if (options_.momentum > 0.0) {
-    HotRowState& hot = hot_[i];
-    if (!hot.valid) {
-      RebuildHotRows(&velocity_[i], nullptr, value.dim(0), &hot);
-    }
-    rows = UnionRows(rows, hot.rows);
-    hot.rows.clear();
-    for (int64_t r : rows) {
-      float* w = value.Data() + r * cols;
-      const float* g = grad.Data() + r * cols;
-      float* vel = velocity_[i].Data() + r * cols;
-      for (int64_t j = 0; j < cols; ++j) {
-        float gj = g[j] + wd * w[j];
+  // Phase 2: one fused lane-vectorized pass over every span. The update
+  // is per-element independent, so lane blocks only regroup elements.
+  using lanes::kLanes;
+  // Spans never overlap (each is a distinct parameter row range), but the
+  // vectorizer cannot see that through the span struct: __restrict locals
+  // are what let the three-pointer update loop vectorize.
+  if (momentum_on) {
+    for (const SgdSpan& sp : spans) {
+      float* __restrict w = sp.w;
+      const float* __restrict g = sp.g;
+      float* __restrict vel = sp.vel;
+      const int64_t blocked = sp.n - sp.n % kLanes;
+      for (int64_t j0 = 0; j0 < blocked; j0 += kLanes) {
+        for (int64_t l = 0; l < kLanes; ++l) {
+          const int64_t j = j0 + l;
+          const float gj = g[j] + wd * w[j];
+          vel[j] = mu * vel[j] + gj;
+          w[j] -= lr * vel[j];
+        }
+      }
+      for (int64_t j = blocked; j < sp.n; ++j) {
+        const float gj = g[j] + wd * w[j];
         vel[j] = mu * vel[j] + gj;
         w[j] -= lr * vel[j];
       }
-      if (!RowBitsAllPositiveZero(velocity_[i], r)) hot.rows.push_back(r);
     }
   } else {
-    // No optimizer state at all: only touched rows can change.
-    for (int64_t r : rows) {
-      float* w = value.Data() + r * cols;
-      const float* g = grad.Data() + r * cols;
-      for (int64_t j = 0; j < cols; ++j) {
+    for (const SgdSpan& sp : spans) {
+      float* __restrict w = sp.w;
+      const float* __restrict g = sp.g;
+      const int64_t blocked = sp.n - sp.n % kLanes;
+      for (int64_t j0 = 0; j0 < blocked; j0 += kLanes) {
+        for (int64_t l = 0; l < kLanes; ++l) {
+          const int64_t j = j0 + l;
+          w[j] -= lr * (g[j] + wd * w[j]);
+        }
+      }
+      for (int64_t j = blocked; j < sp.n; ++j) {
         w[j] -= lr * (g[j] + wd * w[j]);
       }
     }
+  }
+
+  // Phase 3: re-derive hot rows for the sparse momentum parameters.
+  for (const HotMaintenance& hm : maintenance) {
+    RetainHotRows(hm.rows, &velocity_[hm.param], nullptr, &hot_[hm.param]);
   }
 }
 
@@ -298,10 +365,23 @@ void Adam::StepImpl(const StepSparsity* sparsity) {
              sparsity->plans.size() == params.size())
       << "StepSparsity plan count does not match parameter count";
   const float lr_t = AdamLrT(options_, t_);
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  const float eps = static_cast<float>(options_.eps);
+  const float wd = static_cast<float>(options_.weight_decay);
+
+  // Phase 1: resolve each parameter's plan into contiguous spans.
+  std::vector<AdamSpan> spans;
+  struct HotMaintenance {
+    size_t param;
+    std::vector<int64_t> rows;
+  };
+  std::vector<HotMaintenance> maintenance;
   for (size_t i = 0; i < params.size(); ++i) {
     const Parameter& p = params[i];
     if (!p.var.has_grad()) continue;
     Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
+    const Tensor& grad = p.var.grad();
     if (m_[i].numel() != value.numel()) {
       m_[i] = Tensor::Zeros(value.shape());
       v_[i] = Tensor::Zeros(value.shape());
@@ -312,76 +392,72 @@ void Adam::StepImpl(const StepSparsity* sparsity) {
     if (sparsity != nullptr && !sparsity->plans.empty()) {
       mode = sparsity->plans[i].mode;
     }
+    float* w = value.Data();
+    const float* g = grad.Data();
+    float* m = m_[i].Data();
+    float* v = v_[i].Data();
     if (mode != StepSparsity::Mode::kDense && value.rank() == 2 &&
         options_.weight_decay == 0.0 && options_.lr >= 0.0) {
-      SparseParamStep(i, mode, sparsity->plans[i].rows, lr_t);
+      HotRowState& hot = hot_[i];
+      if (!hot.valid) {
+        RebuildHotRows(&m_[i], &v_[i], value.dim(0), &hot);
+      }
+      // Dense Adam moves every row with nonzero moments at every step the
+      // parameter has a gradient (the moments decay and the decayed
+      // momentum keeps nudging the weights), so hot rows are updated
+      // alongside the touched rows — with their true (possibly all-zero)
+      // gradient row. The remaining rows have +0 moments and +0
+      // gradients: their dense update is a bitwise no-op, so skipping
+      // them cannot be observed.
+      std::vector<int64_t> rows =
+          UnionRows(TouchedRows(mode, sparsity->plans[i].rows, grad),
+                    hot.rows);
+      const int64_t cols = value.dim(1);
+      ForEachRowRun(rows, cols, [&](int64_t r0, int64_t n) {
+        spans.push_back({w + r0 * cols, g + r0 * cols, m + r0 * cols,
+                         v + r0 * cols, n});
+      });
+      maintenance.push_back({i, std::move(rows)});
     } else {
-      DenseParamStep(i, lr_t);
+      spans.push_back({w, g, m, v, value.numel()});
+      // A dense pass may light up any row's moments; recompute lazily.
+      hot_[i].valid = false;
     }
   }
-}
 
-void Adam::DenseParamStep(size_t i, float lr_t) {
-  const Parameter& p = module_->parameters()[i];
-  Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
-  const Tensor& grad = p.var.grad();
-  const float b1 = static_cast<float>(options_.beta1);
-  const float b2 = static_cast<float>(options_.beta2);
-  const float eps = static_cast<float>(options_.eps);
-  const float wd = static_cast<float>(options_.weight_decay);
-  float* w = value.Data();
-  const float* g = grad.Data();
-  float* m = m_[i].Data();
-  float* v = v_[i].Data();
-  for (int64_t j = 0; j < value.numel(); ++j) {
-    float gj = g[j] + wd * w[j];
-    m[j] = b1 * m[j] + (1.0f - b1) * gj;
-    v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
-    w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
-  }
-  // A dense pass may light up any row's moments; recompute lazily.
-  hot_[i].valid = false;
-}
-
-void Adam::SparseParamStep(size_t i, StepSparsity::Mode mode,
-                           const std::vector<int64_t>& explicit_rows,
-                           float lr_t) {
-  const Parameter& p = module_->parameters()[i];
-  Tensor& value = const_cast<Parameter&>(p).var.mutable_value();
-  const Tensor& grad = p.var.grad();
-  const int64_t cols = value.dim(1);
-  const float b1 = static_cast<float>(options_.beta1);
-  const float b2 = static_cast<float>(options_.beta2);
-  const float eps = static_cast<float>(options_.eps);
-  const float wd = static_cast<float>(options_.weight_decay);  // 0 here
-  HotRowState& hot = hot_[i];
-  if (!hot.valid) {
-    RebuildHotRows(&m_[i], &v_[i], value.dim(0), &hot);
-  }
-  // Dense Adam moves every row with nonzero moments at every step the
-  // parameter has a gradient (the moments decay and the decayed momentum
-  // keeps nudging the weights), so hot rows are updated alongside the
-  // touched rows — with their true (possibly all-zero) gradient row. The
-  // remaining rows have +0 moments and +0 gradients: their dense update
-  // is a bitwise no-op, so skipping them cannot be observed.
-  std::vector<int64_t> rows =
-      UnionRows(TouchedRows(mode, explicit_rows, grad), hot.rows);
-  hot.rows.clear();
-  for (int64_t r : rows) {
-    float* w = value.Data() + r * cols;
-    const float* g = grad.Data() + r * cols;
-    float* m = m_[i].Data() + r * cols;
-    float* v = v_[i].Data() + r * cols;
-    for (int64_t j = 0; j < cols; ++j) {
-      float gj = g[j] + wd * w[j];
+  // Phase 2: one fused lane-vectorized pass over every span. Per-element
+  // independent update; sqrt vectorizes because the build disables
+  // math errno.
+  using lanes::kLanes;
+  // Spans never overlap (each is a distinct parameter row range), but the
+  // vectorizer cannot see that through the span struct: __restrict locals
+  // are what let the four-pointer update loop vectorize.
+  for (const AdamSpan& sp : spans) {
+    float* __restrict w = sp.w;
+    const float* __restrict g = sp.g;
+    float* __restrict m = sp.m;
+    float* __restrict v = sp.v;
+    const int64_t blocked = sp.n - sp.n % kLanes;
+    for (int64_t j0 = 0; j0 < blocked; j0 += kLanes) {
+      for (int64_t l = 0; l < kLanes; ++l) {
+        const int64_t j = j0 + l;
+        const float gj = g[j] + wd * w[j];
+        m[j] = b1 * m[j] + (1.0f - b1) * gj;
+        v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
+        w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+      }
+    }
+    for (int64_t j = blocked; j < sp.n; ++j) {
+      const float gj = g[j] + wd * w[j];
       m[j] = b1 * m[j] + (1.0f - b1) * gj;
       v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
       w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
     }
-    if (!(RowBitsAllPositiveZero(m_[i], r) &&
-          RowBitsAllPositiveZero(v_[i], r))) {
-      hot.rows.push_back(r);
-    }
+  }
+
+  // Phase 3: re-derive hot rows for the sparse parameters.
+  for (const HotMaintenance& hm : maintenance) {
+    RetainHotRows(hm.rows, &m_[hm.param], &v_[hm.param], &hot_[hm.param]);
   }
 }
 

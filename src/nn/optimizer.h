@@ -12,6 +12,14 @@
 // path is bit-identical to running every step dense — see DESIGN.md §8 —
 // and, unlike a deferred-replay design, parameter values are always
 // current: a forward pass may read any row between steps.
+//
+// Both Step variants are *fused multi-tensor* passes: each step first
+// resolves every parameter (and in sparse mode every touched-or-hot row
+// run) into a list of contiguous element spans, then applies the update to
+// all spans in one lane-vectorized sweep (tensor/lanes.h loop shape).
+// Updates are per-element independent, so the fusion is bit-identical to
+// the historical per-parameter loops; checkpoint wire format and
+// StepSparsity semantics are unchanged.
 #ifndef DEKG_NN_OPTIMIZER_H_
 #define DEKG_NN_OPTIMIZER_H_
 
@@ -97,9 +105,6 @@ class Sgd : public Optimizer {
 
  private:
   void StepImpl(const StepSparsity* sparsity);
-  void SparseParamStep(size_t i, StepSparsity::Mode mode,
-                       const std::vector<int64_t>& explicit_rows);
-  void DenseParamStep(size_t i);
 
   Module* module_;
   Options options_;
@@ -125,10 +130,6 @@ class Adam : public Optimizer {
 
  private:
   void StepImpl(const StepSparsity* sparsity);
-  void SparseParamStep(size_t i, StepSparsity::Mode mode,
-                       const std::vector<int64_t>& explicit_rows,
-                       float lr_t);
-  void DenseParamStep(size_t i, float lr_t);
 
   Module* module_;
   Options options_;

@@ -5,15 +5,12 @@
 #include <sstream>
 
 #include "common/thread_pool.h"
+#include "tensor/lanes.h"
+#include "tensor/tuning.h"
 
 namespace dekg {
 
 namespace {
-
-// Below these sizes the fork/join overhead of ParallelFor outweighs the
-// arithmetic; small tensors always take the serial path.
-constexpr int64_t kParallelElementwiseMin = 1 << 15;  // elements
-constexpr int64_t kParallelMatMulMinFlops = 1 << 20;  // m * k * n
 
 // Runs fn(begin, end) over [0, n): serially when the range is small,
 // otherwise chunked across the default pool. fn must only write to
@@ -173,12 +170,11 @@ void Tensor::AddInPlace(const Tensor& other) {
       << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
   const float* src = other.Data();
   float* dst = Data();
-  for (int64_t i = 0; i < numel(); ++i) dst[i] += src[i];
+  lanes::LaneAddF32(dst, src, numel());
 }
 
 void Tensor::ScaleInPlace(float value) {
-  float* dst = Data();
-  for (int64_t i = 0; i < numel(); ++i) dst[i] *= value;
+  lanes::LaneScaleF32(Data(), value, numel());
 }
 
 std::string Tensor::DebugString(int64_t max_elements) const {
@@ -224,7 +220,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
       const float* pa = a.Data();
       const float* pb = b.Data();
       float* po = out.Data();
-      MaybeParallelRange(a.numel(), kParallelElementwiseMin,
+      MaybeParallelRange(a.numel(), tune::ParallelElementwiseMin(),
                          [&](int64_t lo, int64_t hi) {
                            for (int64_t i = lo; i < hi; ++i) {
                              po[i] = f(pa[i], pb[i]);
@@ -237,7 +233,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
       const float* pa = a.Data();
       const float sb = b.Data()[0];
       float* po = out.Data();
-      MaybeParallelRange(a.numel(), kParallelElementwiseMin,
+      MaybeParallelRange(a.numel(), tune::ParallelElementwiseMin(),
                          [&](int64_t lo, int64_t hi) {
                            for (int64_t i = lo; i < hi; ++i) {
                              po[i] = f(pa[i], sb);
@@ -250,7 +246,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
       const float sa = a.Data()[0];
       const float* pb = b.Data();
       float* po = out.Data();
-      MaybeParallelRange(b.numel(), kParallelElementwiseMin,
+      MaybeParallelRange(b.numel(), tune::ParallelElementwiseMin(),
                          [&](int64_t lo, int64_t hi) {
                            for (int64_t i = lo; i < hi; ++i) {
                              po[i] = f(sa, pb[i]);
@@ -266,7 +262,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
       const float* pb = b.Data();
       float* po = out.Data();
       MaybeParallelRange(
-          m, std::max<int64_t>(1, kParallelElementwiseMin / std::max<int64_t>(n, 1)),
+          m, std::max<int64_t>(1, tune::ParallelElementwiseMin() / std::max<int64_t>(n, 1)),
           [&](int64_t lo, int64_t hi) {
             for (int64_t i = lo; i < hi; ++i) {
               for (int64_t j = 0; j < n; ++j) {
@@ -286,7 +282,7 @@ Tensor ElementwiseUnary(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.Data();
   float* po = out.Data();
-  MaybeParallelRange(a.numel(), kParallelElementwiseMin,
+  MaybeParallelRange(a.numel(), tune::ParallelElementwiseMin(),
                      [&](int64_t lo, int64_t hi) {
                        for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
                      });
@@ -361,7 +357,68 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
       a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+namespace {
+
+// Register-blocked row kernel shared by MatMul and MatMulSkipZeroLhs:
+// computes out[i, col_begin:col_end) for rows [row_begin, row_end).
+// Column tiles of tune::kMatMulColTile floats are accumulated in
+// registers across the whole k loop (i-k-j order per tile, so b rows are
+// still streamed), then stored once — the historical kernel re-loaded and
+// re-stored the output row on every k iteration. Per-element accumulation
+// order over k is exactly the historical loop's, so this tiling never
+// changes a result bit; only the n == 1 dot path below is on the
+// fixed-lane reduction contract.
+template <bool kSkipZeroLhs>
+void MatMulRowsCols(const float* pa, const float* pb, float* po, int64_t k,
+                    int64_t n, int64_t row_begin, int64_t row_end,
+                    int64_t col_begin, int64_t col_end) {
+  if constexpr (kSkipZeroLhs) {
+    // Mostly-zero lhs: the zero test dominates the arithmetic, so keep the
+    // historical row-wise walk — one test per k, nothing touched for a
+    // zero — and lane-vectorize only the surviving axpy over the column
+    // range. Bitwise identical to the tiled path below: every out[i][j]
+    // accumulates the same terms in the same k-ascending order.
+    const int64_t width = col_end - col_begin;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = pa + i * k;
+      float* out_row = po + i * n + col_begin;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = a_row[kk];
+        if (aik == 0.0f) continue;
+        lanes::LaneAxpyF32(out_row, pb + kk * n + col_begin, aik, width);
+      }
+    }
+    return;
+  }
+  constexpr int64_t kTile = tune::kMatMulColTile;
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const float* a_row = pa + i * k;
+    float* out_row = po + i * n;
+    for (int64_t j0 = col_begin; j0 < col_end; j0 += kTile) {
+      const int64_t width = std::min<int64_t>(kTile, col_end - j0);
+      float acc[kTile] = {0.0f};
+      if (width == kTile) {
+        // Full tile: constant trip count, the shape the vectorizer maps
+        // straight onto vector registers.
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float aik = a_row[kk];
+          const float* b_row = pb + kk * n + j0;
+          for (int64_t jj = 0; jj < kTile; ++jj) acc[jj] += aik * b_row[jj];
+        }
+      } else {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float aik = a_row[kk];
+          const float* b_row = pb + kk * n + j0;
+          for (int64_t jj = 0; jj < width; ++jj) acc[jj] += aik * b_row[jj];
+        }
+      }
+      for (int64_t jj = 0; jj < width; ++jj) out_row[j0 + jj] = acc[jj];
+    }
+  }
+}
+
+template <bool kSkipZeroLhs>
+Tensor MatMulImpl(const Tensor& a, const Tensor& b) {
   DEKG_CHECK_EQ(a.rank(), 2u);
   DEKG_CHECK_EQ(b.rank(), 2u);
   const int64_t m = a.dim(0);
@@ -373,27 +430,56 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.Data();
   const float* pb = b.Data();
   float* po = out.Data();
-  // i-k-j loop order: streams through b rows, cache-friendly for row-major.
-  // Dense inner loop — no zero test, the branch mispredicts on dense
-  // inputs (use MatMulSkipZeroLhs for genuinely sparse left operands).
-  // Output rows are disjoint, so row blocks parallelize without changing
-  // any result bit.
-  auto compute_rows = [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      float* out_row = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = pa[i * k + kk];
-        const float* b_row = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+  if (n == 1) {
+    // Dot-product column ([m, k] x [k, 1]): the contiguous b column makes
+    // each output element one LaneDotF32 under the fixed-lane reduction
+    // contract. The zero-skip variant routes here too — with one
+    // multiply-add per k the skip test costs more than it saves, and the
+    // dense dot keeps the kernel pair bit-identical by construction.
+    auto dot_rows = [&](int64_t row_begin, int64_t row_end) {
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        po[i] = lanes::LaneDotF32(pa + i * k, pb, k);
       }
+    };
+    if (m * k >= tune::ParallelMatMulMinFlops() && m > 1) {
+      ParallelFor(0, m, /*grain=*/0, dot_rows);
+    } else {
+      dot_rows(0, m);
     }
-  };
-  if (m * k * n >= kParallelMatMulMinFlops && m > 1) {
-    ParallelFor(0, m, /*grain=*/0, compute_rows);
+    return out;
+  }
+  // Output elements are computed exactly once each, so both row blocks
+  // and column tiles parallelize without changing any result bit.
+  if (m * k * n >= tune::ParallelMatMulMinFlops()) {
+    if (m > 1) {
+      ParallelFor(0, m, /*grain=*/0,
+                  [&](int64_t row_begin, int64_t row_end) {
+                    MatMulRowsCols<kSkipZeroLhs>(pa, pb, po, k, n, row_begin,
+                                                 row_end, 0, n);
+                  });
+    } else {
+      // Single-row product ([1, k] x [k, n], the per-triple scoring
+      // shape): rows cannot be split, so split the output columns into
+      // disjoint tile-aligned ranges instead.
+      constexpr int64_t kTile = tune::kMatMulColTile;
+      const int64_t tiles = (n + kTile - 1) / kTile;
+      ParallelFor(0, tiles, /*grain=*/0,
+                  [&](int64_t tile_begin, int64_t tile_end) {
+                    MatMulRowsCols<kSkipZeroLhs>(
+                        pa, pb, po, k, n, 0, 1, tile_begin * kTile,
+                        std::min<int64_t>(tile_end * kTile, n));
+                  });
+    }
   } else {
-    compute_rows(0, m);
+    MatMulRowsCols<kSkipZeroLhs>(pa, pb, po, k, n, 0, m, 0, n);
   }
   return out;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  return MatMulImpl</*kSkipZeroLhs=*/false>(a, b);
 }
 
 float SampledZeroFraction(const Tensor& t) {
@@ -416,42 +502,16 @@ float SampledZeroFraction(const Tensor& t) {
 }
 
 Tensor MatMulSkipZeroLhs(const Tensor& a, const Tensor& b) {
-  DEKG_CHECK_EQ(a.rank(), 2u);
-  DEKG_CHECK_EQ(b.rank(), 2u);
-  const int64_t m = a.dim(0);
-  const int64_t k = a.dim(1);
-  DEKG_CHECK_EQ(k, b.dim(0)) << "MatMul inner dims: " << ShapeToString(a.shape())
-                             << " x " << ShapeToString(b.shape());
   // Density probe: on a mostly-dense lhs the per-element zero test costs
   // more (branch mispredictions) than the skipped work saves, so fall back
   // to the dense kernel. The two kernels are bit-identical — skipping a
-  // zero aik merely avoids adding +0 to a +0-initialized accumulator — so
-  // this dispatch can never change a result.
-  if (SampledZeroFraction(a) < kSkipZeroLhsMinZeroFraction) {
+  // zero aik merely avoids adding +0 to a +0-initialized register
+  // accumulator — so this dispatch can never change a result. (The n == 1
+  // dot path inside MatMulImpl never zero-skips for the same reason.)
+  if (SampledZeroFraction(a) < tune::SkipZeroLhsMinZeroFraction()) {
     return MatMul(a, b);
   }
-  const int64_t n = b.dim(1);
-  Tensor out(Shape{m, n});
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.Data();
-  auto compute_rows = [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      float* out_row = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = pa[i * k + kk];
-        if (aik == 0.0f) continue;  // pays off only on mostly-zero rows
-        const float* b_row = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
-      }
-    }
-  };
-  if (m * k * n >= kParallelMatMulMinFlops && m > 1) {
-    ParallelFor(0, m, /*grain=*/0, compute_rows);
-  } else {
-    compute_rows(0, m);
-  }
-  return out;
+  return MatMulImpl</*kSkipZeroLhs=*/true>(a, b);
 }
 
 Tensor Transpose(const Tensor& a) {
@@ -494,10 +554,11 @@ Tensor SumRows(const Tensor& a) {
   const int64_t n = a.dim(1);
   Tensor out(Shape{m});
   const float* pa = a.Data();
+  float* po = out.Data();
+  // Per-row fixed-lane sum (double accumulators) under the lanes.h
+  // reduction contract.
   for (int64_t i = 0; i < m; ++i) {
-    double s = 0.0;
-    for (int64_t j = 0; j < n; ++j) s += pa[i * n + j];
-    out.Data()[i] = static_cast<float>(s);
+    po[i] = static_cast<float>(lanes::LaneSumF64(pa + i * n, n));
   }
   return out;
 }
@@ -516,8 +577,10 @@ Tensor SumCols(const Tensor& a) {
   Tensor out(Shape{n});
   const float* pa = a.Data();
   float* po = out.Data();
+  // Row-ascending accumulation per column, exactly as before — the lane
+  // loop only regroups independent columns, so no bit changes.
   for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
+    lanes::LaneAddF32(po, pa + i * n, n);
   }
   return out;
 }
@@ -539,17 +602,20 @@ Tensor SegmentReduceRowsImpl(const Tensor& a,
   Tensor out(Shape{num_segments, cols});
   const float* pa = a.Data();
   float* po = out.Data();
+  // Row-ascending accumulation per column is preserved — the lane loops
+  // only regroup independent columns, so segment reductions stay
+  // bit-identical to the pre-SIMD kernel.
   for (int64_t g = 0; g < num_segments; ++g) {
     float* out_row = po + g * cols;
     for (int64_t i = offsets[static_cast<size_t>(g)];
          i < offsets[static_cast<size_t>(g) + 1]; ++i) {
-      for (int64_t j = 0; j < cols; ++j) out_row[j] += pa[i * cols + j];
+      lanes::LaneAddF32(out_row, pa + i * cols, cols);
     }
     if (scale_by_len) {
       const float inv =
           1.0f / static_cast<float>(offsets[static_cast<size_t>(g) + 1] -
                                     offsets[static_cast<size_t>(g)]);
-      for (int64_t j = 0; j < cols; ++j) out_row[j] *= inv;
+      lanes::LaneScaleF32(out_row, inv, cols);
     }
   }
   return out;
@@ -594,12 +660,11 @@ Tensor RowNorms(const Tensor& a) {
   const int64_t n = a.dim(1);
   Tensor out(Shape{m});
   const float* pa = a.Data();
+  float* po = out.Data();
+  // Per-row fixed-lane sum of squares (double accumulators) under the
+  // lanes.h reduction contract.
   for (int64_t i = 0; i < m; ++i) {
-    double s = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      s += static_cast<double>(pa[i * n + j]) * pa[i * n + j];
-    }
-    out.Data()[i] = static_cast<float>(std::sqrt(s));
+    po[i] = static_cast<float>(std::sqrt(lanes::LaneSumSquaresF64(pa + i * n, n)));
   }
   return out;
 }
@@ -740,11 +805,8 @@ Tensor Conv2d(const Tensor& input, const Tensor& kernel) {
 
 float Dot(const Tensor& a, const Tensor& b) {
   DEKG_CHECK(a.SameShape(b));
-  double acc = 0.0;
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  for (int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(pa[i]) * pb[i];
-  return static_cast<float>(acc);
+  // Fixed-lane dot (double accumulators) under the lanes.h contract.
+  return static_cast<float>(lanes::LaneDotF64(a.Data(), b.Data(), a.numel()));
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float atol) {

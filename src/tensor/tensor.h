@@ -118,9 +118,14 @@ Tensor Abs(const Tensor& a);
 Tensor Clamp(const Tensor& a, float lo, float hi);
 
 // ----- Matrix ops -----
-// [m, k] x [k, n] -> [m, n]. Dense kernel: no per-element zero test; rows
-// split across the thread pool above a size threshold (deterministic —
-// each output row is produced by exactly one serial inner loop).
+// [m, k] x [k, n] -> [m, n]. Register-blocked dense kernel: each output
+// row is produced tune::kMatMulColTile columns at a time with the running
+// sums held in registers across the whole k loop (per-element k-ascending
+// accumulation, unchanged from the historical kernel). Above a flop
+// threshold the work splits deterministically across the thread pool —
+// rows for m > 1, disjoint column tiles for single-row products. The
+// n == 1 (dot-product column) shape instead follows the fixed-lane
+// reduction contract of lanes.h / DESIGN.md §12.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 // Estimated fraction of zero elements in `t`, from a strided sample of at
 // most 256 elements (every element for small tensors). Cheap enough to run
@@ -128,12 +133,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 float SampledZeroFraction(const Tensor& t);
 // MatMul variant for mostly-zero left operands (e.g. one-hot node-label
 // features): a cheap density probe on `a` picks the zero-skipping inner
-// loop when the sampled zero fraction clears kSkipZeroLhsMinZeroFraction,
-// and the plain dense loop otherwise — so a dense `a` routed here no
+// loop when the sampled zero fraction clears
+// tune::SkipZeroLhsMinZeroFraction() (env-tunable, see tensor/tuning.h),
+// and the plain dense kernel otherwise — so a dense `a` routed here no
 // longer pays for mispredicted per-element branches. Both loops produce
-// bit-identical results (skipping a zero term leaves the +0 accumulator
-// unchanged), making the dispatch purely a performance decision.
-inline constexpr float kSkipZeroLhsMinZeroFraction = 0.5f;
+// bit-identical results (skipping a zero term leaves the +0 register
+// accumulator unchanged), making the dispatch purely a performance
+// decision.
 Tensor MatMulSkipZeroLhs(const Tensor& a, const Tensor& b);
 // 2-D transpose.
 Tensor Transpose(const Tensor& a);
@@ -142,7 +148,8 @@ Tensor Transpose(const Tensor& a);
 float SumAll(const Tensor& a);
 float MeanAll(const Tensor& a);
 float MaxAll(const Tensor& a);
-// Row-wise over a [m, n] matrix -> [m].
+// Row-wise over a [m, n] matrix -> [m]. Fixed-lane reduction order
+// (lanes.h contract), double accumulators.
 Tensor SumRows(const Tensor& a);
 Tensor MeanRows(const Tensor& a);
 // Column-wise over a [m, n] matrix -> [n].
@@ -151,14 +158,16 @@ Tensor SumCols(const Tensor& a);
 // `offsets` has K+1 ascending entries with offsets[0] == 0 and
 // offsets[K] == m; segment g covers rows [offsets[g], offsets[g+1]) and
 // must be non-empty. Accumulation is rows-ascending with a float
-// accumulator, and the mean applies one multiply by 1/len per element, so
-// segment g's row is bit-identical to SumCols / MeanOverRows applied to
-// that row block alone.
+// accumulator (vectorized across independent columns, which never
+// reorders a sum), and the mean applies one multiply by 1/len per
+// element, so segment g's row is bit-identical to SumCols / MeanOverRows
+// applied to that row block alone.
 Tensor SegmentSumRows(const Tensor& a, const std::vector<int64_t>& offsets);
 Tensor SegmentMeanRows(const Tensor& a, const std::vector<int64_t>& offsets);
 // Numerically stable row-wise softmax on [m, n].
 Tensor SoftmaxRows(const Tensor& a);
-// L2 norm of each row of [m, n] -> [m].
+// L2 norm of each row of [m, n] -> [m]. Fixed-lane reduction order
+// (lanes.h contract), double accumulators.
 Tensor RowNorms(const Tensor& a);
 
 // ----- Gather / scatter -----
@@ -181,7 +190,8 @@ Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end);
 // Valid (no padding), stride 1. Output [batch, out_ch, h-kh+1, w-kw+1].
 Tensor Conv2d(const Tensor& input, const Tensor& kernel);
 
-// Dot product of two same-shape tensors.
+// Dot product of two same-shape tensors. Fixed-lane reduction order
+// (lanes.h contract), double accumulators.
 float Dot(const Tensor& a, const Tensor& b);
 
 // Approximate equality for tests.

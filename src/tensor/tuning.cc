@@ -1,0 +1,61 @@
+#include "tensor/tuning.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace dekg::tune {
+
+namespace {
+
+// Parses a positive integer env override; returns fallback on absence or
+// malformed input. Each call site caches the result in a function-local
+// static, so the env is consulted exactly once per knob per process.
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || v <= 0) {
+    DEKG_WARN() << name << "=\"" << raw << "\" is not a positive integer; "
+                << "using default " << fallback;
+    return fallback;
+  }
+  return static_cast<int64_t>(v);
+}
+
+float EnvFloat(const char* name, float fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const float v = std::strtof(raw, &end);
+  if (end == raw || *end != '\0' || !(v >= 0.0f) || v > 1.0f) {
+    DEKG_WARN() << name << "=\"" << raw << "\" is not a fraction in [0, 1]; "
+                << "using default " << fallback;
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace
+
+int64_t ParallelElementwiseMin() {
+  static const int64_t v = EnvInt64("DEKG_TUNE_PARALLEL_ELEMENTWISE_MIN",
+                                    kDefaultParallelElementwiseMin);
+  return v;
+}
+
+int64_t ParallelMatMulMinFlops() {
+  static const int64_t v = EnvInt64("DEKG_TUNE_PARALLEL_MATMUL_MIN_FLOPS",
+                                    kDefaultParallelMatMulMinFlops);
+  return v;
+}
+
+float SkipZeroLhsMinZeroFraction() {
+  static const float v = EnvFloat("DEKG_TUNE_SKIP_ZERO_MIN_FRACTION",
+                                  kDefaultSkipZeroLhsMinZeroFraction);
+  return v;
+}
+
+}  // namespace dekg::tune

@@ -1,5 +1,7 @@
 #include "tensor/tensor.h"
 
+#include "tensor/tuning.h"
+
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -111,7 +113,7 @@ TEST(TensorTest, MatMulSkipZeroLhsMatchesDenseOnBothBranches) {
 
   // Dense LHS: the density probe routes to the plain dense kernel.
   Tensor dense_lhs = Tensor::Uniform({8, 16}, -1.0f, 1.0f, &rng);
-  ASSERT_LT(SampledZeroFraction(dense_lhs), kSkipZeroLhsMinZeroFraction);
+  ASSERT_LT(SampledZeroFraction(dense_lhs), tune::SkipZeroLhsMinZeroFraction());
   Tensor expect = MatMul(dense_lhs, b);
   Tensor got = MatMulSkipZeroLhs(dense_lhs, b);
   for (int64_t i = 0; i < expect.numel(); ++i) {
@@ -122,7 +124,7 @@ TEST(TensorTest, MatMulSkipZeroLhsMatchesDenseOnBothBranches) {
   // must be bitwise identical to accumulating them (adding +0 is a no-op).
   Tensor sparse_lhs = Tensor::Zeros({8, 16});
   for (int64_t r = 0; r < 8; ++r) sparse_lhs.At(r, (r * 3) % 16) = 1.5f;
-  ASSERT_GE(SampledZeroFraction(sparse_lhs), kSkipZeroLhsMinZeroFraction);
+  ASSERT_GE(SampledZeroFraction(sparse_lhs), tune::SkipZeroLhsMinZeroFraction());
   expect = MatMul(sparse_lhs, b);
   got = MatMulSkipZeroLhs(sparse_lhs, b);
   for (int64_t i = 0; i < expect.numel(); ++i) {
