@@ -15,7 +15,8 @@ set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j --target bench_train bench_gsm_batch bench_simd
+cmake --build build-release -j --target bench_train bench_gsm_batch bench_simd \
+  bench_churn
 
 # Small dataset, explicit thread count: the point is the bitwise
 # serial-vs-parallel comparison, not throughput.
@@ -38,4 +39,13 @@ DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
 DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
 DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
   ./bench_simd
-echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json in build-release/bench/)."
+
+# DEKG-churn serving sweep: patch-mode and invalidate-mode engines step
+# identical ingest+score schedules; every score round is gated on bitwise
+# identity between the two and against the static-graph oracle. Latency
+# percentiles and hit/patch/fallback rates are reported, not gated.
+DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
+DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
+DEKG_BENCH_CHURN_ROUNDS="${DEKG_BENCH_CHURN_ROUNDS:-48}" \
+  ./bench_churn
+echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json, BENCH_churn.json in build-release/bench/)."

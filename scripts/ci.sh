@@ -9,8 +9,10 @@
 #                                     before and after live ingestion)
 #   4. bench smoke                   (Release build; training determinism
 #                                     and cache contracts, via bench_train,
-#                                     plus the SIMD kernel bitwise gates
-#                                     via bench_simd)
+#                                     the SIMD kernel bitwise gates via
+#                                     bench_simd, and the churn-maintenance
+#                                     patch-vs-invalidate bitwise gates via
+#                                     bench_churn)
 #   5. sanitizer sweeps              (TSan + ASan/UBSan on the parallel,
 #                                     checkpoint, and serving subsystems,
 #                                     plus the O0-vs-O3 kernel fingerprint

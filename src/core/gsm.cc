@@ -96,12 +96,8 @@ Subgraph Gsm::Extract(const KnowledgeGraph& graph, const Triple& triple) const {
 
 Subgraph Gsm::Extract(const KnowledgeGraph& graph, const Triple& triple,
                       SubgraphWorkspace* workspace) const {
-  SubgraphConfig sc;
-  sc.num_hops = config_.num_hops;
-  sc.labeling = config_.labeling;
-  sc.max_nodes = config_.max_subgraph_nodes;
-  return ExtractSubgraph(graph, triple.head, triple.tail, triple.rel, sc,
-                         workspace);
+  return ExtractSubgraph(graph, triple.head, triple.tail, triple.rel,
+                         subgraph_config(), workspace);
 }
 
 gnn::RgcnOutput Gsm::Encode(const Subgraph& subgraph, RelationId rel,

@@ -66,6 +66,17 @@ class Gsm : public nn::Module {
 
   const GsmConfig& config() const { return config_; }
 
+  // The extraction parameters Extract() runs with, as a SubgraphConfig.
+  // The serve layer's ingest-patch path uses the same values so a patched
+  // rebuild is bit-identical to what Extract would produce.
+  SubgraphConfig subgraph_config() const {
+    SubgraphConfig sc;
+    sc.num_hops = config_.num_hops;
+    sc.labeling = config_.labeling;
+    sc.max_nodes = config_.max_subgraph_nodes;
+    return sc;
+  }
+
   // Extracts the labeled subgraph for (head, rel, tail) from `graph`.
   Subgraph Extract(const KnowledgeGraph& graph, const Triple& triple) const;
 

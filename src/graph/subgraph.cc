@@ -46,51 +46,51 @@ std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
   return dist;
 }
 
-Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
-                         EntityId tail, RelationId target_rel,
-                         const SubgraphConfig& config,
-                         SubgraphWorkspace* workspace) {
-  DEKG_CHECK(g.built());
-  DEKG_CHECK_GE(config.num_hops, 1);
-  BfsDistances(g, head, tail, config.num_hops, &workspace->dist_head,
-               &workspace->frontier);
-  BfsDistances(g, tail, head, config.num_hops, &workspace->dist_tail,
-               &workspace->frontier);
-  const std::vector<int32_t>& dist_head = workspace->dist_head;
-  const std::vector<int32_t>& dist_tail = workspace->dist_tail;
+namespace {
 
+struct Candidate {
+  EntityId entity;
+  int32_t dh;
+  int32_t dt;
+  int32_t order_key;
+};
+
+// Appends u as a candidate node when the labeling policy keeps it. Shared
+// by the dense post-BFS scan and the sparse label rebuild so the two paths
+// cannot drift.
+void AppendCandidate(EntityId u, int32_t dh, int32_t dt,
+                     const SubgraphConfig& config,
+                     std::vector<Candidate>* candidates) {
+  const bool in_head_hood = dh >= 0;
+  const bool in_tail_hood = dt >= 0;
+  if (!in_head_hood && !in_tail_hood) return;
+  if (config.labeling == NodeLabeling::kGrail &&
+      (!in_head_hood || !in_tail_hood)) {
+    // GraIL prunes nodes outside the intersection of the two
+    // neighborhoods.
+    return;
+  }
+  // Sort key: nodes closest to either endpoint are kept preferentially
+  // under the max_nodes cap.
+  int32_t near = INT32_MAX;
+  if (in_head_hood) near = std::min(near, dh);
+  if (in_tail_hood) near = std::min(near, dt);
+  candidates->push_back(Candidate{u, dh, dt, near});
+}
+
+// Node ordering, the max_nodes cap, and induced-edge enumeration, given
+// candidates in ascending-entity order with exact blocked-BFS labels.
+// Both ExtractSubgraph and BuildSubgraphFromLabels end here, which is what
+// makes a rebuild from patched labels bit-identical to a fresh extraction.
+Subgraph AssembleSubgraph(const KnowledgeGraph& g, EntityId head,
+                          EntityId tail, RelationId target_rel,
+                          const SubgraphConfig& config,
+                          std::vector<Candidate> candidates) {
   Subgraph sub;
   // Node 0 = head with label (0, 1); node 1 = tail with label (1, 0).
   sub.nodes.push_back(SubgraphNode{head, 0, 1});
   sub.nodes.push_back(SubgraphNode{tail, 1, 0});
 
-  struct Candidate {
-    EntityId entity;
-    int32_t dh;
-    int32_t dt;
-    int32_t order_key;
-  };
-  std::vector<Candidate> candidates;
-  for (EntityId u = 0; u < g.num_entities(); ++u) {
-    if (u == head || u == tail) continue;
-    const int32_t dh = dist_head[static_cast<size_t>(u)];
-    const int32_t dt = dist_tail[static_cast<size_t>(u)];
-    const bool in_head_hood = dh >= 0;
-    const bool in_tail_hood = dt >= 0;
-    if (!in_head_hood && !in_tail_hood) continue;
-    if (config.labeling == NodeLabeling::kGrail &&
-        (!in_head_hood || !in_tail_hood)) {
-      // GraIL prunes nodes outside the intersection of the two
-      // neighborhoods.
-      continue;
-    }
-    // Sort key: nodes closest to either endpoint are kept preferentially
-    // under the max_nodes cap.
-    int32_t near = INT32_MAX;
-    if (in_head_hood) near = std::min(near, dh);
-    if (in_tail_hood) near = std::min(near, dt);
-    candidates.push_back(Candidate{u, dh, dt, near});
-  }
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const Candidate& a, const Candidate& b) {
                      return a.order_key < b.order_key;
@@ -134,6 +134,52 @@ Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
   return sub;
 }
 
+}  // namespace
+
+Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
+                         EntityId tail, RelationId target_rel,
+                         const SubgraphConfig& config,
+                         SubgraphWorkspace* workspace) {
+  DEKG_CHECK(g.built());
+  DEKG_CHECK_GE(config.num_hops, 1);
+  BfsDistances(g, head, tail, config.num_hops, &workspace->dist_head,
+               &workspace->frontier);
+  BfsDistances(g, tail, head, config.num_hops, &workspace->dist_tail,
+               &workspace->frontier);
+  const std::vector<int32_t>& dist_head = workspace->dist_head;
+  const std::vector<int32_t>& dist_tail = workspace->dist_tail;
+
+  std::vector<Candidate> candidates;
+  for (EntityId u = 0; u < g.num_entities(); ++u) {
+    if (u == head || u == tail) continue;
+    AppendCandidate(u, dist_head[static_cast<size_t>(u)],
+                    dist_tail[static_cast<size_t>(u)], config, &candidates);
+  }
+  return AssembleSubgraph(g, head, tail, target_rel, config,
+                          std::move(candidates));
+}
+
+Subgraph BuildSubgraphFromLabels(const KnowledgeGraph& g, EntityId head,
+                                 EntityId tail, RelationId target_rel,
+                                 const SubgraphConfig& config,
+                                 const TouchedLabels& labels) {
+  DEKG_CHECK(g.built());
+  DEKG_CHECK_EQ(labels.entities.size(), labels.dist_head.size());
+  DEKG_CHECK_EQ(labels.entities.size(), labels.dist_tail.size());
+  // labels.entities is ascending, so candidate order matches the dense
+  // entity scan of ExtractSubgraph exactly.
+  std::vector<Candidate> candidates;
+  candidates.reserve(labels.entities.size());
+  for (size_t i = 0; i < labels.entities.size(); ++i) {
+    const EntityId u = labels.entities[i];
+    if (u == head || u == tail) continue;
+    AppendCandidate(u, labels.dist_head[i], labels.dist_tail[i], config,
+                    &candidates);
+  }
+  return AssembleSubgraph(g, head, tail, target_rel, config,
+                          std::move(candidates));
+}
+
 Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
                          EntityId tail, RelationId target_rel,
                          const SubgraphConfig& config) {
@@ -152,6 +198,78 @@ std::vector<EntityId> TouchedEntities(const SubgraphWorkspace& workspace) {
   return touched;
 }
 
+TouchedLabels TouchedEntityLabels(const SubgraphWorkspace& workspace) {
+  DEKG_CHECK_EQ(workspace.dist_head.size(), workspace.dist_tail.size());
+  TouchedLabels out;
+  for (size_t u = 0; u < workspace.dist_head.size(); ++u) {
+    const int32_t dh = workspace.dist_head[u];
+    const int32_t dt = workspace.dist_tail[u];
+    if (dh < 0 && dt < 0) continue;
+    out.entities.push_back(static_cast<EntityId>(u));
+    out.dist_head.push_back(dh);
+    out.dist_tail.push_back(dt);
+  }
+  return out;
+}
+
+bool RelaxDistancesAfterEdgeInsert(const KnowledgeGraph& g, EntityId source,
+                                   EntityId blocked, int32_t max_depth,
+                                   const std::vector<Triple>& new_edges,
+                                   const std::vector<EntityId>& entities,
+                                   std::vector<int32_t>* dist, bool* changed) {
+  DEKG_CHECK_EQ(entities.size(), dist->size());
+  DEKG_CHECK_GE(max_depth, 1);
+  const auto local = [&entities](EntityId e) -> int64_t {
+    const auto it = std::lower_bound(entities.begin(), entities.end(), e);
+    if (it == entities.end() || *it != e) return -1;
+    return it - entities.begin();
+  };
+  // Worklist of nodes whose outgoing relaxations may shorten a neighbor:
+  // the new edges' endpoints that already carry a finite field distance
+  // below the radius. Nodes improved during propagation re-enter the list,
+  // so improvement chains through several new edges of one batch converge
+  // to the exact fixpoint (distances only decrease; each node re-enters at
+  // most max_depth times).
+  std::vector<EntityId> queue;
+  for (const Triple& t : new_edges) {
+    for (const EntityId e : {t.head, t.tail}) {
+      if (e == blocked) continue;
+      const int64_t li = local(e);
+      if (li < 0) continue;  // outside the ball: cannot seed this field
+      const int32_t d = (*dist)[static_cast<size_t>(li)];
+      if (d >= 0 && d < max_depth) queue.push_back(e);
+    }
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const EntityId u = queue[qi];
+    const int64_t lu = local(u);
+    const int32_t du = (*dist)[static_cast<size_t>(lu)];
+    if (du < 0 || du >= max_depth) continue;
+    const int32_t nd = du + 1;
+    for (int32_t eid : g.IncidentEdges(u)) {
+      const Edge& e = g.edge(eid);
+      const EntityId v = e.src == u ? e.dst : e.src;
+      if (v == blocked) continue;
+      const int64_t lv = local(v);
+      if (lv < 0) {
+        // v was outside both t-hop balls and now sits at distance
+        // nd <= max_depth: subgraph membership changes. This is exact —
+        // old edges of u were fully explored by the original BFS (du was
+        // already < max_depth there, or u's distance just dropped below
+        // it), so every out-of-set neighbor reached here really does
+        // enter the ball.
+        return false;
+      }
+      const int32_t dv = (*dist)[static_cast<size_t>(lv)];
+      if (dv >= 0 && dv <= nd) continue;
+      (*dist)[static_cast<size_t>(lv)] = nd;
+      *changed = true;
+      if (nd < max_depth) queue.push_back(v);
+    }
+  }
+  return true;
+}
+
 SubgraphCache::SubgraphCache(int64_t capacity) : capacity_(capacity) {
   DEKG_CHECK_GE(capacity, 0);
 }
@@ -168,46 +286,62 @@ const Subgraph* SubgraphCache::Lookup(const Triple& triple) {
     return nullptr;
   }
   ++stats_.hits;
-  return it->second.get();
+  return it->second.subgraph.get();
 }
 
 const Subgraph* SubgraphCache::Find(const Triple& triple) const {
   auto it = map_.find(triple);
-  return it == map_.end() ? nullptr : it->second.get();
+  return it == map_.end() ? nullptr : it->second.subgraph.get();
 }
 
 const Subgraph* SubgraphCache::Insert(const Triple& triple,
                                       Subgraph subgraph) {
   auto it = map_.find(triple);
-  if (it != map_.end()) return it->second.get();
+  if (it != map_.end()) return it->second.subgraph.get();
   while (capacity_ > 0 &&
          static_cast<int64_t>(map_.size()) >= capacity_) {
     // FIFO: retire the oldest resident insertion. Keys enter the queue
     // exactly when they enter the map, but Erase() removes only the map
-    // entry — queue occurrences it leaves behind are skipped here.
+    // entry. A stale queue slot — its key erased, or erased and later
+    // re-inserted under a newer sequence number — is skipped, so a
+    // re-inserted key ages from its re-insertion, never from the old slot.
     DEKG_CHECK(!fifo_.empty());
-    const Triple victim = fifo_.front();
+    const QueueSlot victim = fifo_.front();
     fifo_.pop_front();
-    auto vit = map_.find(victim);
-    if (vit == map_.end()) continue;  // erased earlier; stale queue entry
-    stats_.bytes -= PayloadBytes(*vit->second);
+    auto vit = map_.find(victim.triple);
+    if (vit == map_.end() || vit->second.seq != victim.seq) continue;
+    stats_.bytes -= PayloadBytes(*vit->second.subgraph);
     map_.erase(vit);
     ++stats_.evictions;
     --stats_.entries;
   }
-  auto owned = std::make_unique<Subgraph>(std::move(subgraph));
-  const Subgraph* stored = owned.get();
+  Entry entry;
+  entry.subgraph = std::make_unique<Subgraph>(std::move(subgraph));
+  entry.seq = next_seq_++;
+  const Subgraph* stored = entry.subgraph.get();
   stats_.bytes += PayloadBytes(*stored);
   ++stats_.entries;
-  map_.emplace(triple, std::move(owned));
-  fifo_.push_back(triple);
+  fifo_.push_back(QueueSlot{triple, entry.seq});
+  map_.emplace(triple, std::move(entry));
   return stored;
+}
+
+const Subgraph* SubgraphCache::Replace(const Triple& triple,
+                                       Subgraph subgraph) {
+  auto it = map_.find(triple);
+  if (it == map_.end()) return nullptr;
+  stats_.bytes -= PayloadBytes(*it->second.subgraph);
+  // Move-assign behind the stable pointer: FIFO age and entry address are
+  // both preserved.
+  *it->second.subgraph = std::move(subgraph);
+  stats_.bytes += PayloadBytes(*it->second.subgraph);
+  return it->second.subgraph.get();
 }
 
 bool SubgraphCache::Erase(const Triple& triple) {
   auto it = map_.find(triple);
   if (it == map_.end()) return false;
-  stats_.bytes -= PayloadBytes(*it->second);
+  stats_.bytes -= PayloadBytes(*it->second.subgraph);
   map_.erase(it);
   --stats_.entries;
   return true;

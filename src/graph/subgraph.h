@@ -114,6 +114,59 @@ Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
 // invalidation indexes cached subgraphs by this set.
 std::vector<EntityId> TouchedEntities(const SubgraphWorkspace& workspace);
 
+// Sparse restriction of the two blocked-BFS distance fields to the touched
+// set: entities[i] ascending, dist_head[i]/dist_tail[i] its labels (-1 =
+// outside that field's t-hop ball). This is everything an extraction
+// depends on besides the graph itself, and it is small — O(touched set),
+// not O(num_entities) — so the serve layer keeps one per cached subgraph
+// to support in-place patching under ingest.
+struct TouchedLabels {
+  std::vector<EntityId> entities;
+  std::vector<int32_t> dist_head;
+  std::vector<int32_t> dist_tail;
+};
+
+// TouchedEntities plus the distance labels, from the same workspace fields.
+TouchedLabels TouchedEntityLabels(const SubgraphWorkspace& workspace);
+
+// In-place decrease-only re-relaxation of one blocked-BFS distance field
+// after new edges were appended to `g` (which must already contain them).
+// `entities` is the ascending touched set of the original extraction and
+// *dist the field being patched (aligned with `entities`). New edges can
+// only shorten distances, so the fixpoint is reached by label-correcting
+// relaxation seeded from the new edges' endpoints; propagation walks
+// g.IncidentEdges, so improvements that chain through several new edges
+// of one batch are found.
+//
+// Returns false when some entity OUTSIDE `entities` would acquire a
+// distance <= max_depth — i.e. a new node enters the t-hop ball, changing
+// subgraph membership — in which case *dist is unspecified and the caller
+// must fall back to full re-extraction. The detection is exact: relaxation
+// only reaches an outside entity through an in-set node u with new
+// distance < max_depth, and every such attempted improvement corresponds
+// to a real path, so `false` fires iff membership really changed for this
+// field. On true, *dist holds exactly the fresh blocked-BFS field
+// restricted to `entities`, and *changed is set when any value moved.
+bool RelaxDistancesAfterEdgeInsert(const KnowledgeGraph& g, EntityId source,
+                                   EntityId blocked, int32_t max_depth,
+                                   const std::vector<Triple>& new_edges,
+                                   const std::vector<EntityId>& entities,
+                                   std::vector<int32_t>* dist, bool* changed);
+
+// Rebuilds the labeled subgraph for (head, ?, tail) from sparse labels
+// instead of running the two blocked BFS passes. `labels` must equal the
+// fresh fields restricted to the fresh touched set (the invariant
+// RelaxDistancesAfterEdgeInsert maintains when it returns true). The
+// result is bit-identical to ExtractSubgraph by construction: candidate
+// generation walks labels.entities in the same ascending-entity order the
+// dense scan uses, and node ordering, the max_nodes cap, and induced-edge
+// enumeration run through the exact same assembly code. Cost is
+// O(|touched| log |touched| + induced edges) — no O(num_entities) work.
+Subgraph BuildSubgraphFromLabels(const KnowledgeGraph& g, EntityId head,
+                                 EntityId tail, RelationId target_rel,
+                                 const SubgraphConfig& config,
+                                 const TouchedLabels& labels);
+
 // Epoch-persistent cache of extracted subgraphs, keyed by the target
 // triple. Extraction is deterministic over an immutable graph, so a cached
 // subgraph is exactly what a fresh extraction would produce — serving from
@@ -123,7 +176,11 @@ std::vector<EntityId> TouchedEntities(const SubgraphWorkspace& workspace);
 //
 // Eviction is FIFO over insertion order, which is deterministic because
 // insertion order is deterministic and each key is inserted at most once
-// while resident. Entry pointers are stable until that entry is evicted.
+// while resident. Entry pointers are stable until that entry is evicted
+// (Replace() swaps the payload behind the same pointer). Queue entries
+// carry the insertion sequence number, so a key erased and later
+// re-inserted cannot retire early through its old queue occurrence — the
+// stale occurrence no longer matches the resident sequence and is skipped.
 class SubgraphCache {
  public:
   struct Stats {
@@ -149,10 +206,19 @@ class SubgraphCache {
   // resident subgraph.
   const Subgraph* Insert(const Triple& triple, Subgraph subgraph);
 
+  // Replaces the payload of a resident entry in place: same key, same
+  // FIFO age, same stable Subgraph address (the contents are move-assigned
+  // behind the pointer), byte accounting updated. Returns the resident
+  // subgraph, or null when `triple` is not resident. This is the serve
+  // layer's ingest-patch primitive — maintenance must not perturb the
+  // deterministic eviction order the read-only serving contract relies on.
+  const Subgraph* Replace(const Triple& triple, Subgraph subgraph);
+
   // Removes the entry for `triple`; returns true when it was resident.
   // The serve layer's delta ingester uses this to invalidate exactly the
   // entries a new edge can affect. Stale occurrences of erased keys in
-  // the FIFO queue are skipped lazily at eviction time.
+  // the FIFO queue are skipped lazily at eviction time (their sequence
+  // number no longer matches any resident entry).
   bool Erase(const Triple& triple);
 
   void Clear();
@@ -164,13 +230,24 @@ class SubgraphCache {
   const Stats& stats() const { return stats_; }
 
  private:
+  struct Entry {
+    // unique_ptr payload keeps the Subgraph address stable across rehashes
+    // and across Replace().
+    std::unique_ptr<Subgraph> subgraph;
+    uint64_t seq = 0;  // insertion sequence; pairs with the FIFO queue
+  };
+  struct QueueSlot {
+    Triple triple;
+    uint64_t seq = 0;
+  };
+
   static int64_t PayloadBytes(const Subgraph& s);
 
   int64_t capacity_;
   Stats stats_;
-  // unique_ptr payloads keep Subgraph addresses stable across rehashes.
-  std::unordered_map<Triple, std::unique_ptr<Subgraph>, TripleHash> map_;
-  std::deque<Triple> fifo_;
+  uint64_t next_seq_ = 0;
+  std::unordered_map<Triple, Entry, TripleHash> map_;
+  std::deque<QueueSlot> fifo_;
 };
 
 }  // namespace dekg

@@ -243,6 +243,9 @@ StatsResponse MicroBatcher::BuildStats() {
   stats.cache_entries = engine.cache_entries;
   stats.cache_evictions = engine.cache_evictions;
   stats.cache_invalidated = engine.cache_invalidated;
+  stats.cache_patched = engine.cache_patched;
+  stats.cache_repaired = engine.cache_repaired;
+  stats.cache_fallback = engine.cache_fallback;
   stats.cache_bytes = engine.cache_bytes;
   stats.graph_triples = engine.graph_triples;
   stats.graph_entities = engine.graph_entities;

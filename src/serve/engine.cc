@@ -45,17 +45,18 @@ std::vector<double> InferenceEngine::ScoreBatch(
   std::vector<const Subgraph*> subs(n, nullptr);
   std::vector<int64_t> miss;
   std::vector<Subgraph> miss_subs;
-  std::vector<std::vector<EntityId>> miss_touched;
+  std::vector<TouchedLabels> miss_labels;
   if (gsm != nullptr) {
     for (size_t i = 0; i < n; ++i) {
       subs[i] = cache_.Lookup(items[i].triple);
       if (subs[i] == nullptr) miss.push_back(static_cast<int64_t>(i));
     }
     // Phase 2 (parallel): extract the misses into batch-local storage.
-    // Extraction is RNG-free and reads only the const graph; the touched
-    // set is captured from each workspace for the invalidation index.
+    // Extraction is RNG-free and reads only the const graph; the sparse
+    // touched-set labels are captured from each workspace — they feed the
+    // invalidation index and the ingest-patch re-relaxation.
     miss_subs.resize(miss.size());
-    miss_touched.resize(miss.size());
+    miss_labels.resize(miss.size());
     ParallelFor(0, static_cast<int64_t>(miss.size()), /*grain=*/0,
                 [&](int64_t begin, int64_t end) {
                   SubgraphWorkspace workspace;
@@ -65,8 +66,8 @@ std::vector<double> InferenceEngine::ScoreBatch(
                             .triple;
                     miss_subs[static_cast<size_t>(m)] =
                         gsm->Extract(g, t, &workspace);
-                    miss_touched[static_cast<size_t>(m)] =
-                        TouchedEntities(workspace);
+                    miss_labels[static_cast<size_t>(m)] =
+                        TouchedEntityLabels(workspace);
                   }
                 });
     for (size_t m = 0; m < miss.size(); ++m) {
@@ -152,11 +153,14 @@ std::vector<double> InferenceEngine::ScoreBatch(
   // this same batch still needs.
   for (size_t m = 0; m < miss.size(); ++m) {
     const Triple& t = items[static_cast<size_t>(miss[m])].triple;
-    if (key_touched_.count(t) > 0) continue;  // duplicate within the batch
+    if (key_meta_.count(t) > 0) continue;  // duplicate within the batch
     cache_.Insert(t, std::move(miss_subs[m]));
-    for (EntityId e : miss_touched[m]) entity_index_[e].insert(t);
-    key_touched_.emplace(t, std::move(miss_touched[m]));
-    fifo_.push_back(t);
+    CachedMeta meta;
+    meta.labels = std::move(miss_labels[m]);
+    meta.seq = insert_seq_++;
+    for (EntityId e : meta.labels.entities) entity_index_[e].insert(t);
+    fifo_.push_back(FifoSlot{t, meta.seq});
+    key_meta_.emplace(t, std::move(meta));
   }
   EnforceCapacity();
   return scores;
@@ -174,20 +178,70 @@ void InferenceEngine::Ingest(const std::vector<Triple>& triples,
   response->duplicates = report.duplicates;
   response->new_entities = report.new_entities;
 
-  // Invalidate exactly the cached extractions a new edge can affect: those
+  // Maintain exactly the cached extractions a new edge can affect: those
   // whose touched set contains an endpoint of an accepted triple.
-  std::vector<Triple> stale;
+  std::vector<Triple> affected;
   TripleSet seen;
   for (EntityId e : report.touched_entities) {
     auto it = entity_index_.find(e);
     if (it == entity_index_.end()) continue;
     for (const Triple& key : it->second) {
-      if (seen.insert(key).second) stale.push_back(key);
+      if (seen.insert(key).second) affected.push_back(key);
     }
   }
-  for (const Triple& key : stale) RemoveCached(key);
-  invalidated_ += stale.size();
-  response->invalidated = stale.size();
+
+  core::Gsm* gsm = model_->gsm();
+  if (!config_.patch_cache || gsm == nullptr) {
+    // Invalidate-on-ingest: drop every affected entry; the next lookup
+    // pays a full re-extraction.
+    for (const Triple& key : affected) RemoveCached(key);
+    invalidated_ += affected.size();
+    response->invalidated = affected.size();
+  } else {
+    // Patch in place (DESIGN.md §13). The live graph already contains the
+    // accepted edges, so decrease-only re-relaxation from the new-edge
+    // endpoints reaches the exact fresh blocked-BFS fixpoint over the
+    // cached touched set — unless a node outside that set would be pulled
+    // into the t-hop ball (membership change), in which case the entry
+    // falls back to invalidation + full re-extraction on its next lookup.
+    const SubgraphConfig sc = gsm->subgraph_config();
+    const KnowledgeGraph& g = graph();
+    uint64_t removed = 0;
+    for (const Triple& key : affected) {
+      CachedMeta& meta = key_meta_.find(key)->second;
+      bool head_changed = false;
+      bool tail_changed = false;
+      const bool patchable =
+          RelaxDistancesAfterEdgeInsert(g, key.head, key.tail, sc.num_hops,
+                                        triples, meta.labels.entities,
+                                        &meta.labels.dist_head,
+                                        &head_changed) &&
+          RelaxDistancesAfterEdgeInsert(g, key.tail, key.head, sc.num_hops,
+                                        triples, meta.labels.entities,
+                                        &meta.labels.dist_tail, &tail_changed);
+      if (!patchable) {
+        RemoveCached(key);
+        ++fallback_;
+        ++invalidated_;
+        ++removed;
+        continue;
+      }
+      // The touched union set is unchanged, so entity_index_ stays valid;
+      // the rebuild goes through the same assembly path fresh extraction
+      // uses, so the swapped payload is bit-identical to ExtractSubgraph
+      // on the post-ingest graph.
+      cache_.Replace(key, BuildSubgraphFromLabels(g, key.head, key.tail,
+                                                  key.rel, sc, meta.labels));
+      if (head_changed || tail_changed) {
+        ++repaired_;
+        ++response->repaired;
+      } else {
+        ++patched_;
+        ++response->patched;
+      }
+    }
+    response->invalidated = removed;
+  }
 
   core::Clrm* clrm = model_->clrm();
   if (clrm == nullptr) return;
@@ -206,29 +260,32 @@ void InferenceEngine::Ingest(const std::vector<Triple>& triples,
 }
 
 void InferenceEngine::RemoveCached(const Triple& key) {
-  auto it = key_touched_.find(key);
-  if (it == key_touched_.end()) return;
+  auto it = key_meta_.find(key);
+  if (it == key_meta_.end()) return;
   cache_.Erase(key);
-  for (EntityId e : it->second) {
+  for (EntityId e : it->second.labels.entities) {
     auto idx = entity_index_.find(e);
     if (idx == entity_index_.end()) continue;
     idx->second.erase(key);
     if (idx->second.empty()) entity_index_.erase(idx);
   }
-  key_touched_.erase(it);
+  key_meta_.erase(it);
 }
 
 void InferenceEngine::EnforceCapacity() {
   if (config_.cache_capacity <= 0) return;
-  while (static_cast<int64_t>(key_touched_.size()) > config_.cache_capacity) {
+  while (static_cast<int64_t>(key_meta_.size()) > config_.cache_capacity) {
     DEKG_CHECK(!fifo_.empty());
-    const Triple victim = fifo_.front();
+    const FifoSlot victim = fifo_.front();
     fifo_.pop_front();
-    // Stale queue entries (invalidated keys) are skipped. A key that was
-    // invalidated and later re-inserted can retire early through an old
-    // queue occurrence — harmless, since removal is always sound.
-    if (key_touched_.count(victim) == 0) continue;
-    RemoveCached(victim);
+    // Stale queue slots are skipped: a slot whose sequence number no
+    // longer matches the resident entry belongs to an invalidated (and
+    // possibly re-inserted) key, so acting on it would retire the new
+    // incarnation early. Matching on (key, seq) makes eviction order a
+    // pure function of the insertion history.
+    auto it = key_meta_.find(victim.triple);
+    if (it == key_meta_.end() || it->second.seq != victim.seq) continue;
+    RemoveCached(victim.triple);
     ++evictions_;
   }
 }
@@ -242,6 +299,9 @@ EngineStats InferenceEngine::Stats() const {
   stats.cache_bytes = static_cast<uint64_t>(cs.bytes);
   stats.cache_evictions = evictions_;
   stats.cache_invalidated = invalidated_;
+  stats.cache_patched = patched_;
+  stats.cache_repaired = repaired_;
+  stats.cache_fallback = fallback_;
   stats.graph_triples = static_cast<uint64_t>(graph().num_triples());
   stats.graph_entities = static_cast<uint64_t>(graph().num_entities());
   stats.ingested_triples = live_graph_.ingested_triples();

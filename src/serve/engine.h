@@ -10,9 +10,17 @@
 //    state, so results are bit-identical at any thread count.
 //  * Ingest — applies emerging triples to the live graph, refreshes the
 //    CLRM embedding rows of exactly the entities whose relation tables
-//    changed, and invalidates exactly the cached subgraphs the new edges
+//    changed, and maintains exactly the cached subgraphs the new edges
 //    can affect (via the touched-entity reverse index; soundness argument
-//    on TouchedEntities in graph/subgraph.h).
+//    on TouchedEntities in graph/subgraph.h). Affected entries are
+//    patched IN PLACE by default: each cached key carries the sparse
+//    blocked-BFS labels of its touched set, the new edges re-relax those
+//    labels (bounded decrease-only propagation), and the subgraph is
+//    rebuilt from the patched labels through the same assembly code fresh
+//    extraction uses — bit-identical by construction (DESIGN.md §13).
+//    Only when a new node would enter the t-hop ball (membership change)
+//    does the entry fall back to invalidation + full re-extraction on its
+//    next lookup. patch_cache = false restores invalidate-on-ingest.
 //  * Stats — counter snapshot.
 //
 // Determinism contract: a triple scored with stream seed s produces the
@@ -50,6 +58,13 @@ struct EngineConfig {
   // group. Bitwise transparent (DESIGN.md §11); max_batch <= 1 restores
   // the per-item path.
   core::GsmBatchOptions gsm_batch;
+  // In-place maintenance of affected cached subgraphs on ingest (patch /
+  // repair, with fallback invalidation only on membership change). False
+  // restores PR-4 invalidate-on-ingest — under sustained DEKG churn that
+  // degenerates into a miss storm where re-extraction dominates scoring
+  // latency (bench_churn measures the gap). Scores are bit-identical
+  // either way.
+  bool patch_cache = true;
 };
 
 // One unit of scoring work: the triple plus its fully derived Rng stream
@@ -66,6 +81,10 @@ struct EngineStats {
   uint64_t cache_entries = 0;
   uint64_t cache_evictions = 0;    // capacity-driven removals
   uint64_t cache_invalidated = 0;  // ingest-driven removals
+  uint64_t cache_patched = 0;      // ingest patches with unchanged labels
+  uint64_t cache_repaired = 0;     // ingest patches that re-relaxed labels
+  uint64_t cache_fallback = 0;     // membership changed: invalidated for
+                                   // full re-extraction
   uint64_t cache_bytes = 0;
   uint64_t graph_triples = 0;
   uint64_t graph_entities = 0;
@@ -105,6 +124,19 @@ class InferenceEngine {
   }
 
  private:
+  // Everything the engine keeps per resident cached subgraph besides the
+  // payload itself: the sparse blocked-BFS labels over the touched set
+  // (what ingest-patching re-relaxes) and the insertion sequence number
+  // that pairs the entry with its live FIFO queue slot.
+  struct CachedMeta {
+    TouchedLabels labels;
+    uint64_t seq = 0;
+  };
+  struct FifoSlot {
+    Triple triple;
+    uint64_t seq = 0;
+  };
+
   // Recomputes entity_emb_[e] from the entity's current relation table.
   void RefreshEmbedding(EntityId e);
   // Removes one cached key and its invalidation-index entries.
@@ -123,16 +155,24 @@ class InferenceEngine {
   std::vector<Tensor> entity_emb_;
 
   // Subgraph cache (unlimited; capacity enforced here) plus the
-  // invalidation bookkeeping. key_touched_ holds each resident key's
-  // touched-entity set; entity_index_ is its inverse. fifo_ may hold
-  // stale keys (invalidated before eviction); EnforceCapacity skips them.
+  // maintenance bookkeeping. key_meta_ holds each resident key's sparse
+  // labels + sequence number; entity_index_ inverts the touched sets.
+  // fifo_ may hold stale slots (keys invalidated — possibly re-inserted
+  // under a newer sequence — before eviction); EnforceCapacity skips any
+  // slot whose sequence no longer matches the resident entry, so a
+  // re-inserted key ages from its re-insertion and effective capacity is
+  // never undercounted.
   SubgraphCache cache_{0};
-  std::deque<Triple> fifo_;
-  std::unordered_map<Triple, std::vector<EntityId>, TripleHash> key_touched_;
+  std::deque<FifoSlot> fifo_;
+  std::unordered_map<Triple, CachedMeta, TripleHash> key_meta_;
   std::unordered_map<EntityId, TripleSet> entity_index_;
 
+  uint64_t insert_seq_ = 0;
   uint64_t evictions_ = 0;
   uint64_t invalidated_ = 0;
+  uint64_t patched_ = 0;
+  uint64_t repaired_ = 0;
+  uint64_t fallback_ = 0;
   uint64_t embedding_refreshes_ = 0;
 };
 

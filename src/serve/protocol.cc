@@ -174,6 +174,8 @@ std::vector<uint8_t> EncodeIngestResponse(const IngestResponse& response) {
   ckpt::AppendPod(&out, response.accepted);
   ckpt::AppendPod(&out, response.duplicates);
   ckpt::AppendPod(&out, response.invalidated);
+  ckpt::AppendPod(&out, response.patched);
+  ckpt::AppendPod(&out, response.repaired);
   ckpt::AppendPod(&out, response.new_entities);
   return out;
 }
@@ -186,6 +188,8 @@ bool DecodeIngestResponse(const std::vector<uint8_t>& payload,
       !reader.ReadPod(&response->accepted) ||
       !reader.ReadPod(&response->duplicates) ||
       !reader.ReadPod(&response->invalidated) ||
+      !reader.ReadPod(&response->patched) ||
+      !reader.ReadPod(&response->repaired) ||
       !reader.ReadPod(&response->new_entities)) {
     return false;
   }
@@ -209,6 +213,9 @@ std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response) {
   ckpt::AppendPod(&out, response.cache_entries);
   ckpt::AppendPod(&out, response.cache_evictions);
   ckpt::AppendPod(&out, response.cache_invalidated);
+  ckpt::AppendPod(&out, response.cache_patched);
+  ckpt::AppendPod(&out, response.cache_repaired);
+  ckpt::AppendPod(&out, response.cache_fallback);
   ckpt::AppendPod(&out, response.cache_bytes);
   ckpt::AppendPod(&out, response.graph_triples);
   ckpt::AppendPod(&out, response.graph_entities);
@@ -239,6 +246,9 @@ bool DecodeStatsResponse(const std::vector<uint8_t>& payload,
        reader.ReadPod(&response->cache_entries) &&
        reader.ReadPod(&response->cache_evictions) &&
        reader.ReadPod(&response->cache_invalidated) &&
+       reader.ReadPod(&response->cache_patched) &&
+       reader.ReadPod(&response->cache_repaired) &&
+       reader.ReadPod(&response->cache_fallback) &&
        reader.ReadPod(&response->cache_bytes) &&
        reader.ReadPod(&response->graph_triples) &&
        reader.ReadPod(&response->graph_entities) &&

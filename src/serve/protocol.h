@@ -6,7 +6,9 @@
 // byte helpers of common/checkpoint.h):
 //
 //   u32  magic            0x444B4753 ("DKGS")
-//   u8   protocol version (currently 1)
+//   u8   protocol version (currently 2: v2 added the ingest patch /
+//        repair counters and the cache_patched / cache_repaired /
+//        cache_fallback stats fields)
 //   u8   message type     (MessageType)
 //   u16  reserved         (0)
 //   u64  payload length   (bounded by kMaxPayloadBytes)
@@ -29,7 +31,7 @@
 namespace dekg::serve {
 
 inline constexpr uint32_t kFrameMagic = 0x444B4753;  // "DKGS"
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
 // Upper bound on a single frame payload; a stream claiming more is
 // treated as corrupt rather than allocated.
 inline constexpr uint64_t kMaxPayloadBytes = 64ull << 20;
@@ -93,6 +95,9 @@ struct IngestResponse {
   uint32_t duplicates = 0;     // accepted triples already present (kept;
                                // multiplicity feeds the CLRM tables)
   uint64_t invalidated = 0;    // subgraph-cache entries invalidated
+                               // (patch mode: membership-change fallbacks)
+  uint64_t patched = 0;        // cache entries rebuilt, labels unchanged
+  uint64_t repaired = 0;       // cache entries rebuilt after re-relaxation
   uint32_t new_entities = 0;   // entity-id space growth
 };
 
@@ -116,6 +121,9 @@ struct StatsResponse {
   uint64_t cache_entries = 0;
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidated = 0;
+  uint64_t cache_patched = 0;
+  uint64_t cache_repaired = 0;
+  uint64_t cache_fallback = 0;
   uint64_t cache_bytes = 0;
   // Live graph.
   uint64_t graph_triples = 0;

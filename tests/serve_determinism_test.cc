@@ -7,6 +7,7 @@
 // shares with the offline evaluator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <string>
 #include <vector>
@@ -297,6 +298,87 @@ TEST(ServeDeterminismTest, LiveIngestionConvergesToOfflineOverTcp) {
     }
     // Sanity: the ingest actually mattered for at least one test link.
     EXPECT_TRUE(any_changed);
+
+    ASSERT_TRUE(client.Shutdown(&error)) << error;
+  }
+  server.Wait();
+}
+
+TEST(ServeDeterminismTest, InterleavedIngestScoringMatchesStaticOracle) {
+  // Scoring interleaves *between* ingest batches over TCP, so the cache
+  // is warm at every ingest and the in-place patch path actually runs.
+  // After each chunk the live graph must equal a statically built graph
+  // over the same triple multiset (the dynamic-append ordering
+  // invariant), so every interleaved score must be bit-identical to the
+  // offline predictor on that static oracle.
+  DekgDataset dataset = SyntheticDataset();
+  core::DekgIlpModel model(SmallModelConfig(dataset.num_relations()),
+                           /*seed=*/3);
+  std::vector<Triple> triples = TestTriples(dataset, 16);
+  ASSERT_GE(triples.size(), 4u);
+
+  InferenceEngine engine(&model, dataset.original_graph(), EngineConfig{});
+  MicroBatcher batcher(&engine, BatcherConfig{});
+  ScoringServer server(&batcher, ServerConfig{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+
+    core::DekgIlpPredictor predictor(&model);
+    ScoreRequest request;
+    request.triples = triples;
+
+    // Warm the cache before the first ingest.
+    ScoreResponse warm;
+    ASSERT_TRUE(client.Score(request, &warm, &error)) << error;
+    ASSERT_EQ(warm.status, Status::kOk) << warm.error;
+
+    const std::vector<Triple>& emerging = dataset.emerging_triples();
+    std::vector<Triple> prefix = dataset.original_graph().Triples();
+    // Small chunks: each ingest touches few entities, so some warm
+    // entries are patchable (big batches change membership everywhere).
+    const size_t num_chunks = 24;
+    const size_t chunk = (emerging.size() + num_chunks - 1) / num_chunks;
+    uint64_t maintained = 0;
+    for (size_t begin = 0; begin < emerging.size(); begin += chunk) {
+      const size_t end = std::min(emerging.size(), begin + chunk);
+      IngestRequest ingest;
+      ingest.triples.assign(emerging.begin() + static_cast<int64_t>(begin),
+                            emerging.begin() + static_cast<int64_t>(end));
+      IngestResponse ingested;
+      ASSERT_TRUE(client.Ingest(ingest, &ingested, &error)) << error;
+      ASSERT_EQ(ingested.status, Status::kOk) << ingested.error;
+      maintained += ingested.patched + ingested.repaired;
+
+      prefix.insert(prefix.end(), ingest.triples.begin(),
+                    ingest.triples.end());
+      const KnowledgeGraph oracle =
+          BuildGraph(dataset.inference_graph().num_entities(),
+                     dataset.num_relations(), prefix);
+      const std::vector<double> offline =
+          predictor.ScoreTriples(oracle, triples);
+
+      ScoreResponse response;
+      ASSERT_TRUE(client.Score(request, &response, &error)) << error;
+      ASSERT_EQ(response.status, Status::kOk) << response.error;
+      ASSERT_EQ(response.scores.size(), offline.size());
+      for (size_t i = 0; i < offline.size(); ++i) {
+        EXPECT_EQ(response.scores[i], offline[i])
+            << "chunk [" << begin << ", " << end << ") triple " << i;
+      }
+    }
+    // The patch path must have actually maintained warm entries (not
+    // fallen back on every single key).
+    EXPECT_GT(maintained, 0u);
+
+    StatsResponse stats;
+    ASSERT_TRUE(client.Stats(&stats, &error)) << error;
+    EXPECT_EQ(stats.cache_patched + stats.cache_repaired, maintained);
+    EXPECT_EQ(stats.graph_triples,
+              static_cast<uint64_t>(dataset.inference_graph().num_triples()));
 
     ASSERT_TRUE(client.Shutdown(&error)) << error;
   }

@@ -104,6 +104,8 @@ TEST(ServeProtocolTest, IngestMessagesRoundTrip) {
   response.accepted = 3;
   response.duplicates = 1;
   response.invalidated = 17;
+  response.patched = 23;
+  response.repaired = 5;
   response.new_entities = 2;
   IngestResponse decoded;
   ASSERT_TRUE(DecodeIngestResponse(EncodeIngestResponse(response), &decoded));
@@ -112,6 +114,8 @@ TEST(ServeProtocolTest, IngestMessagesRoundTrip) {
   EXPECT_EQ(decoded.accepted, 3u);
   EXPECT_EQ(decoded.duplicates, 1u);
   EXPECT_EQ(decoded.invalidated, 17u);
+  EXPECT_EQ(decoded.patched, 23u);
+  EXPECT_EQ(decoded.repaired, 5u);
   EXPECT_EQ(decoded.new_entities, 2u);
 }
 
@@ -130,6 +134,9 @@ TEST(ServeProtocolTest, StatsResponseRoundTrip) {
   stats.cache_entries = 4;
   stats.cache_evictions = 2;
   stats.cache_invalidated = 3;
+  stats.cache_patched = 31;
+  stats.cache_repaired = 13;
+  stats.cache_fallback = 6;
   stats.cache_bytes = 4096;
   stats.graph_triples = 395;
   stats.graph_entities = 126;
@@ -148,6 +155,9 @@ TEST(ServeProtocolTest, StatsResponseRoundTrip) {
   }
   EXPECT_EQ(decoded.latency_p50_ms, 1.25);
   EXPECT_EQ(decoded.latency_p99_ms, 9.75);
+  EXPECT_EQ(decoded.cache_patched, 31u);
+  EXPECT_EQ(decoded.cache_repaired, 13u);
+  EXPECT_EQ(decoded.cache_fallback, 6u);
   EXPECT_EQ(decoded.cache_bytes, 4096u);
   EXPECT_EQ(decoded.embedding_refreshes, 117u);
   EXPECT_EQ(decoded.uptime_s, 12.5);

@@ -108,6 +108,74 @@ TEST(SubgraphCacheTest, ByteAccountingTracksResidency) {
   EXPECT_EQ(cache.stats().entries, 0);
 }
 
+TEST(SubgraphCacheTest, ReinsertedKeyAgesFromReinsertion) {
+  // Regression for the stale-FIFO bug: a key erased and later re-inserted
+  // used to retire early through its old queue slot. With sequence-paired
+  // slots, eviction order is a pure function of the live insertion
+  // history: after a is erased and re-inserted, b is the oldest resident.
+  SubgraphCache cache(/*capacity=*/2);
+  const Triple a{0, 0, 1}, b{1, 0, 2}, c{2, 0, 3};
+  cache.Insert(a, MakeSubgraph(2, 1));
+  cache.Insert(b, MakeSubgraph(2, 1));
+  EXPECT_TRUE(cache.Erase(a));
+  cache.Insert(a, MakeSubgraph(3, 2));  // re-insert: a is now the newest
+  cache.Insert(c, MakeSubgraph(2, 1));
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.Find(b), nullptr) << "b is the oldest live insertion";
+  ASSERT_NE(cache.Find(a), nullptr) << "re-inserted a must survive";
+  EXPECT_EQ(cache.Find(a)->nodes.size(), 3u);
+  EXPECT_NE(cache.Find(c), nullptr);
+}
+
+TEST(SubgraphCacheTest, CapacityInvariantHoldsUnderChurn) {
+  // Deterministic erase/re-insert churn: the resident count must never
+  // exceed the capacity, bytes must always equal the sum over residents,
+  // and eviction must always find a live victim (no CHECK failure from an
+  // all-stale queue).
+  const int64_t capacity = 4;
+  SubgraphCache cache(capacity);
+  for (int32_t round = 0; round < 64; ++round) {
+    const Triple t{round % 7, 0, (round % 7) + 1};
+    if (round % 3 == 1) cache.Erase(t);
+    cache.Insert(t, MakeSubgraph(1 + round % 5, round % 4));
+    ASSERT_LE(cache.stats().entries, capacity) << "round " << round;
+    int64_t bytes = 0;
+    for (int32_t k = 0; k < 8; ++k) {
+      const Subgraph* s = cache.Find(Triple{k, 0, k + 1});
+      if (s == nullptr) continue;
+      bytes += static_cast<int64_t>(s->nodes.size() * sizeof(SubgraphNode) +
+                                    s->edges.size() * sizeof(SubgraphEdge));
+    }
+    ASSERT_EQ(cache.stats().bytes, bytes) << "round " << round;
+  }
+}
+
+TEST(SubgraphCacheTest, ReplaceSwapsPayloadInPlace) {
+  SubgraphCache cache(/*capacity=*/2);
+  const Triple a{0, 0, 1}, b{1, 0, 2}, c{2, 0, 3};
+  EXPECT_EQ(cache.Replace(a, MakeSubgraph(1, 1)), nullptr)
+      << "replacing an absent key is a no-op";
+  EXPECT_EQ(cache.stats().entries, 0);
+
+  const Subgraph* resident = cache.Insert(a, MakeSubgraph(4, 3));
+  cache.Insert(b, MakeSubgraph(2, 1));
+  const Subgraph* replaced = cache.Replace(a, MakeSubgraph(2, 2));
+  EXPECT_EQ(replaced, resident) << "entry address is stable across Replace";
+  EXPECT_EQ(replaced->nodes.size(), 2u);
+  EXPECT_EQ(cache.stats().entries, 2);
+  const int64_t expect =
+      static_cast<int64_t>((2 + 2) * sizeof(SubgraphNode) +
+                           (2 + 1) * sizeof(SubgraphEdge));
+  EXPECT_EQ(cache.stats().bytes, expect) << "bytes re-accounted on Replace";
+
+  // Replace does not refresh FIFO age: a is still the oldest insertion.
+  cache.Insert(c, MakeSubgraph(2, 1));
+  EXPECT_EQ(cache.Find(a), nullptr);
+  EXPECT_NE(cache.Find(b), nullptr);
+  EXPECT_NE(cache.Find(c), nullptr);
+}
+
 TEST(SubgraphCacheTest, ServedSubgraphMatchesFreshExtraction) {
   // A small diamond graph: extraction is deterministic, so the cached
   // subgraph must equal a fresh extraction field-for-field.

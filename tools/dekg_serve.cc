@@ -6,13 +6,16 @@
 // Usage:
 //   dekg_serve <dir> <checkpoint> [--dim D] [--host H] [--port P]
 //              [--port-file PATH] [--threads T] [--batch N] [--cache N]
-//              [--max-entities N] [--no-emerging] [--throughput-wait-us U]
+//              [--max-entities N] [--no-emerging] [--no-patch-cache]
+//              [--throughput-wait-us U]
 //       Serve. --port 0 (default) binds an ephemeral port; the bound port
 //       is printed and, with --port-file, written there for scripts.
 //       --no-emerging starts from the train graph only (emerging triples
-//       arrive via the client's ingest-emerging mode). By default the
-//       batcher runs in deterministic mode; --throughput-wait-us U > 0
-//       switches to throughput mode with that batch-fill wait.
+//       arrive via the client's ingest-emerging mode). --no-patch-cache
+//       disables in-place cache maintenance on ingest (DESIGN.md §13) in
+//       favor of plain invalidation. By default the batcher runs in
+//       deterministic mode; --throughput-wait-us U > 0 switches to
+//       throughput mode with that batch-fill wait.
 //
 //   dekg_serve <dir> <checkpoint> --print-golden N [--dim D] [--seed S]
 //       No server: print the offline scores of the first N test links
@@ -104,7 +107,8 @@ int main(int argc, char** argv) {
         " [--port-file PATH]\n"
         "                  [--threads T] [--batch N] [--cache N]"
         " [--max-entities N] [--no-emerging]\n"
-        "                  [--throughput-wait-us U] [--print-golden N]\n");
+        "                  [--no-patch-cache] [--throughput-wait-us U]"
+        " [--print-golden N]\n");
     return 2;
   }
   const std::string dir = argv[1];
@@ -138,6 +142,9 @@ int main(int argc, char** argv) {
   engine_config.cache_capacity = Int32Flag(argc, argv, "--cache", 4096);
   engine_config.live_graph.max_entities =
       Int32Flag(argc, argv, "--max-entities", 1 << 20);
+  // --no-patch-cache restores PR 4's invalidate-on-ingest maintenance
+  // (bit-identical scores either way — see cache_patch_differential_test).
+  engine_config.patch_cache = !HasFlag(argc, argv, "--no-patch-cache");
   serve::InferenceEngine engine(&model, base, engine_config);
 
   serve::BatcherConfig batcher_config;

@@ -81,6 +81,8 @@ int IngestEmerging(serve::Client* client, int argc, char** argv) {
   const std::vector<Triple>& emerging = dataset.emerging_triples();
   uint64_t accepted = 0;
   uint64_t invalidated = 0;
+  uint64_t patched = 0;
+  uint64_t repaired = 0;
   for (size_t begin = 0; begin < emerging.size();
        begin += static_cast<size_t>(chunk)) {
     const size_t end =
@@ -97,10 +99,16 @@ int IngestEmerging(serve::Client* client, int argc, char** argv) {
     }
     accepted += response.accepted;
     invalidated += response.invalidated;
+    patched += response.patched;
+    repaired += response.repaired;
   }
-  std::printf("ingested %llu emerging triples (%llu cache invalidations)\n",
-              static_cast<unsigned long long>(accepted),
-              static_cast<unsigned long long>(invalidated));
+  std::printf(
+      "ingested %llu emerging triples (%llu cache invalidations, "
+      "%llu patched, %llu repaired)\n",
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(invalidated),
+      static_cast<unsigned long long>(patched),
+      static_cast<unsigned long long>(repaired));
   return 0;
 }
 
@@ -136,6 +144,12 @@ int Stats(serve::Client* client) {
               static_cast<unsigned long long>(s.cache_evictions));
   std::printf("cache_invalidated\t%llu\n",
               static_cast<unsigned long long>(s.cache_invalidated));
+  std::printf("cache_patched\t%llu\n",
+              static_cast<unsigned long long>(s.cache_patched));
+  std::printf("cache_repaired\t%llu\n",
+              static_cast<unsigned long long>(s.cache_repaired));
+  std::printf("cache_fallback\t%llu\n",
+              static_cast<unsigned long long>(s.cache_fallback));
   std::printf("cache_bytes\t%llu\n",
               static_cast<unsigned long long>(s.cache_bytes));
   std::printf("graph_triples\t%llu\n",
