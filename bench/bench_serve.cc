@@ -22,7 +22,7 @@
 #include "core/dekg_ilp.h"
 #include "serve/batcher.h"
 #include "serve/client.h"
-#include "serve/engine.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 namespace dekg::bench {
@@ -30,9 +30,9 @@ namespace {
 
 using serve::BatcherConfig;
 using serve::Client;
-using serve::EngineConfig;
-using serve::InferenceEngine;
 using serve::MicroBatcher;
+using serve::Router;
+using serve::RouterConfig;
 using serve::ScoreRequest;
 using serve::ScoreResponse;
 using serve::ScoringServer;
@@ -73,10 +73,14 @@ SweepPoint RunPoint(core::DekgIlpModel* model, const DekgDataset& dataset,
   point.max_batch_triples = max_batch;
 
   SetDefaultThreadCount(threads);
-  InferenceEngine engine(model, dataset.inference_graph(), EngineConfig{});
+  // Memo off: this sweep measures the batched scoring pipeline itself
+  // (cache hit rate included), not hot-query replay.
+  RouterConfig router_config;
+  router_config.engine.score_memo_capacity = 0;
+  Router router(model, dataset.inference_graph(), router_config);
   BatcherConfig batcher_config;
   batcher_config.max_batch_triples = max_batch;
-  MicroBatcher batcher(&engine, batcher_config);
+  MicroBatcher batcher(&router, batcher_config);
   ScoringServer server(&batcher, ServerConfig{});  // ephemeral port
   std::string error;
   if (!server.Start(&error)) {

@@ -1,0 +1,325 @@
+// Sharded-serving throughput sweep (DESIGN.md §14): closed-loop clients
+// sending pipelined single-triple requests over real TCP, swept over
+// shard count x pipeline depth x ingest churn. Every point is gated on
+// the subsystem's acceptance criterion — a whole-workload request must
+// be bit-identical to offline DekgIlpPredictor::ScoreTriples on the
+// statically built graph (pre-churn oracle; churn points are re-gated
+// against the post-ingest oracle after the churn drains) — before its
+// throughput counts; a gate failure flips the exit code.
+//
+// The headline number is speedup_vs_pingpong: each point's request rate
+// over the 1-shard depth-1 no-churn baseline (classic ping-pong). Depth
+// is what lets the micro-batcher actually pack (one connection, many
+// requests in flight), shards are what fan the packed batch out.
+//
+// The closed loop cycles a fixed hot working set whose item seeds match
+// the gate request's, so after the gate the scores are resident in the
+// engines' epoch-keyed score memo: quiescent points measure the serving
+// stack proper (framing, scheduling, pipelining) over hot queries, and
+// churn points additionally pay the memo flush + recompute that every
+// ingest epoch forces.
+//
+// Knobs: DEKG_BENCH_THREADS (pool size, default max(4, hw)),
+// DEKG_BENCH_SHARD_CLIENTS (closed-loop clients, default 2),
+// DEKG_BENCH_SHARD_ITERS (requests per client per config, default 128).
+// Results land in BENCH_shard.json in the working directory.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/experiment.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/dekg_ilp.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace dekg::bench {
+namespace {
+
+using serve::BatcherConfig;
+using serve::Client;
+using serve::IngestRequest;
+using serve::IngestResponse;
+using serve::MicroBatcher;
+using serve::Router;
+using serve::RouterConfig;
+using serve::ScoreRequest;
+using serve::ScoreResponse;
+using serve::ScoringServer;
+using serve::ServerConfig;
+using serve::StatsResponse;
+using serve::Status;
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+struct SweepPoint {
+  int shards = 1;
+  size_t depth = 1;
+  bool churn = false;
+  bool gate_identical = false;
+  double seconds = 0.0;
+  double requests_per_s = 0.0;
+  double speedup_vs_pingpong = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  uint64_t batches_scored = 0;
+  uint64_t epoch = 0;
+};
+
+// Whole workload in one frame, default seed 123 — the offline
+// predictor's stream. Must match `oracle` bit for bit.
+bool GateAgainst(Client* client, const std::vector<Triple>& triples,
+                 const std::vector<double>& oracle) {
+  ScoreRequest request;
+  request.triples = triples;
+  ScoreResponse response;
+  std::string error;
+  return client->Score(request, &response, &error) &&
+         response.status == Status::kOk && response.scores == oracle;
+}
+
+// One configuration: fresh router/batcher/server. Churn points start
+// from the train-only graph and ingest the emerging triples chunk by
+// chunk while the closed loop runs, then re-gate on the post-ingest
+// oracle; quiescent points serve the full inference graph throughout.
+SweepPoint RunPoint(core::DekgIlpModel* model, const DekgDataset& dataset,
+                    const std::vector<Triple>& triples,
+                    const std::vector<double>& oracle_base,
+                    const std::vector<double>& oracle_full, int shards,
+                    size_t depth, bool churn, int clients, int iters) {
+  SweepPoint point;
+  point.shards = shards;
+  point.depth = depth;
+  point.churn = churn;
+
+  RouterConfig router_config;
+  router_config.num_shards = shards;
+  Router router(model,
+                churn ? dataset.original_graph() : dataset.inference_graph(),
+                router_config);
+  MicroBatcher batcher(&router, BatcherConfig{});
+  ScoringServer server(&batcher, ServerConfig{});  // ephemeral port
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return point;
+  }
+
+  {
+    Client gate;
+    point.gate_identical =
+        gate.Connect("127.0.0.1", server.port(), &error) &&
+        GateAgainst(&gate, triples, churn ? oracle_base : oracle_full);
+
+    if (point.gate_identical) {
+      std::atomic<bool> churn_failed{false};
+      Timer timer;
+      std::vector<std::thread> workers;
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          Client client;
+          std::string client_error;
+          if (!client.Connect("127.0.0.1", server.port(), &client_error)) {
+            return;
+          }
+          // The whole closed loop as one pipelined exchange: up to
+          // `depth` single-triple requests in flight on one connection.
+          std::vector<ScoreRequest> requests(static_cast<size_t>(iters));
+          for (int i = 0; i < iters; ++i) {
+            const size_t index =
+                static_cast<size_t>(c * iters + i) % triples.size();
+            requests[static_cast<size_t>(i)].request_id =
+                static_cast<uint64_t>(i) + 1;
+            requests[static_cast<size_t>(i)].seed = 123;
+            requests[static_cast<size_t>(i)].index_offset = index;
+            requests[static_cast<size_t>(i)].triples = {triples[index]};
+          }
+          std::vector<ScoreResponse> responses;
+          client.ScorePipelined(requests, depth, &responses, &client_error);
+        });
+      }
+      std::thread churn_thread;
+      if (churn) {
+        churn_thread = std::thread([&] {
+          Client writer;
+          std::string churn_error;
+          if (!writer.Connect("127.0.0.1", server.port(), &churn_error)) {
+            churn_failed.store(true);
+            return;
+          }
+          const std::vector<Triple>& emerging = dataset.emerging_triples();
+          const size_t num_chunks = 8;
+          const size_t chunk = (emerging.size() + num_chunks - 1) / num_chunks;
+          for (size_t begin = 0; begin < emerging.size(); begin += chunk) {
+            const size_t end = std::min(emerging.size(), begin + chunk);
+            IngestRequest request;
+            request.triples.assign(
+                emerging.begin() + static_cast<int64_t>(begin),
+                emerging.begin() + static_cast<int64_t>(end));
+            IngestResponse response;
+            if (!writer.Ingest(request, &response, &churn_error) ||
+                response.status != Status::kOk) {
+              churn_failed.store(true);
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      if (churn_thread.joinable()) churn_thread.join();
+      point.seconds = timer.ElapsedSeconds();
+      const double total =
+          static_cast<double>(clients) * static_cast<double>(iters);
+      point.requests_per_s =
+          point.seconds > 0.0 ? total / point.seconds : 0.0;
+
+      if (churn) {
+        // Post-churn the live graph equals the full inference graph;
+        // the same request must now produce the post-ingest oracle.
+        point.gate_identical = !churn_failed.load() &&
+                               GateAgainst(&gate, triples, oracle_full);
+      }
+
+      StatsResponse stats;
+      if (gate.Stats(&stats, &error)) {
+        point.latency_p50_ms = stats.latency_p50_ms;
+        point.latency_p99_ms = stats.latency_p99_ms;
+        point.batches_scored = stats.batches_scored;
+        point.epoch = stats.epoch;
+      }
+    }
+  }
+
+  server.RequestStop();
+  server.Wait();
+  return point;
+}
+
+}  // namespace
+}  // namespace dekg::bench
+
+int main() {
+  using namespace dekg;
+  using namespace dekg::bench;
+  SetMinLogSeverity(LogSeverity::kWarning);
+
+  const int threads =
+      std::max(4, EnvInt("DEKG_BENCH_THREADS",
+                         static_cast<int>(std::thread::hardware_concurrency())));
+  const int clients = EnvInt("DEKG_BENCH_SHARD_CLIENTS", 2);
+  const int iters = EnvInt("DEKG_BENCH_SHARD_ITERS", 128);
+  SetDefaultThreadCount(threads);
+
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  DekgDataset dataset =
+      MakeDataset(datagen::KgFamily::kFbLike, datagen::EvalSplit::kEq, config);
+
+  core::DekgIlpConfig model_config;
+  model_config.num_relations = dataset.num_relations();
+  model_config.dim = 16;
+  core::DekgIlpModel model(model_config, /*seed=*/1);
+
+  std::vector<Triple> triples;
+  for (const LabeledLink& link : dataset.test_links()) {
+    triples.push_back(link.triple);
+    if (triples.size() >= 48) break;
+  }
+  core::DekgIlpPredictor predictor(&model);
+  const std::vector<double> oracle_base =
+      predictor.ScoreTriples(dataset.original_graph(), triples);
+  const std::vector<double> oracle_full =
+      predictor.ScoreTriples(dataset.inference_graph(), triples);
+
+  std::printf(
+      "bench_shard: %d closed-loop clients x %d pipelined requests, "
+      "%zu-triple workload, %d pool threads\n",
+      clients, iters, triples.size(), threads);
+
+  std::vector<SweepPoint> points;
+  for (int shards : {1, 2, 4}) {
+    for (size_t depth : {size_t{1}, size_t{8}, size_t{32}}) {
+      for (bool churn : {false, true}) {
+        points.push_back(RunPoint(&model, dataset, triples, oracle_base,
+                                  oracle_full, shards, depth, churn, clients,
+                                  iters));
+      }
+    }
+  }
+
+  // Baseline: 1 shard, depth 1, quiescent — classic ping-pong.
+  double baseline = 0.0;
+  for (const SweepPoint& p : points) {
+    if (p.shards == 1 && p.depth == 1 && !p.churn) baseline = p.requests_per_s;
+  }
+  for (SweepPoint& p : points) {
+    p.speedup_vs_pingpong =
+        baseline > 0.0 ? p.requests_per_s / baseline : 0.0;
+  }
+
+  std::printf("\n%7s %6s %6s %6s %12s %9s %10s %10s %7s\n", "shards", "depth",
+              "churn", "gate", "requests/s", "speedup", "p50(ms)", "p99(ms)",
+              "epoch");
+  for (const SweepPoint& p : points) {
+    std::printf("%7d %6zu %6s %6s %12.1f %8.2fx %10.3f %10.3f %7llu\n",
+                p.shards, p.depth, p.churn ? "on" : "off",
+                p.gate_identical ? "ok" : "FAIL", p.requests_per_s,
+                p.speedup_vs_pingpong, p.latency_p50_ms, p.latency_p99_ms,
+                static_cast<unsigned long long>(p.epoch));
+  }
+
+  std::FILE* json = std::fopen("BENCH_shard.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"clients\": %d,\n  \"iters_per_client\": %d,\n"
+               "  \"workload_triples\": %zu,\n  \"sweep\": [",
+               clients, iters, triples.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(json,
+                 "%s\n    {\n"
+                 "      \"shards\": %d,\n"
+                 "      \"pipeline_depth\": %zu,\n"
+                 "      \"churn\": %s,\n"
+                 "      \"gate_identical\": %s,\n"
+                 "      \"seconds\": %.6f,\n"
+                 "      \"requests_per_s\": %.1f,\n"
+                 "      \"speedup_vs_pingpong\": %.3f,\n"
+                 "      \"latency_p50_ms\": %.3f,\n"
+                 "      \"latency_p99_ms\": %.3f,\n"
+                 "      \"batches_scored\": %llu,\n"
+                 "      \"epoch\": %llu\n    }",
+                 i == 0 ? "" : ",", p.shards, p.depth,
+                 p.churn ? "true" : "false",
+                 p.gate_identical ? "true" : "false", p.seconds,
+                 p.requests_per_s, p.speedup_vs_pingpong, p.latency_p50_ms,
+                 p.latency_p99_ms,
+                 static_cast<unsigned long long>(p.batches_scored),
+                 static_cast<unsigned long long>(p.epoch));
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_shard.json\n");
+
+  // Throughput depends on the machine; only the bitwise gates are hard
+  // requirements.
+  for (const SweepPoint& p : points) {
+    if (!p.gate_identical) return 1;
+  }
+  return 0;
+}

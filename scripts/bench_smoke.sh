@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_train bench_gsm_batch bench_simd \
-  bench_churn
+  bench_churn bench_shard
 
 # Small dataset, explicit thread count: the point is the bitwise
 # serial-vs-parallel comparison, not throughput.
@@ -48,4 +48,14 @@ DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
 DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
 DEKG_BENCH_CHURN_ROUNDS="${DEKG_BENCH_CHURN_ROUNDS:-48}" \
   ./bench_churn
-echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json, BENCH_churn.json in build-release/bench/)."
+
+# Sharded-serving sweep over real TCP: shard count x pipeline depth x
+# ingest churn, every point gated on the whole workload being bit-identical
+# to the offline predictor (pre- and post-churn oracles). Closed-loop
+# throughput and the speedup over 1-shard ping-pong are reported, not
+# gated here.
+DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
+DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
+DEKG_BENCH_SHARD_ITERS="${DEKG_BENCH_SHARD_ITERS:-512}" \
+  ./bench_shard
+echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json, BENCH_churn.json, BENCH_shard.json in build-release/bench/)."

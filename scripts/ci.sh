@@ -6,13 +6,17 @@
 #                                     a scalar regression fails no test)
 #   3. serve smoke                   (server binaries over real TCP: online
 #                                     scores bit-for-bit vs offline golden,
-#                                     before and after live ingestion)
+#                                     before and after live ingestion, on
+#                                     one engine and on a 3-shard router
+#                                     with a pipelined client)
 #   4. bench smoke                   (Release build; training determinism
 #                                     and cache contracts, via bench_train,
 #                                     the SIMD kernel bitwise gates via
-#                                     bench_simd, and the churn-maintenance
+#                                     bench_simd, the churn-maintenance
 #                                     patch-vs-invalidate bitwise gates via
-#                                     bench_churn)
+#                                     bench_churn, and the sharded-serving
+#                                     sweep's offline-oracle gates via
+#                                     bench_shard)
 #   5. sanitizer sweeps              (TSan + ASan/UBSan on the parallel,
 #                                     checkpoint, and serving subsystems,
 #                                     plus the O0-vs-O3 kernel fingerprint

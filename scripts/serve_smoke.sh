@@ -10,6 +10,10 @@
 #      triples through ingest-emerging, and require the post-ingest scores
 #      to also match the golden file bit for bit — the live-ingestion
 #      convergence contract
+#   5. the sharded variant of stage 4: 3 shard engines (--shards 3) and a
+#      pipelined client (--pipeline 4), pre-ingest scores differing from
+#      the golden and post-ingest scores matching it bit for bit — the
+#      consistent-hash fan-in and connection pipelining change nothing
 #
 # Usage: scripts/serve_smoke.sh [build_dir]   (default: build)
 set -e
@@ -79,6 +83,28 @@ fi
   > "$WORK/post_ingest.txt"
 diff "$WORK/golden.txt" "$WORK/post_ingest.txt"
 echo "bitwise match (after live ingestion)"
+"$BUILD/tools/dekg_serve_client" "$PORT" stats > /dev/null
+"$BUILD/tools/dekg_serve_client" "$PORT" shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "== serve smoke: 3-shard server, pipelined client, live ingestion =="
+"$BUILD/tools/dekg_serve" "$DATA" "$CKPT" --dim 16 --no-emerging --shards 3 \
+  --port-file "$WORK/port3" &
+SERVER_PID=$!
+wait_port_file "$WORK/port3"
+PORT="$(cat "$WORK/port3")"
+"$BUILD/tools/dekg_serve_client" "$PORT" score "$DATA" --links "$LINKS" \
+  --pipeline 4 > "$WORK/shard_pre_ingest.txt"
+if diff -q "$WORK/golden.txt" "$WORK/shard_pre_ingest.txt" > /dev/null; then
+  echo "sharded pre-ingest scores unexpectedly equal the golden" >&2
+  exit 1
+fi
+"$BUILD/tools/dekg_serve_client" "$PORT" ingest-emerging "$DATA" --chunk 32
+"$BUILD/tools/dekg_serve_client" "$PORT" score "$DATA" --links "$LINKS" \
+  --pipeline 4 > "$WORK/shard_post_ingest.txt"
+diff "$WORK/golden.txt" "$WORK/shard_post_ingest.txt"
+echo "bitwise match (3 shards, pipeline depth 4, after live ingestion)"
 "$BUILD/tools/dekg_serve_client" "$PORT" stats > /dev/null
 "$BUILD/tools/dekg_serve_client" "$PORT" shutdown
 wait "$SERVER_PID"

@@ -30,8 +30,8 @@ double Percentile(std::vector<double> sorted_samples, double q) {
 
 }  // namespace
 
-MicroBatcher::MicroBatcher(InferenceEngine* engine, const BatcherConfig& config)
-    : engine_(engine), config_(config) {
+MicroBatcher::MicroBatcher(Router* router, const BatcherConfig& config)
+    : router_(router), config_(config) {
   DEKG_CHECK_GT(config_.max_batch_triples, 0);
   latency_ring_.reserve(kLatencyWindow);
   scheduler_ = std::thread([this] { SchedulerLoop(); });
@@ -148,7 +148,8 @@ void MicroBatcher::SchedulerLoop() {
       RunScoreBatch(&batch);
     } else if (have_other && other.kind == Work::Kind::kIngest) {
       IngestResponse response;
-      engine_->Ingest(other.ingest.triples, &response);
+      response.request_id = other.ingest.request_id;
+      router_->Ingest(other.ingest.triples, &response);
       RecordLatency(other.admitted.ElapsedMillis());
       other.ingest_promise.set_value(std::move(response));
     } else if (have_other) {
@@ -168,9 +169,10 @@ void MicroBatcher::RunScoreBatch(std::vector<Work>* works) {
   for (size_t wi = 0; wi < works->size(); ++wi) {
     Work& work = (*works)[wi];
     std::string error;
-    const Status status = engine_->ValidateScore(work.score.triples, &error);
+    const Status status = router_->ValidateScore(work.score.triples, &error);
     if (status != Status::kOk) {
       ScoreResponse response;
+      response.request_id = work.score.request_id;
       response.status = status;
       response.error = error;
       RecordLatency(work.admitted.ElapsedMillis());
@@ -180,16 +182,19 @@ void MicroBatcher::RunScoreBatch(std::vector<Work>* works) {
     slots.push_back(Slot{wi, items.size(), work.score.triples.size()});
     for (size_t i = 0; i < work.score.triples.size(); ++i) {
       // Stream seed derived from the request's own seed and the triple's
-      // index *within the request*: micro-batch packing cannot change it.
+      // *logical* index (chunk offset + index within the frame):
+      // micro-batch packing and client-side pipelined splitting cannot
+      // change it.
       items.push_back(ScoreItem{
           work.score.triples[i],
-          MixSeed(work.score.seed, static_cast<uint64_t>(i))});
+          MixSeed(work.score.seed,
+                  work.score.index_offset + static_cast<uint64_t>(i))});
     }
   }
 
   std::vector<double> scores;
   if (!items.empty()) {
-    scores = engine_->ScoreBatch(items);
+    scores = router_->ScoreBatch(items);
     ++batches_scored_;
     triples_scored_ += items.size();
     ++batch_hist_[HistBucket(static_cast<int64_t>(items.size()))];
@@ -198,6 +203,7 @@ void MicroBatcher::RunScoreBatch(std::vector<Work>* works) {
   for (const Slot& slot : slots) {
     Work& work = (*works)[slot.work];
     ScoreResponse response;
+    response.request_id = work.score.request_id;
     response.scores.assign(scores.begin() + static_cast<int64_t>(slot.offset),
                            scores.begin() +
                                static_cast<int64_t>(slot.offset + slot.count));
@@ -237,7 +243,7 @@ StatsResponse MicroBatcher::BuildStats() {
   stats.latency_p50_ms = Percentile(sorted, 0.50);
   stats.latency_p99_ms = Percentile(sorted, 0.99);
   stats.latency_samples = latency_samples_;
-  const EngineStats engine = engine_->Stats();
+  const EngineStats engine = router_->Stats();
   stats.cache_hits = engine.cache_hits;
   stats.cache_misses = engine.cache_misses;
   stats.cache_entries = engine.cache_entries;
@@ -251,7 +257,21 @@ StatsResponse MicroBatcher::BuildStats() {
   stats.graph_entities = engine.graph_entities;
   stats.ingested_triples = engine.ingested_triples;
   stats.embedding_refreshes = engine.embedding_refreshes;
+  stats.epoch = router_->epoch();
   stats.uptime_s = uptime_.ElapsedSeconds();
+  stats.shards.reserve(static_cast<size_t>(router_->num_shards()));
+  for (int32_t s = 0; s < router_->num_shards(); ++s) {
+    const EngineStats one = router_->ShardStats(s);
+    ShardStatsBlock block;
+    block.shard = static_cast<uint32_t>(s);
+    block.cache_hits = one.cache_hits;
+    block.cache_misses = one.cache_misses;
+    block.cache_entries = one.cache_entries;
+    block.cache_patched = one.cache_patched;
+    block.cache_repaired = one.cache_repaired;
+    block.cache_fallback = one.cache_fallback;
+    stats.shards.push_back(block);
+  }
   return stats;
 }
 

@@ -3,15 +3,18 @@
 // Connection threads enqueue admitted requests; one scheduler thread
 // drains the queue in FIFO order, packing consecutive scoring requests
 // into micro-batches of at most max_batch_triples triples and running
-// them through InferenceEngine::ScoreBatch (which fans out over the
-// thread pool). Ingest and stats requests act as barriers: they run
-// between scoring batches on the scheduler thread, which is the only
-// thread that ever touches the engine — graph mutation, cache
+// them through Router::ScoreBatch (which fans the per-shard sub-batches
+// out over the thread pool). Ingest and stats requests act as barriers:
+// they run between scoring batches on the scheduler thread, which is
+// the only thread that ever touches the router — graph mutation, cache
 // bookkeeping, and scoring never overlap, by construction.
 //
 // Determinism: each triple's Rng stream seed is derived here as
-// MixSeed(request.seed, index_within_request), so scores are independent
-// of how requests get packed into micro-batches. In deterministic mode
+// MixSeed(request.seed, request.index_offset + index_within_request),
+// so scores are independent of how requests get packed into
+// micro-batches — and a logical request a pipelined client split into
+// chunks (each carrying its logical offset) scores with exactly the
+// unsplit request's streams. In deterministic mode
 // the packing itself is also a pure function of the admission order
 // (no timers), so the batch-size histogram and cache hit pattern are
 // reproducible given a reproducible request order; throughput mode may
@@ -28,7 +31,7 @@
 #include <vector>
 
 #include "common/timer.h"
-#include "serve/engine.h"
+#include "serve/router.h"
 #include "serve/protocol.h"
 
 namespace dekg::serve {
@@ -46,7 +49,7 @@ struct BatcherConfig {
 
 class MicroBatcher {
  public:
-  MicroBatcher(InferenceEngine* engine, const BatcherConfig& config);
+  MicroBatcher(Router* router, const BatcherConfig& config);
   ~MicroBatcher();  // drains
 
   MicroBatcher(const MicroBatcher&) = delete;
@@ -81,7 +84,7 @@ class MicroBatcher {
   void RecordLatency(double millis);
   StatsResponse BuildStats();
 
-  InferenceEngine* engine_;
+  Router* router_;
   BatcherConfig config_;
   Timer uptime_;
 

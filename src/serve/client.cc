@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -35,6 +36,11 @@ bool Client::Connect(const std::string& host, uint16_t port,
     Close();
     return false;
   }
+  // Pipelining sends many small frames back to back; Nagle would hold
+  // each one for the previous frame's ACK and serialize the window.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_.Reset(fd_);
   return true;
 }
 
@@ -42,6 +48,7 @@ void Client::Close() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+    reader_.Reset(-1);
   }
 }
 
@@ -54,7 +61,7 @@ bool Client::RoundTrip(MessageType request_type,
     return false;
   }
   if (!WriteFrame(fd_, request_type, payload, error)) return false;
-  if (!ReadFrame(fd_, reply, error)) {
+  if (!reader_.ReadFrame(reply, error)) {
     if (error->empty()) *error = "server closed the connection";
     return false;
   }
@@ -117,6 +124,81 @@ bool Client::Shutdown(std::string* error) {
   Frame reply;
   return RoundTrip(MessageType::kShutdownRequest, {},
                    MessageType::kShutdownResponse, &reply, error);
+}
+
+bool Client::SendScore(const ScoreRequest& request, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  return WriteFrame(fd_, MessageType::kScoreRequest,
+                    EncodeScoreRequest(request), error);
+}
+
+bool Client::ReceiveScore(ScoreResponse* response, const uint64_t* expect_id,
+                          std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  Frame reply;
+  if (!reader_.ReadFrame(&reply, error)) {
+    if (error->empty()) *error = "server closed the connection";
+    return false;
+  }
+  if (reply.type == MessageType::kErrorResponse) {
+    ScoreResponse err;
+    *error = DecodeScoreResponse(reply.payload, &err)
+                 ? "server error: " + err.error
+                 : "server error (unparseable)";
+    return false;
+  }
+  if (reply.type != MessageType::kScoreResponse) {
+    *error = "unexpected response type";
+    return false;
+  }
+  if (!DecodeScoreResponse(reply.payload, response)) {
+    *error = "malformed score response";
+    return false;
+  }
+  if (expect_id != nullptr && response->request_id != *expect_id) {
+    *error = "pipelined response out of order: expected request_id " +
+             std::to_string(*expect_id) + ", got " +
+             std::to_string(response->request_id);
+    return false;
+  }
+  return true;
+}
+
+bool Client::ScorePipelined(const std::vector<ScoreRequest>& requests,
+                            size_t depth,
+                            std::vector<ScoreResponse>* responses,
+                            std::string* error) {
+  if (depth == 0) depth = 1;
+  responses->assign(requests.size(), ScoreResponse{});
+  // Classic windowed exchange: keep up to `depth` requests on the wire,
+  // reading the oldest response before sending the next request. Each
+  // refill of the window goes out as one coalesced write.
+  size_t sent = 0;
+  size_t received = 0;
+  std::vector<uint8_t> wire;
+  while (received < requests.size()) {
+    if (sent < requests.size() && sent - received < depth) {
+      wire.clear();
+      while (sent < requests.size() && sent - received < depth) {
+        AppendFrame(&wire, MessageType::kScoreRequest,
+                    EncodeScoreRequest(requests[sent]));
+        ++sent;
+      }
+      if (!WriteWire(fd_, wire, error)) return false;
+    }
+    if (!ReceiveScore(&(*responses)[received],
+                      &requests[received].request_id, error)) {
+      return false;
+    }
+    ++received;
+  }
+  return true;
 }
 
 }  // namespace dekg::serve

@@ -1,14 +1,18 @@
 // Blocking client for the online scoring server's wire protocol.
 //
-// One connection, synchronous request/response. Used by the
-// dekg_serve_client CLI, the serve determinism test, and bench_serve.
+// One connection. The Score/Ingest/Stats calls are synchronous
+// request/response; SendScore/ReceiveScore expose the v3 pipelined
+// form (several requests on the wire before the first response is
+// read), and ScorePipelined drives a whole windowed exchange. Used by
+// the dekg_serve_client CLI, the serve tests, and the benches.
 // Thread-safety: none — use one Client per thread (the closed-loop
-// benchmark does exactly that).
+// benchmarks do exactly that).
 #ifndef DEKG_SERVE_CLIENT_H_
 #define DEKG_SERVE_CLIENT_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/protocol.h"
 
@@ -39,12 +43,32 @@ class Client {
   // Asks the server to drain and exit.
   bool Shutdown(std::string* error);
 
+  // ----- Pipelining (protocol v3) -----
+
+  // Sends a score request without waiting for its response. Pair each
+  // send with one ReceiveScore; the server answers in submission order.
+  bool SendScore(const ScoreRequest& request, std::string* error);
+  // Blocks for the next pipelined score response. When `expect_id` is
+  // non-null the echoed request_id must match (in-order delivery check).
+  bool ReceiveScore(ScoreResponse* response, const uint64_t* expect_id,
+                    std::string* error);
+
+  // Scores `requests` with at most `depth` requests in flight, verifying
+  // the echoed ids arrive in submission order. responses[i] answers
+  // requests[i]. depth = 1 degenerates to ping-pong.
+  bool ScorePipelined(const std::vector<ScoreRequest>& requests, size_t depth,
+                      std::vector<ScoreResponse>* responses,
+                      std::string* error);
+
  private:
   bool RoundTrip(MessageType request_type,
                  const std::vector<uint8_t>& payload, MessageType expected,
                  Frame* reply, std::string* error);
 
   int fd_ = -1;
+  // All response reads go through one buffered reader, so a pipelined
+  // burst of small frames costs one read() instead of two per frame.
+  FrameReader reader_;
 };
 
 }  // namespace dekg::serve

@@ -1,5 +1,6 @@
 #include "serve/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -11,31 +12,68 @@ InferenceEngine::InferenceEngine(core::DekgIlpModel* model,
                                  const EngineConfig& config)
     : model_(model),
       config_(config),
-      live_graph_(std::move(base), config.live_graph) {
-  core::Clrm* clrm = model_->clrm();
-  if (clrm == nullptr) return;
-  const int32_t n = graph().num_entities();
-  entity_emb_.resize(static_cast<size_t>(n));
-  // Fusion rows are independent; each lands in its own pre-sized slot, so
-  // the precompute is bit-identical at any thread count.
-  ParallelFor(0, n, /*grain=*/0, [&](int64_t begin, int64_t end) {
-    for (int64_t e = begin; e < end; ++e) {
-      entity_emb_[static_cast<size_t>(e)] =
-          clrm->EmbedEntity(
-                  graph().RelationComponentTable(static_cast<EntityId>(e)))
-              .value();
-    }
-  });
-}
+      owned_writer_(std::make_unique<SnapshotWriter>(model, std::move(base),
+                                                     config.live_graph)),
+      writer_(owned_writer_.get()),
+      caught_up_epoch_(owned_writer_->epoch()) {}
 
-void InferenceEngine::RefreshEmbedding(EntityId e) {
-  entity_emb_[static_cast<size_t>(e)] =
-      model_->clrm()->EmbedEntity(graph().RelationComponentTable(e)).value();
-}
+InferenceEngine::InferenceEngine(core::DekgIlpModel* model,
+                                 SnapshotWriter* writer,
+                                 const EngineConfig& config)
+    : model_(model),
+      config_(config),
+      writer_(writer),
+      caught_up_epoch_(writer->epoch()) {}
 
 std::vector<double> InferenceEngine::ScoreBatch(
     const std::vector<ScoreItem>& items) {
-  const KnowledgeGraph& g = graph();
+  // One snapshot for the whole batch: a concurrent ingest publishing a
+  // newer epoch cannot move the graph or the rows under this batch's
+  // feet, and the shared_ptr keeps the old epoch alive until we return.
+  const std::shared_ptr<const GraphSnapshot> snap = writer_->Current();
+  CatchUpCache(*snap, nullptr);  // flushes the memo on an epoch advance
+  if (config_.score_memo_capacity <= 0) {
+    return ScoreBatchAgainstSnapshot(*snap, items);
+  }
+
+  // Memo front-end: replay finished scores for (triple, seed) pairs this
+  // epoch has already computed; run the pipeline only for the rest. A
+  // score is a pure function of (triple, seed, snapshot graph), and the
+  // pipeline's result is invariant to batch composition, so scoring the
+  // miss subset produces the exact bits the full batch would have.
+  const size_t n = items.size();
+  std::vector<double> scores(n, 0.0);
+  std::vector<ScoreItem> fresh;
+  std::vector<size_t> fresh_pos;
+  for (size_t i = 0; i < n; ++i) {
+    const auto it = memo_.find(MemoKey{items[i].triple, items[i].seed});
+    if (it != memo_.end()) {
+      scores[i] = it->second;
+      ++memo_hits_;
+    } else {
+      fresh.push_back(items[i]);
+      fresh_pos.push_back(i);
+      ++memo_misses_;
+    }
+  }
+  if (!fresh.empty()) {
+    const std::vector<double> computed = ScoreBatchAgainstSnapshot(*snap, fresh);
+    for (size_t k = 0; k < fresh.size(); ++k) {
+      scores[fresh_pos[k]] = computed[k];
+      // At capacity new scores are simply not memoized: no eviction, so
+      // hit/miss behavior stays a pure function of the request history.
+      if (static_cast<int64_t>(memo_.size()) < config_.score_memo_capacity) {
+        memo_.emplace(MemoKey{fresh[k].triple, fresh[k].seed}, computed[k]);
+      }
+    }
+  }
+  return scores;
+}
+
+std::vector<double> InferenceEngine::ScoreBatchAgainstSnapshot(
+    const GraphSnapshot& snap, const std::vector<ScoreItem>& items) {
+  const KnowledgeGraph& g = snap.graph;
+  const std::vector<std::shared_ptr<const Tensor>>& rows = snap.entity_emb;
   core::Clrm* clrm = model_->clrm();
   core::Gsm* gsm = model_->gsm();
   const size_t n = items.size();
@@ -52,9 +90,10 @@ std::vector<double> InferenceEngine::ScoreBatch(
       if (subs[i] == nullptr) miss.push_back(static_cast<int64_t>(i));
     }
     // Phase 2 (parallel): extract the misses into batch-local storage.
-    // Extraction is RNG-free and reads only the const graph; the sparse
-    // touched-set labels are captured from each workspace — they feed the
-    // invalidation index and the ingest-patch re-relaxation.
+    // Extraction is RNG-free and reads only the const snapshot graph;
+    // the sparse touched-set labels are captured from each workspace —
+    // they feed the invalidation index and the ingest-patch
+    // re-relaxation.
     miss_subs.resize(miss.size());
     miss_labels.resize(miss.size());
     ParallelFor(0, static_cast<int64_t>(miss.size()), /*grain=*/0,
@@ -110,11 +149,9 @@ std::vector<double> InferenceEngine::ScoreBatch(
               if (clrm != nullptr) {
                 const float sem =
                     clrm->ScoreEmbedded(
-                            entity_emb_[static_cast<size_t>(
-                                item.triple.head)],
+                            *rows[static_cast<size_t>(item.triple.head)],
                             item.triple.rel,
-                            entity_emb_[static_cast<size_t>(
-                                item.triple.tail)])
+                            *rows[static_cast<size_t>(item.triple.tail)])
                         .value()
                         .Data()[0];
                 value = sem + value;
@@ -132,9 +169,9 @@ std::vector<double> InferenceEngine::ScoreBatch(
                     ag::Var score;
                     if (clrm != nullptr) {
                       score = clrm->ScoreEmbedded(
-                          entity_emb_[static_cast<size_t>(item.triple.head)],
+                          *rows[static_cast<size_t>(item.triple.head)],
                           item.triple.rel,
-                          entity_emb_[static_cast<size_t>(item.triple.tail)]);
+                          *rows[static_cast<size_t>(item.triple.tail)]);
                     }
                     if (gsm != nullptr) {
                       ag::Var tpo = gsm->ScoreSubgraph(
@@ -150,7 +187,8 @@ std::vector<double> InferenceEngine::ScoreBatch(
 
   // Phase 4 (serial, index order): admit the misses. Insertion after
   // scoring means a capacity-bounded cache can never evict a subgraph
-  // this same batch still needs.
+  // this same batch still needs. Admitted entries were extracted from
+  // `snap`, which CatchUpCache made the cache consistent with above.
   for (size_t m = 0; m < miss.size(); ++m) {
     const Triple& t = items[static_cast<size_t>(miss[m])].triple;
     if (key_meta_.count(t) > 0) continue;  // duplicate within the batch
@@ -168,21 +206,56 @@ std::vector<double> InferenceEngine::ScoreBatch(
 
 void InferenceEngine::Ingest(const std::vector<Triple>& triples,
                              IngestResponse* response) {
+  DEKG_CHECK(owned_writer_ != nullptr)
+      << "follower engines never ingest; route through the writer";
   IngestReport report;
   std::string error;
-  const Status status = live_graph_.Ingest(triples, &report, &error);
+  const Status status = writer_->Ingest(triples, &report, &error);
   response->status = status;
   response->error = error;
   if (status != Status::kOk) return;
   response->accepted = report.accepted;
   response->duplicates = report.duplicates;
   response->new_entities = report.new_entities;
+  CatchUpCache(*writer_->Current(), response);
+}
+
+void InferenceEngine::CatchUpCache(const GraphSnapshot& snap,
+                                   IngestResponse* response) {
+  if (snap.epoch == caught_up_epoch_) return;
+  DEKG_CHECK_GT(snap.epoch, caught_up_epoch_);
+
+  // Memoized scores are valid for exactly one graph; the new epoch's
+  // graph is a strict supergraph, so every entry is suspect.
+  memo_.clear();
+
+  // Collapse the missed epochs (chain head is newest) into one combined
+  // batch, oldest first. Ingest only adds edges, so the snapshot graph
+  // equals the caught-up graph plus exactly these triples — the same
+  // shape as a single larger ingest, which is what the patch predicate
+  // below reasons about.
+  std::vector<const IngestDelta*> pending;
+  for (const IngestDelta* d = snap.deltas.get();
+       d != nullptr && d->epoch > caught_up_epoch_; d = d->prev.get()) {
+    pending.push_back(d);
+  }
+  std::vector<Triple> combined;
+  std::vector<EntityId> touched;
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+    combined.insert(combined.end(), (*it)->triples.begin(),
+                    (*it)->triples.end());
+    touched.insert(touched.end(), (*it)->touched.begin(),
+                   (*it)->touched.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  caught_up_epoch_ = snap.epoch;
 
   // Maintain exactly the cached extractions a new edge can affect: those
-  // whose touched set contains an endpoint of an accepted triple.
+  // whose touched set contains an endpoint of a combined-batch triple.
   std::vector<Triple> affected;
   TripleSet seen;
-  for (EntityId e : report.touched_entities) {
+  for (EntityId e : touched) {
     auto it = entity_index_.find(e);
     if (it == entity_index_.end()) continue;
     for (const Triple& key : it->second) {
@@ -196,67 +269,53 @@ void InferenceEngine::Ingest(const std::vector<Triple>& triples,
     // pays a full re-extraction.
     for (const Triple& key : affected) RemoveCached(key);
     invalidated_ += affected.size();
-    response->invalidated = affected.size();
-  } else {
-    // Patch in place (DESIGN.md §13). The live graph already contains the
-    // accepted edges, so decrease-only re-relaxation from the new-edge
-    // endpoints reaches the exact fresh blocked-BFS fixpoint over the
-    // cached touched set — unless a node outside that set would be pulled
-    // into the t-hop ball (membership change), in which case the entry
-    // falls back to invalidation + full re-extraction on its next lookup.
-    const SubgraphConfig sc = gsm->subgraph_config();
-    const KnowledgeGraph& g = graph();
-    uint64_t removed = 0;
-    for (const Triple& key : affected) {
-      CachedMeta& meta = key_meta_.find(key)->second;
-      bool head_changed = false;
-      bool tail_changed = false;
-      const bool patchable =
-          RelaxDistancesAfterEdgeInsert(g, key.head, key.tail, sc.num_hops,
-                                        triples, meta.labels.entities,
-                                        &meta.labels.dist_head,
-                                        &head_changed) &&
-          RelaxDistancesAfterEdgeInsert(g, key.tail, key.head, sc.num_hops,
-                                        triples, meta.labels.entities,
-                                        &meta.labels.dist_tail, &tail_changed);
-      if (!patchable) {
-        RemoveCached(key);
-        ++fallback_;
-        ++invalidated_;
-        ++removed;
-        continue;
-      }
-      // The touched union set is unchanged, so entity_index_ stays valid;
-      // the rebuild goes through the same assembly path fresh extraction
-      // uses, so the swapped payload is bit-identical to ExtractSubgraph
-      // on the post-ingest graph.
-      cache_.Replace(key, BuildSubgraphFromLabels(g, key.head, key.tail,
-                                                  key.rel, sc, meta.labels));
-      if (head_changed || tail_changed) {
-        ++repaired_;
-        ++response->repaired;
-      } else {
-        ++patched_;
-        ++response->patched;
-      }
-    }
-    response->invalidated = removed;
+    if (response != nullptr) response->invalidated += affected.size();
+    return;
   }
 
-  core::Clrm* clrm = model_->clrm();
-  if (clrm == nullptr) return;
-  const size_t new_n = static_cast<size_t>(graph().num_entities());
-  if (new_n > entity_emb_.size()) {
-    // Brand-new ids (including any gap below the highest ingested id)
-    // start from the all-zero table. The shared tensor is safe: rows are
-    // replaced wholesale, never mutated in place.
-    const core::RelationTable zero_table(
-        static_cast<size_t>(graph().num_relations()), 0);
-    const Tensor zero_row = clrm->EmbedEntity(zero_table).value();
-    entity_emb_.resize(new_n, zero_row);
+  // Patch in place (DESIGN.md §13). The snapshot graph already contains
+  // the combined edges, so decrease-only re-relaxation from the new-edge
+  // endpoints reaches the exact fresh blocked-BFS fixpoint over the
+  // cached touched set — unless a node outside that set would be pulled
+  // into the t-hop ball (membership change), in which case the entry
+  // falls back to invalidation + full re-extraction on its next lookup.
+  const SubgraphConfig sc = gsm->subgraph_config();
+  const KnowledgeGraph& g = snap.graph;
+  uint64_t removed = 0;
+  for (const Triple& key : affected) {
+    CachedMeta& meta = key_meta_.find(key)->second;
+    bool head_changed = false;
+    bool tail_changed = false;
+    const bool patchable =
+        RelaxDistancesAfterEdgeInsert(g, key.head, key.tail, sc.num_hops,
+                                      combined, meta.labels.entities,
+                                      &meta.labels.dist_head,
+                                      &head_changed) &&
+        RelaxDistancesAfterEdgeInsert(g, key.tail, key.head, sc.num_hops,
+                                      combined, meta.labels.entities,
+                                      &meta.labels.dist_tail, &tail_changed);
+    if (!patchable) {
+      RemoveCached(key);
+      ++fallback_;
+      ++invalidated_;
+      ++removed;
+      continue;
+    }
+    // The touched union set is unchanged, so entity_index_ stays valid;
+    // the rebuild goes through the same assembly path fresh extraction
+    // uses, so the swapped payload is bit-identical to ExtractSubgraph
+    // on the snapshot graph.
+    cache_.Replace(key, BuildSubgraphFromLabels(g, key.head, key.tail,
+                                                key.rel, sc, meta.labels));
+    if (head_changed || tail_changed) {
+      ++repaired_;
+      if (response != nullptr) ++response->repaired;
+    } else {
+      ++patched_;
+      if (response != nullptr) ++response->patched;
+    }
   }
-  for (EntityId e : report.touched_entities) RefreshEmbedding(e);
-  embedding_refreshes_ += report.touched_entities.size();
+  if (response != nullptr) response->invalidated += removed;
 }
 
 void InferenceEngine::RemoveCached(const Triple& key) {
@@ -302,10 +361,16 @@ EngineStats InferenceEngine::Stats() const {
   stats.cache_patched = patched_;
   stats.cache_repaired = repaired_;
   stats.cache_fallback = fallback_;
-  stats.graph_triples = static_cast<uint64_t>(graph().num_triples());
-  stats.graph_entities = static_cast<uint64_t>(graph().num_entities());
-  stats.ingested_triples = live_graph_.ingested_triples();
-  stats.embedding_refreshes = embedding_refreshes_;
+  // Graph counters come off the published snapshot so Stats is safe to
+  // call where only Current() is (any thread, any time).
+  const std::shared_ptr<const GraphSnapshot> snap = writer_->Current();
+  stats.graph_triples = static_cast<uint64_t>(snap->graph.num_triples());
+  stats.graph_entities = static_cast<uint64_t>(snap->graph.num_entities());
+  stats.ingested_triples = writer_->ingested_triples();
+  stats.embedding_refreshes = writer_->embedding_refreshes();
+  stats.memo_hits = memo_hits_;
+  stats.memo_misses = memo_misses_;
+  stats.memo_entries = static_cast<uint64_t>(memo_.size());
   return stats;
 }
 

@@ -1,40 +1,51 @@
-// Inference engine of the online scoring server (DESIGN.md §9).
+// Inference engine of the online scoring server (DESIGN.md §9, §14).
 //
-// Owns the frozen DEKG-ILP model, the live graph, the materialized CLRM
-// entity embeddings, and the subgraph cache with its invalidation index.
-// Three operations, all invoked from the single scheduler thread:
+// Owns the frozen DEKG-ILP model pointer and a shard's subgraph cache
+// with its invalidation index; reads graph + CLRM rows from an
+// epoch-tagged immutable snapshot (serve/snapshot.h). Two modes share
+// all scoring code:
 //
-//  * ScoreBatch — scores a micro-batch of triples. Cache lookups and
-//    insertions are serial (index order); extraction of misses and model
-//    scoring fan out over the PR-1 thread pool with read-only shared
-//    state, so results are bit-identical at any thread count.
-//  * Ingest — applies emerging triples to the live graph, refreshes the
-//    CLRM embedding rows of exactly the entities whose relation tables
-//    changed, and maintains exactly the cached subgraphs the new edges
-//    can affect (via the touched-entity reverse index; soundness argument
-//    on TouchedEntities in graph/subgraph.h). Affected entries are
-//    patched IN PLACE by default: each cached key carries the sparse
-//    blocked-BFS labels of its touched set, the new edges re-relax those
-//    labels (bounded decrease-only propagation), and the subgraph is
-//    rebuilt from the patched labels through the same assembly code fresh
-//    extraction uses — bit-identical by construction (DESIGN.md §13).
-//    Only when a new node would enter the t-hop ball (membership change)
-//    does the entry fall back to invalidation + full re-extraction on its
-//    next lookup. patch_cache = false restores invalidate-on-ingest.
+//  * Standalone (PR 4–7 shape): the engine owns its SnapshotWriter.
+//    Ingest applies the batch and catches the cache up synchronously,
+//    so the public behavior — response counters included — is exactly
+//    the pre-sharding engine's.
+//  * Follower (one shard of a serve::Router): the engine borrows a
+//    shared SnapshotWriter. It never ingests; at the start of every
+//    ScoreBatch it loads the current snapshot and, if epochs advanced
+//    since it last looked, collapses the missed IngestDeltas into one
+//    combined batch and runs the PR-7 cache maintenance against it.
+//    Collapsing is sound because ingest only adds edges: the snapshot
+//    graph equals the cached graph plus the combined batch, which is
+//    precisely the situation the patch/repair/fallback predicate
+//    handles (DESIGN.md §13).
+//
+// Three operations, all invoked from one thread at a time (the
+// scheduler thread, or one router fan-out worker per shard):
+//
+//  * ScoreBatch — scores a micro-batch of triples against the current
+//    snapshot. Cache lookups and insertions are serial (index order);
+//    extraction of misses and model scoring fan out over the PR-1
+//    thread pool with read-only shared state, so results are
+//    bit-identical at any thread count.
+//  * CatchUpCache — the ingest-side cache maintenance, factored out so
+//    the router can run it synchronously per shard (deterministic
+//    server mode) or let each shard self-serve lazily.
 //  * Stats — counter snapshot.
 //
 // Determinism contract: a triple scored with stream seed s produces the
 // same bits as DekgIlpPredictor scoring it at an index i with
 // MixSeed(123, i) == s against the statically built equivalent graph —
-// regardless of micro-batch composition, cache state, or thread count.
-// The CLRM fast path (ScoreEmbedded over materialized fusion rows)
-// applies the identical op sequence to identical inputs; cached and
-// fresh extractions are identical by determinism of extraction.
+// regardless of micro-batch composition, cache state, shard assignment,
+// or thread count. The CLRM fast path (ScoreEmbedded over materialized
+// fusion rows) applies the identical op sequence to identical inputs;
+// cached, patched, and fresh extractions are identical by determinism
+// of extraction.
 #ifndef DEKG_SERVE_ENGINE_H_
 #define DEKG_SERVE_ENGINE_H_
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +54,7 @@
 #include "graph/subgraph.h"
 #include "serve/live_graph.h"
 #include "serve/protocol.h"
+#include "serve/snapshot.h"
 
 namespace dekg::serve {
 
@@ -65,6 +77,17 @@ struct EngineConfig {
   // latency (bench_churn measures the gap). Scores are bit-identical
   // either way.
   bool patch_cache = true;
+  // Score memo: finished scores keyed by (triple, item seed), valid for
+  // one snapshot epoch (flushed whenever the cache catches up to a newer
+  // epoch, since scores depend on the graph). A score is a pure function
+  // of (triple, seed, snapshot graph) — the engine determinism contract
+  // — so replaying the stored double is bit-identical to recomputing it,
+  // and repeated hot queries skip the GNN forward entirely. Capacity is
+  // a hard bound on resident entries; when full, new scores are simply
+  // not memoized (no eviction, so hit/miss behavior is a pure function
+  // of the request history). 0 disables the memo — benches and tests
+  // that measure the subgraph-cache path itself set 0.
+  int64_t score_memo_capacity = 1 << 16;
 };
 
 // One unit of scoring work: the triple plus its fully derived Rng stream
@@ -90,38 +113,63 @@ struct EngineStats {
   uint64_t graph_entities = 0;
   uint64_t ingested_triples = 0;
   uint64_t embedding_refreshes = 0;  // CLRM rows recomputed after startup
+  uint64_t memo_hits = 0;            // scores replayed from the memo
+  uint64_t memo_misses = 0;          // scores that ran the full pipeline
+  uint64_t memo_entries = 0;         // resident memoized scores
 };
 
 class InferenceEngine {
  public:
-  // `model` must outlive the engine and is treated as frozen (read-only).
-  // `base` is the built graph the server starts from (offline: the train
-  // split). Materializes the CLRM embedding table at construction,
-  // parallelized over entities.
+  // Standalone mode. `model` must outlive the engine and is treated as
+  // frozen (read-only). `base` is the built graph the server starts from
+  // (offline: the train split). Materializes the CLRM embedding table at
+  // construction, parallelized over entities.
   InferenceEngine(core::DekgIlpModel* model, KnowledgeGraph base,
                   const EngineConfig& config);
 
-  const KnowledgeGraph& graph() const { return live_graph_.graph(); }
+  // Follower mode: one shard of a router. `writer` is shared with the
+  // other shards and must outlive the engine; this engine never calls
+  // its Ingest. Starts caught up to the writer's current epoch (the
+  // cache is empty, so there is nothing to maintain).
+  InferenceEngine(core::DekgIlpModel* model, SnapshotWriter* writer,
+                  const EngineConfig& config);
+
+  // Writer-side graph view (serialize externally against ingest).
+  const KnowledgeGraph& graph() const { return writer_->live(); }
 
   // Scoring-side validation (relation vocabulary, entity space).
   Status ValidateScore(const std::vector<Triple>& triples,
                        std::string* error) const {
-    return live_graph_.ValidateForScoring(triples, error);
+    return ValidateTriplesForScoring(writer_->live(), triples, error);
   }
 
-  // Scores every item. Items must have passed ValidateScore.
+  // Scores every item against the current snapshot, catching the cache
+  // up first if ingest epochs landed since the last batch. Items must
+  // have passed validation against that snapshot (or an earlier one —
+  // the graph only grows).
   std::vector<double> ScoreBatch(const std::vector<ScoreItem>& items);
 
-  // Applies an emerging-triple batch. Fills every response field
-  // (including error/status); the graph is unchanged on rejection.
+  // Applies an emerging-triple batch (standalone mode only). Fills every
+  // response field (including error/status); the graph is unchanged on
+  // rejection. Cache maintenance runs synchronously, exactly as before
+  // sharding.
   void Ingest(const std::vector<Triple>& triples, IngestResponse* response);
+
+  // Brings the cache up to `snap`'s epoch: collapses the missed deltas
+  // into one combined batch and patches / repairs / drops exactly the
+  // affected resident entries. When `response` is non-null the
+  // invalidated/patched/repaired counters are ADDED to it (the router
+  // accumulates one response across shards). No-op when already caught
+  // up.
+  void CatchUpCache(const GraphSnapshot& snap, IngestResponse* response);
+
+  uint64_t caught_up_epoch() const { return caught_up_epoch_; }
 
   EngineStats Stats() const;
 
-  // Test hook: the materialized CLRM fusion row for an entity.
-  const Tensor& EntityEmbedding(EntityId e) const {
-    return entity_emb_[static_cast<size_t>(e)];
-  }
+  // Test hook: the materialized CLRM fusion row for an entity
+  // (writer-side; serialize externally against ingest).
+  const Tensor& EntityEmbedding(EntityId e) const { return writer_->Row(e); }
 
  private:
   // Everything the engine keeps per resident cached subgraph besides the
@@ -137,8 +185,28 @@ class InferenceEngine {
     uint64_t seq = 0;
   };
 
-  // Recomputes entity_emb_[e] from the entity's current relation table.
-  void RefreshEmbedding(EntityId e);
+  // (triple, derived item seed): exactly the inputs a score depends on
+  // besides the snapshot graph, which the memo epoch-flush accounts for.
+  struct MemoKey {
+    Triple triple;
+    uint64_t seed = 0;
+    bool operator==(const MemoKey& o) const {
+      return triple == o.triple && seed == o.seed;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const {
+      const size_t h = TripleHash{}(k.triple);
+      return h ^ (static_cast<size_t>(k.seed) * 0x9E3779B97F4A7C15ull + (h << 6));
+    }
+  };
+
+  // The full scoring pipeline (cache lookup / extract / GNN / admit)
+  // against one pinned snapshot — everything ScoreBatch did before the
+  // memo front-end.
+  std::vector<double> ScoreBatchAgainstSnapshot(
+      const GraphSnapshot& snap, const std::vector<ScoreItem>& items);
+
   // Removes one cached key and its invalidation-index entries.
   void RemoveCached(const Triple& key);
   // FIFO-evicts until the resident count fits the capacity.
@@ -146,13 +214,13 @@ class InferenceEngine {
 
   core::DekgIlpModel* model_;
   EngineConfig config_;
-  LiveGraph live_graph_;
+  std::unique_ptr<SnapshotWriter> owned_writer_;  // standalone mode only
+  SnapshotWriter* writer_;                        // always valid
 
-  // Materialized CLRM fusion rows, [1, dim] each; row e always equals
-  // EmbedEntity(RelationComponentTable(e)).value() for the current graph.
-  // Rows are replaced wholesale (never mutated in place), so concurrent
-  // readers inside one scoring batch are safe. Empty when CLRM is off.
-  std::vector<Tensor> entity_emb_;
+  // The snapshot epoch the cache state is consistent with: every
+  // resident entry's labels are a fresh blocked-BFS fixpoint against the
+  // graph at this epoch.
+  uint64_t caught_up_epoch_ = 0;
 
   // Subgraph cache (unlimited; capacity enforced here) plus the
   // maintenance bookkeeping. key_meta_ holds each resident key's sparse
@@ -167,13 +235,19 @@ class InferenceEngine {
   std::unordered_map<Triple, CachedMeta, TripleHash> key_meta_;
   std::unordered_map<EntityId, TripleSet> entity_index_;
 
+  // Finished-score memo for the caught-up epoch (see
+  // EngineConfig::score_memo_capacity). Flushed by CatchUpCache on every
+  // epoch advance.
+  std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
+  uint64_t memo_hits_ = 0;
+  uint64_t memo_misses_ = 0;
+
   uint64_t insert_seq_ = 0;
   uint64_t evictions_ = 0;
   uint64_t invalidated_ = 0;
   uint64_t patched_ = 0;
   uint64_t repaired_ = 0;
   uint64_t fallback_ = 0;
-  uint64_t embedding_refreshes_ = 0;
 };
 
 }  // namespace dekg::serve

@@ -64,24 +64,25 @@ Status LiveGraph::Ingest(const std::vector<Triple>& triples,
   return Status::kOk;
 }
 
-Status LiveGraph::ValidateForScoring(const std::vector<Triple>& triples,
-                                     std::string* error) const {
+Status ValidateTriplesForScoring(const KnowledgeGraph& graph,
+                                 const std::vector<Triple>& triples,
+                                 std::string* error) {
   if (triples.empty()) {
     *error = "empty triple list";
     return Status::kBadRequest;
   }
   for (size_t i = 0; i < triples.size(); ++i) {
     const Triple& t = triples[i];
-    if (t.rel < 0 || t.rel >= graph_.num_relations()) {
+    if (t.rel < 0 || t.rel >= graph.num_relations()) {
       *error = "triple " + std::to_string(i) + ": unknown relation id " +
                std::to_string(t.rel);
       return Status::kUnknownRelation;
     }
-    if (t.head < 0 || t.head >= graph_.num_entities() || t.tail < 0 ||
-        t.tail >= graph_.num_entities()) {
+    if (t.head < 0 || t.head >= graph.num_entities() || t.tail < 0 ||
+        t.tail >= graph.num_entities()) {
       *error = "triple " + std::to_string(i) +
                ": entity id outside the current entity space [0, " +
-               std::to_string(graph_.num_entities()) + ")";
+               std::to_string(graph.num_entities()) + ")";
       return Status::kBadEntity;
     }
   }

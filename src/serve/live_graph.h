@@ -29,6 +29,15 @@
 
 namespace dekg::serve {
 
+// Validates a scoring request against `graph`: relation in vocabulary,
+// entities within the graph's entity space (an id the graph has never
+// seen cannot be scored — it has no table row). Free function so the
+// engine can validate against an immutable snapshot graph, not just the
+// writer-side LiveGraph.
+Status ValidateTriplesForScoring(const KnowledgeGraph& graph,
+                                 const std::vector<Triple>& triples,
+                                 std::string* error);
+
 struct LiveGraphConfig {
   // Hard cap on entity-id space growth; an ingest that would exceed it is
   // rejected whole (kBadEntity). Guards the O(num_entities) extraction
@@ -69,11 +78,11 @@ class LiveGraph {
   Status Ingest(const std::vector<Triple>& triples, IngestReport* report,
                 std::string* error);
 
-  // Validates a scoring request against the current graph: relation in
-  // vocabulary, entities within the current entity space (an id the graph
-  // has never seen cannot be scored — it has no table row).
+  // ValidateTriplesForScoring against the current graph.
   Status ValidateForScoring(const std::vector<Triple>& triples,
-                            std::string* error) const;
+                            std::string* error) const {
+    return ValidateTriplesForScoring(graph_, triples, error);
+  }
 
   uint64_t ingested_triples() const { return ingested_; }
 

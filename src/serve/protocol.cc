@@ -1,8 +1,10 @@
 #include "serve/protocol.h"
 
 #include <errno.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/checkpoint.h"
@@ -103,7 +105,9 @@ bool DecodeFrameHeader(const uint8_t* header, MessageType* type,
 
 std::vector<uint8_t> EncodeScoreRequest(const ScoreRequest& request) {
   std::vector<uint8_t> out;
+  ckpt::AppendPod(&out, request.request_id);
   ckpt::AppendPod(&out, request.seed);
+  ckpt::AppendPod(&out, request.index_offset);
   ckpt::AppendPod(&out, static_cast<uint8_t>(request.with_rank ? 1 : 0));
   AppendTriples(&out, request.triples);
   return out;
@@ -113,7 +117,10 @@ bool DecodeScoreRequest(const std::vector<uint8_t>& payload,
                         ScoreRequest* request) {
   ckpt::ByteReader reader(payload);
   uint8_t with_rank = 0;
-  if (!reader.ReadPod(&request->seed) || !reader.ReadPod(&with_rank) ||
+  if (!reader.ReadPod(&request->request_id) ||
+      !reader.ReadPod(&request->seed) ||
+      !reader.ReadPod(&request->index_offset) ||
+      !reader.ReadPod(&with_rank) ||
       !ReadTriples(&reader, &request->triples)) {
     return false;
   }
@@ -123,6 +130,7 @@ bool DecodeScoreRequest(const std::vector<uint8_t>& payload,
 
 std::vector<uint8_t> EncodeScoreResponse(const ScoreResponse& response) {
   std::vector<uint8_t> out;
+  ckpt::AppendPod(&out, response.request_id);
   ckpt::AppendPod(&out, static_cast<uint8_t>(response.status));
   ckpt::AppendString(&out, response.error);
   ckpt::AppendPod(&out, static_cast<uint8_t>(response.has_rank ? 1 : 0));
@@ -138,9 +146,9 @@ bool DecodeScoreResponse(const std::vector<uint8_t>& payload,
   uint8_t status = 0;
   uint8_t has_rank = 0;
   uint32_t count = 0;
-  if (!reader.ReadPod(&status) || !reader.ReadString(&response->error) ||
-      !reader.ReadPod(&has_rank) || !reader.ReadPod(&response->rank) ||
-      !reader.ReadPod(&count)) {
+  if (!reader.ReadPod(&response->request_id) || !reader.ReadPod(&status) ||
+      !reader.ReadString(&response->error) || !reader.ReadPod(&has_rank) ||
+      !reader.ReadPod(&response->rank) || !reader.ReadPod(&count)) {
     return false;
   }
   if (static_cast<uint64_t>(count) * sizeof(double) > reader.remaining()) {
@@ -157,6 +165,7 @@ bool DecodeScoreResponse(const std::vector<uint8_t>& payload,
 
 std::vector<uint8_t> EncodeIngestRequest(const IngestRequest& request) {
   std::vector<uint8_t> out;
+  ckpt::AppendPod(&out, request.request_id);
   AppendTriples(&out, request.triples);
   return out;
 }
@@ -164,11 +173,13 @@ std::vector<uint8_t> EncodeIngestRequest(const IngestRequest& request) {
 bool DecodeIngestRequest(const std::vector<uint8_t>& payload,
                          IngestRequest* request) {
   ckpt::ByteReader reader(payload);
-  return ReadTriples(&reader, &request->triples) && reader.AtEnd();
+  return reader.ReadPod(&request->request_id) &&
+         ReadTriples(&reader, &request->triples) && reader.AtEnd();
 }
 
 std::vector<uint8_t> EncodeIngestResponse(const IngestResponse& response) {
   std::vector<uint8_t> out;
+  ckpt::AppendPod(&out, response.request_id);
   ckpt::AppendPod(&out, static_cast<uint8_t>(response.status));
   ckpt::AppendString(&out, response.error);
   ckpt::AppendPod(&out, response.accepted);
@@ -184,7 +195,8 @@ bool DecodeIngestResponse(const std::vector<uint8_t>& payload,
                           IngestResponse* response) {
   ckpt::ByteReader reader(payload);
   uint8_t status = 0;
-  if (!reader.ReadPod(&status) || !reader.ReadString(&response->error) ||
+  if (!reader.ReadPod(&response->request_id) || !reader.ReadPod(&status) ||
+      !reader.ReadString(&response->error) ||
       !reader.ReadPod(&response->accepted) ||
       !reader.ReadPod(&response->duplicates) ||
       !reader.ReadPod(&response->invalidated) ||
@@ -221,7 +233,18 @@ std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response) {
   ckpt::AppendPod(&out, response.graph_entities);
   ckpt::AppendPod(&out, response.ingested_triples);
   ckpt::AppendPod(&out, response.embedding_refreshes);
+  ckpt::AppendPod(&out, response.epoch);
   ckpt::AppendPod(&out, response.uptime_s);
+  ckpt::AppendPod(&out, static_cast<uint32_t>(response.shards.size()));
+  for (const ShardStatsBlock& b : response.shards) {
+    ckpt::AppendPod(&out, b.shard);
+    ckpt::AppendPod(&out, b.cache_hits);
+    ckpt::AppendPod(&out, b.cache_misses);
+    ckpt::AppendPod(&out, b.cache_entries);
+    ckpt::AppendPod(&out, b.cache_patched);
+    ckpt::AppendPod(&out, b.cache_repaired);
+    ckpt::AppendPod(&out, b.cache_fallback);
+  }
   return out;
 }
 
@@ -254,7 +277,22 @@ bool DecodeStatsResponse(const std::vector<uint8_t>& payload,
        reader.ReadPod(&response->graph_entities) &&
        reader.ReadPod(&response->ingested_triples) &&
        reader.ReadPod(&response->embedding_refreshes) &&
+       reader.ReadPod(&response->epoch) &&
        reader.ReadPod(&response->uptime_s);
+  uint32_t shard_count = 0;
+  ok = ok && reader.ReadPod(&shard_count);
+  // Each block costs 52 payload bytes; reject a lying count before
+  // allocating.
+  if (!ok || static_cast<uint64_t>(shard_count) * 52 > reader.remaining()) {
+    return false;
+  }
+  response->shards.assign(shard_count, ShardStatsBlock{});
+  for (ShardStatsBlock& b : response->shards) {
+    ok = ok && reader.ReadPod(&b.shard) && reader.ReadPod(&b.cache_hits) &&
+         reader.ReadPod(&b.cache_misses) && reader.ReadPod(&b.cache_entries) &&
+         reader.ReadPod(&b.cache_patched) &&
+         reader.ReadPod(&b.cache_repaired) && reader.ReadPod(&b.cache_fallback);
+  }
   return ok && reader.AtEnd();
 }
 
@@ -281,7 +319,13 @@ int ReadExact(int fd, uint8_t* buf, size_t size) {
 bool WriteAll(int fd, const uint8_t* buf, size_t size) {
   size_t done = 0;
   while (done < size) {
-    const ssize_t n = ::write(fd, buf + done, size - done);
+    // MSG_NOSIGNAL: a peer that disconnected mid-pipeline must surface
+    // as EPIPE on this thread, not SIGPIPE to the process. Non-socket
+    // fds (tests drive the framing over pipes) fall back to write().
+    ssize_t n = ::send(fd, buf + done, size - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, buf + done, size - done);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -324,6 +368,82 @@ bool WriteFrame(int fd, MessageType type, const std::vector<uint8_t>& payload,
     if (error != nullptr) *error = "write failed";
     return false;
   }
+  return true;
+}
+
+void AppendFrame(std::vector<uint8_t>* wire, MessageType type,
+                 const std::vector<uint8_t>& payload) {
+  const std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  wire->insert(wire->end(), frame.begin(), frame.end());
+}
+
+bool WriteWire(int fd, const std::vector<uint8_t>& wire, std::string* error) {
+  if (wire.empty()) return true;
+  if (!WriteAll(fd, wire.data(), wire.size())) {
+    if (error != nullptr) *error = "write failed";
+    return false;
+  }
+  return true;
+}
+
+void FrameReader::Reset(int fd) {
+  fd_ = fd;
+  buffer_.clear();
+  pos_ = 0;
+}
+
+bool FrameReader::Fill(size_t need, bool* clean_eof) {
+  *clean_eof = false;
+  while (buffer_.size() - pos_ < need) {
+    if (pos_ > 0) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<int64_t>(pos_));
+      pos_ = 0;
+    }
+    const size_t have = buffer_.size();
+    // Ask for a big block: a blocking read returns whatever is already
+    // queued (at least one byte), so a pipelined burst arrives in one
+    // syscall without waiting for the full block.
+    const size_t want = std::max(need - have, size_t{16384});
+    buffer_.resize(have + want);
+    const ssize_t n = ::read(fd_, buffer_.data() + have, want);
+    if (n <= 0) {
+      buffer_.resize(have);
+      if (n < 0 && errno == EINTR) continue;
+      *clean_eof = n == 0 && have == 0;
+      return false;
+    }
+    buffer_.resize(have + static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool FrameReader::ReadFrame(Frame* frame, std::string* error) {
+  bool clean_eof = false;
+  if (!Fill(kFrameHeaderBytes, &clean_eof)) {
+    if (error != nullptr) {
+      if (clean_eof) {
+        error->clear();
+      } else {
+        *error = "truncated frame header";
+      }
+    }
+    return false;
+  }
+  uint64_t payload_size = 0;
+  if (!DecodeFrameHeader(buffer_.data() + pos_, &frame->type, &payload_size,
+                         error)) {
+    return false;
+  }
+  pos_ += kFrameHeaderBytes;
+  if (!Fill(static_cast<size_t>(payload_size), &clean_eof)) {
+    if (error != nullptr) *error = "truncated frame payload";
+    return false;
+  }
+  frame->payload.assign(
+      buffer_.begin() + static_cast<int64_t>(pos_),
+      buffer_.begin() + static_cast<int64_t>(pos_ + payload_size));
+  pos_ += static_cast<size_t>(payload_size);
   return true;
 }
 

@@ -6,9 +6,10 @@
 // byte helpers of common/checkpoint.h):
 //
 //   u32  magic            0x444B4753 ("DKGS")
-//   u8   protocol version (currently 2: v2 added the ingest patch /
-//        repair counters and the cache_patched / cache_repaired /
-//        cache_fallback stats fields)
+//   u8   protocol version (currently 3: v3 added per-request ids +
+//        index offsets for connection pipelining, and per-shard cache
+//        blocks + the snapshot epoch in StatsResponse; v2 added the
+//        ingest patch / repair counters)
 //   u8   message type     (MessageType)
 //   u16  reserved         (0)
 //   u64  payload length   (bounded by kMaxPayloadBytes)
@@ -31,7 +32,7 @@
 namespace dekg::serve {
 
 inline constexpr uint32_t kFrameMagic = 0x444B4753;  // "DKGS"
-inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersion = 3;
 // Upper bound on a single frame payload; a stream claiming more is
 // treated as corrupt rather than allocated.
 inline constexpr uint64_t kMaxPayloadBytes = 64ull << 20;
@@ -62,19 +63,31 @@ const char* StatusName(Status status);
 // ----- Typed messages -----
 
 // Scores `triples` against the live graph. Triple i draws from the Rng
-// stream MixSeed(seed, i) — the same per-index stream derivation the
-// offline evaluator's predictor uses, which is what makes server scores
-// independent of micro-batch composition and bit-identical to offline
-// Evaluate. When `with_rank` is set the first triple is treated as the
-// positive and the response carries its filtered rank among the rest
-// (eval/evaluator.h RankOf semantics).
+// stream MixSeed(seed, index_offset + i) — the same per-index stream
+// derivation the offline evaluator's predictor uses, which is what
+// makes server scores independent of micro-batch composition and
+// bit-identical to offline Evaluate. `index_offset` (v3) lets a
+// pipelined client split one logical request into several frames
+// without perturbing any triple's stream: the chunk starting at logical
+// position o sends index_offset = o, and the concatenated responses are
+// bitwise the unsplit request's. When `with_rank` is set the first
+// triple is treated as the positive and the response carries its
+// filtered rank among the rest (eval/evaluator.h RankOf semantics).
+//
+// `request_id` (v3) is an opaque client token echoed in the response.
+// The server answers each connection's frames in arrival order even
+// when shards complete out of order, so ids exist for client-side
+// verification and tracing, not reordering.
 struct ScoreRequest {
+  uint64_t request_id = 0;
   uint64_t seed = 123;  // DekgIlpPredictor's default stream seed
+  uint64_t index_offset = 0;
   bool with_rank = false;
   std::vector<Triple> triples;
 };
 
 struct ScoreResponse {
+  uint64_t request_id = 0;  // echoed from the request
   Status status = Status::kOk;
   std::string error;
   bool has_rank = false;
@@ -85,10 +98,12 @@ struct ScoreResponse {
 // Appends emerging-KG triples to the live graph. Admission is atomic: the
 // whole batch is validated first and a rejected batch changes nothing.
 struct IngestRequest {
+  uint64_t request_id = 0;
   std::vector<Triple> triples;
 };
 
 struct IngestResponse {
+  uint64_t request_id = 0;  // echoed from the request
   Status status = Status::kOk;
   std::string error;
   uint32_t accepted = 0;
@@ -99,6 +114,19 @@ struct IngestResponse {
   uint64_t patched = 0;        // cache entries rebuilt, labels unchanged
   uint64_t repaired = 0;       // cache entries rebuilt after re-relaxation
   uint32_t new_entities = 0;   // entity-id space growth
+};
+
+// Per-shard subgraph-cache counters (v3): one block per shard engine,
+// in shard order, so operators can see routing skew and which shards
+// absorb ingest churn.
+struct ShardStatsBlock {
+  uint32_t shard = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_patched = 0;
+  uint64_t cache_repaired = 0;
+  uint64_t cache_fallback = 0;
 };
 
 // Operational counters for the STATS surface. Latencies are measured with
@@ -130,7 +158,9 @@ struct StatsResponse {
   uint64_t graph_entities = 0;
   uint64_t ingested_triples = 0;
   uint64_t embedding_refreshes = 0;
+  uint64_t epoch = 0;  // current snapshot epoch (v3)
   double uptime_s = 0.0;
+  std::vector<ShardStatsBlock> shards;  // one per shard engine (v3)
 };
 
 // ----- Frame encode/decode (pure; unit-testable without sockets) -----
@@ -179,6 +209,37 @@ bool ReadFrame(int fd, Frame* frame, std::string* error);
 // Writes one frame to `fd`. Returns false on I/O error.
 bool WriteFrame(int fd, MessageType type, const std::vector<uint8_t>& payload,
                 std::string* error);
+
+// Appends one encoded frame to a wire buffer; WriteWire flushes the
+// whole buffer with one syscall. A pipelining peer coalesces a burst of
+// small frames this way instead of paying per-frame writes.
+void AppendFrame(std::vector<uint8_t>* wire, MessageType type,
+                 const std::vector<uint8_t>& payload);
+bool WriteWire(int fd, const std::vector<uint8_t>& wire, std::string* error);
+
+// Buffered frame reads: large read() calls into an internal buffer, so
+// one syscall can deliver many pipelined frames. Semantics match
+// ReadFrame exactly — false with an empty error string on clean EOF at
+// a frame boundary, "truncated frame header/payload" on a mid-frame
+// EOF or I/O error, and the DecodeFrameHeader errors on a bad header.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd = -1) : fd_(fd) {}
+
+  // Attaches to a (new) fd and discards any buffered bytes.
+  void Reset(int fd);
+
+  bool ReadFrame(Frame* frame, std::string* error);
+
+ private:
+  // Ensures >= `need` unconsumed bytes are buffered. On failure,
+  // `clean_eof` distinguishes EOF at a frame boundary from truncation.
+  bool Fill(size_t need, bool* clean_eof);
+
+  int fd_ = -1;
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;  // consumed prefix of buffer_
+};
 
 }  // namespace dekg::serve
 

@@ -2,11 +2,16 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
+#include <future>
 #include <utility>
 
 #include "common/logging.h"
@@ -103,6 +108,10 @@ void ScoringServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener shut down (or fatal accept error): stop
     }
+    // Responses to a pipelining client are many small frames in a row;
+    // without this, Nagle holds each behind the previous frame's ACK.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       ::close(fd);
@@ -116,48 +125,168 @@ void ScoringServer::AcceptLoop() {
   }
 }
 
+namespace {
+
+// One response owed to the peer, in submission order. Futures are
+// resolved by the writer thread; immediate entries (decode failures,
+// shutdown acks) carry their payload directly.
+struct Pending {
+  enum class Kind { kScore, kIngest, kStats, kImmediate };
+  Kind kind = Kind::kImmediate;
+  MessageType type = MessageType::kErrorResponse;
+  std::future<ScoreResponse> score;
+  std::future<IngestResponse> ingest;
+  std::future<StatsResponse> stats;
+  std::vector<uint8_t> immediate;
+};
+
+Pending ImmediateEntry(MessageType type, std::vector<uint8_t> payload) {
+  Pending entry;
+  entry.kind = Pending::Kind::kImmediate;
+  entry.type = type;
+  entry.immediate = std::move(payload);
+  return entry;
+}
+
+}  // namespace
+
 void ScoringServer::HandleConnection(Connection* connection) {
   const int fd = connection->fd;
+
+  // Per-connection pipeline state, shared between this (reader) thread
+  // and the writer thread below.
+  std::mutex pipeline_mutex;
+  std::condition_variable pipeline_cv;
+  std::deque<Pending> pending;
+  bool reader_done = false;
+
+  std::thread writer([&] {
+    // In-order delivery means the head of the queue must resolve before
+    // anything behind it ships; coalescing therefore only ever adds
+    // entries that are ALREADY resolved behind a head this thread has
+    // finished, so a burst of scheduler-completed responses leaves in
+    // one write without the head ever waiting on a straggler.
+    const auto resolved = [](const Pending& p) {
+      const auto now = std::chrono::seconds(0);
+      switch (p.kind) {
+        case Pending::Kind::kScore:
+          return p.score.wait_for(now) == std::future_status::ready;
+        case Pending::Kind::kIngest:
+          return p.ingest.wait_for(now) == std::future_status::ready;
+        case Pending::Kind::kStats:
+          return p.stats.wait_for(now) == std::future_status::ready;
+        case Pending::Kind::kImmediate:
+          return true;
+      }
+      return true;
+    };
+    bool failed = false;  // peer unreachable: drain without writing
+    std::vector<uint8_t> wire;  // encoded-but-unflushed responses
+    std::string write_error;
+    const auto flush = [&] {
+      if (!failed && !wire.empty() && !WriteWire(fd, wire, &write_error)) {
+        // EPIPE/ECONNRESET land here (MSG_NOSIGNAL, so no signal). Only
+        // this connection winds down: kick the reader out of its
+        // blocking read and keep draining the queue silently.
+        failed = true;
+        ::shutdown(fd, SHUT_RD);
+      }
+      wire.clear();
+    };
+    for (;;) {
+      Pending entry;
+      bool have = false;
+      {
+        std::unique_lock<std::mutex> lock(pipeline_mutex);
+        if (wire.empty()) {
+          pipeline_cv.wait(lock,
+                           [&] { return !pending.empty() || reader_done; });
+          if (pending.empty()) return;  // reader finished, queue drained
+          have = true;  // may block resolving — nothing is buffered yet
+        } else if (!pending.empty() && resolved(pending.front())) {
+          have = true;  // extend the burst without blocking
+        }
+        if (have) {
+          entry = std::move(pending.front());
+          pending.pop_front();
+        }
+      }
+      if (!have) {
+        // Nothing further is ready: put the burst on the wire now.
+        flush();
+        continue;
+      }
+      pipeline_cv.notify_all();  // a depth slot freed
+      if (failed) continue;  // still pop (unblocks the reader), never write
+      // Resolve outside the lock: blocking on the scheduler here is the
+      // whole point — the reader keeps admitting frames meanwhile.
+      MessageType type = entry.type;
+      std::vector<uint8_t> payload;
+      switch (entry.kind) {
+        case Pending::Kind::kScore:
+          type = MessageType::kScoreResponse;
+          payload = EncodeScoreResponse(entry.score.get());
+          break;
+        case Pending::Kind::kIngest:
+          type = MessageType::kIngestResponse;
+          payload = EncodeIngestResponse(entry.ingest.get());
+          break;
+        case Pending::Kind::kStats:
+          type = MessageType::kStatsResponse;
+          payload = EncodeStatsResponse(entry.stats.get());
+          break;
+        case Pending::Kind::kImmediate:
+          payload = std::move(entry.immediate);
+          break;
+      }
+      AppendFrame(&wire, type, payload);
+      // Bound the burst: a deep pipeline must not buffer unbounded bytes.
+      if (wire.size() >= size_t{256} << 10) flush();
+    }
+  });
+
   std::string error;
   Frame frame;
   bool stop_after_close = false;
-  while (ReadFrame(fd, &frame, &error)) {
-    std::string write_error;
+  FrameReader frame_reader(fd);  // one read() drains a pipelined burst
+  while (frame_reader.ReadFrame(&frame, &error)) {
+    Pending entry;
     switch (frame.type) {
       case MessageType::kScoreRequest: {
         ScoreRequest request;
-        ScoreResponse response;
         if (!DecodeScoreRequest(frame.payload, &request)) {
+          ScoreResponse response;
           response.status = Status::kBadRequest;
           response.error = "malformed score request";
+          entry = ImmediateEntry(MessageType::kScoreResponse,
+                                 EncodeScoreResponse(response));
         } else {
-          response = batcher_->SubmitScore(std::move(request)).get();
+          entry.kind = Pending::Kind::kScore;
+          entry.score = batcher_->SubmitScore(std::move(request));
         }
-        WriteFrame(fd, MessageType::kScoreResponse,
-                   EncodeScoreResponse(response), &write_error);
         break;
       }
       case MessageType::kIngestRequest: {
         IngestRequest request;
-        IngestResponse response;
         if (!DecodeIngestRequest(frame.payload, &request)) {
+          IngestResponse response;
           response.status = Status::kBadRequest;
           response.error = "malformed ingest request";
+          entry = ImmediateEntry(MessageType::kIngestResponse,
+                                 EncodeIngestResponse(response));
         } else {
-          response = batcher_->SubmitIngest(std::move(request)).get();
+          entry.kind = Pending::Kind::kIngest;
+          entry.ingest = batcher_->SubmitIngest(std::move(request));
         }
-        WriteFrame(fd, MessageType::kIngestResponse,
-                   EncodeIngestResponse(response), &write_error);
         break;
       }
       case MessageType::kStatsRequest: {
-        const StatsResponse response = batcher_->SubmitStats().get();
-        WriteFrame(fd, MessageType::kStatsResponse,
-                   EncodeStatsResponse(response), &write_error);
+        entry.kind = Pending::Kind::kStats;
+        entry.stats = batcher_->SubmitStats();
         break;
       }
       case MessageType::kShutdownRequest: {
-        WriteFrame(fd, MessageType::kShutdownResponse, {}, &write_error);
+        entry = ImmediateEntry(MessageType::kShutdownResponse, {});
         stop_after_close = true;
         break;
       }
@@ -167,14 +296,28 @@ void ScoringServer::HandleConnection(Connection* connection) {
         ScoreResponse response;
         response.status = Status::kBadRequest;
         response.error = "unexpected message type";
-        WriteFrame(fd, MessageType::kErrorResponse,
-                   EncodeScoreResponse(response), &write_error);
+        entry = ImmediateEntry(MessageType::kErrorResponse,
+                               EncodeScoreResponse(response));
         break;
       }
     }
-    if (!write_error.empty()) break;  // peer gone; stop serving this fd
+    {
+      std::unique_lock<std::mutex> lock(pipeline_mutex);
+      pipeline_cv.wait(lock,
+                       [&] { return pending.size() < kMaxPipelineDepth; });
+      pending.push_back(std::move(entry));
+    }
+    pipeline_cv.notify_all();
+    // The shutdown ack flushes behind every pipelined response already
+    // owed; reading stops now so nothing is admitted after the ack.
     if (stop_after_close) break;
   }
+  {
+    std::lock_guard<std::mutex> lock(pipeline_mutex);
+    reader_done = true;
+  }
+  pipeline_cv.notify_all();
+  writer.join();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Close under the server mutex so Wait() never shuts down a reused fd.

@@ -1,10 +1,25 @@
-// TCP front end of the online scoring server (DESIGN.md §9).
+// TCP front end of the online scoring server (DESIGN.md §9, §14).
 //
-// A plain POSIX socket server: one accept thread, one thread per
-// connection. Connection threads only decode frames, submit work to the
-// MicroBatcher, block on the returned future, and encode the response —
-// the engine itself runs exclusively on the scheduler thread, so the
-// socket layer adds no shared mutable state beyond the admission queue.
+// A plain POSIX socket server: one accept thread, two threads per
+// connection. The reader thread decodes frames and submits work to the
+// MicroBatcher without waiting for results, so a client may pipeline
+// many requests down one connection; the per-connection writer thread
+// resolves the pending futures in submission order and flushes each
+// response — in-order delivery to the client even though shards (and
+// requests) complete out of order internally. Pipeline depth is bounded
+// (the reader blocks at kMaxPipelineDepth outstanding responses, which
+// backpressures the peer through TCP). The engine itself runs
+// exclusively on the scheduler thread, so the socket layer adds no
+// shared mutable state beyond the admission queue and each connection's
+// own pending queue.
+//
+// Teardown robustness: a peer that vanishes mid-pipeline surfaces as
+// EPIPE/ECONNRESET on this connection's writer (writes use MSG_NOSIGNAL
+// — no process-wide SIGPIPE) or as a read error on its reader. Either
+// way only this connection winds down: the writer drains the remaining
+// pending futures without writing, the reader is kicked out via
+// SHUT_RD, both threads join, and the fd is closed exactly once. The
+// scheduler and every other connection are unaffected.
 //
 // Shutdown is graceful: RequestStop() (idempotent, callable from any
 // thread, including a connection thread handling kShutdownRequest or a
@@ -55,10 +70,14 @@ class ScoringServer {
   // thread; returns once the server is fully stopped.
   void Wait();
 
+  // Maximum responses outstanding per connection before the reader stops
+  // pulling new frames off the socket.
+  static constexpr size_t kMaxPipelineDepth = 256;
+
  private:
   struct Connection {
     int fd = -1;
-    std::thread thread;
+    std::thread thread;  // reader; the writer thread is handler-local
   };
 
   void AcceptLoop();

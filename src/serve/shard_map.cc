@@ -1,0 +1,57 @@
+#include "serve/shard_map.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dekg::serve {
+
+uint64_t MixHash64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+// Entity keys and ring points draw from disjoint input spaces: entity
+// ids are non-negative int32 promoted as-is, ring points set bit 40
+// (far above any entity id, below nothing that matters to the mixer).
+uint64_t EntityPoint(EntityId e) { return MixHash64(static_cast<uint64_t>(e)); }
+
+uint64_t RingPoint(int32_t shard, int32_t vnode) {
+  return MixHash64((1ull << 40) |
+                   (static_cast<uint64_t>(static_cast<uint32_t>(shard)) << 8) |
+                   static_cast<uint64_t>(static_cast<uint32_t>(vnode)));
+}
+
+}  // namespace
+
+ShardMap::ShardMap(int32_t num_shards) : num_shards_(num_shards) {
+  DEKG_CHECK_GE(num_shards_, 1);
+  if (num_shards_ == 1) return;
+  DEKG_CHECK_LE(num_shards_, 1 << 16);  // vnode encoding bound
+  ring_.reserve(static_cast<size_t>(num_shards_) * kVnodesPerShard);
+  for (int32_t s = 0; s < num_shards_; ++s) {
+    for (int32_t v = 0; v < kVnodesPerShard; ++v) {
+      ring_.push_back(Point{RingPoint(s, v), s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+int32_t ShardMap::ShardOfEntity(EntityId e) const {
+  if (num_shards_ == 1) return 0;
+  const uint64_t h = EntityPoint(e);
+  // First ring point at or after h; wrap to the smallest point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+}  // namespace dekg::serve

@@ -1,0 +1,65 @@
+// Consistent-hash partition of the entity space (DESIGN.md §14).
+//
+// Routing is a pure function of (entity id, shard count): the ring is
+// built from fixed splitmix64 mixing constants — no std::hash, no
+// process state — so a triple routes to the same shard in every run on
+// every platform. That stability is what makes shard-local subgraph
+// caches effective (the same key always lands where its cached
+// extraction lives) and what the routing test pins with hard-coded
+// hash values.
+//
+// Consistency: each shard contributes kVnodesPerShard points to the
+// ring; an entity belongs to the shard owning the first point at or
+// after its own hash (wrapping). Growing from n to n+1 shards only adds
+// points, so an entity either keeps its shard or moves to the new one —
+// ~1/(n+1) of the keys move, none shuffle between surviving shards.
+// (cf. the DEKG setting: emerging components are disconnected, so a
+// partition by endpoint entity never splits the structures scoring
+// actually reads.)
+#ifndef DEKG_SERVE_SHARD_MAP_H_
+#define DEKG_SERVE_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace dekg::serve {
+
+// Fixed-constant 64-bit mixer (splitmix64 finalizer). Exposed so tests
+// can pin the exact values the routing depends on.
+uint64_t MixHash64(uint64_t x);
+
+class ShardMap {
+ public:
+  static constexpr int32_t kVnodesPerShard = 64;
+
+  // num_shards >= 1. A 1-shard map routes everything to shard 0 without
+  // touching the ring.
+  explicit ShardMap(int32_t num_shards);
+
+  int32_t num_shards() const { return num_shards_; }
+
+  // The shard owning entity `e`. Pure: depends only on (e, num_shards).
+  int32_t ShardOfEntity(EntityId e) const;
+
+  // Scoring/caching route for a triple: by head endpoint. The key is the
+  // whole triple, but any pure endpoint function works — head keeps
+  // routing aligned with the subgraph's primary anchor.
+  int32_t ShardOfTriple(const Triple& t) const {
+    return ShardOfEntity(t.head);
+  }
+
+ private:
+  struct Point {
+    uint64_t hash = 0;
+    int32_t shard = 0;
+  };
+
+  int32_t num_shards_;
+  std::vector<Point> ring_;  // sorted by (hash, shard)
+};
+
+}  // namespace dekg::serve
+
+#endif  // DEKG_SERVE_SHARD_MAP_H_

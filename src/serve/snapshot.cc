@@ -1,0 +1,75 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace dekg::serve {
+
+SnapshotWriter::SnapshotWriter(core::DekgIlpModel* model, KnowledgeGraph base,
+                               const LiveGraphConfig& config)
+    : model_(model), live_(std::move(base), config) {
+  core::Clrm* clrm = model_->clrm();
+  if (clrm != nullptr) {
+    const int32_t n = live_.graph().num_entities();
+    rows_.resize(static_cast<size_t>(n));
+    // Fusion rows are independent; each lands in its own pre-sized slot,
+    // so the precompute is bit-identical at any thread count.
+    ParallelFor(0, n, /*grain=*/0, [&](int64_t begin, int64_t end) {
+      for (int64_t e = begin; e < end; ++e) {
+        rows_[static_cast<size_t>(e)] = std::make_shared<const Tensor>(
+            clrm->EmbedEntity(
+                    live_.graph().RelationComponentTable(
+                        static_cast<EntityId>(e)))
+                .value());
+      }
+    });
+  }
+  Publish(nullptr);
+}
+
+Status SnapshotWriter::Ingest(const std::vector<Triple>& triples,
+                              IngestReport* report, std::string* error) {
+  const Status status = live_.Ingest(triples, report, error);
+  if (status != Status::kOk) return status;
+
+  core::Clrm* clrm = model_->clrm();
+  if (clrm != nullptr) {
+    const size_t new_n = static_cast<size_t>(live_.graph().num_entities());
+    if (new_n > rows_.size()) {
+      // Brand-new ids (including any gap below the highest ingested id)
+      // start from the all-zero table. One shared zero row suffices —
+      // rows are replaced wholesale, never mutated in place.
+      const core::RelationTable zero_table(
+          static_cast<size_t>(live_.graph().num_relations()), 0);
+      rows_.resize(new_n, std::make_shared<const Tensor>(
+                              clrm->EmbedEntity(zero_table).value()));
+    }
+    for (EntityId e : report->touched_entities) {
+      rows_[static_cast<size_t>(e)] = std::make_shared<const Tensor>(
+          clrm->EmbedEntity(live_.graph().RelationComponentTable(e)).value());
+    }
+    refreshes_ += report->touched_entities.size();
+  }
+
+  auto delta = std::make_shared<IngestDelta>();
+  delta->epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  delta->triples = triples;
+  delta->touched = report->touched_entities;
+  delta->prev = Current()->deltas;
+  Publish(std::move(delta));
+  return Status::kOk;
+}
+
+void SnapshotWriter::Publish(std::shared_ptr<const IngestDelta> delta) {
+  // O(V+E) graph copy: the wait-free-reader cost. Rows are O(V) pointer
+  // copies; unchanged rows are shared between snapshots.
+  auto snapshot = std::make_shared<GraphSnapshot>(live_.graph());
+  snapshot->epoch = epoch_.load(std::memory_order_relaxed) + (delta ? 1 : 0);
+  snapshot->entity_emb = rows_;
+  snapshot->deltas = std::move(delta);
+  epoch_.store(snapshot->epoch, std::memory_order_release);
+  published_.store(std::move(snapshot), std::memory_order_release);
+}
+
+}  // namespace dekg::serve

@@ -1,0 +1,128 @@
+// Epoch-snapshot (RCU) publication of the live graph (DESIGN.md §14).
+//
+// The sharded serving stack separates the single writer (ingest) from
+// many readers (scoring) without locks on the read path:
+//
+//  * `GraphSnapshot` is an immutable copy of the graph plus the
+//    materialized CLRM fusion rows, tagged with a monotonically
+//    increasing epoch. Scoring grabs one shared_ptr at batch start and
+//    reads it for the whole batch — a concurrent ingest can never move
+//    the data under a reader's feet.
+//  * `SnapshotWriter` owns the mutable state: a dynamic-mode LiveGraph
+//    and the current row table. Ingest applies the batch to the writer
+//    graph, refreshes exactly the touched rows, then publishes a fresh
+//    snapshot with one atomic shared_ptr store. Readers that loaded the
+//    old snapshot keep it alive until their batch finishes; nobody
+//    blocks.
+//  * `IngestDelta` records what each epoch ingested (the admitted batch
+//    in order plus its deduplicated touched entities). Snapshots chain
+//    deltas backwards, so a shard engine that slept through k epochs can
+//    collect the missed batches and patch its subgraph cache as if it
+//    had seen one combined ingest — exactly the situation the PR-7
+//    re-relaxation handles (the current graph equals the cached graph
+//    plus the combined batch). The chain retains only triple lists, the
+//    same asymptotic footprint as the monotonically growing graph
+//    itself.
+//
+// Costs, stated plainly: publishing copies the graph (O(V+E)) and the
+// row *pointer* table (O(V) pointer copies; unchanged rows are shared
+// between snapshots). That is the price of wait-free readers; the
+// batcher amortizes it by admitting ingest in batches.
+//
+// Thread contract: exactly one thread calls Ingest at a time (the
+// scheduler thread, or the router's caller). Current() is safe from any
+// thread, any time. live() / Row() read the writer-side mutable state
+// and are only meaningful where ingest is externally serialized against
+// the caller (standalone engines, tests).
+#ifndef DEKG_SERVE_SNAPSHOT_H_
+#define DEKG_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dekg_ilp.h"
+#include "kg/knowledge_graph.h"
+#include "serve/live_graph.h"
+#include "serve/protocol.h"
+
+namespace dekg::serve {
+
+// What one ingest epoch admitted. Immutable once published; `prev` links
+// to the previous epoch's delta (nullptr for the first post-base epoch).
+struct IngestDelta {
+  uint64_t epoch = 0;
+  // The admitted batch, in ingest order (duplicates included — they
+  // carry CLRM multiplicity).
+  std::vector<Triple> triples;
+  // Deduplicated ascending endpoints of the batch: the only entities
+  // whose relation tables changed.
+  std::vector<EntityId> touched;
+  std::shared_ptr<const IngestDelta> prev;
+};
+
+// An immutable view of the graph at one epoch. Readers hold it by
+// shared_ptr; the last reader (or the writer's next publish) frees it.
+struct GraphSnapshot {
+  explicit GraphSnapshot(KnowledgeGraph g) : graph(std::move(g)) {}
+
+  uint64_t epoch = 0;
+  KnowledgeGraph graph;
+  // Materialized CLRM fusion rows, [1, dim] each; row e always equals
+  // EmbedEntity(RelationComponentTable(e)) for `graph`. Rows are shared
+  // with other snapshots when unchanged. Empty when CLRM is off.
+  std::vector<std::shared_ptr<const Tensor>> entity_emb;
+  // Delta chain head: the delta that produced this epoch (nullptr for
+  // the base snapshot). Walking `prev` reaches every earlier epoch.
+  std::shared_ptr<const IngestDelta> deltas;
+};
+
+class SnapshotWriter {
+ public:
+  // Takes the built base graph, materializes the CLRM row table
+  // (parallelized over entities, bit-identical at any thread count), and
+  // publishes the epoch-0 snapshot. `model` must outlive the writer and
+  // is treated as frozen.
+  SnapshotWriter(core::DekgIlpModel* model, KnowledgeGraph base,
+                 const LiveGraphConfig& config);
+
+  // The most recently published snapshot. Wait-free for readers; safe
+  // from any thread.
+  std::shared_ptr<const GraphSnapshot> Current() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Applies an emerging-triple batch to the writer graph, refreshes the
+  // touched CLRM rows, and publishes a new snapshot. Atomic admission:
+  // a rejected batch changes nothing and publishes nothing. Single
+  // writer only.
+  Status Ingest(const std::vector<Triple>& triples, IngestReport* report,
+                std::string* error);
+
+  // Writer-side views (serialize externally against Ingest).
+  const KnowledgeGraph& live() const { return live_.graph(); }
+  const Tensor& Row(EntityId e) const {
+    return *rows_[static_cast<size_t>(e)];
+  }
+
+  uint64_t ingested_triples() const { return live_.ingested_triples(); }
+  uint64_t embedding_refreshes() const { return refreshes_; }
+
+ private:
+  void Publish(std::shared_ptr<const IngestDelta> delta);
+
+  core::DekgIlpModel* model_;
+  LiveGraph live_;
+  std::vector<std::shared_ptr<const Tensor>> rows_;
+  uint64_t refreshes_ = 0;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<std::shared_ptr<const GraphSnapshot>> published_;
+};
+
+}  // namespace dekg::serve
+
+#endif  // DEKG_SERVE_SNAPSHOT_H_

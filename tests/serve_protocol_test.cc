@@ -3,6 +3,7 @@
 // payload, lying length prefixes) is rejected by a decoder returning
 // false — never undefined behavior. These run without sockets.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
 
@@ -54,15 +55,71 @@ TEST(ServeProtocolTest, FrameHeaderRejectsBadMagicVersionAndSize) {
   EXPECT_NE(error.find("oversized"), std::string::npos);
 }
 
+TEST(ServeProtocolTest, FrameReaderMatchesReadFrameSemantics) {
+  // The buffered reader is the production read path on both ends of a
+  // connection; its EOF/truncation behavior must match ReadFrame's:
+  // clean EOF (empty error) only at a frame boundary, an error mid-frame.
+  const std::vector<uint8_t> p1 = {1, 2, 3};
+  const std::vector<uint8_t> p2 = {9, 8, 7, 6, 5};
+  std::vector<uint8_t> wire;
+  AppendFrame(&wire, MessageType::kScoreRequest, p1);
+  AppendFrame(&wire, MessageType::kIngestRequest, p2);
+
+  {
+    // Both frames from one wire buffer, then clean EOF.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::string error;
+    ASSERT_TRUE(WriteWire(fds[1], wire, &error)) << error;
+    ::close(fds[1]);
+    FrameReader reader(fds[0]);
+    Frame frame;
+    ASSERT_TRUE(reader.ReadFrame(&frame, &error)) << error;
+    EXPECT_EQ(frame.type, MessageType::kScoreRequest);
+    EXPECT_EQ(frame.payload, p1);
+    ASSERT_TRUE(reader.ReadFrame(&frame, &error)) << error;
+    EXPECT_EQ(frame.type, MessageType::kIngestRequest);
+    EXPECT_EQ(frame.payload, p2);
+    error = "sentinel";
+    EXPECT_FALSE(reader.ReadFrame(&frame, &error));
+    EXPECT_TRUE(error.empty());  // clean EOF at a frame boundary
+    ::close(fds[0]);
+  }
+
+  // Every strict prefix of one frame is a truncation, not a clean EOF.
+  std::vector<uint8_t> one;
+  AppendFrame(&one, MessageType::kScoreRequest, p1);
+  for (size_t cut = 1; cut < one.size(); ++cut) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::string error;
+    ASSERT_TRUE(WriteWire(
+        fds[1], std::vector<uint8_t>(one.begin(),
+                                     one.begin() + static_cast<int64_t>(cut)),
+        &error))
+        << error;
+    ::close(fds[1]);
+    FrameReader reader(fds[0]);
+    Frame frame;
+    EXPECT_FALSE(reader.ReadFrame(&frame, &error)) << "cut " << cut;
+    EXPECT_FALSE(error.empty()) << "cut " << cut;
+    ::close(fds[0]);
+  }
+}
+
 TEST(ServeProtocolTest, ScoreRequestRoundTrip) {
   ScoreRequest request;
+  request.request_id = 0x0123456789ABCDEFull;  // v3 pipelining correlator
   request.seed = 0xDEADBEEFCAFEF00Dull;
+  request.index_offset = 0xFEEDFACE12345678ull;  // v3 chunk offset
   request.with_rank = true;
   request.triples = {{1, 2, 3}, {4, 0, 4}, {-1, -2, -3}};
 
   ScoreRequest decoded;
   ASSERT_TRUE(DecodeScoreRequest(EncodeScoreRequest(request), &decoded));
+  EXPECT_EQ(decoded.request_id, request.request_id);
   EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.index_offset, request.index_offset);
   EXPECT_EQ(decoded.with_rank, request.with_rank);
   ASSERT_EQ(decoded.triples.size(), request.triples.size());
   for (size_t i = 0; i < request.triples.size(); ++i) {
@@ -72,6 +129,7 @@ TEST(ServeProtocolTest, ScoreRequestRoundTrip) {
 
 TEST(ServeProtocolTest, ScoreResponseRoundTripPreservesBits) {
   ScoreResponse response;
+  response.request_id = 42;  // echoed for pipelined in-order delivery
   response.status = Status::kOk;
   response.has_rank = true;
   response.rank = 3.5;
@@ -80,6 +138,7 @@ TEST(ServeProtocolTest, ScoreResponseRoundTripPreservesBits) {
 
   ScoreResponse decoded;
   ASSERT_TRUE(DecodeScoreResponse(EncodeScoreResponse(response), &decoded));
+  EXPECT_EQ(decoded.request_id, 42u);
   EXPECT_EQ(decoded.status, Status::kOk);
   EXPECT_EQ(decoded.has_rank, true);
   EXPECT_EQ(decoded.rank, response.rank);
@@ -91,14 +150,17 @@ TEST(ServeProtocolTest, ScoreResponseRoundTripPreservesBits) {
 
 TEST(ServeProtocolTest, IngestMessagesRoundTrip) {
   IngestRequest request;
+  request.request_id = 9001;
   request.triples = {{7, 1, 9}, {9, 1, 7}};
   IngestRequest decoded_request;
   ASSERT_TRUE(
       DecodeIngestRequest(EncodeIngestRequest(request), &decoded_request));
+  EXPECT_EQ(decoded_request.request_id, 9001u);
   ASSERT_EQ(decoded_request.triples.size(), 2u);
   EXPECT_EQ(decoded_request.triples[1], request.triples[1]);
 
   IngestResponse response;
+  response.request_id = 9001;
   response.status = Status::kUnknownRelation;
   response.error = "triple 0: unknown relation id 99";
   response.accepted = 3;
@@ -109,6 +171,7 @@ TEST(ServeProtocolTest, IngestMessagesRoundTrip) {
   response.new_entities = 2;
   IngestResponse decoded;
   ASSERT_TRUE(DecodeIngestResponse(EncodeIngestResponse(response), &decoded));
+  EXPECT_EQ(decoded.request_id, 9001u);
   EXPECT_EQ(decoded.status, Status::kUnknownRelation);
   EXPECT_EQ(decoded.error, response.error);
   EXPECT_EQ(decoded.accepted, 3u);
@@ -142,7 +205,19 @@ TEST(ServeProtocolTest, StatsResponseRoundTrip) {
   stats.graph_entities = 126;
   stats.ingested_triples = 88;
   stats.embedding_refreshes = 117;
+  stats.epoch = 19;
   stats.uptime_s = 12.5;
+  for (uint32_t s = 0; s < 3; ++s) {
+    ShardStatsBlock block;
+    block.shard = s;
+    block.cache_hits = 100 + s;
+    block.cache_misses = 200 + s;
+    block.cache_entries = 300 + s;
+    block.cache_patched = 400 + s;
+    block.cache_repaired = 500 + s;
+    block.cache_fallback = 600 + s;
+    stats.shards.push_back(block);
+  }
 
   StatsResponse decoded;
   ASSERT_TRUE(DecodeStatsResponse(EncodeStatsResponse(stats), &decoded));
@@ -160,7 +235,18 @@ TEST(ServeProtocolTest, StatsResponseRoundTrip) {
   EXPECT_EQ(decoded.cache_fallback, 6u);
   EXPECT_EQ(decoded.cache_bytes, 4096u);
   EXPECT_EQ(decoded.embedding_refreshes, 117u);
+  EXPECT_EQ(decoded.epoch, 19u);
   EXPECT_EQ(decoded.uptime_s, 12.5);
+  ASSERT_EQ(decoded.shards.size(), 3u);
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(decoded.shards[s].shard, s);
+    EXPECT_EQ(decoded.shards[s].cache_hits, 100u + s);
+    EXPECT_EQ(decoded.shards[s].cache_misses, 200u + s);
+    EXPECT_EQ(decoded.shards[s].cache_entries, 300u + s);
+    EXPECT_EQ(decoded.shards[s].cache_patched, 400u + s);
+    EXPECT_EQ(decoded.shards[s].cache_repaired, 500u + s);
+    EXPECT_EQ(decoded.shards[s].cache_fallback, 600u + s);
+  }
 }
 
 TEST(ServeProtocolTest, DecodersRejectTruncatedAndTrailingBytes) {
@@ -182,17 +268,83 @@ TEST(ServeProtocolTest, DecodersRejectTruncatedAndTrailingBytes) {
   EXPECT_FALSE(DecodeScoreRequest(padded, &out));
 }
 
-TEST(ServeProtocolTest, LyingTripleCountIsRejectedWithoutAllocating) {
-  // A 4-byte payload claiming 2^32-1 triples must fail the bound check
-  // up front (count * 12 > remaining), not attempt a giant allocation.
-  std::vector<uint8_t> payload(12, 0);
+TEST(ServeProtocolTest, V3LayoutsRejectTruncationAtEveryPrefix) {
+  // The v3 additions (request_id, index_offset, epoch, shard blocks)
+  // shifted every layout; re-sweep truncation over all of them.
+  ScoreResponse score;
+  score.request_id = 7;
+  score.status = Status::kOk;
+  score.error = "e";
+  score.has_rank = true;
+  score.rank = 2.0;
+  score.scores = {1.5, -2.5};
+  const std::vector<uint8_t> score_payload = EncodeScoreResponse(score);
+  for (size_t len = 0; len < score_payload.size(); ++len) {
+    std::vector<uint8_t> cut(
+        score_payload.begin(),
+        score_payload.begin() + static_cast<int64_t>(len));
+    ScoreResponse out;
+    EXPECT_FALSE(DecodeScoreResponse(cut, &out)) << "score prefix " << len;
+  }
+
+  IngestRequest ingest;
+  ingest.request_id = 8;
+  ingest.triples = {{1, 2, 3}};
+  const std::vector<uint8_t> ingest_payload = EncodeIngestRequest(ingest);
+  for (size_t len = 0; len < ingest_payload.size(); ++len) {
+    std::vector<uint8_t> cut(
+        ingest_payload.begin(),
+        ingest_payload.begin() + static_cast<int64_t>(len));
+    IngestRequest out;
+    EXPECT_FALSE(DecodeIngestRequest(cut, &out)) << "ingest prefix " << len;
+  }
+
+  StatsResponse stats;
+  stats.epoch = 3;
+  stats.shards.resize(2);
+  stats.shards[0].shard = 0;
+  stats.shards[1].shard = 1;
+  const std::vector<uint8_t> stats_payload = EncodeStatsResponse(stats);
+  for (size_t len = 0; len < stats_payload.size(); ++len) {
+    std::vector<uint8_t> cut(
+        stats_payload.begin(),
+        stats_payload.begin() + static_cast<int64_t>(len));
+    StatsResponse out;
+    EXPECT_FALSE(DecodeStatsResponse(cut, &out)) << "stats prefix " << len;
+  }
+  // Trailing garbage stays a format error with shard blocks present.
+  std::vector<uint8_t> padded = stats_payload;
+  padded.push_back(0);
+  StatsResponse out;
+  EXPECT_FALSE(DecodeStatsResponse(padded, &out));
+}
+
+TEST(ServeProtocolTest, LyingShardCountIsRejectedWithoutAllocating) {
+  // shard_count is the trailing u32 when no blocks follow; claiming
+  // 2^32-1 blocks must fail the bound check (count * 52 > remaining)
+  // before any allocation happens.
+  std::vector<uint8_t> payload = EncodeStatsResponse(StatsResponse{});
   const uint32_t lying_count = 0xFFFFFFFFu;
-  std::memcpy(payload.data() + 8, &lying_count, sizeof(lying_count));
+  std::memcpy(payload.data() + payload.size() - sizeof(lying_count),
+              &lying_count, sizeof(lying_count));
+  StatsResponse out;
+  EXPECT_FALSE(DecodeStatsResponse(payload, &out));
+}
+
+TEST(ServeProtocolTest, LyingTripleCountIsRejectedWithoutAllocating) {
+  // A payload claiming 2^32-1 triples must fail the bound check up
+  // front (count * 12 > remaining), not attempt a giant allocation. The
+  // v3 ScoreRequest prefix is request_id(8) + seed(8) + index_offset(8)
+  // + with_rank(1), so the count lives at offset 25; IngestRequest is
+  // request_id(8) + count.
+  const uint32_t lying_count = 0xFFFFFFFFu;
+  std::vector<uint8_t> payload(29, 0);
+  std::memcpy(payload.data() + 25, &lying_count, sizeof(lying_count));
   ScoreRequest out;
   EXPECT_FALSE(DecodeScoreRequest(payload, &out));
   IngestRequest ingest_out;
-  std::vector<uint8_t> ingest_payload(4);
-  std::memcpy(ingest_payload.data(), &lying_count, sizeof(lying_count));
+  std::vector<uint8_t> ingest_payload(12, 0);
+  std::memcpy(ingest_payload.data() + 8, &lying_count, sizeof(lying_count));
   EXPECT_FALSE(DecodeIngestRequest(ingest_payload, &ingest_out));
 }
 

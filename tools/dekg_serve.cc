@@ -5,17 +5,19 @@
 //
 // Usage:
 //   dekg_serve <dir> <checkpoint> [--dim D] [--host H] [--port P]
-//              [--port-file PATH] [--threads T] [--batch N] [--cache N]
-//              [--max-entities N] [--no-emerging] [--no-patch-cache]
-//              [--throughput-wait-us U]
+//              [--port-file PATH] [--threads T] [--shards N] [--batch N]
+//              [--cache N] [--max-entities N] [--no-emerging]
+//              [--no-patch-cache] [--throughput-wait-us U]
 //       Serve. --port 0 (default) binds an ephemeral port; the bound port
 //       is printed and, with --port-file, written there for scripts.
-//       --no-emerging starts from the train graph only (emerging triples
-//       arrive via the client's ingest-emerging mode). --no-patch-cache
-//       disables in-place cache maintenance on ingest (DESIGN.md §13) in
-//       favor of plain invalidation. By default the batcher runs in
-//       deterministic mode; --throughput-wait-us U > 0 switches to
-//       throughput mode with that batch-fill wait.
+//       --shards N partitions the entity space over N shard engines
+//       (consistent-hash routing, DESIGN.md §14; scores are bit-identical
+//       at any shard count). --no-emerging starts from the train graph
+//       only (emerging triples arrive via the client's ingest-emerging
+//       mode). --no-patch-cache disables in-place cache maintenance on
+//       ingest (DESIGN.md §13) in favor of plain invalidation. By default
+//       the batcher runs in deterministic mode; --throughput-wait-us U >
+//       0 switches to throughput mode with that batch-fill wait.
 //
 //   dekg_serve <dir> <checkpoint> --print-golden N [--dim D] [--seed S]
 //       No server: print the offline scores of the first N test links
@@ -42,7 +44,7 @@
 #include "kg/dataset_io.h"
 #include "nn/train_checkpoint.h"
 #include "serve/batcher.h"
-#include "serve/engine.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 using namespace dekg;
@@ -105,10 +107,10 @@ int main(int argc, char** argv) {
         stderr,
         "usage: dekg_serve <dir> <checkpoint> [--dim D] [--host H] [--port P]"
         " [--port-file PATH]\n"
-        "                  [--threads T] [--batch N] [--cache N]"
-        " [--max-entities N] [--no-emerging]\n"
-        "                  [--no-patch-cache] [--throughput-wait-us U]"
-        " [--print-golden N]\n");
+        "                  [--threads T] [--shards N] [--batch N] [--cache N]"
+        " [--max-entities N]\n"
+        "                  [--no-emerging] [--no-patch-cache]"
+        " [--throughput-wait-us U] [--print-golden N]\n");
     return 2;
   }
   const std::string dir = argv[1];
@@ -138,14 +140,20 @@ int main(int argc, char** argv) {
   const KnowledgeGraph& base =
       no_emerging ? dataset.original_graph() : dataset.inference_graph();
 
-  serve::EngineConfig engine_config;
+  serve::RouterConfig router_config;
+  router_config.num_shards = Int32Flag(argc, argv, "--shards", 1);
+  if (router_config.num_shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  serve::EngineConfig& engine_config = router_config.engine;
   engine_config.cache_capacity = Int32Flag(argc, argv, "--cache", 4096);
   engine_config.live_graph.max_entities =
       Int32Flag(argc, argv, "--max-entities", 1 << 20);
   // --no-patch-cache restores PR 4's invalidate-on-ingest maintenance
   // (bit-identical scores either way — see cache_patch_differential_test).
   engine_config.patch_cache = !HasFlag(argc, argv, "--no-patch-cache");
-  serve::InferenceEngine engine(&model, base, engine_config);
+  serve::Router router(&model, base, router_config);
 
   serve::BatcherConfig batcher_config;
   batcher_config.max_batch_triples = Int32Flag(argc, argv, "--batch", 256);
@@ -154,7 +162,7 @@ int main(int argc, char** argv) {
     batcher_config.deterministic = false;
     batcher_config.batch_wait_us = wait_us;
   }
-  serve::MicroBatcher batcher(&engine, batcher_config);
+  serve::MicroBatcher batcher(&router, batcher_config);
 
   serve::ServerConfig server_config;
   server_config.host = FlagValue(argc, argv, "--host", "127.0.0.1");
@@ -184,11 +192,13 @@ int main(int argc, char** argv) {
     server.RequestStop();
   });
 
-  std::printf("serving %s on %s:%u (%s mode, batch %lld, cache %lld)\n",
-              dir.c_str(), server_config.host.c_str(), server.port(),
-              batcher_config.deterministic ? "deterministic" : "throughput",
-              static_cast<long long>(batcher_config.max_batch_triples),
-              static_cast<long long>(engine_config.cache_capacity));
+  std::printf(
+      "serving %s on %s:%u (%s mode, %d shard%s, batch %lld, cache %lld)\n",
+      dir.c_str(), server_config.host.c_str(), server.port(),
+      batcher_config.deterministic ? "deterministic" : "throughput",
+      router_config.num_shards, router_config.num_shards == 1 ? "" : "s",
+      static_cast<long long>(batcher_config.max_batch_triples),
+      static_cast<long long>(engine_config.cache_capacity));
   std::fflush(stdout);
   const char* port_file = FlagValue(argc, argv, "--port-file", nullptr);
   if (port_file != nullptr) {
@@ -206,12 +216,23 @@ int main(int argc, char** argv) {
   ::close(pipe_fds[0]);
   ::close(pipe_fds[1]);
 
-  const serve::EngineStats stats = engine.Stats();
-  std::printf("drained: %llu ingested, cache %llu hits / %llu misses, "
-              "%llu invalidated\n",
+  const serve::EngineStats stats = router.Stats();
+  std::printf("drained: %llu ingested (epoch %llu), cache %llu hits / "
+              "%llu misses, %llu invalidated\n",
               static_cast<unsigned long long>(stats.ingested_triples),
+              static_cast<unsigned long long>(router.epoch()),
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses),
               static_cast<unsigned long long>(stats.cache_invalidated));
+  for (int32_t s = 0; s < router.num_shards(); ++s) {
+    const serve::EngineStats one = router.ShardStats(s);
+    std::printf("  shard %d: %llu hits / %llu misses, %llu patched, "
+                "%llu repaired, %llu fallback\n",
+                s, static_cast<unsigned long long>(one.cache_hits),
+                static_cast<unsigned long long>(one.cache_misses),
+                static_cast<unsigned long long>(one.cache_patched),
+                static_cast<unsigned long long>(one.cache_repaired),
+                static_cast<unsigned long long>(one.cache_fallback));
+  }
   return 0;
 }

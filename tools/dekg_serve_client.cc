@@ -1,11 +1,16 @@
 // Client CLI for the online scoring server (DESIGN.md §9).
 //
 // Usage:
-//   dekg_serve_client <port> score <dir> [--links N] [--seed S] [--host H]
+//   dekg_serve_client <port> score <dir> [--links N] [--seed S]
+//                     [--pipeline D] [--host H]
 //       Send the first N test links of the dataset as one scoring request
 //       and print the returned scores one per line at full %.17g
 //       precision — the format of `dekg_serve --print-golden`, so the CI
-//       smoke can diff them bit for bit.
+//       smoke can diff them bit for bit. --pipeline D > 1 splits the
+//       links into D chunks sent down one connection with up to D
+//       requests in flight (protocol v3 index_offset keeps every
+//       triple's Rng stream, so the concatenated output is still
+//       bit-identical to the golden print).
 //
 //   dekg_serve_client <port> ingest-emerging <dir> [--chunk N] [--host H]
 //       Stream the dataset's emerging triples to the server in file
@@ -58,20 +63,56 @@ int Fail(const std::string& error) {
 int Score(serve::Client* client, int argc, char** argv) {
   DekgDataset dataset = LoadDekgDatasetDir(argv[3], "client");
   const int32_t links = Int32Flag(argc, argv, "--links", 50);
-  serve::ScoreRequest request;
-  request.seed = static_cast<uint64_t>(Int32Flag(argc, argv, "--seed", 123));
+  const int32_t pipeline = Int32Flag(argc, argv, "--pipeline", 1);
+  const uint64_t seed =
+      static_cast<uint64_t>(Int32Flag(argc, argv, "--seed", 123));
+  std::vector<Triple> triples;
   for (const LabeledLink& link : dataset.test_links()) {
-    if (static_cast<int32_t>(request.triples.size()) >= links) break;
-    request.triples.push_back(link.triple);
+    if (static_cast<int32_t>(triples.size()) >= links) break;
+    triples.push_back(link.triple);
   }
-  serve::ScoreResponse response;
   std::string error;
-  if (!client->Score(request, &response, &error)) return Fail(error);
-  if (response.status != serve::Status::kOk) {
-    return Fail(std::string("score rejected: ") +
-                serve::StatusName(response.status) + ": " + response.error);
+  if (pipeline <= 1) {
+    serve::ScoreRequest request;
+    request.seed = seed;
+    request.triples = triples;
+    serve::ScoreResponse response;
+    if (!client->Score(request, &response, &error)) return Fail(error);
+    if (response.status != serve::Status::kOk) {
+      return Fail(std::string("score rejected: ") +
+                  serve::StatusName(response.status) + ": " + response.error);
+    }
+    for (double s : response.scores) std::printf("%.17g\n", s);
+    return 0;
   }
-  for (double s : response.scores) std::printf("%.17g\n", s);
+  // Pipelined: split the logical request into `pipeline` chunks, each
+  // carrying its logical index offset, with the whole window in flight.
+  const size_t chunk =
+      (triples.size() + static_cast<size_t>(pipeline) - 1) /
+      static_cast<size_t>(pipeline);
+  std::vector<serve::ScoreRequest> requests;
+  for (size_t begin = 0; begin < triples.size(); begin += chunk) {
+    const size_t end = std::min(triples.size(), begin + chunk);
+    serve::ScoreRequest request;
+    request.request_id = requests.size() + 1;
+    request.seed = seed;
+    request.index_offset = begin;
+    request.triples.assign(triples.begin() + static_cast<int64_t>(begin),
+                           triples.begin() + static_cast<int64_t>(end));
+    requests.push_back(std::move(request));
+  }
+  std::vector<serve::ScoreResponse> responses;
+  if (!client->ScorePipelined(requests, static_cast<size_t>(pipeline),
+                              &responses, &error)) {
+    return Fail(error);
+  }
+  for (const serve::ScoreResponse& response : responses) {
+    if (response.status != serve::Status::kOk) {
+      return Fail(std::string("score rejected: ") +
+                  serve::StatusName(response.status) + ": " + response.error);
+    }
+    for (double s : response.scores) std::printf("%.17g\n", s);
+  }
   return 0;
 }
 
@@ -160,7 +201,18 @@ int Stats(serve::Client* client) {
               static_cast<unsigned long long>(s.ingested_triples));
   std::printf("embedding_refreshes\t%llu\n",
               static_cast<unsigned long long>(s.embedding_refreshes));
+  std::printf("epoch\t%llu\n", static_cast<unsigned long long>(s.epoch));
   std::printf("uptime_s\t%.3f\n", s.uptime_s);
+  for (const serve::ShardStatsBlock& b : s.shards) {
+    std::printf("shard[%u]\thits %llu\tmisses %llu\tentries %llu\t"
+                "patched %llu\trepaired %llu\tfallback %llu\n",
+                b.shard, static_cast<unsigned long long>(b.cache_hits),
+                static_cast<unsigned long long>(b.cache_misses),
+                static_cast<unsigned long long>(b.cache_entries),
+                static_cast<unsigned long long>(b.cache_patched),
+                static_cast<unsigned long long>(b.cache_repaired),
+                static_cast<unsigned long long>(b.cache_fallback));
+  }
   return 0;
 }
 
@@ -172,7 +224,7 @@ int main(int argc, char** argv) {
         stderr,
         "usage:\n"
         "  dekg_serve_client <port> score <dir> [--links N] [--seed S]"
-        " [--host H]\n"
+        " [--pipeline D] [--host H]\n"
         "  dekg_serve_client <port> ingest-emerging <dir> [--chunk N]"
         " [--host H]\n"
         "  dekg_serve_client <port> stats [--host H]\n"
