@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_train bench_gsm_batch bench_simd \
-  bench_churn bench_shard
+  bench_churn bench_shard bench_quant
 
 # Small dataset, explicit thread count: the point is the bitwise
 # serial-vs-parallel comparison, not throughput.
@@ -58,4 +58,13 @@ DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
 DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
 DEKG_BENCH_SHARD_ITERS="${DEKG_BENCH_SHARD_ITERS:-512}" \
   ./bench_shard
-echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json, BENCH_churn.json, BENCH_shard.json in build-release/bench/)."
+
+# Quantized-serving sweep: one engine per storage precision. Hard gates
+# (exit 1): the fp32 engine bit-identical to the offline predictor, int8
+# cutting the frozen-model footprint >= 3x, every mode run-to-run
+# bit-deterministic. Accuracy deltas and throughput are reported, not
+# gated (the rank-metric epsilon gate is tests/quant_gate_test.cc).
+DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
+DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
+  ./bench_quant
+echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json, BENCH_churn.json, BENCH_shard.json, BENCH_quant.json in build-release/bench/)."

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "gnn/message_kernels.h"
+#include "quant/qkernels.h"
 #include "tensor/lanes.h"
 
 namespace dekg::gnn {
@@ -180,8 +181,14 @@ RgcnOutput RgcnEncoder::Forward(const Subgraph& subgraph,
 
 Tensor RgcnEncoder::LayerForwardInference(size_t l, const Tensor& h,
                                           const PackedSubgraphBatch& batch,
-                                          const Tensor& inv_indegree) const {
+                                          const Tensor& inv_indegree,
+                                          const quant::RgcnQuantWeights* qw)
+    const {
   const Layer& layer = layers_[l];
+  const quant::RgcnQuantWeights::Layer* qlayer =
+      (qw != nullptr && qw->precision != quant::Precision::kFp32)
+          ? &qw->layers[l]
+          : nullptr;
   const int64_t num_nodes = h.dim(0);
   const int64_t din = h.dim(1);
   const int64_t dout = config_.hidden_dim;
@@ -192,12 +199,15 @@ Tensor RgcnEncoder::LayerForwardInference(size_t l, const Tensor& h,
     // Dense per-node transforms and per-edge coefficient columns go
     // through the same tensor kernels the Var path wraps (row-identical
     // for identical rows); only the [m, dout]-sized message chain is
-    // fused below.
+    // fused below. Under a quantized model the basis transforms — the
+    // O(dim²) work — route through the quantized GEMM instead.
     std::vector<Tensor> transformed;
     transformed.reserve(static_cast<size_t>(num_bases));
     for (int32_t b = 0; b < num_bases; ++b) {
       transformed.push_back(
-          dekg::MatMul(h, layer.bases[static_cast<size_t>(b)].value()));
+          qlayer != nullptr
+              ? quant::QuantMatMul(h, qlayer->bases[static_cast<size_t>(b)])
+              : dekg::MatMul(h, layer.bases[static_cast<size_t>(b)].value()));
     }
     Tensor per_edge_coeff =
         dekg::GatherRows(layer.coefficients.value(), batch.rel_ids);
@@ -250,13 +260,19 @@ Tensor RgcnEncoder::LayerForwardInference(size_t l, const Tensor& h,
       lanes::LaneScaleF32(pagg + i * dout, pinv[i], dout);
     }
   }
-  Tensor self = dekg::MatMul(h, layer.self_weight.value());
+  Tensor self = qlayer != nullptr
+                    ? quant::QuantMatMul(h, qlayer->self_weight)
+                    : dekg::MatMul(h, layer.self_weight.value());
   return dekg::Relu(
       dekg::Add(dekg::Add(self, aggregated), layer.bias.value()));
 }
 
 RgcnBatchOutput RgcnEncoder::ForwardBatch(
-    const PackedSubgraphBatch& batch) const {
+    const PackedSubgraphBatch& batch,
+    const quant::RgcnQuantWeights* qw) const {
+  if (qw != nullptr && qw->precision != quant::Precision::kFp32) {
+    DEKG_CHECK_EQ(qw->layers.size(), layers_.size());
+  }
   const int64_t total_nodes = batch.total_nodes();
   DEKG_CHECK_GT(batch.size(), 0);
 
@@ -295,7 +311,7 @@ RgcnBatchOutput RgcnEncoder::ForwardBatch(
   Tensor h = std::move(features);
   std::vector<Tensor> layer_outputs;
   for (size_t l = 0; l < layers_.size(); ++l) {
-    h = LayerForwardInference(l, h, batch, inv_indegree);
+    h = LayerForwardInference(l, h, batch, inv_indegree, qw);
     if (config_.jk_concat) layer_outputs.push_back(h);
   }
 
@@ -315,6 +331,42 @@ RgcnBatchOutput RgcnEncoder::ForwardBatch(
   out.tail_reprs = dekg::GatherRows(readout, tail_rows);
   out.node_states = std::move(readout);
   return out;
+}
+
+uint64_t RgcnEncoder::FrozenDenseParamCount() const {
+  uint64_t total = 0;
+  for (const Layer& layer : layers_) {
+    for (const ag::Var& basis : layer.bases) {
+      total += static_cast<uint64_t>(basis.value().numel());
+    }
+    total += static_cast<uint64_t>(layer.self_weight.value().numel());
+  }
+  return total;
+}
+
+quant::RgcnQuantWeights RgcnEncoder::QuantizeFrozenWeights(
+    quant::Precision precision) const {
+  DEKG_CHECK(precision != quant::Precision::kFp32)
+      << "QuantizeFrozenWeights: fp32 serving uses the parameters directly";
+  quant::RgcnQuantWeights qw;
+  qw.precision = precision;
+  qw.layers.reserve(layers_.size());
+  std::string error;
+  for (const Layer& layer : layers_) {
+    quant::RgcnQuantWeights::Layer ql;
+    ql.bases.reserve(layer.bases.size());
+    for (const ag::Var& basis : layer.bases) {
+      quant::QuantMatrix qm;
+      DEKG_CHECK(quant::QuantizeMatrix(basis.value(), precision, &qm, &error))
+          << "quantizing basis weight: " << error;
+      ql.bases.push_back(std::move(qm));
+    }
+    DEKG_CHECK(quant::QuantizeMatrix(layer.self_weight.value(), precision,
+                                     &ql.self_weight, &error))
+        << "quantizing self weight: " << error;
+    qw.layers.push_back(std::move(ql));
+  }
+  return qw;
 }
 
 }  // namespace dekg::gnn

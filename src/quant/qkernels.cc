@@ -1,0 +1,159 @@
+#include "quant/qkernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/lanes.h"
+
+namespace dekg::quant {
+
+using tune::kLanes;
+
+int32_t LaneDotI8(const int8_t* a, const int8_t* b, int64_t n) {
+  const int64_t blocked = n - n % kLanes;
+  int32_t acc[kLanes] = {0};
+  for (int64_t i = 0; i < blocked; i += kLanes) {
+    for (int64_t l = 0; l < kLanes; ++l) {
+      acc[l] += static_cast<int32_t>(a[i + l]) * static_cast<int32_t>(b[i + l]);
+    }
+  }
+  int32_t total = acc[0];
+  for (int64_t l = 1; l < kLanes; ++l) total += acc[l];
+  for (int64_t i = blocked; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
+float QuantizeActivationRow(const float* x, int64_t n, int8_t* q) {
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(x[i]));
+  }
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  const float inv = 1.0f / scale;
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t v = RoundHalfToEven(x[i] * inv);
+    if (v > 127) v = 127;
+    if (v < -127) v = -127;
+    q[i] = static_cast<int8_t>(v);
+  }
+  return scale;
+}
+
+namespace {
+
+Tensor Int8MatMul(const Tensor& x, const QuantMatrix& w) {
+  const int64_t m = x.dim(0);
+  const int64_t k = x.dim(1);
+  const int64_t n = w.out_dim;
+  Tensor out({m, n});
+  float* out_data = out.Data();
+  const float* x_data = x.Data();
+  std::vector<int8_t> qx(static_cast<size_t>(k));
+  for (int64_t i = 0; i < m; ++i) {
+    const float x_scale = QuantizeActivationRow(x_data + i * k, k, qx.data());
+    float* out_row = out_data + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* w_row = w.i8.data.data() + j * k;
+      const int32_t acc = LaneDotI8(qx.data(), w_row, k);
+      out_row[j] = x_scale * w.i8.scales[static_cast<size_t>(j)] *
+                   static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Fp16MatMul(const Tensor& x, const QuantMatrix& w) {
+  const int64_t m = x.dim(0);
+  const int64_t k = x.dim(1);
+  const int64_t n = w.out_dim;
+  Tensor out({m, n});
+  float* out_data = out.Data();
+  const float* x_data = x.Data();
+  // Decode each stored (transposed) weight row once, reuse across all m
+  // activation rows — the decode cost amortizes over the batch.
+  std::vector<float> decoded(static_cast<size_t>(n * k));
+  for (int64_t j = 0; j < n * k; ++j) {
+    decoded[static_cast<size_t>(j)] =
+        Fp16ToFp32(w.f16.data[static_cast<size_t>(j)]);
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float* x_row = x_data + i * k;
+    float* out_row = out_data + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      out_row[j] = lanes::LaneDotF32(x_row, decoded.data() + j * k, k);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor QuantMatMul(const Tensor& x, const QuantMatrix& w) {
+  DEKG_CHECK(x.rank() == 2)
+      << "QuantMatMul: x must be rank-2, got " << ShapeToString(x.shape());
+  DEKG_CHECK(x.dim(1) == w.in_dim)
+      << "QuantMatMul: inner dims mismatch (" << x.dim(1) << " vs "
+      << w.in_dim << ")";
+  switch (w.precision) {
+    case Precision::kInt8:
+      return Int8MatMul(x, w);
+    case Precision::kFp16:
+      return Fp16MatMul(x, w);
+    case Precision::kFp32:
+      break;
+  }
+  DEKG_CHECK(false) << "QuantMatMul: fp32 weights use dekg::MatMul";
+  return Tensor();
+}
+
+float QuantDistMult(const QuantRow& head, const float* rel,
+                    const QuantRow& tail) {
+  DEKG_CHECK(head.precision == tail.precision)
+      << "QuantDistMult: mixed-precision head/tail";
+  DEKG_CHECK(head.dim == tail.dim) << "QuantDistMult: dim mismatch";
+  const int64_t n = head.dim;
+  const int64_t blocked = n - n % kLanes;
+  if (head.precision == Precision::kInt8) {
+    const int8_t* qh = head.i8.data();
+    const int8_t* qt = tail.i8.data();
+    // The int product qh*qt is exact; the rel weighting accumulates in
+    // fp32 under the LaneDotF32 order.
+    float acc[kLanes] = {0.0f};
+    for (int64_t i = 0; i < blocked; i += kLanes) {
+      for (int64_t l = 0; l < kLanes; ++l) {
+        const int32_t p = static_cast<int32_t>(qh[i + l]) *
+                          static_cast<int32_t>(qt[i + l]);
+        acc[l] += static_cast<float>(p) * rel[i + l];
+      }
+    }
+    float total = acc[0];
+    for (int64_t l = 1; l < kLanes; ++l) total += acc[l];
+    for (int64_t i = blocked; i < n; ++i) {
+      const int32_t p =
+          static_cast<int32_t>(qh[i]) * static_cast<int32_t>(qt[i]);
+      total += static_cast<float>(p) * rel[i];
+    }
+    return head.scale * tail.scale * total;
+  }
+  DEKG_CHECK(head.precision == Precision::kFp16)
+      << "QuantDistMult: fp32 rows are never stored as QuantRow";
+  const uint16_t* fh = head.f16.data();
+  const uint16_t* ft = tail.f16.data();
+  float acc[kLanes] = {0.0f};
+  for (int64_t i = 0; i < blocked; i += kLanes) {
+    for (int64_t l = 0; l < kLanes; ++l) {
+      acc[l] += Fp16ToFp32(fh[i + l]) * rel[i + l] * Fp16ToFp32(ft[i + l]);
+    }
+  }
+  float total = acc[0];
+  for (int64_t l = 1; l < kLanes; ++l) total += acc[l];
+  for (int64_t i = blocked; i < n; ++i) {
+    total += Fp16ToFp32(fh[i]) * rel[i] * Fp16ToFp32(ft[i]);
+  }
+  return total;
+}
+
+}  // namespace dekg::quant

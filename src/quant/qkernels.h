@@ -1,0 +1,59 @@
+// Compute kernels over the quantized containers of quantize.h, shaped on
+// the fixed-lane loop contract of tensor/lanes.h (DESIGN.md §12/§15).
+//
+// Determinism:
+//  * The int8 path accumulates int8×int8 products in int32 — exact
+//    integer arithmetic, so the reduction order cannot change the result
+//    at any optimization level or thread count. The final rescale is a
+//    single fp32 multiply per output element.
+//  * The fp16 path stores half-precision bits but computes in fp32
+//    through lanes::LaneDotF32, inheriting its pinned reduction order.
+// Both paths are therefore bit-deterministic for a given quantized model;
+// they differ from fp32 only by the storage rounding (epsilon-gated).
+#ifndef DEKG_QUANT_QKERNELS_H_
+#define DEKG_QUANT_QKERNELS_H_
+
+#include <cstdint>
+
+#include "quant/quantize.h"
+#include "tensor/tensor.h"
+
+namespace dekg::quant {
+
+// total = sum_i a[i] * b[i] in exact int32 arithmetic. Fixed-lane shape
+// (per-lane int32 accumulators + scalar tail) purely so the compiler can
+// vectorize it — integer addition is associative, so unlike LaneDotF32
+// the shape is a performance choice, not a numerics contract.
+int32_t LaneDotI8(const int8_t* a, const int8_t* b, int64_t n);
+
+// Quantizes one fp32 activation row to symmetric int8 into caller-owned
+// storage (q must hold n int8s); returns the row scale. The same
+// scale rule as frozen-weight quantization: maxabs/127, 1.0 for an
+// all-zero row. Row-content-pure — the same row always quantizes
+// identically regardless of batch composition, which is what keeps the
+// dynamic-quantization GEMM batch-invariant.
+float QuantizeActivationRow(const float* x, int64_t n, int8_t* q);
+
+// x [m, k] × w (in=k, out=n) -> [m, n], dispatching on w.precision:
+//   int8: each x row is dynamically quantized (QuantizeActivationRow),
+//         then out[i][j] = x_scale[i] * w_scale[j] * LaneDotI8(qx_i, qw_j)
+//   fp16: each stored weight row is decoded to fp32 once into scratch,
+//         then out[i][j] = LaneDotF32(x_i, decoded_w_j)
+// fp32 QuantMatrix is a caller bug (DEKG_CHECK) — that path uses
+// dekg::MatMul on the original tensor.
+Tensor QuantMatMul(const Tensor& x, const QuantMatrix& w);
+
+// Fused CLRM/DistMult scoring over quantized fusion rows:
+//   score = sum_d head[d] * rel[d] * tail[d]
+// int8: scale_h * scale_t * (lane-ordered fp32 sum of
+//       (qh[d]*qt[d] as int32) * rel[d]) — the int product is exact, the
+//       fp32 weighting follows the LaneDotF32 order;
+// fp16: decoded head/tail products, same lane order.
+// head and tail must share precision and dim; rel points at the fp32
+// relation-semantic row of length head.dim.
+float QuantDistMult(const QuantRow& head, const float* rel,
+                    const QuantRow& tail);
+
+}  // namespace dekg::quant
+
+#endif  // DEKG_QUANT_QKERNELS_H_

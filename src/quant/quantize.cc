@@ -1,0 +1,359 @@
+#include "quant/quantize.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dekg::quant {
+namespace {
+
+// Shape of a calibration/quantization input: rank-1 [n] is treated as a
+// single row, rank-2 [rows, cols] as-is. Anything else is a caller bug.
+bool RowShape(const Tensor& t, int64_t* rows, int64_t* cols,
+              std::string* error) {
+  if (t.rank() == 1) {
+    *rows = 1;
+    *cols = t.dim(0);
+    return true;
+  }
+  if (t.rank() == 2) {
+    *rows = t.dim(0);
+    *cols = t.dim(1);
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "quantization input must be rank-1 or rank-2, got shape " +
+             ShapeToString(t.shape());
+  }
+  return false;
+}
+
+std::string NonFiniteMessage(float v, int64_t row, int64_t col) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "non-finite value (%s) at row %lld col %lld; "
+                "refusing to calibrate",
+                std::isnan(v) ? "nan" : (v > 0 ? "+inf" : "-inf"),
+                static_cast<long long>(row), static_cast<long long>(col));
+  return std::string(buf);
+}
+
+// scale for a symmetric int8 row; 1.0 for an all-zero row so the
+// dequantized row is exactly zero.
+float Int8RowScale(float row_min, float row_max) {
+  const float max_abs = std::max(std::fabs(row_min), std::fabs(row_max));
+  return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+
+}  // namespace
+
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kFp16:
+      return "fp16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+bool ParsePrecision(const std::string& text, Precision* precision) {
+  if (text == "fp32") {
+    *precision = Precision::kFp32;
+    return true;
+  }
+  if (text == "fp16") {
+    *precision = Precision::kFp16;
+    return true;
+  }
+  if (text == "int8") {
+    *precision = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
+int32_t RoundHalfToEven(float x) {
+  // floor-based formulation so negatives follow the same even-tie rule:
+  // floor(-2.5) = -3, frac = 0.5, floor is odd -> round up to -2.
+  const float f = std::floor(x);
+  const float frac = x - f;
+  int32_t base = static_cast<int32_t>(f);
+  if (frac > 0.5f) return base + 1;
+  if (frac < 0.5f) return base;
+  return (base % 2 == 0) ? base : base + 1;
+}
+
+uint16_t Fp32ToFp16(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t exp = (bits >> 23) & 0xFFu;
+  uint32_t mant = bits & 0x7FFFFFu;
+
+  if (exp == 0xFFu) {
+    // inf / NaN (defensive only — calibration rejects these upstream).
+    if (mant != 0) return static_cast<uint16_t>(sign | 0x7E00u);  // qNaN
+    return static_cast<uint16_t>(sign | 0x7C00u);                 // inf
+  }
+
+  // Rebase the exponent from binary32 (bias 127) to binary16 (bias 15).
+  const int32_t e = static_cast<int32_t>(exp) - 127 + 15;
+
+  if (e >= 31) {
+    // Finite overflow saturates to the largest finite half, ±65504.
+    return static_cast<uint16_t>(sign | 0x7BFFu);
+  }
+
+  if (e <= 0) {
+    // Subnormal (or zero) in half precision. Values below half the
+    // smallest subnormal round to zero.
+    if (e < -10) return sign;
+    // Implicit leading 1, then shift the 24-bit significand down so the
+    // exponent reads 0; round half to even on the dropped bits.
+    mant |= 0x800000u;
+    const uint32_t shift = static_cast<uint32_t>(14 - e);  // in [14, 24]
+    const uint32_t half = 1u << (shift - 1);
+    const uint32_t rest = mant & ((1u << shift) - 1u);
+    uint32_t q = mant >> shift;
+    if (rest > half || (rest == half && (q & 1u))) ++q;
+    // q can carry into the normal range (q == 0x400): that bit pattern is
+    // exactly the smallest normal, so emitting it as-is is correct.
+    return static_cast<uint16_t>(sign | q);
+  }
+
+  // Normal: keep the top 10 mantissa bits, round half to even on the 13
+  // dropped bits.
+  uint32_t q = (static_cast<uint32_t>(e) << 10) | (mant >> 13);
+  const uint32_t rest = mant & 0x1FFFu;
+  if (rest > 0x1000u || (rest == 0x1000u && (q & 1u))) {
+    ++q;  // may carry into the exponent; 0x7C00 would be inf —
+    if ((q & 0x7FFFu) >= 0x7C00u) q = 0x7BFFu;  // saturate finite input
+  }
+  return static_cast<uint16_t>(sign | q);
+}
+
+float Fp16ToFp32(uint16_t bits) {
+  const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+  const uint32_t exp = (bits >> 10) & 0x1Fu;
+  uint32_t mant = bits & 0x3FFu;
+  uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // ±0
+    } else {
+      // Subnormal half: normalize into binary32.
+      int32_t e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      out = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+            ((mant & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float value;
+  std::memcpy(&value, &out, sizeof(value));
+  return value;
+}
+
+bool CalibrateRows(const Tensor& t, RowCalibration* calib,
+                   std::string* error) {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!RowShape(t, &rows, &cols, error)) return false;
+  calib->rows = rows;
+  calib->cols = cols;
+  calib->row_min.assign(static_cast<size_t>(rows), 0.0f);
+  calib->row_max.assign(static_cast<size_t>(rows), 0.0f);
+  const float* data = t.Data();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = data + i * cols;
+    float lo = 0.0f;
+    float hi = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      const float v = row[j];
+      if (!std::isfinite(v)) {
+        if (error != nullptr) *error = NonFiniteMessage(v, i, j);
+        return false;
+      }
+      if (j == 0) {
+        lo = hi = v;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    calib->row_min[static_cast<size_t>(i)] = lo;
+    calib->row_max[static_cast<size_t>(i)] = hi;
+  }
+  return true;
+}
+
+bool QuantizeInt8(const Tensor& t, const RowCalibration& calib,
+                  QuantizedTensor* out, std::string* error) {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!RowShape(t, &rows, &cols, error)) return false;
+  if (calib.rows != rows || calib.cols != cols) {
+    if (error != nullptr) *error = "calibration shape does not match tensor";
+    return false;
+  }
+  out->rows = rows;
+  out->cols = cols;
+  out->data.assign(static_cast<size_t>(rows * cols), 0);
+  out->scales.assign(static_cast<size_t>(rows), 1.0f);
+  out->zero_points.assign(static_cast<size_t>(rows), 0);
+  const float* data = t.Data();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float scale =
+        Int8RowScale(calib.row_min[static_cast<size_t>(i)],
+                     calib.row_max[static_cast<size_t>(i)]);
+    out->scales[static_cast<size_t>(i)] = scale;
+    const float inv = 1.0f / scale;
+    const float* row = data + i * cols;
+    int8_t* qrow = out->data.data() + i * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      int32_t q = RoundHalfToEven(row[j] * inv);
+      if (q > 127) q = 127;
+      if (q < -127) q = -127;
+      qrow[j] = static_cast<int8_t>(q);
+    }
+  }
+  return true;
+}
+
+bool QuantizeInt8(const Tensor& t, QuantizedTensor* out, std::string* error) {
+  RowCalibration calib;
+  if (!CalibrateRows(t, &calib, error)) return false;
+  return QuantizeInt8(t, calib, out, error);
+}
+
+bool QuantizeFp16(const Tensor& t, Fp16Tensor* out, std::string* error) {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!RowShape(t, &rows, &cols, error)) return false;
+  // Calibration doubles as the non-finite rejection pass.
+  RowCalibration calib;
+  if (!CalibrateRows(t, &calib, error)) return false;
+  out->rows = rows;
+  out->cols = cols;
+  out->data.resize(static_cast<size_t>(rows * cols));
+  const float* data = t.Data();
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    out->data[static_cast<size_t>(i)] = Fp32ToFp16(data[i]);
+  }
+  return true;
+}
+
+Tensor Dequantize(const QuantizedTensor& q) {
+  Tensor out({q.rows, q.cols});
+  float* data = out.Data();
+  for (int64_t i = 0; i < q.rows; ++i) {
+    const float scale = q.scales[static_cast<size_t>(i)];
+    const int32_t zp = q.zero_points[static_cast<size_t>(i)];
+    const int8_t* row = q.data.data() + i * q.cols;
+    float* drow = data + i * q.cols;
+    for (int64_t j = 0; j < q.cols; ++j) {
+      drow[j] = scale * static_cast<float>(row[j] - zp);
+    }
+  }
+  return out;
+}
+
+Tensor Dequantize(const Fp16Tensor& q) {
+  Tensor out({q.rows, q.cols});
+  float* data = out.Data();
+  for (size_t i = 0; i < q.data.size(); ++i) {
+    data[i] = Fp16ToFp32(q.data[i]);
+  }
+  return out;
+}
+
+bool QuantizeRow(const Tensor& row, Precision precision, QuantRow* out,
+                 std::string* error) {
+  if (precision == Precision::kFp32) {
+    if (error != nullptr) *error = "QuantizeRow: fp32 rows stay as Tensor";
+    return false;
+  }
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!RowShape(row, &rows, &cols, error)) return false;
+  if (rows != 1) {
+    if (error != nullptr) {
+      *error = "QuantizeRow expects a single row, got shape " +
+               ShapeToString(row.shape());
+    }
+    return false;
+  }
+  out->precision = precision;
+  out->dim = cols;
+  out->i8.clear();
+  out->f16.clear();
+  if (precision == Precision::kInt8) {
+    QuantizedTensor q;
+    if (!QuantizeInt8(row, &q, error)) return false;
+    out->scale = q.scales[0];
+    out->i8 = std::move(q.data);
+  } else {
+    Fp16Tensor q;
+    if (!QuantizeFp16(row, &q, error)) return false;
+    out->scale = 1.0f;
+    out->f16 = std::move(q.data);
+  }
+  return true;
+}
+
+Tensor DequantizeRow(const QuantRow& row) {
+  Tensor out({1, row.dim});
+  float* data = out.Data();
+  if (row.precision == Precision::kInt8) {
+    for (int64_t j = 0; j < row.dim; ++j) {
+      data[j] = row.scale * static_cast<float>(row.i8[static_cast<size_t>(j)]);
+    }
+  } else {
+    DEKG_CHECK(row.precision == Precision::kFp16)
+        << "DequantizeRow: fp32 rows are never stored as QuantRow";
+    for (int64_t j = 0; j < row.dim; ++j) {
+      data[j] = Fp16ToFp32(row.f16[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+bool QuantizeMatrix(const Tensor& w, Precision precision, QuantMatrix* out,
+                    std::string* error) {
+  if (precision == Precision::kFp32) {
+    if (error != nullptr) *error = "QuantizeMatrix: fp32 weights stay fp32";
+    return false;
+  }
+  if (w.rank() != 2) {
+    if (error != nullptr) {
+      *error = "QuantizeMatrix expects a rank-2 weight, got shape " +
+               ShapeToString(w.shape());
+    }
+    return false;
+  }
+  // Store transposed so the GEMM reduces contiguous stored rows and the
+  // int8 per-row scale is per output column.
+  const Tensor wt = Transpose(w);
+  out->precision = precision;
+  out->in_dim = w.dim(0);
+  out->out_dim = w.dim(1);
+  out->i8 = QuantizedTensor();
+  out->f16 = Fp16Tensor();
+  if (precision == Precision::kInt8) {
+    return QuantizeInt8(wt, &out->i8, error);
+  }
+  return QuantizeFp16(wt, &out->f16, error);
+}
+
+}  // namespace dekg::quant

@@ -1,0 +1,203 @@
+// Post-training quantization of the serving engine's frozen tensors
+// (DESIGN.md §15).
+//
+// The serving engine freezes every parameter at load time: the
+// materialized CLRM fusion rows and the R-GCN dense transforms (basis +
+// self/root weights) are read-only for the process lifetime. This module
+// quantizes exactly those tensors — per-row symmetric int8 (scale +
+// zero-point per row, the zero-point identically 0 in the symmetric
+// scheme but carried explicitly so the container documents the affine
+// form) and IEEE-754 binary16 (fp16) storage — cutting the frozen-model
+// footprint ~4× (int8) / 2× (fp16) so one shard holds a much larger
+// entity space.
+//
+// Numerics contract:
+//  * Every float→integer rounding here is round-half-to-even
+//    (RoundHalfToEven below), spelled out in code rather than delegated
+//    to the FPU rounding mode, so quantized payloads are bit-identical
+//    across platforms and optimization levels.
+//  * Calibration (CalibrateRows) is a min/max pass that REJECTS NaN and
+//    ±inf with a clear positioned error — a frozen model containing
+//    non-finite weights is a configuration bug, and silently saturating
+//    it would turn that bug into quietly wrong scores. Finite values
+//    beyond fp16 range saturate to ±65504 (the largest finite half);
+//    the engine's tensors never get near that, and the behavior is
+//    documented rather than silent.
+//  * Degenerate rows are exact by construction: an all-zero row gets
+//    scale 1 and dequantizes to exact zeros; a constant row quantizes
+//    to ±127 and dequantizes within one float rounding of the constant.
+//  * Quantized modes are accuracy-gated (rank metrics within epsilon of
+//    fp32, tests/quant_gate_test.cc), not bitwise-gated; the fp32 path
+//    remains the repository's exact determinism contract and is
+//    untouched by everything in src/quant/.
+#ifndef DEKG_QUANT_QUANTIZE_H_
+#define DEKG_QUANT_QUANTIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dekg::quant {
+
+// Storage precision of the frozen serving model. fp32 is the exact mode
+// (bit-identical to offline Evaluate); fp16 and int8 are epsilon-gated.
+enum class Precision : uint8_t {
+  kFp32 = 0,
+  kFp16 = 1,
+  kInt8 = 2,
+};
+
+const char* PrecisionName(Precision precision);
+// Parses "fp32" / "fp16" / "int8" (the --precision flag vocabulary).
+bool ParsePrecision(const std::string& text, Precision* precision);
+
+// ----- Scalar conversion primitives -----
+
+// Nearest integer, ties to even: 0.5 -> 0, 1.5 -> 2, 2.5 -> 2, -2.5 -> -2.
+// Independent of the FPU rounding mode.
+int32_t RoundHalfToEven(float x);
+
+// IEEE-754 binary16 conversion, round-half-to-even. Finite overflow
+// saturates to ±65504 (never produces inf); callers reject non-finite
+// input before conversion (CalibrateRows), so the inf/NaN encodings are
+// only exercised defensively.
+uint16_t Fp32ToFp16(float value);
+float Fp16ToFp32(uint16_t bits);
+
+// ----- Calibration -----
+
+// Per-row min/max statistics over a rank-1 ([n] = one row) or rank-2
+// ([rows, cols]) tensor — the calibration pass quantization scales are
+// derived from.
+struct RowCalibration {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> row_min;  // [rows]
+  std::vector<float> row_max;  // [rows]
+};
+
+// Min/max pass over `t`. Returns false (with a positioned message in
+// *error) on any NaN or ±inf element — non-finite frozen weights are a
+// configuration bug, never silently saturated. Rows of any shape are
+// accepted, including single-column and all-zero tensors.
+bool CalibrateRows(const Tensor& t, RowCalibration* calib, std::string* error);
+
+// ----- Quantized containers -----
+
+// Per-row symmetric int8 quantization of a 2-D tensor:
+//   q[i][j] = clamp(RoundHalfToEven(x[i][j] / scale[i]), -127, 127)
+//   x̂[i][j] = scale[i] * (q[i][j] - zero_point[i])
+// with scale[i] = max(|row_min[i]|, |row_max[i]|) / 127 (1.0 for an
+// all-zero row so dequantization is exact) and zero_point[i] = 0 — the
+// symmetric scheme keeps the GEMM inner loop free of zero-point
+// cross-terms while the container still records the affine form.
+struct QuantizedTensor {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> data;         // [rows * cols], row-major
+  std::vector<float> scales;        // [rows]
+  std::vector<int32_t> zero_points; // [rows], identically 0 (symmetric)
+
+  // Frozen-model accounting: payload + per-row metadata bytes.
+  uint64_t PayloadBytes() const {
+    return static_cast<uint64_t>(data.size()) +
+           static_cast<uint64_t>(scales.size()) * sizeof(float) +
+           static_cast<uint64_t>(zero_points.size()) * sizeof(int32_t);
+  }
+};
+
+// fp16 storage of a 2-D tensor (fp32 compute happens in qkernels.h).
+struct Fp16Tensor {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<uint16_t> data;  // [rows * cols], row-major
+
+  uint64_t PayloadBytes() const {
+    return static_cast<uint64_t>(data.size()) * sizeof(uint16_t);
+  }
+};
+
+// Quantizes from an explicit calibration (the two-step form the
+// calibration tests exercise); the convenience overloads calibrate
+// internally. All return false with *error on non-finite input.
+bool QuantizeInt8(const Tensor& t, const RowCalibration& calib,
+                  QuantizedTensor* out, std::string* error);
+bool QuantizeInt8(const Tensor& t, QuantizedTensor* out, std::string* error);
+bool QuantizeFp16(const Tensor& t, Fp16Tensor* out, std::string* error);
+
+// Dequantization (tests + error-bound measurement; the serving hot path
+// never materializes these).
+Tensor Dequantize(const QuantizedTensor& q);
+Tensor Dequantize(const Fp16Tensor& q);
+
+// ----- Frozen-model aggregates -----
+
+// One frozen CLRM fusion row ([1, dim]) at reduced precision. Exactly one
+// of the payload vectors is populated, by `precision`.
+struct QuantRow {
+  Precision precision = Precision::kFp32;
+  int64_t dim = 0;
+  float scale = 1.0f;            // int8 only (zero-point 0, symmetric)
+  std::vector<int8_t> i8;        // int8 payload
+  std::vector<uint16_t> f16;     // fp16 payload
+
+  uint64_t PayloadBytes() const {
+    return static_cast<uint64_t>(i8.size()) +
+           static_cast<uint64_t>(f16.size()) * sizeof(uint16_t) +
+           (precision == Precision::kInt8 ? sizeof(float) : 0);
+  }
+};
+
+// Quantizes a [1, dim] (or [dim]) fusion row. kFp32 is rejected — the
+// fp32 path stores plain tensors and never builds QuantRows.
+bool QuantizeRow(const Tensor& row, Precision precision, QuantRow* out,
+                 std::string* error);
+Tensor DequantizeRow(const QuantRow& row);
+
+// A frozen 2-D weight [in, out] stored TRANSPOSED at reduced precision:
+// stored row j holds column j of the original matrix, so the quantized
+// GEMM reduces stored-row × activation-row contiguously, and the int8
+// per-row scale is a per-output-column scale — the standard layout for
+// weight-stationary int8 inference.
+struct QuantMatrix {
+  Precision precision = Precision::kFp32;
+  int64_t in_dim = 0;   // k: reduction length
+  int64_t out_dim = 0;  // n: stored rows
+  QuantizedTensor i8;   // [out, in] when precision == kInt8
+  Fp16Tensor f16;       // [out, in] when precision == kFp16
+
+  uint64_t PayloadBytes() const {
+    return i8.PayloadBytes() + f16.PayloadBytes();
+  }
+};
+
+bool QuantizeMatrix(const Tensor& w, Precision precision, QuantMatrix* out,
+                    std::string* error);
+
+// The frozen R-GCN dense transforms at reduced precision: per layer, the
+// basis matrices and the self/root weight. Coefficients, biases, and
+// attention parameters stay fp32 — they are O(R + dim) while the dense
+// transforms are O(dim²) — so quantizing them buys nothing measurable.
+struct RgcnQuantWeights {
+  Precision precision = Precision::kFp32;
+  struct Layer {
+    std::vector<QuantMatrix> bases;  // num_bases × [din, dout], transposed
+    QuantMatrix self_weight;         // [din, dout], transposed
+  };
+  std::vector<Layer> layers;
+
+  uint64_t PayloadBytes() const {
+    uint64_t total = 0;
+    for (const Layer& layer : layers) {
+      for (const QuantMatrix& b : layer.bases) total += b.PayloadBytes();
+      total += layer.self_weight.PayloadBytes();
+    }
+    return total;
+  }
+};
+
+}  // namespace dekg::quant
+
+#endif  // DEKG_QUANT_QUANTIZE_H_

@@ -4,8 +4,25 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "quant/qkernels.h"
 
 namespace dekg::serve {
+
+namespace {
+
+// Quantizes the model's R-GCN dense transforms once per engine; null for
+// fp32 (the fp32 path reads the parameters directly) and for GSM-less
+// models.
+std::unique_ptr<quant::RgcnQuantWeights> BuildQuantWeights(
+    core::DekgIlpModel* model, quant::Precision precision) {
+  if (precision == quant::Precision::kFp32 || model->gsm() == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<quant::RgcnQuantWeights>(
+      model->gsm()->QuantizeFrozenWeights(precision));
+}
+
+}  // namespace
 
 InferenceEngine::InferenceEngine(core::DekgIlpModel* model,
                                  KnowledgeGraph base,
@@ -13,8 +30,10 @@ InferenceEngine::InferenceEngine(core::DekgIlpModel* model,
     : model_(model),
       config_(config),
       owned_writer_(std::make_unique<SnapshotWriter>(model, std::move(base),
-                                                     config.live_graph)),
+                                                     config.live_graph,
+                                                     config.precision)),
       writer_(owned_writer_.get()),
+      qweights_(BuildQuantWeights(model, config.precision)),
       caught_up_epoch_(owned_writer_->epoch()) {}
 
 InferenceEngine::InferenceEngine(core::DekgIlpModel* model,
@@ -23,7 +42,13 @@ InferenceEngine::InferenceEngine(core::DekgIlpModel* model,
     : model_(model),
       config_(config),
       writer_(writer),
-      caught_up_epoch_(writer->epoch()) {}
+      qweights_(BuildQuantWeights(model, config.precision)),
+      caught_up_epoch_(writer->epoch()) {
+  // A follower reads the shared writer's rows; a precision mismatch
+  // would score fp32 rows through quantized kernels (or vice versa).
+  DEKG_CHECK(writer->precision() == config_.precision)
+      << "engine precision must match the shared SnapshotWriter's";
+}
 
 std::vector<double> InferenceEngine::ScoreBatch(
     const std::vector<ScoreItem>& items) {
@@ -117,7 +142,22 @@ std::vector<double> InferenceEngine::ScoreBatchAgainstSnapshot(
   // Phase 3 (parallel): model scoring. Same term order as
   // DekgIlpModel::ScoreLink: sem, then Add(sem, tpo) — the packed branch
   // adds in float before widening to double for the identical bits.
-  const bool pack = gsm != nullptr && config_.gsm_batch.max_batch > 1;
+  // Quantized GSM scoring always packs: the per-item ScoreSubgraph path
+  // builds an autograd tape over the fp32 parameters and stays
+  // fp32-only.
+  const bool quantized = config_.precision != quant::Precision::kFp32;
+  const std::vector<std::shared_ptr<const quant::QuantRow>>& qrows =
+      snap.entity_emb_q;
+  // Row base of r^sem for the quantized DistMult decoder.
+  const float* rel_sem_data = nullptr;
+  int64_t rel_sem_dim = 0;
+  if (quantized && clrm != nullptr) {
+    const Tensor& rel_sem = clrm->relation_sem().value();
+    rel_sem_data = rel_sem.Data();
+    rel_sem_dim = rel_sem.dim(1);
+  }
+  const bool pack =
+      gsm != nullptr && (config_.gsm_batch.max_batch > 1 || quantized);
   if (pack) {
     // Every item's subgraph is in hand (cache hit or fresh extraction),
     // so the whole micro-batch packs into block-diagonal GNN forwards.
@@ -140,26 +180,46 @@ std::vector<double> InferenceEngine::ScoreBatchAgainstSnapshot(
               group_rels.push_back(
                   items[static_cast<size_t>(i)].triple.rel);
             }
-            const std::vector<float> tpo =
-                gsm->ScoreSubgraphsPacked(group_subs, group_rels);
+            const std::vector<float> tpo = gsm->ScoreSubgraphsPacked(
+                group_subs, group_rels, qweights_.get());
             for (size_t k = 0; k < idxs.size(); ++k) {
               const int64_t i = idxs[k];
               const ScoreItem& item = items[static_cast<size_t>(i)];
               float value = tpo[k];
               if (clrm != nullptr) {
                 const float sem =
-                    clrm->ScoreEmbedded(
-                            *rows[static_cast<size_t>(item.triple.head)],
-                            item.triple.rel,
-                            *rows[static_cast<size_t>(item.triple.tail)])
-                        .value()
-                        .Data()[0];
+                    quantized
+                        ? quant::QuantDistMult(
+                              *qrows[static_cast<size_t>(item.triple.head)],
+                              rel_sem_data + item.triple.rel * rel_sem_dim,
+                              *qrows[static_cast<size_t>(item.triple.tail)])
+                        : clrm->ScoreEmbedded(
+                                  *rows[static_cast<size_t>(
+                                      item.triple.head)],
+                                  item.triple.rel,
+                                  *rows[static_cast<size_t>(
+                                      item.triple.tail)])
+                              .value()
+                              .Data()[0];
                 value = sem + value;
               }
               scores[static_cast<size_t>(i)] = static_cast<double>(value);
             }
           }
         });
+  } else if (quantized) {
+    // CLRM-only quantized scoring (gsm != nullptr forces `pack` above).
+    ParallelFor(0, static_cast<int64_t>(n), /*grain=*/0,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    const ScoreItem& item = items[static_cast<size_t>(i)];
+                    scores[static_cast<size_t>(i)] =
+                        static_cast<double>(quant::QuantDistMult(
+                            *qrows[static_cast<size_t>(item.triple.head)],
+                            rel_sem_data + item.triple.rel * rel_sem_dim,
+                            *qrows[static_cast<size_t>(item.triple.tail)]));
+                  }
+                });
   } else {
     ParallelFor(0, static_cast<int64_t>(n), /*grain=*/0,
                 [&](int64_t begin, int64_t end) {
@@ -371,6 +431,14 @@ EngineStats InferenceEngine::Stats() const {
   stats.memo_hits = memo_hits_;
   stats.memo_misses = memo_misses_;
   stats.memo_entries = static_cast<uint64_t>(memo_.size());
+  stats.precision = static_cast<uint8_t>(config_.precision);
+  stats.frozen_row_bytes = writer_->FrozenRowBytes();
+  if (qweights_ != nullptr) {
+    stats.frozen_weight_bytes = qweights_->PayloadBytes();
+  } else if (model_->gsm() != nullptr) {
+    stats.frozen_weight_bytes =
+        model_->gsm()->FrozenDenseParamCount() * sizeof(float);
+  }
   return stats;
 }
 

@@ -88,6 +88,17 @@ struct EngineConfig {
   // of the request history). 0 disables the memo — benches and tests
   // that measure the subgraph-cache path itself set 0.
   int64_t score_memo_capacity = 1 << 16;
+  // Storage precision of the frozen serving model (DESIGN.md §15). fp32
+  // is the exact mode — bit-identical to offline Evaluate, the
+  // repository determinism contract. fp16/int8 quantize the materialized
+  // CLRM fusion rows and the R-GCN dense transforms at engine startup
+  // (the fp32 copies are dropped — that is the footprint reduction) and
+  // score through quant/qkernels.h. Quantized scores are epsilon-gated
+  // against fp32 (tests/quant_gate_test.cc) but remain bit-deterministic
+  // across thread counts, batch compositions, and shard assignments.
+  // Quantized GSM scoring always uses the tape-free packed path — the
+  // per-item Var path stays fp32-only.
+  quant::Precision precision = quant::Precision::kFp32;
 };
 
 // One unit of scoring work: the triple plus its fully derived Rng stream
@@ -116,6 +127,13 @@ struct EngineStats {
   uint64_t memo_hits = 0;            // scores replayed from the memo
   uint64_t memo_misses = 0;          // scores that ran the full pipeline
   uint64_t memo_entries = 0;         // resident memoized scores
+  // Frozen-model accounting (protocol v4): storage precision of the
+  // frozen model (quant::Precision numeric value) and the byte footprint
+  // of the materialized fusion rows / R-GCN dense transforms at that
+  // precision.
+  uint8_t precision = 0;
+  uint64_t frozen_row_bytes = 0;
+  uint64_t frozen_weight_bytes = 0;
 };
 
 class InferenceEngine {
@@ -216,6 +234,12 @@ class InferenceEngine {
   EngineConfig config_;
   std::unique_ptr<SnapshotWriter> owned_writer_;  // standalone mode only
   SnapshotWriter* writer_;                        // always valid
+
+  // Quantized R-GCN dense transforms, built once at construction when
+  // config_.precision != fp32 and the model has a GSM (null otherwise).
+  // Each engine owns its copy — weights are per-model, not per-shard
+  // state, and the duplication is small next to the fusion rows.
+  std::unique_ptr<quant::RgcnQuantWeights> qweights_;
 
   // The snapshot epoch the cache state is consistent with: every
   // resident entry's labels are a fresh blocked-BFS fixpoint against the

@@ -235,6 +235,9 @@ std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response) {
   ckpt::AppendPod(&out, response.embedding_refreshes);
   ckpt::AppendPod(&out, response.epoch);
   ckpt::AppendPod(&out, response.uptime_s);
+  ckpt::AppendPod(&out, response.precision);
+  ckpt::AppendPod(&out, response.frozen_row_bytes);
+  ckpt::AppendPod(&out, response.frozen_weight_bytes);
   ckpt::AppendPod(&out, static_cast<uint32_t>(response.shards.size()));
   for (const ShardStatsBlock& b : response.shards) {
     ckpt::AppendPod(&out, b.shard);
@@ -278,7 +281,10 @@ bool DecodeStatsResponse(const std::vector<uint8_t>& payload,
        reader.ReadPod(&response->ingested_triples) &&
        reader.ReadPod(&response->embedding_refreshes) &&
        reader.ReadPod(&response->epoch) &&
-       reader.ReadPod(&response->uptime_s);
+       reader.ReadPod(&response->uptime_s) &&
+       reader.ReadPod(&response->precision) &&
+       reader.ReadPod(&response->frozen_row_bytes) &&
+       reader.ReadPod(&response->frozen_weight_bytes);
   uint32_t shard_count = 0;
   ok = ok && reader.ReadPod(&shard_count);
   // Each block costs 52 payload bytes; reject a lying count before

@@ -32,7 +32,9 @@
 namespace dekg::serve {
 
 inline constexpr uint32_t kFrameMagic = 0x444B4753;  // "DKGS"
-inline constexpr uint8_t kProtocolVersion = 3;
+// v4 added the frozen-model accounting fields (precision,
+// frozen_row_bytes, frozen_weight_bytes) to StatsResponse.
+inline constexpr uint8_t kProtocolVersion = 4;
 // Upper bound on a single frame payload; a stream claiming more is
 // treated as corrupt rather than allocated.
 inline constexpr uint64_t kMaxPayloadBytes = 64ull << 20;
@@ -160,6 +162,14 @@ struct StatsResponse {
   uint64_t embedding_refreshes = 0;
   uint64_t epoch = 0;  // current snapshot epoch (v3)
   double uptime_s = 0.0;
+  // Frozen-model accounting (v4): storage precision of the frozen model
+  // (quant::Precision numeric value — 0 fp32, 1 fp16, 2 int8) and the
+  // byte footprint of the materialized CLRM fusion rows / R-GCN dense
+  // transforms at that precision. Writer-global (identical across
+  // shards), like the graph counters.
+  uint8_t precision = 0;
+  uint64_t frozen_row_bytes = 0;
+  uint64_t frozen_weight_bytes = 0;
   std::vector<ShardStatsBlock> shards;  // one per shard engine (v3)
 };
 

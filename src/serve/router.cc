@@ -10,7 +10,8 @@ Router::Router(core::DekgIlpModel* model, KnowledgeGraph base,
                const RouterConfig& config)
     : config_(config),
       model_(model),
-      writer_(model, std::move(base), config.engine.live_graph),
+      writer_(model, std::move(base), config.engine.live_graph,
+              config.engine.precision),
       shard_map_(config.num_shards) {
   DEKG_CHECK_GE(config_.num_shards, 1);
   shards_.reserve(static_cast<size_t>(config_.num_shards));
@@ -95,8 +96,10 @@ EngineStats Router::Stats() const {
     total.memo_hits += one.memo_hits;
     total.memo_misses += one.memo_misses;
     total.memo_entries += one.memo_entries;
-    // graph_* / ingested / refreshes are writer-global: every shard
-    // reports the same values, so shard 0's stand.
+    // graph_* / ingested / refreshes and the frozen-model fields
+    // (precision, frozen_row_bytes, frozen_weight_bytes) are
+    // writer-global: every shard reports the same values, so shard 0's
+    // stand.
   }
   return total;
 }

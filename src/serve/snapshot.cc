@@ -6,24 +6,53 @@
 
 namespace dekg::serve {
 
+std::shared_ptr<const Tensor> SnapshotWriter::MaterializeRow(
+    EntityId e) const {
+  core::Clrm* clrm = model_->clrm();
+  return std::make_shared<const Tensor>(
+      clrm->EmbedEntity(live_.graph().RelationComponentTable(e)).value());
+}
+
+std::shared_ptr<const quant::QuantRow> SnapshotWriter::MaterializeRowQ(
+    EntityId e) const {
+  core::Clrm* clrm = model_->clrm();
+  const Tensor row =
+      clrm->EmbedEntity(live_.graph().RelationComponentTable(e)).value();
+  auto q = std::make_shared<quant::QuantRow>();
+  std::string error;
+  DEKG_CHECK(quant::QuantizeRow(row, precision_, q.get(), &error))
+      << "quantizing fusion row for entity " << e << ": " << error;
+  return q;
+}
+
 SnapshotWriter::SnapshotWriter(core::DekgIlpModel* model, KnowledgeGraph base,
-                               const LiveGraphConfig& config)
-    : model_(model), live_(std::move(base), config) {
+                               const LiveGraphConfig& config,
+                               quant::Precision precision)
+    : model_(model), precision_(precision), live_(std::move(base), config) {
   core::Clrm* clrm = model_->clrm();
   if (clrm != nullptr) {
     const int32_t n = live_.graph().num_entities();
-    rows_.resize(static_cast<size_t>(n));
     // Fusion rows are independent; each lands in its own pre-sized slot,
-    // so the precompute is bit-identical at any thread count.
-    ParallelFor(0, n, /*grain=*/0, [&](int64_t begin, int64_t end) {
-      for (int64_t e = begin; e < end; ++e) {
-        rows_[static_cast<size_t>(e)] = std::make_shared<const Tensor>(
-            clrm->EmbedEntity(
-                    live_.graph().RelationComponentTable(
-                        static_cast<EntityId>(e)))
-                .value());
-      }
-    });
+    // so the precompute is bit-identical at any thread count. Quantized
+    // modes quantize each row as it is materialized and never keep the
+    // fp32 copy.
+    if (precision_ == quant::Precision::kFp32) {
+      rows_.resize(static_cast<size_t>(n));
+      ParallelFor(0, n, /*grain=*/0, [&](int64_t begin, int64_t end) {
+        for (int64_t e = begin; e < end; ++e) {
+          rows_[static_cast<size_t>(e)] =
+              MaterializeRow(static_cast<EntityId>(e));
+        }
+      });
+    } else {
+      qrows_.resize(static_cast<size_t>(n));
+      ParallelFor(0, n, /*grain=*/0, [&](int64_t begin, int64_t end) {
+        for (int64_t e = begin; e < end; ++e) {
+          qrows_[static_cast<size_t>(e)] =
+              MaterializeRowQ(static_cast<EntityId>(e));
+        }
+      });
+    }
   }
   Publish(nullptr);
 }
@@ -36,18 +65,32 @@ Status SnapshotWriter::Ingest(const std::vector<Triple>& triples,
   core::Clrm* clrm = model_->clrm();
   if (clrm != nullptr) {
     const size_t new_n = static_cast<size_t>(live_.graph().num_entities());
-    if (new_n > rows_.size()) {
+    const size_t old_n =
+        precision_ == quant::Precision::kFp32 ? rows_.size() : qrows_.size();
+    if (new_n > old_n) {
       // Brand-new ids (including any gap below the highest ingested id)
       // start from the all-zero table. One shared zero row suffices —
       // rows are replaced wholesale, never mutated in place.
       const core::RelationTable zero_table(
           static_cast<size_t>(live_.graph().num_relations()), 0);
-      rows_.resize(new_n, std::make_shared<const Tensor>(
-                              clrm->EmbedEntity(zero_table).value()));
+      const Tensor zero_row = clrm->EmbedEntity(zero_table).value();
+      if (precision_ == quant::Precision::kFp32) {
+        rows_.resize(new_n, std::make_shared<const Tensor>(zero_row));
+      } else {
+        auto zero_q = std::make_shared<quant::QuantRow>();
+        std::string qerror;
+        DEKG_CHECK(
+            quant::QuantizeRow(zero_row, precision_, zero_q.get(), &qerror))
+            << "quantizing zero fusion row: " << qerror;
+        qrows_.resize(new_n, std::move(zero_q));
+      }
     }
     for (EntityId e : report->touched_entities) {
-      rows_[static_cast<size_t>(e)] = std::make_shared<const Tensor>(
-          clrm->EmbedEntity(live_.graph().RelationComponentTable(e)).value());
+      if (precision_ == quant::Precision::kFp32) {
+        rows_[static_cast<size_t>(e)] = MaterializeRow(e);
+      } else {
+        qrows_[static_cast<size_t>(e)] = MaterializeRowQ(e);
+      }
     }
     refreshes_ += report->touched_entities.size();
   }
@@ -61,12 +104,27 @@ Status SnapshotWriter::Ingest(const std::vector<Triple>& triples,
   return Status::kOk;
 }
 
+uint64_t SnapshotWriter::FrozenRowBytes() const {
+  if (precision_ == quant::Precision::kFp32) {
+    uint64_t total = 0;
+    for (const auto& row : rows_) {
+      total += static_cast<uint64_t>(row->numel()) * sizeof(float);
+    }
+    return total;
+  }
+  uint64_t total = 0;
+  for (const auto& row : qrows_) total += row->PayloadBytes();
+  return total;
+}
+
 void SnapshotWriter::Publish(std::shared_ptr<const IngestDelta> delta) {
   // O(V+E) graph copy: the wait-free-reader cost. Rows are O(V) pointer
   // copies; unchanged rows are shared between snapshots.
   auto snapshot = std::make_shared<GraphSnapshot>(live_.graph());
   snapshot->epoch = epoch_.load(std::memory_order_relaxed) + (delta ? 1 : 0);
+  snapshot->precision = precision_;
   snapshot->entity_emb = rows_;
+  snapshot->entity_emb_q = qrows_;
   snapshot->deltas = std::move(delta);
   epoch_.store(snapshot->epoch, std::memory_order_release);
   published_.store(std::move(snapshot), std::memory_order_release);

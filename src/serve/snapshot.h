@@ -45,6 +45,7 @@
 
 #include "core/dekg_ilp.h"
 #include "kg/knowledge_graph.h"
+#include "quant/quantize.h"
 #include "serve/live_graph.h"
 #include "serve/protocol.h"
 
@@ -70,10 +71,18 @@ struct GraphSnapshot {
 
   uint64_t epoch = 0;
   KnowledgeGraph graph;
+  // Storage precision of the fusion rows below: exactly one of
+  // entity_emb (fp32) / entity_emb_q (fp16 or int8) is populated.
+  quant::Precision precision = quant::Precision::kFp32;
   // Materialized CLRM fusion rows, [1, dim] each; row e always equals
   // EmbedEntity(RelationComponentTable(e)) for `graph`. Rows are shared
   // with other snapshots when unchanged. Empty when CLRM is off.
   std::vector<std::shared_ptr<const Tensor>> entity_emb;
+  // Quantized fusion rows (fp16/int8 precision): row e is
+  // QuantizeRow(EmbedEntity(RelationComponentTable(e))). The fp32 rows
+  // are NOT retained alongside — dropping them is the entire footprint
+  // win (DESIGN.md §15).
+  std::vector<std::shared_ptr<const quant::QuantRow>> entity_emb_q;
   // Delta chain head: the delta that produced this epoch (nullptr for
   // the base snapshot). Walking `prev` reaches every earlier epoch.
   std::shared_ptr<const IngestDelta> deltas;
@@ -85,8 +94,12 @@ class SnapshotWriter {
   // (parallelized over entities, bit-identical at any thread count), and
   // publishes the epoch-0 snapshot. `model` must outlive the writer and
   // is treated as frozen.
+  // `precision` selects the storage of the materialized rows: fp32 keeps
+  // plain tensors (the exact mode), fp16/int8 quantizes each row as it
+  // is materialized and never retains the fp32 copy.
   SnapshotWriter(core::DekgIlpModel* model, KnowledgeGraph base,
-                 const LiveGraphConfig& config);
+                 const LiveGraphConfig& config,
+                 quant::Precision precision = quant::Precision::kFp32);
 
   // The most recently published snapshot. Wait-free for readers; safe
   // from any thread.
@@ -105,9 +118,19 @@ class SnapshotWriter {
 
   // Writer-side views (serialize externally against Ingest).
   const KnowledgeGraph& live() const { return live_.graph(); }
+  // fp32 mode only — quantized writers never materialize fp32 rows.
   const Tensor& Row(EntityId e) const {
+    DEKG_CHECK(precision_ == quant::Precision::kFp32)
+        << "Row(): quantized writers store QuantRows (see Current())";
     return *rows_[static_cast<size_t>(e)];
   }
+
+  quant::Precision precision() const { return precision_; }
+
+  // Total bytes of the materialized fusion-row payload at the current
+  // precision (0 when CLRM is off) — the serve STATS frozen-model
+  // accounting. O(V) walk; called from the stats path only.
+  uint64_t FrozenRowBytes() const;
 
   uint64_t ingested_triples() const { return live_.ingested_triples(); }
   uint64_t embedding_refreshes() const { return refreshes_; }
@@ -115,9 +138,18 @@ class SnapshotWriter {
  private:
   void Publish(std::shared_ptr<const IngestDelta> delta);
 
+  // Materializes (and, under a quantized precision, quantizes) the
+  // fusion row for entity e against the current writer graph.
+  std::shared_ptr<const Tensor> MaterializeRow(EntityId e) const;
+  std::shared_ptr<const quant::QuantRow> MaterializeRowQ(EntityId e) const;
+
   core::DekgIlpModel* model_;
+  quant::Precision precision_;
   LiveGraph live_;
+  // Exactly one populated, by precision_ (fp32 rows are dropped entirely
+  // in quantized modes — that is the footprint reduction).
   std::vector<std::shared_ptr<const Tensor>> rows_;
+  std::vector<std::shared_ptr<const quant::QuantRow>> qrows_;
   uint64_t refreshes_ = 0;
   std::atomic<uint64_t> epoch_{0};
   std::atomic<std::shared_ptr<const GraphSnapshot>> published_;

@@ -1,0 +1,439 @@
+// Unit tier for src/quant/ (DESIGN.md §15): the scalar conversion
+// primitives (round-half-to-even, the binary16 codec), the calibration
+// pass and its degenerate inputs (all-zero rows, constant rows,
+// single-column tensors, NaN/±inf rejection — never silent saturation),
+// the per-row quantizers' error bounds, and the compute kernels checked
+// against plain double-precision references over the dequantized
+// payloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "quant/qkernels.h"
+#include "quant/quantize.h"
+#include "tensor/tensor.h"
+
+namespace dekg::quant {
+namespace {
+
+TEST(QuantScalarTest, RoundHalfToEvenTiesAndNegatives) {
+  EXPECT_EQ(RoundHalfToEven(0.0f), 0);
+  EXPECT_EQ(RoundHalfToEven(0.5f), 0);
+  EXPECT_EQ(RoundHalfToEven(1.5f), 2);
+  EXPECT_EQ(RoundHalfToEven(2.5f), 2);
+  EXPECT_EQ(RoundHalfToEven(3.5f), 4);
+  EXPECT_EQ(RoundHalfToEven(-0.5f), 0);
+  EXPECT_EQ(RoundHalfToEven(-1.5f), -2);
+  EXPECT_EQ(RoundHalfToEven(-2.5f), -2);
+  EXPECT_EQ(RoundHalfToEven(-3.5f), -4);
+  // Non-tie cases round to nearest as usual.
+  EXPECT_EQ(RoundHalfToEven(1.49f), 1);
+  EXPECT_EQ(RoundHalfToEven(1.51f), 2);
+  EXPECT_EQ(RoundHalfToEven(-1.49f), -1);
+  EXPECT_EQ(RoundHalfToEven(-1.51f), -2);
+  EXPECT_EQ(RoundHalfToEven(126.5f), 126);
+  EXPECT_EQ(RoundHalfToEven(-126.5f), -126);
+}
+
+TEST(QuantScalarTest, Fp16ExactValuesRoundTrip) {
+  // Every value exactly representable in binary16 must round-trip to
+  // identical bits.
+  const float exact[] = {0.0f,    1.0f,   -1.0f,     0.5f,   -2.0f,
+                         1024.0f, 65504.0f, -65504.0f, 0.25f, 6.103515625e-5f};
+  for (float v : exact) {
+    EXPECT_EQ(Fp16ToFp32(Fp32ToFp16(v)), v) << "value " << v;
+  }
+  // Signed zero keeps its sign bit.
+  EXPECT_EQ(Fp32ToFp16(-0.0f), 0x8000u);
+  EXPECT_EQ(Fp32ToFp16(0.0f), 0x0000u);
+}
+
+TEST(QuantScalarTest, Fp16SubnormalsAndUnderflow) {
+  // Smallest positive subnormal: 2^-24.
+  const float min_sub = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Fp32ToFp16(min_sub), 0x0001u);
+  EXPECT_EQ(Fp16ToFp32(uint16_t{0x0001}), min_sub);
+  // Half of it is a tie with zero; even base rounds down to +0.
+  EXPECT_EQ(Fp32ToFp16(min_sub * 0.5f), 0x0000u);
+  // 1.5× the smallest subnormal is a tie between 1 and 2 ulps: ties to
+  // even picks 2.
+  EXPECT_EQ(Fp32ToFp16(min_sub * 1.5f), 0x0002u);
+  // A subnormal magnitude rounds through the codec within half an ulp.
+  const float v = std::ldexp(1.0f, -20);  // 16 ulps of the subnormal range
+  EXPECT_EQ(Fp16ToFp32(Fp32ToFp16(v)), v);
+  // Rounding carry out of the largest subnormal (1023 * 2^-24) lands
+  // exactly on the smallest normal (2^-14).
+  const float min_normal = std::ldexp(1.0f, -14);
+  EXPECT_EQ(Fp16ToFp32(Fp32ToFp16(std::ldexp(1023.9f, -24))), min_normal);
+}
+
+TEST(QuantScalarTest, Fp16FiniteOverflowSaturatesNeverInf) {
+  // Finite values beyond half range saturate to ±65504 instead of
+  // producing an infinity (the documented contract: calibration already
+  // rejected non-finite input, so a finite float must stay finite).
+  EXPECT_EQ(Fp16ToFp32(Fp32ToFp16(65520.0f)), 65504.0f);
+  EXPECT_EQ(Fp16ToFp32(Fp32ToFp16(1.0e8f)), 65504.0f);
+  EXPECT_EQ(Fp16ToFp32(Fp32ToFp16(-1.0e30f)), -65504.0f);
+  EXPECT_EQ(Fp16ToFp32(Fp32ToFp16(std::numeric_limits<float>::max())),
+            65504.0f);
+}
+
+TEST(QuantScalarTest, Fp16RoundTripErrorWithinHalfUlp) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.UniformDouble() * 8.0 - 4.0);
+    const float back = Fp16ToFp32(Fp32ToFp16(v));
+    // Relative error of binary16 round-to-nearest is 2^-11 for normals.
+    EXPECT_LE(std::fabs(back - v), std::fabs(v) * (1.0f / 2048.0f) + 1e-7f)
+        << "value " << v;
+  }
+}
+
+TEST(QuantCalibrationTest, MinMaxPerRow) {
+  Tensor t({2, 3}, {1.0f, -2.0f, 3.0f, -4.0f, 0.0f, 4.0f});
+  RowCalibration calib;
+  std::string error;
+  ASSERT_TRUE(CalibrateRows(t, &calib, &error)) << error;
+  ASSERT_EQ(calib.rows, 2);
+  ASSERT_EQ(calib.cols, 3);
+  EXPECT_EQ(calib.row_min[0], -2.0f);
+  EXPECT_EQ(calib.row_max[0], 3.0f);
+  EXPECT_EQ(calib.row_min[1], -4.0f);
+  EXPECT_EQ(calib.row_max[1], 4.0f);
+}
+
+TEST(QuantCalibrationTest, Rank1TensorIsOneRow) {
+  Tensor t({4}, {0.5f, -1.5f, 2.5f, -0.5f});
+  RowCalibration calib;
+  std::string error;
+  ASSERT_TRUE(CalibrateRows(t, &calib, &error)) << error;
+  EXPECT_EQ(calib.rows, 1);
+  EXPECT_EQ(calib.cols, 4);
+  EXPECT_EQ(calib.row_min[0], -1.5f);
+  EXPECT_EQ(calib.row_max[0], 2.5f);
+}
+
+TEST(QuantCalibrationTest, SingleColumnTensor) {
+  // Degenerate width: one element per row still calibrates and
+  // quantizes exactly (each row's sole value maps to ±127).
+  Tensor t({3, 1}, {2.0f, -0.125f, 0.0f});
+  QuantizedTensor q;
+  std::string error;
+  ASSERT_TRUE(QuantizeInt8(t, &q, &error)) << error;
+  ASSERT_EQ(q.rows, 3);
+  ASSERT_EQ(q.cols, 1);
+  EXPECT_EQ(q.data[0], 127);
+  EXPECT_EQ(q.data[1], -127);
+  EXPECT_EQ(q.data[2], 0);
+  Tensor back = Dequantize(q);
+  EXPECT_EQ(back.At(0, 0), 2.0f);
+  EXPECT_EQ(back.At(1, 0), -0.125f);
+  EXPECT_EQ(back.At(2, 0), 0.0f);
+}
+
+TEST(QuantCalibrationTest, RejectsNaNWithPositionedError) {
+  Tensor t({2, 2}, {1.0f, 2.0f, std::numeric_limits<float>::quiet_NaN(),
+                    4.0f});
+  RowCalibration calib;
+  std::string error;
+  EXPECT_FALSE(CalibrateRows(t, &calib, &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  EXPECT_NE(error.find("row 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("col 0"), std::string::npos) << error;
+}
+
+TEST(QuantCalibrationTest, RejectsInfinitiesThroughEveryQuantizer) {
+  for (float bad : {std::numeric_limits<float>::infinity(),
+                    -std::numeric_limits<float>::infinity()}) {
+    Tensor t({1, 3}, {1.0f, bad, 3.0f});
+    QuantizedTensor qi;
+    Fp16Tensor qh;
+    std::string error;
+    EXPECT_FALSE(QuantizeInt8(t, &qi, &error));
+    EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+    error.clear();
+    EXPECT_FALSE(QuantizeFp16(t, &qh, &error));
+    EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+    // No silent saturation: the rejected containers hold no payload.
+    EXPECT_TRUE(qi.data.empty());
+    EXPECT_TRUE(qh.data.empty());
+  }
+}
+
+TEST(QuantInt8Test, AllZeroRowDequantizesExactly) {
+  Tensor t = Tensor::Zeros({2, 5});
+  QuantizedTensor q;
+  std::string error;
+  ASSERT_TRUE(QuantizeInt8(t, &q, &error)) << error;
+  // The documented convention: scale 1 for an all-zero row, so the
+  // dequantized row is exact zeros (not 0 * garbage).
+  EXPECT_EQ(q.scales[0], 1.0f);
+  EXPECT_EQ(q.scales[1], 1.0f);
+  Tensor back = Dequantize(q);
+  for (int64_t i = 0; i < back.numel(); ++i) {
+    EXPECT_EQ(back.Data()[i], 0.0f) << "element " << i;
+  }
+}
+
+TEST(QuantInt8Test, ConstantRowIsExactAtFullScale) {
+  Tensor t({2, 4}, {3.0f, 3.0f, 3.0f, 3.0f, -0.75f, -0.75f, -0.75f, -0.75f});
+  QuantizedTensor q;
+  std::string error;
+  ASSERT_TRUE(QuantizeInt8(t, &q, &error)) << error;
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(q.data[j], 127);
+    EXPECT_EQ(q.data[4 + j], -127);
+  }
+  Tensor back = Dequantize(q);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(back.At(0, j), 3.0f);
+    EXPECT_EQ(back.At(1, j), -0.75f);
+  }
+}
+
+TEST(QuantInt8Test, SymmetricSchemeZeroPointsAreZero) {
+  Rng rng(11);
+  Tensor t = Tensor::Uniform({6, 9}, -2.0f, 5.0f, &rng);
+  QuantizedTensor q;
+  std::string error;
+  ASSERT_TRUE(QuantizeInt8(t, &q, &error)) << error;
+  ASSERT_EQ(q.zero_points.size(), 6u);
+  for (int32_t zp : q.zero_points) EXPECT_EQ(zp, 0);
+}
+
+TEST(QuantInt8Test, DequantizationErrorWithinHalfScalePerElement) {
+  Rng rng(23);
+  Tensor t = Tensor::Uniform({8, 16}, -3.0f, 3.0f, &rng);
+  QuantizedTensor q;
+  std::string error;
+  ASSERT_TRUE(QuantizeInt8(t, &q, &error)) << error;
+  Tensor back = Dequantize(q);
+  for (int64_t i = 0; i < 8; ++i) {
+    // Round-to-nearest quantization error is at most scale/2 per
+    // element (plus a float rounding crumb from the rescale).
+    const float bound = q.scales[static_cast<size_t>(i)] * 0.5f + 1e-6f;
+    for (int64_t j = 0; j < 16; ++j) {
+      EXPECT_LE(std::fabs(back.At(i, j) - t.At(i, j)), bound)
+          << "element (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(QuantInt8Test, ExplicitCalibrationMatchesConvenienceOverload) {
+  Rng rng(31);
+  Tensor t = Tensor::Uniform({4, 7}, -1.0f, 1.0f, &rng);
+  RowCalibration calib;
+  QuantizedTensor via_calib;
+  QuantizedTensor direct;
+  std::string error;
+  ASSERT_TRUE(CalibrateRows(t, &calib, &error)) << error;
+  ASSERT_TRUE(QuantizeInt8(t, calib, &via_calib, &error)) << error;
+  ASSERT_TRUE(QuantizeInt8(t, &direct, &error)) << error;
+  EXPECT_EQ(via_calib.data, direct.data);
+  EXPECT_EQ(via_calib.scales, direct.scales);
+}
+
+TEST(QuantRowTest, RejectsFp32AndMultiRowInput) {
+  Tensor row({1, 4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  QuantRow out;
+  std::string error;
+  EXPECT_FALSE(QuantizeRow(row, Precision::kFp32, &out, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  Tensor two = Tensor::Ones({2, 4});
+  EXPECT_FALSE(QuantizeRow(two, Precision::kInt8, &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(QuantRowTest, RoundTripsBothPrecisions) {
+  Tensor row({1, 6}, {0.5f, -1.25f, 2.0f, 0.0f, -0.01f, 1.75f});
+  for (Precision p : {Precision::kInt8, Precision::kFp16}) {
+    QuantRow q;
+    std::string error;
+    ASSERT_TRUE(QuantizeRow(row, p, &q, &error)) << error;
+    EXPECT_EQ(q.dim, 6);
+    EXPECT_EQ(q.precision, p);
+    Tensor back = DequantizeRow(q);
+    ASSERT_EQ(back.numel(), 6);
+    const float bound = p == Precision::kInt8 ? 2.0f / 127.0f : 2.0f / 2048.0f;
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_LE(std::fabs(back.Data()[j] - row.Data()[j]), bound)
+          << PrecisionName(p) << " element " << j;
+    }
+  }
+}
+
+TEST(QuantKernelTest, LaneDotI8MatchesScalarReference) {
+  Rng rng(41);
+  for (int64_t n : {1, 3, 7, 8, 16, 33, 100}) {
+    std::vector<int8_t> a(static_cast<size_t>(n));
+    std::vector<int8_t> b(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      a[static_cast<size_t>(i)] =
+          static_cast<int8_t>(rng.UniformUint64(255)) - 127;
+      b[static_cast<size_t>(i)] =
+          static_cast<int8_t>(rng.UniformUint64(255)) - 127;
+    }
+    int64_t want = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      want += static_cast<int64_t>(a[static_cast<size_t>(i)]) *
+              static_cast<int64_t>(b[static_cast<size_t>(i)]);
+    }
+    EXPECT_EQ(LaneDotI8(a.data(), b.data(), n), want) << "n " << n;
+  }
+}
+
+TEST(QuantKernelTest, ActivationQuantizationIsRowContentPure) {
+  Rng rng(43);
+  std::vector<float> x(24);
+  for (float& v : x) v = static_cast<float>(rng.UniformDouble() * 4.0 - 2.0);
+  std::vector<int8_t> q1(24), q2(24);
+  const float s1 = QuantizeActivationRow(x.data(), 24, q1.data());
+  const float s2 = QuantizeActivationRow(x.data(), 24, q2.data());
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(q1, q2);
+  // All-zero activation: scale 1, all-zero payload.
+  std::vector<float> zeros(8, 0.0f);
+  std::vector<int8_t> qz(8, 99);
+  EXPECT_EQ(QuantizeActivationRow(zeros.data(), 8, qz.data()), 1.0f);
+  for (int8_t v : qz) EXPECT_EQ(v, 0);
+}
+
+// Double-precision reference for the int8 GEMM: quantize exactly as the
+// kernel does, then accumulate in double over the dequantized factors.
+// The kernel's int32 accumulation is exact, so the only float step is
+// the final rescale — the reference must agree to float rounding.
+TEST(QuantKernelTest, Int8MatMulMatchesDequantizedReference) {
+  Rng rng(47);
+  const int64_t m = 5, k = 12, n = 7;
+  Tensor x = Tensor::Uniform({m, k}, -2.0f, 2.0f, &rng);
+  Tensor w = Tensor::Uniform({k, n}, -1.0f, 1.0f, &rng);
+  QuantMatrix qw;
+  std::string error;
+  ASSERT_TRUE(QuantizeMatrix(w, Precision::kInt8, &qw, &error)) << error;
+  ASSERT_EQ(qw.in_dim, k);
+  ASSERT_EQ(qw.out_dim, n);
+
+  Tensor out = QuantMatMul(x, qw);
+  ASSERT_EQ(out.dim(0), m);
+  ASSERT_EQ(out.dim(1), n);
+
+  std::vector<int8_t> qx(static_cast<size_t>(k));
+  for (int64_t i = 0; i < m; ++i) {
+    const float x_scale =
+        QuantizeActivationRow(x.Data() + i * k, k, qx.data());
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t acc = 0;
+      for (int64_t d = 0; d < k; ++d) {
+        acc += static_cast<int64_t>(qx[static_cast<size_t>(d)]) *
+               static_cast<int64_t>(
+                   qw.i8.data[static_cast<size_t>(j * k + d)]);
+      }
+      const float want = x_scale * qw.i8.scales[static_cast<size_t>(j)] *
+                         static_cast<float>(acc);
+      EXPECT_EQ(out.At(i, j), want) << "(" << i << ", " << j << ")";
+    }
+  }
+
+  // End-to-end accuracy vs the fp32 product: bounded by the two
+  // quantization steps (weight + activation).
+  Tensor exact = MatMul(x, w);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(out.At(i, j), exact.At(i, j), 0.05)
+          << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(QuantKernelTest, Fp16MatMulMatchesDecodedReference) {
+  Rng rng(53);
+  const int64_t m = 4, k = 10, n = 6;
+  Tensor x = Tensor::Uniform({m, k}, -2.0f, 2.0f, &rng);
+  Tensor w = Tensor::Uniform({k, n}, -1.0f, 1.0f, &rng);
+  QuantMatrix qw;
+  std::string error;
+  ASSERT_TRUE(QuantizeMatrix(w, Precision::kFp16, &qw, &error)) << error;
+
+  Tensor out = QuantMatMul(x, qw);
+  // Reference: decode the stored fp16 weights to fp32 and run the exact
+  // fp32 MatMul — storage rounding is the ONLY difference the fp16 path
+  // is allowed to introduce.
+  Tensor decoded({k, n});
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t d = 0; d < k; ++d) {
+      decoded.At(d, j) =
+          Fp16ToFp32(qw.f16.data[static_cast<size_t>(j * k + d)]);
+    }
+  }
+  Tensor want = MatMul(x, decoded);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_EQ(out.At(i, j), want.At(i, j)) << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(QuantKernelTest, QuantDistMultTracksFp32Scoring) {
+  Rng rng(59);
+  const int64_t dim = 16;
+  Tensor head = Tensor::Uniform({1, dim}, -1.5f, 1.5f, &rng);
+  Tensor tail = Tensor::Uniform({1, dim}, -1.5f, 1.5f, &rng);
+  Tensor rel = Tensor::Uniform({dim}, -1.0f, 1.0f, &rng);
+
+  double exact = 0.0;
+  for (int64_t d = 0; d < dim; ++d) {
+    exact += static_cast<double>(head.Data()[d]) *
+             static_cast<double>(rel.Data()[d]) *
+             static_cast<double>(tail.Data()[d]);
+  }
+
+  for (Precision p : {Precision::kInt8, Precision::kFp16}) {
+    QuantRow qh, qt;
+    std::string error;
+    ASSERT_TRUE(QuantizeRow(head, p, &qh, &error)) << error;
+    ASSERT_TRUE(QuantizeRow(tail, p, &qt, &error)) << error;
+    const float got = QuantDistMult(qh, rel.Data(), qt);
+    const double bound = p == Precision::kInt8 ? 0.05 : 0.01;
+    EXPECT_NEAR(got, exact, bound) << PrecisionName(p);
+    // Deterministic: recomputing produces the same bits.
+    EXPECT_EQ(QuantDistMult(qh, rel.Data(), qt), got);
+  }
+}
+
+TEST(QuantContainerTest, PayloadBytesAccountRowsAndMetadata) {
+  Tensor t = Tensor::Ones({3, 8});
+  QuantizedTensor qi;
+  Fp16Tensor qh;
+  std::string error;
+  ASSERT_TRUE(QuantizeInt8(t, &qi, &error)) << error;
+  ASSERT_TRUE(QuantizeFp16(t, &qh, &error)) << error;
+  // int8: 24 payload bytes + 3 scales (4 B) + 3 zero-points (4 B).
+  EXPECT_EQ(qi.PayloadBytes(), 24u + 12u + 12u);
+  EXPECT_EQ(qh.PayloadBytes(), 48u);
+
+  Tensor row = Tensor::Ones({1, 8});
+  QuantRow qr;
+  ASSERT_TRUE(QuantizeRow(row, Precision::kInt8, &qr, &error)) << error;
+  EXPECT_EQ(qr.PayloadBytes(), 8u + 4u);  // payload + scale
+  ASSERT_TRUE(QuantizeRow(row, Precision::kFp16, &qr, &error)) << error;
+  EXPECT_EQ(qr.PayloadBytes(), 16u);
+}
+
+TEST(QuantContainerTest, PrecisionNamesRoundTrip) {
+  for (Precision p : {Precision::kFp32, Precision::kFp16, Precision::kInt8}) {
+    Precision parsed;
+    ASSERT_TRUE(ParsePrecision(PrecisionName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  Precision parsed;
+  EXPECT_FALSE(ParsePrecision("int4", &parsed));
+  EXPECT_FALSE(ParsePrecision("", &parsed));
+}
+
+}  // namespace
+}  // namespace dekg::quant

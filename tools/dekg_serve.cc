@@ -110,7 +110,8 @@ int main(int argc, char** argv) {
         "                  [--threads T] [--shards N] [--batch N] [--cache N]"
         " [--max-entities N]\n"
         "                  [--no-emerging] [--no-patch-cache]"
-        " [--throughput-wait-us U] [--print-golden N]\n");
+        " [--throughput-wait-us U] [--print-golden N]\n"
+        "                  [--precision fp32|fp16|int8]\n");
     return 2;
   }
   const std::string dir = argv[1];
@@ -153,6 +154,15 @@ int main(int argc, char** argv) {
   // --no-patch-cache restores PR 4's invalidate-on-ingest maintenance
   // (bit-identical scores either way — see cache_patch_differential_test).
   engine_config.patch_cache = !HasFlag(argc, argv, "--no-patch-cache");
+  // --precision fp16/int8 serves the frozen model quantized (DESIGN.md
+  // §15): smaller footprint, epsilon-accurate scores. fp32 (default)
+  // keeps the bit-exact determinism contract.
+  const char* precision_flag = FlagValue(argc, argv, "--precision", "fp32");
+  if (!quant::ParsePrecision(precision_flag, &engine_config.precision)) {
+    std::fprintf(stderr, "--precision must be fp32, fp16, or int8 (got %s)\n",
+                 precision_flag);
+    return 2;
+  }
   serve::Router router(&model, base, router_config);
 
   serve::BatcherConfig batcher_config;
@@ -193,12 +203,14 @@ int main(int argc, char** argv) {
   });
 
   std::printf(
-      "serving %s on %s:%u (%s mode, %d shard%s, batch %lld, cache %lld)\n",
+      "serving %s on %s:%u (%s mode, %d shard%s, batch %lld, cache %lld, "
+      "%s)\n",
       dir.c_str(), server_config.host.c_str(), server.port(),
       batcher_config.deterministic ? "deterministic" : "throughput",
       router_config.num_shards, router_config.num_shards == 1 ? "" : "s",
       static_cast<long long>(batcher_config.max_batch_triples),
-      static_cast<long long>(engine_config.cache_capacity));
+      static_cast<long long>(engine_config.cache_capacity),
+      quant::PrecisionName(engine_config.precision));
   std::fflush(stdout);
   const char* port_file = FlagValue(argc, argv, "--port-file", nullptr);
   if (port_file != nullptr) {

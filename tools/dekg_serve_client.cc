@@ -30,6 +30,7 @@
 
 #include "common/string_util.h"
 #include "kg/dataset_io.h"
+#include "quant/quantize.h"
 #include "serve/client.h"
 
 using namespace dekg;
@@ -203,6 +204,13 @@ int Stats(serve::Client* client) {
               static_cast<unsigned long long>(s.embedding_refreshes));
   std::printf("epoch\t%llu\n", static_cast<unsigned long long>(s.epoch));
   std::printf("uptime_s\t%.3f\n", s.uptime_s);
+  std::printf("precision\t%s\n",
+              dekg::quant::PrecisionName(
+                  static_cast<dekg::quant::Precision>(s.precision)));
+  std::printf("frozen_row_bytes\t%llu\n",
+              static_cast<unsigned long long>(s.frozen_row_bytes));
+  std::printf("frozen_weight_bytes\t%llu\n",
+              static_cast<unsigned long long>(s.frozen_weight_bytes));
   for (const serve::ShardStatsBlock& b : s.shards) {
     std::printf("shard[%u]\thits %llu\tmisses %llu\tentries %llu\t"
                 "patched %llu\trepaired %llu\tfallback %llu\n",
