@@ -26,6 +26,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/dekg_ilp.h"
+#include "graph/subgraph.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
 
@@ -300,7 +301,18 @@ int main() {
     mode("invalidate", p.invalidate, "");
     std::fprintf(json, "    }");
   }
-  std::fprintf(json, "\n  ]\n}\n");
+  // Process-wide extraction counters across the whole sweep (cache misses
+  // in both engines plus the offline gate's extractions): the churn trail
+  // makes extraction-cost regressions visible next to the hit rates.
+  const ExtractionCounters extract = GetExtractionCounters();
+  std::fprintf(json,
+               "\n  ],\n  \"extraction\": {\n"
+               "    \"extractions\": %llu,\n"
+               "    \"bfs_popped\": %llu,\n"
+               "    \"candidates_kept\": %llu\n  }\n}\n",
+               static_cast<unsigned long long>(extract.extractions),
+               static_cast<unsigned long long>(extract.bfs_popped),
+               static_cast<unsigned long long>(extract.candidates_kept));
   std::fclose(json);
   std::printf("\nwrote BENCH_churn.json\n");
 

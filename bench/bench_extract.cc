@@ -1,0 +1,279 @@
+// Extraction scaling benchmark (DESIGN.md §16): per-call cost of the
+// output-sensitive sparse extraction path vs the retained dense reference
+// (ExtractSubgraphDense), swept over graph size {1e4, 1e5, 1e6} entities
+// × hops {1, 2, 3} on low-skew datagen worlds whose ~4-degree keeps the
+// 2-hop ball roughly constant as the graph grows — so per-extraction cost
+// should be flat where the dense path grows linearly in num_entities.
+//
+// Gates (exit code 1 on failure):
+//  * bitwise — at EVERY sweep point, every probe subgraph from the sparse
+//    path must equal the dense reference field-for-field;
+//  * speedup — sparse must be ≥5× faster per extraction at hops=2 for
+//    every graph of ≥1e5 entities;
+//  * sublinear — sparse per-extraction time at hops=2 may grow at most
+//    (Nmax/Nmin)/4 going from the smallest to the largest graph (a
+//    linear-cost path would grow by the full Nmax/Nmin).
+//
+// Knobs: DEKG_BENCH_EXTRACT_PROBES (target links per point, default 64),
+// DEKG_BENCH_EXTRACT_REPS (sparse timing repetitions, default 16),
+// DEKG_BENCH_EXTRACT_MAX_N (trim the entity sweep, default 1000000).
+// Results land in BENCH_extract.json in the working directory.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "datagen/synthetic_kg.h"
+#include "graph/subgraph.h"
+#include "kg/knowledge_graph.h"
+
+namespace dekg::bench {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+bool SameSubgraph(const Subgraph& a, const Subgraph& b) {
+  if (a.nodes.size() != b.nodes.size()) return false;
+  if (a.edges.size() != b.edges.size()) return false;
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    if (a.nodes[i].entity != b.nodes[i].entity ||
+        a.nodes[i].dist_head != b.nodes[i].dist_head ||
+        a.nodes[i].dist_tail != b.nodes[i].dist_tail) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    if (a.edges[i].src != b.edges[i].src ||
+        a.edges[i].rel != b.edges[i].rel ||
+        a.edges[i].dst != b.edges[i].dst) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SweepPoint {
+  int64_t num_entities = 0;
+  int64_t num_triples = 0;
+  int hops = 0;
+  int probes = 0;
+  bool bitwise_identical = false;
+  double sparse_us = 0.0;  // per extraction
+  double dense_us = 0.0;   // per extraction
+  double speedup = 0.0;
+  double mean_nodes = 0.0;
+  double mean_edges = 0.0;
+  double mean_bfs_popped = 0.0;
+  double mean_candidates = 0.0;
+};
+
+struct World {
+  KnowledgeGraph graph{0, 0};
+  std::vector<Triple> probes;
+};
+
+World MakeWorld(int32_t num_entities, int num_probes) {
+  datagen::SchemaConfig schema;
+  schema.num_types = 6;
+  schema.num_relations = 24;
+  schema.num_entities = num_entities;
+  schema.avg_degree = 4.0;
+  schema.num_rules = 8;
+  schema.rule_apply_prob = 0.3;
+  schema.type_noise = 0.05;
+  // Low skew keeps hub degrees — and with them t-hop ball sizes — roughly
+  // flat across the entity sweep, which is what makes the sublinearity
+  // gate meaningful: subgraph size stays fixed while the graph grows.
+  schema.popularity_skew = 0.2;
+  Rng rng(0x5eedc0de ^ static_cast<uint64_t>(num_entities));
+  datagen::GeneratedKg kg = datagen::GenerateKg(schema, &rng);
+
+  World world;
+  world.graph = BuildGraph(kg.num_entities, kg.num_relations, kg.triples);
+  DEKG_CHECK(!kg.triples.empty());
+  const size_t stride =
+      std::max<size_t>(1, kg.triples.size() / static_cast<size_t>(num_probes));
+  for (size_t i = 0; i < kg.triples.size() &&
+                     world.probes.size() < static_cast<size_t>(num_probes);
+       i += stride) {
+    world.probes.push_back(kg.triples[i]);
+  }
+  return world;
+}
+
+SweepPoint RunPoint(const World& world, int hops, int reps) {
+  SweepPoint pt;
+  pt.num_entities = world.graph.num_entities();
+  pt.num_triples = world.graph.num_triples();
+  pt.hops = hops;
+  pt.probes = static_cast<int>(world.probes.size());
+
+  SubgraphConfig config;
+  config.num_hops = hops;
+  config.max_nodes = 256;
+  config.labeling = NodeLabeling::kImproved;
+
+  SubgraphWorkspace workspace;
+
+  // Correctness pass (untimed): sparse vs dense at every probe, plus the
+  // per-extraction size/counter means for the report.
+  ResetExtractionCounters();
+  pt.bitwise_identical = true;
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  for (const Triple& t : world.probes) {
+    Subgraph sparse = ExtractSubgraph(world.graph, t.head, t.tail, t.rel,
+                                      config, &workspace);
+    Subgraph dense =
+        ExtractSubgraphDense(world.graph, t.head, t.tail, t.rel, config);
+    if (!SameSubgraph(sparse, dense)) pt.bitwise_identical = false;
+    nodes += sparse.nodes.size();
+    edges += sparse.edges.size();
+  }
+  const ExtractionCounters counters = GetExtractionCounters();
+  const double n_probes = static_cast<double>(world.probes.size());
+  pt.mean_nodes = static_cast<double>(nodes) / n_probes;
+  pt.mean_edges = static_cast<double>(edges) / n_probes;
+  pt.mean_bfs_popped =
+      static_cast<double>(counters.bfs_popped) / n_probes;
+  pt.mean_candidates =
+      static_cast<double>(counters.candidates_kept) / n_probes;
+
+  // Timed passes. The sparse path reuses one workspace, exactly like the
+  // hot paths (trainer prefill, evaluator, serving misses) do.
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    for (const Triple& t : world.probes) {
+      Subgraph s = ExtractSubgraph(world.graph, t.head, t.tail, t.rel,
+                                   config, &workspace);
+      nodes += s.nodes.size();  // keep the extraction observable
+    }
+  }
+  pt.sparse_us = timer.ElapsedMicros() / (n_probes * reps);
+
+  const int dense_reps = std::max(1, reps / 8);
+  timer.Restart();
+  for (int r = 0; r < dense_reps; ++r) {
+    for (const Triple& t : world.probes) {
+      Subgraph s =
+          ExtractSubgraphDense(world.graph, t.head, t.tail, t.rel, config);
+      nodes += s.nodes.size();
+    }
+  }
+  pt.dense_us = timer.ElapsedMicros() / (n_probes * dense_reps);
+  pt.speedup = pt.sparse_us > 0.0 ? pt.dense_us / pt.sparse_us : 0.0;
+  return pt;
+}
+
+int Main() {
+  const int probes = EnvInt("DEKG_BENCH_EXTRACT_PROBES", 64);
+  const int reps = EnvInt("DEKG_BENCH_EXTRACT_REPS", 16);
+  const int64_t max_n =
+      static_cast<int64_t>(EnvInt("DEKG_BENCH_EXTRACT_MAX_N", 1000000));
+
+  std::vector<int32_t> entity_sweep;
+  for (int32_t n : {10000, 100000, 1000000}) {
+    if (n <= max_n) entity_sweep.push_back(n);
+  }
+  DEKG_CHECK(!entity_sweep.empty());
+  const std::vector<int> hops_sweep = {1, 2, 3};
+
+  std::vector<SweepPoint> points;
+  for (int32_t n : entity_sweep) {
+    Timer build_timer;
+    World world = MakeWorld(n, probes);
+    std::printf("[world] entities=%d triples=%lld build=%.1fms\n", n,
+                static_cast<long long>(world.graph.num_triples()),
+                build_timer.ElapsedMillis());
+    for (int hops : hops_sweep) {
+      SweepPoint pt = RunPoint(world, hops, reps);
+      std::printf(
+          "[point] n=%lld hops=%d sparse=%.2fus dense=%.2fus speedup=%.1fx "
+          "nodes=%.1f popped=%.1f bitwise=%s\n",
+          static_cast<long long>(pt.num_entities), pt.hops, pt.sparse_us,
+          pt.dense_us, pt.speedup, pt.mean_nodes, pt.mean_bfs_popped,
+          pt.bitwise_identical ? "yes" : "NO");
+      points.push_back(pt);
+    }
+  }
+
+  // Gates.
+  bool gate_bitwise = true;
+  bool gate_speedup = true;
+  for (const SweepPoint& pt : points) {
+    if (!pt.bitwise_identical) gate_bitwise = false;
+    if (pt.hops == 2 && pt.num_entities >= 100000 && pt.speedup < 5.0) {
+      gate_speedup = false;
+    }
+  }
+  double scaling_ratio = 0.0;
+  double scaling_limit = 0.0;
+  bool gate_sublinear = true;
+  {
+    const SweepPoint* lo = nullptr;
+    const SweepPoint* hi = nullptr;
+    for (const SweepPoint& pt : points) {
+      if (pt.hops != 2) continue;
+      if (lo == nullptr || pt.num_entities < lo->num_entities) lo = &pt;
+      if (hi == nullptr || pt.num_entities > hi->num_entities) hi = &pt;
+    }
+    if (lo != nullptr && hi != nullptr && hi->num_entities > lo->num_entities) {
+      scaling_ratio = hi->sparse_us / lo->sparse_us;
+      scaling_limit = static_cast<double>(hi->num_entities) /
+                      static_cast<double>(lo->num_entities) / 4.0;
+      gate_sublinear = scaling_ratio <= scaling_limit;
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_extract.json", "w");
+  DEKG_CHECK(json != nullptr);
+  std::fprintf(json, "{\n  \"bench\": \"extract\",\n  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& pt = points[i];
+    std::fprintf(
+        json,
+        "    {\"num_entities\": %lld, \"num_triples\": %lld, \"hops\": %d, "
+        "\"probes\": %d, \"sparse_us\": %.3f, \"dense_us\": %.3f, "
+        "\"speedup\": %.2f, \"mean_nodes\": %.1f, \"mean_edges\": %.1f, "
+        "\"mean_bfs_popped\": %.1f, \"mean_candidates\": %.1f, "
+        "\"bitwise_identical\": %s}%s\n",
+        static_cast<long long>(pt.num_entities),
+        static_cast<long long>(pt.num_triples), pt.hops, pt.probes,
+        pt.sparse_us, pt.dense_us, pt.speedup, pt.mean_nodes, pt.mean_edges,
+        pt.mean_bfs_popped, pt.mean_candidates,
+        pt.bitwise_identical ? "true" : "false",
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"scaling_ratio_hops2\": %.2f,\n"
+               "  \"scaling_limit_hops2\": %.2f,\n",
+               scaling_ratio, scaling_limit);
+  std::fprintf(json,
+               "  \"gate_bitwise\": %s,\n  \"gate_speedup\": %s,\n"
+               "  \"gate_sublinear\": %s\n}\n",
+               gate_bitwise ? "true" : "false",
+               gate_speedup ? "true" : "false",
+               gate_sublinear ? "true" : "false");
+  std::fclose(json);
+
+  std::printf("[gates] bitwise=%s speedup=%s sublinear=%s (ratio %.2f <= %.2f)\n",
+              gate_bitwise ? "ok" : "FAIL", gate_speedup ? "ok" : "FAIL",
+              gate_sublinear ? "ok" : "FAIL", scaling_ratio, scaling_limit);
+  return gate_bitwise && gate_speedup && gate_sublinear ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dekg::bench
+
+int main() { return dekg::bench::Main(); }

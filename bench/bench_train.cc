@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/trainer.h"
+#include "graph/subgraph.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 
@@ -300,12 +301,24 @@ int main() {
                "    \"dense_step_s\": %.6f,\n"
                "    \"sparse_step_s\": %.6f,\n"
                "    \"speedup\": %.3f,\n"
-               "    \"identical\": %s\n  }\n}\n",
+               "    \"identical\": %s\n  },\n",
                sparse.dense_step_s, sparse.sparse_step_s,
                sparse.sparse_step_s > 0.0
                    ? sparse.dense_step_s / sparse.sparse_step_s
                    : 0.0,
                sparse.identical ? "true" : "false");
+  // Process-wide extraction counters across every phase above: a cost
+  // regression in the sparse extraction path shows up as bfs_popped or
+  // candidates_kept drifting between runs of the same bench build.
+  const ExtractionCounters extract = GetExtractionCounters();
+  std::fprintf(json,
+               "  \"extraction\": {\n"
+               "    \"extractions\": %llu,\n"
+               "    \"bfs_popped\": %llu,\n"
+               "    \"candidates_kept\": %llu\n  }\n}\n",
+               static_cast<unsigned long long>(extract.extractions),
+               static_cast<unsigned long long>(extract.bfs_popped),
+               static_cast<unsigned long long>(extract.candidates_kept));
   std::fclose(json);
   std::printf("\nwrote BENCH_train.json\n");
 

@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_train bench_gsm_batch bench_simd \
-  bench_churn bench_shard bench_quant
+  bench_extract bench_churn bench_shard bench_quant
 
 # Small dataset, explicit thread count: the point is the bitwise
 # serial-vs-parallel comparison, not throughput.
@@ -39,6 +39,15 @@ DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
 DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
 DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
   ./bench_simd
+
+# Extraction scaling sweep (entities x hops): every point is gated on the
+# sparse output-sensitive path being bitwise identical to the dense
+# reference, plus hard gates on >=5x per-extraction speedup at 1e5+
+# entities / 2 hops and on sublinear growth in num_entities at fixed
+# subgraph size. The smoke run trims the sweep to 1e5 entities to stay
+# fast; the full 1e6 point runs when DEKG_BENCH_EXTRACT_MAX_N is raised.
+DEKG_BENCH_EXTRACT_MAX_N="${DEKG_BENCH_EXTRACT_MAX_N:-100000}" \
+  ./bench_extract
 
 # DEKG-churn serving sweep: patch-mode and invalidate-mode engines step
 # identical ingest+score schedules; every score round is gated on bitwise
@@ -67,4 +76,4 @@ DEKG_BENCH_SHARD_ITERS="${DEKG_BENCH_SHARD_ITERS:-512}" \
 DEKG_BENCH_SCALE="${DEKG_BENCH_SCALE:-0.25}" \
 DEKG_BENCH_THREADS="${DEKG_BENCH_THREADS:-4}" \
   ./bench_quant
-echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json, BENCH_churn.json, BENCH_shard.json, BENCH_quant.json in build-release/bench/)."
+echo "Bench smoke passed (BENCH_train.json, BENCH_gsm_batch.json, BENCH_simd.json, BENCH_extract.json, BENCH_churn.json, BENCH_shard.json, BENCH_quant.json in build-release/bench/)."

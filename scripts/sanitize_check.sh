@@ -30,6 +30,7 @@ COMMON_TESTS="thread_pool_test parallel_eval_determinism_test evaluator_test \
   trainer_parallel_determinism_test subgraph_cache_test \
   serve_protocol_test live_graph_test serve_determinism_test \
   shard_routing_test cache_patch_differential_test \
+  subgraph_sparse_property_test \
   gsm_batch_test simd_kernel_contract_test quant_test quant_gate_test"
 # Death-test / fork-based suites: address,undefined sweep only.
 FORKY_TESTS="checkpoint_test dataset_io_fuzz_test"

@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -95,6 +96,16 @@ size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
     if (x < acc) return i;
   }
   return weights.size() - 1;  // guard against floating point round-off
+}
+
+size_t Rng::SampleDiscretePrefix(const std::vector<double>& prefix) {
+  DEKG_CHECK(!prefix.empty());
+  const double total = prefix.back();
+  DEKG_CHECK_GT(total, 0.0);
+  double x = UniformDouble() * total;
+  const auto it = std::upper_bound(prefix.begin(), prefix.end(), x);
+  if (it == prefix.end()) return prefix.size() - 1;  // round-off guard
+  return static_cast<size_t>(it - prefix.begin());
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {

@@ -45,6 +45,16 @@ class Rng {
   // Weights must be non-negative with positive sum.
   size_t SampleDiscrete(const std::vector<double>& weights);
 
+  // O(log n) twin of SampleDiscrete over a precomputed inclusive prefix
+  // sum of the weights (prefix[i] = w[0] + ... + w[i], accumulated
+  // sequentially; prefix.back() must be positive). Consumes one
+  // UniformDouble and returns the exact index SampleDiscrete would return
+  // for the same weights and generator state — the binary search finds
+  // the first prefix[i] > x, which is precisely where the linear scan's
+  // running `acc` first exceeds x — so swapping samplers never perturbs
+  // the random stream.
+  size_t SampleDiscretePrefix(const std::vector<double>& prefix);
+
   // In-place Fisher-Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* values) {

@@ -90,8 +90,9 @@ Gsm::Gsm(const GsmConfig& config, Rng* rng) : config_(config) {
 }
 
 Subgraph Gsm::Extract(const KnowledgeGraph& graph, const Triple& triple) const {
-  SubgraphWorkspace workspace;
-  return Extract(graph, triple, &workspace);
+  // Thread-local reusable workspace: no per-call O(num_entities)
+  // allocation, and stamped fields make reuse across graphs safe.
+  return Extract(graph, triple, GetThreadLocalSubgraphWorkspace());
 }
 
 Subgraph Gsm::Extract(const KnowledgeGraph& graph, const Triple& triple,
@@ -152,10 +153,10 @@ std::vector<Subgraph> Gsm::ExtractBatch(const KnowledgeGraph& graph,
                                         ThreadPool* pool) const {
   std::vector<Subgraph> out(triples.size());
   const auto body = [&](int64_t begin, int64_t end) {
-    SubgraphWorkspace workspace;
+    SubgraphWorkspace* workspace = GetThreadLocalSubgraphWorkspace();
     for (int64_t i = begin; i < end; ++i) {
       out[static_cast<size_t>(i)] =
-          Extract(graph, triples[static_cast<size_t>(i)], &workspace);
+          Extract(graph, triples[static_cast<size_t>(i)], workspace);
     }
   };
   if (pool != nullptr) {
@@ -173,11 +174,11 @@ std::vector<double> Gsm::ScoreTriplesBatch(const KnowledgeGraph& graph,
                                            ThreadPool* pool) const {
   std::vector<double> scores(triples.size(), 0.0);
   const auto body = [&](int64_t begin, int64_t end) {
-    SubgraphWorkspace workspace;
+    SubgraphWorkspace* workspace = GetThreadLocalSubgraphWorkspace();
     for (int64_t i = begin; i < end; ++i) {
       const Triple& t = triples[static_cast<size_t>(i)];
       Rng rng(MixSeed(seed, static_cast<uint64_t>(i)));
-      Subgraph subgraph = Extract(graph, t, &workspace);
+      Subgraph subgraph = Extract(graph, t, workspace);
       ag::Var s = ScoreSubgraph(subgraph, t.rel, /*training=*/false, &rng);
       scores[static_cast<size_t>(i)] =
           static_cast<double>(s.value().Data()[0]);

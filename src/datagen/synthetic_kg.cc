@@ -26,16 +26,34 @@ std::vector<double> MakePopularityWeights(int32_t count, double skew,
   return weights;
 }
 
-// Weighted choice restricted to one bucket of entities.
-EntityId SampleEntity(const std::vector<EntityId>& bucket,
-                      const std::vector<double>& weights, Rng* rng) {
-  DEKG_CHECK(!bucket.empty());
-  std::vector<double> w(bucket.size());
-  for (size_t i = 0; i < bucket.size(); ++i) {
-    w[i] = weights[static_cast<size_t>(bucket[i])];
+// Weighted choice restricted to one bucket of entities, via inclusive
+// prefix sums built once per bucket. The prefix is accumulated in bucket
+// order — bitwise the same partial sums SampleDiscrete's linear scan
+// produces over the gathered weights — so SampleDiscretePrefix returns
+// the exact index (and consumes the exact draw) the old per-call
+// O(|bucket|) sampler did. This is what lets GenerateKg scale to
+// millions of entities: per-fact sampling drops from O(|bucket|) to
+// O(log |bucket|) without perturbing any golden dataset.
+struct BucketSampler {
+  const std::vector<EntityId>* bucket = nullptr;
+  std::vector<double> prefix;
+
+  void Build(const std::vector<EntityId>& b,
+             const std::vector<double>& weights) {
+    bucket = &b;
+    prefix.resize(b.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < b.size(); ++i) {
+      acc += weights[static_cast<size_t>(b[i])];
+      prefix[i] = acc;
+    }
   }
-  return bucket[rng->SampleDiscrete(w)];
-}
+
+  EntityId Sample(Rng* rng) const {
+    DEKG_CHECK(bucket != nullptr && !bucket->empty());
+    return (*bucket)[rng->SampleDiscretePrefix(prefix)];
+  }
+};
 
 }  // namespace
 
@@ -157,11 +175,39 @@ GeneratedKg GenerateKg(const SchemaConfig& config, Rng* rng,
     }
   }
 
+  // Prefix samplers, built once per bucket. Buckets are frozen before the
+  // fact loop, so the build cost is O(num_entities) total while every draw
+  // inside the loop is O(log |bucket|).
+  std::vector<BucketSampler> type_sampler(
+      static_cast<size_t>(config.num_types));
+  for (int32_t ty = 0; ty < config.num_types; ++ty) {
+    type_sampler[static_cast<size_t>(ty)].Build(
+        entities_of_type[static_cast<size_t>(ty)], popularity);
+  }
+  std::vector<std::array<BucketSampler, 2>> type_comm_sampler;
+  if (use_communities) {
+    type_comm_sampler.resize(static_cast<size_t>(config.num_types));
+    for (int32_t ty = 0; ty < config.num_types; ++ty) {
+      for (size_t c = 0; c < 2; ++c) {
+        type_comm_sampler[static_cast<size_t>(ty)][c].Build(
+            entities_of_type_comm[static_cast<size_t>(ty)][c], popularity);
+      }
+    }
+  }
+  std::vector<double> relation_prefix(relation_weights.size());
+  {
+    double acc = 0.0;
+    for (size_t i = 0; i < relation_weights.size(); ++i) {
+      acc += relation_weights[i];
+      relation_prefix[i] = acc;
+    }
+  }
+
   TripleSet seen;
   for (int64_t produced = 0, attempts = 0;
        produced < target_base && attempts < target_base * 20; ++attempts) {
     RelationId r =
-        static_cast<RelationId>(rng->SampleDiscrete(relation_weights));
+        static_cast<RelationId>(rng->SampleDiscretePrefix(relation_prefix));
     Triple t;
     t.rel = r;
     if (rng->Bernoulli(config.type_noise)) {
@@ -174,18 +220,17 @@ GeneratedKg GenerateKg(const SchemaConfig& config, Rng* rng,
           kg.relation_head_type[static_cast<size_t>(r)];
       const int32_t tail_type =
           kg.relation_tail_type[static_cast<size_t>(r)];
-      t.head = SampleEntity(entities_of_type[static_cast<size_t>(head_type)],
-                            popularity, rng);
-      const std::vector<EntityId>* tail_bucket =
-          &entities_of_type[static_cast<size_t>(tail_type)];
+      t.head = type_sampler[static_cast<size_t>(head_type)].Sample(rng);
+      const BucketSampler* tail_sampler =
+          &type_sampler[static_cast<size_t>(tail_type)];
       if (use_communities && rng->Bernoulli(config.community_locality)) {
         const int32_t c = community_of_entity[static_cast<size_t>(t.head)];
-        const std::vector<EntityId>& local =
-            entities_of_type_comm[static_cast<size_t>(tail_type)]
-                                 [static_cast<size_t>(c)];
-        if (!local.empty()) tail_bucket = &local;
+        const BucketSampler& local =
+            type_comm_sampler[static_cast<size_t>(tail_type)]
+                             [static_cast<size_t>(c)];
+        if (!local.bucket->empty()) tail_sampler = &local;
       }
-      t.tail = SampleEntity(*tail_bucket, popularity, rng);
+      t.tail = tail_sampler->Sample(rng);
     }
     if (t.head == t.tail) continue;
     if (!seen.insert(t).second) continue;

@@ -14,6 +14,14 @@
 //    out-of-range distance is set to -1, whose one-hot encoding is the
 //    all-zero vector. These nodes "simulate disconnected nodes" during
 //    training, so the GNN learns to embed disconnected subgraph pairs.
+//
+// Extraction is output-sensitive (DESIGN.md §16): per-call cost is
+// O(|touched| log |touched| + induced edges), independent of the number
+// of entities in the graph. The distance fields live in a stamp-versioned
+// SubgraphWorkspace — allocated once, never cleared — so the two blocked
+// BFS passes and candidate generation touch only reached nodes, yet the
+// result is bit-identical to the retained dense reference
+// (ExtractSubgraphDense), which fills and scans O(num_entities) state.
 #ifndef DEKG_GRAPH_SUBGRAPH_H_
 #define DEKG_GRAPH_SUBGRAPH_H_
 
@@ -62,26 +70,125 @@ struct SubgraphConfig {
   int32_t num_hops = 2;
   NodeLabeling labeling = NodeLabeling::kImproved;
   // Safety cap on node count (0 = unlimited). When exceeded, the farthest
-  // nodes are dropped first (head/tail always kept).
+  // nodes are dropped first (head/tail always kept; caps of 1 and 2 keep
+  // exactly the two endpoints).
   int32_t max_nodes = 256;
 };
 
-// Reusable scratch buffers for repeated extractions. Extraction reads only
+namespace internal {
+
+// A labeled candidate node awaiting the max_nodes cap. Implementation
+// detail of AssembleSubgraph, exposed only so SubgraphWorkspace can own a
+// reusable buffer of them.
+struct ExtractCandidate {
+  EntityId entity;
+  int32_t dh;
+  int32_t dt;
+  int32_t order_key;
+};
+
+}  // namespace internal
+
+// Reusable scratch state for repeated extractions. Extraction reads only
 // a const KnowledgeGraph and writes only into the workspace, so concurrent
 // extractions are safe as long as each thread owns its own workspace.
+//
+// The per-entity and per-edge arrays are stamp-versioned: a slot is valid
+// only when its stamp matches the mark of the pass that wrote it, so
+// "clearing" a field costs one counter increment instead of an
+// O(num_entities) fill. The arrays are sized on demand (EnsureCapacity
+// only grows them) and never zeroed between calls — reusing one workspace
+// across graphs of different sizes is safe, because every extraction
+// takes fresh stamps that no stale slot can match. When the 32-bit stamp
+// counter runs out of headroom the arrays are zero-filled once and the
+// counter restarts (wrap_resets counts these; one reset per ~1.4 billion
+// extractions).
 struct SubgraphWorkspace {
+  // Blocked-BFS distance fields of the last ExtractSubgraph call:
+  // dist_head[u] is valid iff head_stamp[u] == head_mark (&& head_mark
+  // != 0), likewise for the tail field. HeadDistance/TailDistance wrap
+  // the test and return -1 for "unreached".
   std::vector<int32_t> dist_head;
   std::vector<int32_t> dist_tail;
-  std::vector<EntityId> frontier;
+  std::vector<uint32_t> head_stamp;
+  std::vector<uint32_t> tail_stamp;
+  uint32_t head_mark = 0;
+  uint32_t tail_mark = 0;
+
+  // BFS visit order of the two passes (source first); doubles as the BFS
+  // queue. |reached_head| + |reached_tail| is the per-extraction BFS cost.
+  std::vector<EntityId> reached_head;
+  std::vector<EntityId> reached_tail;
+
+  // Ascending union of the two reached sets after ExtractSubgraph — the
+  // touched set. Everything the extraction read besides the graph.
+  std::vector<EntityId> touched;
+
+  // Assembly scratch: local node index + membership stamp per entity, a
+  // visited stamp per global edge id, and the candidate buffer.
+  std::vector<int32_t> local_index;
+  std::vector<uint32_t> local_stamp;
+  std::vector<uint32_t> edge_stamp;
+  std::vector<internal::ExtractCandidate> candidates;
+
+  // Stamp counter state. `stamp` is the last issued stamp; 0 is never
+  // issued, so zero-filled (fresh or reset) stamp slots are always
+  // invalid. Public so tests can force the wrap path.
+  uint32_t stamp = 0;
+  uint64_t wrap_resets = 0;
+
+  // Grows the per-entity / per-edge arrays to the given sizes (never
+  // shrinks). New slots are zero-stamped, i.e. invalid.
+  void EnsureNodeCapacity(int64_t num_entities);
+  void EnsureEdgeCapacity(int64_t num_edges);
+
+  // Guarantees `count` more stamps can be issued without wrapping past
+  // UINT32_MAX; zero-fills every stamp array and restarts the counter
+  // when they cannot (invalidating all previously written fields).
+  void ReserveStamps(uint32_t count);
+  // Issues the next stamp. Call ReserveStamps first; never returns 0.
+  uint32_t NextStamp() { return ++stamp; }
+
+  // Sparse reads of the last extraction's distance fields (-1 when the
+  // entity was not reached by that pass).
+  int32_t HeadDistance(EntityId u) const {
+    const size_t i = static_cast<size_t>(u);
+    return head_stamp[i] == head_mark && head_mark != 0 ? dist_head[i] : -1;
+  }
+  int32_t TailDistance(EntityId u) const {
+    const size_t i = static_cast<size_t>(u);
+    return tail_stamp[i] == tail_mark && tail_mark != 0 ? dist_tail[i] : -1;
+  }
 };
+
+// A lazily constructed workspace owned by the calling thread, reused for
+// its lifetime. The hot extraction paths (training prefill, evaluation,
+// serving cache misses) route through this so repeated extractions touch
+// only O(touched) state — a fresh workspace would pay an O(num_entities)
+// allocation + zero-fill per call, which is exactly what the stamps
+// exist to avoid.
+SubgraphWorkspace* GetThreadLocalSubgraphWorkspace();
+
+// Process-wide extraction accounting (relaxed atomics; totals are
+// deterministic because each extraction's contribution is). Surfaced in
+// the bench JSON trails (bench_extract, bench_train, bench_churn) so
+// extraction-cost regressions are visible.
+struct ExtractionCounters {
+  uint64_t extractions = 0;     // sparse extractions performed
+  uint64_t bfs_popped = 0;      // nodes popped across both BFS passes
+  uint64_t candidates_kept = 0; // candidate nodes surviving the cap
+};
+ExtractionCounters GetExtractionCounters();
+void ResetExtractionCounters();
 
 // BFS distances from `source` to every node, avoiding `blocked` (distance
 // computed as if `blocked` were deleted). Unreached nodes get -1. Distances
-// greater than `max_depth` are not explored.
+// greater than `max_depth` are not explored. O(num_entities): this is the
+// dense reference form, used by tests and the patch property checks.
 std::vector<int32_t> BfsDistances(const KnowledgeGraph& g, EntityId source,
                                   EntityId blocked, int32_t max_depth);
 
-// Allocation-reusing form: distances land in *dist (resized to
+// Allocation-reusing dense form: distances land in *dist (resized to
 // g.num_entities()); *frontier is scratch. Re-entrant over a const graph.
 void BfsDistances(const KnowledgeGraph& g, EntityId source, EntityId blocked,
                   int32_t max_depth, std::vector<int32_t>* dist,
@@ -90,28 +197,42 @@ void BfsDistances(const KnowledgeGraph& g, EntityId source, EntityId blocked,
 // Extracts the labeled subgraph around (head, ?, tail) from `g`. Any edge
 // identical to the target triple (head, target_rel, tail) — or its exact
 // inverse — is excluded, so a positive training link never sees itself.
+// Uses the calling thread's reusable workspace.
 Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
                          EntityId tail, RelationId target_rel,
                          const SubgraphConfig& config);
 
 // Same, reusing the caller's workspace across calls (hot loops: training
 // epochs, batched inference). Results are identical to the form above.
-// On return the workspace's dist_head / dist_tail hold the two blocked-BFS
-// distance fields the extraction was computed from (part of the contract:
-// TouchedEntities below consumes them).
+// On return the workspace holds the extraction's sparse state — the two
+// stamped blocked-BFS distance fields and the ascending touched set —
+// which TouchedEntities / TouchedEntityLabels below consume in
+// O(touched). That state stays valid until the workspace's next
+// extraction or rebuild.
 Subgraph ExtractSubgraph(const KnowledgeGraph& g, EntityId head,
                          EntityId tail, RelationId target_rel,
                          const SubgraphConfig& config,
                          SubgraphWorkspace* workspace);
 
+// Dense reference implementation: two O(num_entities) distance fills plus
+// a full entity scan, assembled through its own map-based twin of the
+// assembly step — the pre-stamping extraction path, kept verbatim so the
+// sparse path can be differentially tested (and benched) against it.
+// Bit-identical to ExtractSubgraph on every input by the candidate-order
+// argument of DESIGN.md §16.
+Subgraph ExtractSubgraphDense(const KnowledgeGraph& g, EntityId head,
+                              EntityId tail, RelationId target_rel,
+                              const SubgraphConfig& config);
+
 // Entities the last extraction's result depends on: every u with
-// dist_head[u] >= 0 or dist_tail[u] >= 0 (the union of the two blocked
-// t-hop neighborhoods, endpoints included). A new edge can only change an
-// extraction when at least one of its endpoints lies in this set — to
-// alter either BFS field it must be reached through a node at blocked
-// distance <= t-1, which is itself in the set, and an edge newly induced
-// between kept nodes has both endpoints in it. The serve-layer cache
-// invalidation indexes cached subgraphs by this set.
+// HeadDistance(u) >= 0 or TailDistance(u) >= 0 (the union of the two
+// blocked t-hop neighborhoods, endpoints included), ascending. A new edge
+// can only change an extraction when at least one of its endpoints lies
+// in this set — to alter either BFS field it must be reached through a
+// node at blocked distance <= t-1, which is itself in the set, and an
+// edge newly induced between kept nodes has both endpoints in it. The
+// serve-layer cache invalidation indexes cached subgraphs by this set.
+// O(touched): reads the workspace's stored union, no entity scan.
 std::vector<EntityId> TouchedEntities(const SubgraphWorkspace& workspace);
 
 // Sparse restriction of the two blocked-BFS distance fields to the touched
@@ -126,7 +247,8 @@ struct TouchedLabels {
   std::vector<int32_t> dist_tail;
 };
 
-// TouchedEntities plus the distance labels, from the same workspace fields.
+// TouchedEntities plus the distance labels, read from the same sparse
+// workspace state in O(touched).
 TouchedLabels TouchedEntityLabels(const SubgraphWorkspace& workspace);
 
 // In-place decrease-only re-relaxation of one blocked-BFS distance field
@@ -159,13 +281,22 @@ bool RelaxDistancesAfterEdgeInsert(const KnowledgeGraph& g, EntityId source,
 // RelaxDistancesAfterEdgeInsert maintains when it returns true). The
 // result is bit-identical to ExtractSubgraph by construction: candidate
 // generation walks labels.entities in the same ascending-entity order the
-// dense scan uses, and node ordering, the max_nodes cap, and induced-edge
-// enumeration run through the exact same assembly code. Cost is
-// O(|touched| log |touched| + induced edges) — no O(num_entities) work.
+// extraction path uses, and node ordering, the max_nodes cap, and
+// induced-edge enumeration run through the exact same assembly code. Cost
+// is O(|touched| log |touched| + induced edges) — no O(num_entities) work.
 Subgraph BuildSubgraphFromLabels(const KnowledgeGraph& g, EntityId head,
                                  EntityId tail, RelationId target_rel,
                                  const SubgraphConfig& config,
                                  const TouchedLabels& labels);
+
+// Workspace-reusing form (hot ingest-patch loops). Consumes assembly
+// scratch + one stamp; does not disturb the workspace's distance fields
+// or touched set except through a (rare) stamp-wrap reset.
+Subgraph BuildSubgraphFromLabels(const KnowledgeGraph& g, EntityId head,
+                                 EntityId tail, RelationId target_rel,
+                                 const SubgraphConfig& config,
+                                 const TouchedLabels& labels,
+                                 SubgraphWorkspace* workspace);
 
 // Epoch-persistent cache of extracted subgraphs, keyed by the target
 // triple. Extraction is deterministic over an immutable graph, so a cached

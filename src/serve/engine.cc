@@ -123,15 +123,16 @@ std::vector<double> InferenceEngine::ScoreBatchAgainstSnapshot(
     miss_labels.resize(miss.size());
     ParallelFor(0, static_cast<int64_t>(miss.size()), /*grain=*/0,
                 [&](int64_t begin, int64_t end) {
-                  SubgraphWorkspace workspace;
+                  SubgraphWorkspace* workspace =
+                      GetThreadLocalSubgraphWorkspace();
                   for (int64_t m = begin; m < end; ++m) {
                     const Triple& t =
                         items[static_cast<size_t>(miss[static_cast<size_t>(m)])]
                             .triple;
                     miss_subs[static_cast<size_t>(m)] =
-                        gsm->Extract(g, t, &workspace);
+                        gsm->Extract(g, t, workspace);
                     miss_labels[static_cast<size_t>(m)] =
-                        TouchedEntityLabels(workspace);
+                        TouchedEntityLabels(*workspace);
                   }
                 });
     for (size_t m = 0; m < miss.size(); ++m) {
@@ -365,8 +366,9 @@ void InferenceEngine::CatchUpCache(const GraphSnapshot& snap,
     // the rebuild goes through the same assembly path fresh extraction
     // uses, so the swapped payload is bit-identical to ExtractSubgraph
     // on the snapshot graph.
-    cache_.Replace(key, BuildSubgraphFromLabels(g, key.head, key.tail,
-                                                key.rel, sc, meta.labels));
+    cache_.Replace(key,
+                   BuildSubgraphFromLabels(g, key.head, key.tail, key.rel, sc,
+                                           meta.labels, &patch_workspace_));
     if (head_changed || tail_changed) {
       ++repaired_;
       if (response != nullptr) ++response->repaired;

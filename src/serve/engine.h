@@ -259,6 +259,10 @@ class InferenceEngine {
   std::unordered_map<Triple, CachedMeta, TripleHash> key_meta_;
   std::unordered_map<EntityId, TripleSet> entity_index_;
 
+  // Reusable stamped workspace for the single-writer ingest-patch path's
+  // label rebuilds (CatchUpCache only; never shared with the read path).
+  SubgraphWorkspace patch_workspace_;
+
   // Finished-score memo for the caught-up epoch (see
   // EngineConfig::score_memo_capacity). Flushed by CatchUpCache on every
   // epoch advance.

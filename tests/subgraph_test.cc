@@ -169,6 +169,28 @@ TEST(SubgraphTest, MaxNodesCapKeepsClosestNodes) {
   EXPECT_EQ(sub.nodes[1].entity, 1);
 }
 
+TEST(SubgraphTest, DegenerateMaxNodesCapsKeepOnlyEndpoints) {
+  // max_nodes of 1 or 2 leaves no room beyond the always-kept head/tail
+  // pair. A cap of 1 used to underflow `max_nodes - 2` to SIZE_MAX and
+  // keep every candidate.
+  KnowledgeGraph g(30, 1);
+  for (EntityId leaf = 2; leaf < 30; ++leaf) g.AddTriple({0, 0, leaf});
+  g.AddTriple({0, 0, 1});
+  g.Build();
+  SubgraphConfig config;
+  config.num_hops = 2;
+  for (const int32_t cap : {1, 2}) {
+    config.max_nodes = cap;
+    Subgraph sub = ExtractSubgraph(g, 0, 1, 0, config);
+    ASSERT_EQ(sub.nodes.size(), 2u) << "cap " << cap;
+    EXPECT_EQ(sub.nodes[0].entity, 0);
+    EXPECT_EQ(sub.nodes[1].entity, 1);
+    // The only surviving edge is the 0→1 chain link, unless it is the
+    // excluded target itself — which it is here (rel 0), so no edges.
+    EXPECT_TRUE(sub.edges.empty());
+  }
+}
+
 TEST(SubgraphTest, EdgesMapToLocalIndices) {
   KnowledgeGraph g = PathGraph();
   SubgraphConfig config;
